@@ -1,0 +1,79 @@
+//! # nowmp-apps — the paper's application kernels
+//!
+//! The four programs of the PPoPP'99 evaluation (§5.2), written against
+//! the OpenMP-style API exactly as their OpenMP sources would compile:
+//! one outlined region per parallel construct, iteration partitioning
+//! re-derived from `(pid, nprocs)` at every fork, **zero
+//! adaptivity-specific code**:
+//!
+//! | kernel | paper size | character |
+//! |---|---|---|
+//! | [`jacobi::Jacobi`] | 2500², 1000 iters | regular stencil; neighbor diffs |
+//! | [`gauss::Gauss`] | 3072², 3072 iters | pivot-row broadcast; full pages, no diffs |
+//! | [`fft3d::Fft3d`] | 128×64×64, 100 iters | transpose all-to-all |
+//! | [`nbf::Nbf`] | 131072 atoms × 80 partners | irregular access, reduction |
+//!
+//! Every kernel implements [`Kernel`]: the benches drive them uniformly
+//! and each carries a serial reference for verification. Problem sizes
+//! are parameters; tests run laptop-scale instances.
+
+#![warn(missing_docs)]
+
+pub mod fft3d;
+pub mod gauss;
+pub mod jacobi;
+pub mod nbf;
+
+use nowmp_omp::{OmpProgram, OmpSystem};
+
+/// A benchmark kernel: registers its regions, initializes shared data,
+/// steps iterations, and verifies against a serial reference.
+pub trait Kernel: Send + Sync {
+    /// Short name ("Jacobi", "Gauss", "3D-FFT", "NBF").
+    fn name(&self) -> &'static str;
+
+    /// Register this kernel's parallel regions.
+    fn add_regions(&self, p: OmpProgram) -> OmpProgram;
+
+    /// Allocate and initialize shared data (master, before the loop).
+    fn setup(&self, sys: &mut OmpSystem);
+
+    /// Execute one outer iteration (one or more parallel constructs).
+    fn step(&self, sys: &mut OmpSystem, iter: usize);
+
+    /// Default outer iteration count for a full run.
+    fn default_iters(&self) -> usize;
+
+    /// Maximum absolute error against the serial reference after
+    /// `iters` iterations (0.0 = exact).
+    fn verify(&self, sys: &mut OmpSystem, iters: usize) -> f64;
+
+    /// Shared memory the kernel allocates, in bytes.
+    fn shared_bytes(&self) -> u64;
+}
+
+/// Build the complete program for a set of kernels (regions of all four
+/// can coexist; names are prefixed per kernel).
+pub fn build_program(kernels: &[&dyn Kernel]) -> OmpProgram {
+    let mut p = OmpProgram::new();
+    for k in kernels {
+        p = k.add_regions(p);
+    }
+    p
+}
+
+/// Convenience: run `kernel` for `iters` iterations on a fresh system.
+pub fn run_kernel(
+    kernel: &dyn Kernel,
+    cfg: nowmp_core::ClusterConfig,
+    iters: usize,
+) -> (OmpSystem, f64) {
+    let program = build_program(&[kernel]);
+    let mut sys = OmpSystem::new(cfg, program);
+    kernel.setup(&mut sys);
+    for it in 0..iters {
+        kernel.step(&mut sys, it);
+    }
+    let err = kernel.verify(&mut sys, iters);
+    (sys, err)
+}

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the iteration partitioners (the code the
+//! OpenMP compiler emits and every fork re-runs) and the Figure 3
+//! overlap analytics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nowmp_core::{moved_fraction_on_leave, reassign, ReassignPolicy};
+use nowmp_net::Gpid;
+use nowmp_omp::sched;
+
+fn bench_static(c: &mut Criterion) {
+    c.bench_function("static_block_8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for pid in 0..8 {
+                let r = sched::static_block(black_box(0..1_000_000), pid, 8);
+                acc += r.end - r.start;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_chunks(c: &mut Criterion) {
+    c.bench_function("static_chunks_collect", |b| {
+        b.iter(|| {
+            sched::static_chunks(black_box(0..100_000), 64, 3, 8).count()
+        })
+    });
+    c.bench_function("guided_sizes", |b| {
+        b.iter(|| sched::guided_chunk_sizes(black_box(100_000), 16, 8))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("moved_fraction_on_leave_8", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in 1..8 {
+                acc += moved_fraction_on_leave(8, black_box(l));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_reassign(c: &mut Criterion) {
+    let old: Vec<Gpid> = (0..64).map(Gpid).collect();
+    let leavers = vec![Gpid(10), Gpid(30)];
+    let joiners = vec![Gpid(100)];
+    c.bench_function("reassign_compact_64", |b| {
+        b.iter(|| {
+            reassign(
+                ReassignPolicy::CompactKeepOrder,
+                black_box(&old),
+                black_box(&leavers),
+                black_box(&joiners),
+            )
+        })
+    });
+    c.bench_function("reassign_fillgaps_64", |b| {
+        b.iter(|| {
+            reassign(
+                ReassignPolicy::FillGaps,
+                black_box(&old),
+                black_box(&leavers),
+                black_box(&joiners),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_static, bench_chunks, bench_fig3, bench_reassign);
+criterion_main!(benches);

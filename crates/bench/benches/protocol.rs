@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the DSM protocol primitives: diff
+//! creation/application, twin snapshots, vector clocks, the wire codec,
+//! zero-run compression and CRC.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nowmp_tmk::diff::Diff;
+use nowmp_tmk::page::PageBuf;
+use nowmp_tmk::types::Vc;
+use nowmp_util::wire::Wire;
+use nowmp_util::{crc32, zrle};
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for &changed in &[1usize, 64, 512] {
+        let twin = vec![0u64; 512]; // one 4 KB page
+        let page = PageBuf::from_words(&twin);
+        for i in 0..changed {
+            page.store(i * (512 / changed.max(1)) % 512, i as u64 + 1);
+        }
+        g.bench_function(&format!("create_4k_{changed}w"), |b| {
+            b.iter(|| Diff::create(black_box(&twin), black_box(&page), 0))
+        });
+        let d = Diff::create(&twin, &page, 0);
+        let target = PageBuf::from_words(&twin);
+        g.bench_function(&format!("apply_4k_{changed}w"), |b| {
+            b.iter(|| d.apply(black_box(&target)))
+        });
+        g.bench_function(&format!("wire_roundtrip_{changed}w"), |b| {
+            b.iter(|| {
+                let bytes = d.to_wire();
+                Diff::from_wire(black_box(&bytes)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_twin(c: &mut Criterion) {
+    let page = PageBuf::new(512);
+    c.bench_function("twin_snapshot_4k", |b| b.iter(|| black_box(&page).snapshot()));
+}
+
+fn bench_vc(c: &mut Criterion) {
+    let mut a = Vc::new(8);
+    let mut bb = Vc::new(8);
+    for i in 0..8 {
+        a.set(i, (i as u32) * 3);
+        bb.set(i, 20 - (i as u32) * 2);
+    }
+    c.bench_function("vc_merge_8", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.merge(black_box(&bb));
+            x
+        })
+    });
+    c.bench_function("vc_dominates_8", |b| b.iter(|| black_box(&a).dominates(black_box(&bb))));
+}
+
+fn bench_zrle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zrle");
+    let zeros = vec![0u64; 512];
+    let mut sparse = vec![0u64; 512];
+    for i in (0..512).step_by(16) {
+        sparse[i] = i as u64 + 1;
+    }
+    let dense: Vec<u64> = (0..512u64).map(|i| i | 1).collect();
+    for (name, data) in [("zero", &zeros), ("sparse", &sparse), ("dense", &dense)] {
+        g.bench_function(&format!("compress_4k_{name}"), |b| {
+            b.iter(|| zrle::compress(black_box(data)))
+        });
+        let buf = zrle::compress(data);
+        g.bench_function(&format!("decompress_4k_{name}"), |b| {
+            b.iter(|| zrle::decompress(black_box(&buf)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xABu8; 4096];
+    c.bench_function("crc32_4k", |b| b.iter(|| crc32(black_box(&data))));
+}
+
+criterion_group!(benches, bench_diff, bench_twin, bench_vc, bench_zrle, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benchmarks of live DSM synchronization paths (emulation
+//! off — these time the protocol implementation, not the simulated
+//! wire): fork/join, in-region barriers, distributed locks, page fetch
+//! and diff fetch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nowmp_net::{HostId, NetModel, Network};
+use nowmp_tmk::shared::SharedF64Vec;
+use nowmp_tmk::system::{DsmSystem, MasterCtl, RegionRunner};
+use nowmp_tmk::{DsmConfig, TmkCtx};
+use std::sync::Arc;
+
+const R_NOP: u32 = 0;
+const R_BARRIER: u32 = 1;
+const R_LOCK: u32 = 2;
+const R_TOUCH_ALL: u32 = 3;
+const R_WRITE_ALL: u32 = 4;
+
+struct App;
+impl RegionRunner for App {
+    fn run(&self, region: u32, ctx: &mut TmkCtx) {
+        match region {
+            R_NOP => {}
+            R_BARRIER => ctx.barrier(),
+            R_LOCK => {
+                ctx.lock(3);
+                ctx.unlock(3);
+            }
+            R_TOUCH_ALL => {
+                let v = SharedF64Vec::lookup(ctx, "v");
+                let mut buf = vec![0.0; v.len()];
+                v.read_into(ctx, 0, &mut buf);
+            }
+            R_WRITE_ALL => {
+                if ctx.pid() == 1 {
+                    let v = SharedF64Vec::lookup(ctx, "v");
+                    for i in 0..v.len() {
+                        let cur = v.get(ctx, i);
+                        v.set(ctx, i, cur + 1.0);
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn system(procs: usize) -> MasterCtl {
+    let net = Network::new(procs, 1, NetModel::disabled());
+    let sys = DsmSystem::new(net, DsmConfig::default_4k(), Arc::new(App));
+    let mut master = sys.start_master(HostId(0));
+    let mut workers = Vec::new();
+    for i in 1..procs {
+        workers.push(sys.spawn_worker(HostId(i as u16), master.gpid(), workers.clone()));
+    }
+    master.alloc("v", 2048, nowmp_tmk::ElemKind::F64);
+    master.init_team(&workers);
+    master
+}
+
+fn bench_forkjoin(c: &mut Criterion) {
+    for procs in [2usize, 4] {
+        let mut master = system(procs);
+        c.bench_function(&format!("fork_join_nop_{procs}p"), |b| {
+            b.iter(|| master.parallel(R_NOP, &[]))
+        });
+        master.shutdown();
+    }
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut master = system(4);
+    c.bench_function("in_region_barrier_4p", |b| b.iter(|| master.parallel(R_BARRIER, &[])));
+    master.shutdown();
+}
+
+fn bench_lock(c: &mut Criterion) {
+    let mut master = system(4);
+    c.bench_function("lock_unlock_all_4p", |b| b.iter(|| master.parallel(R_LOCK, &[])));
+    master.shutdown();
+}
+
+fn bench_page_traffic(c: &mut Criterion) {
+    let mut master = system(2);
+    // Warm: both sides own copies; each iteration writes then fetches
+    // diffs for 2048 slots = 32 pages.
+    c.bench_function("write_then_fetch_32pages_2p", |b| {
+        b.iter(|| {
+            master.parallel(R_WRITE_ALL, &[]);
+            master.parallel(R_TOUCH_ALL, &[]);
+        })
+    });
+    master.shutdown();
+}
+
+criterion_group!(benches, bench_forkjoin, bench_barrier, bench_lock, bench_page_traffic);
+criterion_main!(benches);

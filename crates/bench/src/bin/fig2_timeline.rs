@@ -1,0 +1,94 @@
+//! **Figure 2** — the three adaptation shapes as live timelines:
+//!
+//! * (a) a **join**: requested mid-computation, the new process
+//!   connects asynchronously, and enters at the next adaptation point;
+//! * (b) a **normal leave**: the computation reaches an adaptation
+//!   point within the grace period, the process is terminated there;
+//! * (c) an **urgent leave**: the grace period expires first, the
+//!   process migrates (spawn + image transfer at 8.1 MB/s) and
+//!   multiplexes on its new host until the next adaptation point.
+//!
+//! The event log renders each run as a timestamped timeline.
+
+use nowmp_apps::jacobi::Jacobi;
+use nowmp_bench::{bench_cfg, measure};
+
+fn main() {
+    let app = if nowmp_bench::quick() { Jacobi::new(64) } else { Jacobi::new(128) };
+    let iters = 10;
+
+    // (a) Join.
+    println!("--- Figure 2(a): join event ---");
+    let run = measure(
+        &app,
+        bench_cfg(5, 4),
+        iters,
+        true,
+        |sys, it| {
+            if it == 3 {
+                sys.request_join_ready().expect("free host available");
+            }
+        },
+        true,
+    );
+    assert_eq!(run.err, 0.0);
+    print!("{}", render(&run.log));
+
+    // (b) Normal leave: generous grace period, adaptation point wins.
+    println!("\n--- Figure 2(b): normal leave (grace period honored) ---");
+    let run = measure(
+        &app,
+        bench_cfg(4, 4),
+        iters,
+        true,
+        |sys, it| {
+            if it == 3 {
+                sys.request_leave_pid(3, Some(std::time::Duration::from_secs(30)))
+                    .expect("slave can leave");
+            }
+        },
+        true,
+    );
+    assert_eq!(run.err, 0.0);
+    print!("{}", render(&run.log));
+
+    // (c) Urgent leave: grace expires before the adaptation point.
+    println!("\n--- Figure 2(c): urgent leave (migration + multiplexing) ---");
+    let run = measure(
+        &app,
+        bench_cfg(4, 4),
+        iters,
+        true,
+        |sys, it| {
+            if it == 3 {
+                let g = sys
+                    .request_leave_pid(3, None)
+                    .expect("slave can leave");
+                // Deterministically expire the grace period now.
+                assert!(sys.shared().force_urgent(g));
+            }
+        },
+        true,
+    );
+    assert_eq!(run.err, 0.0);
+    print!("{}", render(&run.log));
+
+    println!(
+        "\nShape check vs Figure 2: (a) join takes effect at an adaptation point after\n\
+         async connect; (b) the leave resolves at an adaptation point without any\n\
+         migration; (c) migration precedes a normal leave at the following point, and\n\
+         the migrated process multiplexes in between."
+    );
+}
+
+fn render(log: &[nowmp_core::LogEntry]) -> String {
+    let l = nowmp_core::EventLog::new();
+    // Re-render from the recorded entries: EventLog::render_timeline
+    // works on its own entries, so rebuild the text manually.
+    let _ = l;
+    let mut out = String::new();
+    for e in log {
+        out.push_str(&format!("[{:9.4}s] {:?}\n", e.at.as_secs_f64(), e.kind));
+    }
+    out
+}

@@ -1,0 +1,71 @@
+//! **Table 1** — "Execution times and network traffic on non-adaptive
+//! and adaptive system with no adapt events. Network traffic is
+//! identical on both systems."
+//!
+//! For each kernel × {8, 4, 1} processes we run the *standard* system
+//! (adaptivity switch off — the paper's base TreadMarks 1.1.0) and the
+//! *adaptive* system with zero adapt events, and report runtime plus
+//! traffic (full pages, MB, messages, diffs). The key claims to check:
+//!
+//! 1. adaptive ≈ standard runtime (no cost for adaptivity);
+//! 2. traffic identical between the two systems;
+//! 3. per-kernel traffic signatures: Jacobi moves diffs; Gauss/FFT/NBF
+//!    are dominated by full pages.
+
+use nowmp_apps::Kernel;
+use nowmp_bench::{bench_cfg, mb, measure, print_table, BenchApps};
+
+fn main() {
+    let apps: Vec<(Box<dyn Kernel>, usize)> = vec![
+        (Box::new(BenchApps::jacobi()), BenchApps::jacobi_iters()),
+        (Box::new(BenchApps::gauss()), BenchApps::gauss_iters()),
+        (Box::new(BenchApps::fft()), BenchApps::fft_iters()),
+        (Box::new(BenchApps::nbf()), BenchApps::nbf_iters()),
+    ];
+
+    let mut rows = Vec::new();
+    for (app, iters) in &apps {
+        for &procs in &[8usize, 4, 1] {
+            let std_run =
+                measure(app.as_ref(), bench_cfg(procs, procs), *iters, false, |_, _| {}, false);
+            let ada_run =
+                measure(app.as_ref(), bench_cfg(procs, procs), *iters, true, |_, _| {}, true);
+            assert_eq!(ada_run.err, 0.0, "{} must verify", app.name());
+            // Two *separate* runs race independently: when an exclusive
+            // page is served mid-interval, the snapshot/diff split is
+            // timing-dependent, so bytes can differ slightly between
+            // runs even of the *same* system. Compare with tolerance.
+            let db = (std_run.net.total_bytes as f64 - ada_run.net.total_bytes as f64).abs()
+                / std_run.net.total_bytes.max(1) as f64;
+            rows.push(vec![
+                app.name().to_string(),
+                format!("{}", nowmp_util::fmt_bytes(app.shared_bytes())),
+                iters.to_string(),
+                procs.to_string(),
+                format!("{:.2}", std_run.secs),
+                format!("{:.2}", ada_run.secs),
+                ada_run.dsm.pages_fetched.to_string(),
+                mb(std_run.net.total_bytes),
+                mb(ada_run.net.total_bytes),
+                ada_run.net.total_msgs.to_string(),
+                ada_run.dsm.diffs_fetched.to_string(),
+                format!("{:.1}%", db * 100.0),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 1: execution time and network traffic, no adapt events",
+        &[
+            "App", "Shared", "Iters", "Nodes", "Std(s)", "Adaptive(s)", "Pages(4k)", "MB(std)",
+            "MB(ada)", "Messages", "Diffs", "dTraffic",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper shape check: adaptive ~= standard in time AND traffic (dTraffic ~ 0;\n\
+         the protocol paths are identical by construction — residual deltas are\n\
+         run-to-run races in exclusive-page serving), Jacobi is the diff-mover,\n\
+         Gauss moves only full pages; 1-node rows show zero traffic."
+    );
+}

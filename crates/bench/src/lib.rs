@@ -1,0 +1,284 @@
+//! # nowmp-bench — harness library behind the table/figure binaries
+//!
+//! One binary per paper artifact (see DESIGN.md §8):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — no-adaptation overhead + traffic |
+//! | `table2` | Table 2 — average adaptation cost, end/middle leaver |
+//! | `fig2_timeline` | Figure 2 — join / normal leave / urgent leave timelines |
+//! | `fig3_redistribution` | Figure 3 — data moved vs leaving pid |
+//! | `micro_env` | §5.1 — network/lock/diff/page micro-costs |
+//! | `migration_whatif` | §5.3 — migration-only adaptation costs |
+//! | `micro_adapt` | §5.4 — adaptation cost micro-analysis series |
+//! | `ablation` | design-choice ablations (lazy diffs, scatter, fill-gaps, grace) |
+//!
+//! Sizes are scaled down from the paper's 1999 testbed (laptop-scale,
+//! see `EXPERIMENTS.md`); the network cost model defaults to the
+//! paper's measured constants. Environment knobs:
+//!
+//! * `NOWMP_QUICK=1` — smaller sizes / fewer iterations;
+//! * `NOWMP_TIME_SCALE=x` — scale every emulated delay (default 1.0);
+//! * `NOWMP_NO_EMULATE=1` — disable the time emulation (counters only).
+
+#![warn(missing_docs)]
+
+use nowmp_apps::{fft3d::Fft3d, gauss::Gauss, jacobi::Jacobi, nbf::Nbf, Kernel};
+use nowmp_core::{ClusterConfig, EventKind, LogEntry};
+use nowmp_net::NetModel;
+use nowmp_omp::OmpSystem;
+use nowmp_tmk::DsmConfig;
+use std::time::Duration;
+
+/// Scaled-down benchmark instances of the four kernels.
+pub struct BenchApps;
+
+impl BenchApps {
+    /// Jacobi instance (paper: 2500², 1000 iters).
+    pub fn jacobi() -> Jacobi {
+        if quick() {
+            Jacobi::new(96)
+        } else {
+            Jacobi::new(256)
+        }
+    }
+
+    /// Jacobi iteration count for benches.
+    pub fn jacobi_iters() -> usize {
+        if quick() {
+            10
+        } else {
+            40
+        }
+    }
+
+    /// Gauss instance (paper: 3072², 3072 iters).
+    pub fn gauss() -> Gauss {
+        if quick() {
+            Gauss::new(64)
+        } else {
+            Gauss::new(160)
+        }
+    }
+
+    /// Gauss iteration count (full elimination).
+    pub fn gauss_iters() -> usize {
+        Self::gauss().default_iters()
+    }
+
+    /// 3D-FFT instance (paper: 128×64×64, 100 iters).
+    pub fn fft() -> Fft3d {
+        if quick() {
+            Fft3d::new(8, 8, 8)
+        } else {
+            Fft3d::new(16, 16, 16)
+        }
+    }
+
+    /// FFT iteration count.
+    pub fn fft_iters() -> usize {
+        if quick() {
+            2
+        } else {
+            5
+        }
+    }
+
+    /// NBF instance (paper: 131072 atoms × 80 partners).
+    pub fn nbf() -> Nbf {
+        if quick() {
+            Nbf::new(512, 8)
+        } else {
+            Nbf::new(2048, 16)
+        }
+    }
+
+    /// NBF iteration count.
+    pub fn nbf_iters() -> usize {
+        if quick() {
+            3
+        } else {
+            8
+        }
+    }
+}
+
+/// `NOWMP_QUICK=1`?
+pub fn quick() -> bool {
+    std::env::var("NOWMP_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The benchmark network model (paper constants, env-scaled).
+pub fn bench_net_model() -> NetModel {
+    if std::env::var("NOWMP_NO_EMULATE").map(|v| v == "1").unwrap_or(false) {
+        return NetModel::disabled();
+    }
+    let scale = std::env::var("NOWMP_TIME_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    NetModel::paper_scaled(scale)
+}
+
+/// Cluster configuration for benches: paper network model, 4 KB pages.
+pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
+    ClusterConfig {
+        hosts,
+        initial_procs: procs,
+        net_model: bench_net_model(),
+        dsm: DsmConfig::default_4k(),
+        ..ClusterConfig::test(hosts, procs)
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall-clock runtime of the iteration loop.
+    pub secs: f64,
+    /// DSM counters over the loop (setup excluded).
+    pub dsm: nowmp_tmk::DsmSnapshot,
+    /// Network counters over the loop (setup excluded).
+    pub net: nowmp_net::StatsSnapshot,
+    /// Event log entries.
+    pub log: Vec<LogEntry>,
+    /// Verification error vs the serial reference.
+    pub err: f64,
+}
+
+/// Run `kernel` for `iters` iterations on a fresh system built from
+/// `cfg`. `adaptive` toggles the §4.4 switch; `events(sys, iter)` is
+/// called before every iteration to inject adapt events; `verify`
+/// controls whether the (traffic-polluting) verification runs.
+pub fn measure(
+    kernel: &dyn Kernel,
+    cfg: ClusterConfig,
+    iters: usize,
+    adaptive: bool,
+    mut events: impl FnMut(&mut OmpSystem, usize),
+    verify: bool,
+) -> RunResult {
+    let program = nowmp_apps::build_program(&[kernel]);
+    let mut sys = OmpSystem::new(cfg, program);
+    sys.set_adaptive(adaptive);
+    kernel.setup(&mut sys);
+    let dsm0 = sys.dsm_stats();
+    let net0 = sys.net_stats();
+    let sw = nowmp_util::Stopwatch::start();
+    for it in 0..iters {
+        events(&mut sys, it);
+        kernel.step(&mut sys, it);
+    }
+    let secs = sw.secs();
+    let dsm = sys.dsm_stats().since(&dsm0);
+    let net = sys.net_stats().since(&net0);
+    let log = sys.log().entries();
+    let err = if verify { kernel.verify(&mut sys, iters) } else { 0.0 };
+    sys.shutdown();
+    RunResult { secs, dsm, net, log, err }
+}
+
+/// Time-weighted average team size over a run (the paper's §5.3
+/// interpolation basis: "the average number of nodes is always an
+/// integer in the non-adaptive case (but the average is a real number
+/// with adaptivity)").
+pub fn avg_nodes(log: &[LogEntry], initial: usize, total: Duration) -> f64 {
+    let mut last_t = Duration::ZERO;
+    let mut n = initial as f64;
+    let mut acc = 0.0;
+    for e in log {
+        if let EventKind::Adaptation { nprocs, .. } = e.kind {
+            let dt = e.at.saturating_sub(last_t);
+            acc += n * dt.as_secs_f64();
+            last_t = e.at;
+            n = nprocs as f64;
+        }
+    }
+    acc += n * total.saturating_sub(last_t).as_secs_f64();
+    if total.as_secs_f64() > 0.0 {
+        acc / total.as_secs_f64()
+    } else {
+        initial as f64
+    }
+}
+
+/// Linear interpolation of non-adaptive runtime at a fractional node
+/// count, from measurements at the two bracketing integers.
+pub fn interpolate_runtime(t_lo: f64, n_lo: f64, t_hi: f64, n_hi: f64, n: f64) -> f64 {
+    if (n_hi - n_lo).abs() < f64::EPSILON {
+        return t_lo;
+    }
+    t_lo + (t_hi - t_lo) * (n - n_lo) / (n_hi - n_lo)
+}
+
+/// Fixed-width table printer.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Megabytes with 2 decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_basics() {
+        // Runtime shrinks with more nodes: t(4) = 100, t(8) = 60.
+        let t = interpolate_runtime(100.0, 4.0, 60.0, 8.0, 6.0);
+        assert!((t - 80.0).abs() < 1e-12);
+        assert_eq!(interpolate_runtime(50.0, 4.0, 60.0, 4.0, 4.0), 50.0);
+    }
+
+    #[test]
+    fn avg_nodes_weighted() {
+        use nowmp_core::EventKind;
+        let log = vec![LogEntry {
+            at: Duration::from_secs(5),
+            kind: EventKind::Adaptation {
+                fork_no: 1,
+                joins: 0,
+                leaves: 1,
+                took: Duration::ZERO,
+                bytes_moved: 0,
+                max_link_bytes: 0,
+                nprocs: 7,
+            },
+        }];
+        // 8 procs for 5 s, then 7 procs for 5 s -> 7.5 average.
+        let avg = avg_nodes(&log, 8, Duration::from_secs(10));
+        assert!((avg - 7.5).abs() < 1e-9, "avg={avg}");
+    }
+
+    #[test]
+    fn measure_smoke() {
+        let k = nowmp_apps::jacobi::Jacobi::new(16);
+        let cfg = ClusterConfig::test(3, 2);
+        let r = measure(&k, cfg, 2, true, |_, _| {}, true);
+        assert_eq!(r.err, 0.0);
+        assert!(r.net.total_msgs > 0);
+    }
+}

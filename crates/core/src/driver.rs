@@ -1,0 +1,145 @@
+//! Scripted event sources — the paper's workstation-availability
+//! "daemon".
+//!
+//! "How these events are generated is beyond the scope of this paper.
+//! E.g., a daemon may generate events at set times according to an
+//! operational schedule, or a load sensor may be employed" (§4). This
+//! module provides that daemon for experiments: a wall-clock schedule
+//! of join/leave/checkpoint events executed by a background thread
+//! against a [`ClusterShared`] handle, mimicking workstation owners
+//! coming and going while the computation runs.
+
+use crate::cluster::ClusterShared;
+use nowmp_net::Gpid;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scheduled workstation-availability event.
+#[derive(Debug, Clone)]
+pub enum DriverEvent {
+    /// A workstation frees up: spawn a process and join at the next
+    /// adaptation point.
+    Join,
+    /// The owner of the workstation running the process currently
+    /// ranked `pid` returns, granting `grace`.
+    LeaveByPid {
+        /// Current rank of the process asked to leave.
+        pid: u16,
+        /// Grace period (None = unbounded: always a normal leave).
+        grace: Option<Duration>,
+    },
+    /// A specific process instance is asked to leave.
+    LeaveByGpid {
+        /// The process instance.
+        gpid: Gpid,
+        /// Grace period.
+        grace: Option<Duration>,
+    },
+    /// Take a checkpoint at the next adaptation point.
+    Checkpoint,
+}
+
+/// A wall-clock schedule: `(delay from driver start, event)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    entries: Vec<(Duration, DriverEvent)>,
+}
+
+impl Schedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an event at `at` after driver start (builder style).
+    pub fn at(mut self, at: Duration, event: DriverEvent) -> Self {
+        self.entries.push((at, event));
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Handle to a running driver thread.
+pub struct Driver {
+    handle: Option<std::thread::JoinHandle<Vec<(Duration, Result<(), crate::AdaptError>)>>>,
+}
+
+impl Driver {
+    /// Start a background daemon executing `schedule` against the
+    /// cluster. Events fire in schedule order at their wall-clock
+    /// offsets; failures (e.g. no free host) are recorded, not fatal —
+    /// a real availability daemon also races reality.
+    pub fn spawn(shared: Arc<ClusterShared>, schedule: Schedule) -> Self {
+        let mut entries = schedule.entries;
+        entries.sort_by_key(|(d, _)| *d);
+        let handle = std::thread::Builder::new()
+            .name("nowmp-driver".into())
+            .spawn(move || {
+                let start = std::time::Instant::now();
+                let mut outcomes = Vec::with_capacity(entries.len());
+                for (at, event) in entries {
+                    let now = start.elapsed();
+                    if at > now {
+                        std::thread::sleep(at - now);
+                    }
+                    let result = match &event {
+                        DriverEvent::Join => shared.request_join().map(|_| ()),
+                        DriverEvent::LeaveByPid { pid, grace } => {
+                            let team = shared.team_view();
+                            match team.get(*pid as usize) {
+                                Some(&g) => shared.request_leave(g, *grace),
+                                None => Err(crate::AdaptError::NotInTeam(Gpid(0))),
+                            }
+                        }
+                        DriverEvent::LeaveByGpid { gpid, grace } => {
+                            shared.request_leave(*gpid, *grace)
+                        }
+                        DriverEvent::Checkpoint => {
+                            shared.request_checkpoint();
+                            Ok(())
+                        }
+                    };
+                    outcomes.push((start.elapsed(), result));
+                }
+                outcomes
+            })
+            .expect("spawn driver thread");
+        Driver { handle: Some(handle) }
+    }
+
+    /// Wait for the schedule to finish; returns per-event outcomes.
+    pub fn join(mut self) -> Vec<(Duration, Result<(), crate::AdaptError>)> {
+        self.handle.take().expect("driver joined twice").join().expect("driver panicked")
+    }
+}
+
+impl Drop for Driver {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_builder_orders_entries() {
+        let s = Schedule::new()
+            .at(Duration::from_millis(50), DriverEvent::Join)
+            .at(Duration::from_millis(10), DriverEvent::Checkpoint);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

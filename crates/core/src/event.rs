@@ -1,0 +1,141 @@
+//! Adaptation events and their lifecycle.
+//!
+//! "Each node recognizes join and leave events and communicates those to
+//! the master. How these events are generated is beyond the scope of
+//! this paper." (§4) — our event *sources* (deterministic schedules,
+//! wall-clock timers, the examples' scripted scenarios) live in the
+//! harnesses; this module defines the events themselves and the
+//! grace-period state machine of a pending leave.
+
+use nowmp_net::{Gpid, HostId};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
+
+/// A request enqueued for the next adaptation point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptEvent {
+    /// A spawned process finished its asynchronous connection setup and
+    /// can join at the next adaptation point.
+    JoinReady {
+        /// The embryo process.
+        gpid: Gpid,
+        /// The workstation it runs on.
+        host: HostId,
+    },
+    /// A checkpoint was requested.
+    Checkpoint,
+}
+
+/// Grace-period state of a pending leave (paper §3, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LeavePhase {
+    /// Waiting: either the next adaptation point or the grace timer
+    /// will claim it.
+    Pending = 0,
+    /// The adaptation point arrived within the grace period — a
+    /// *normal leave* (Figure 2b).
+    Normal = 1,
+    /// The grace period expired first — an *urgent leave*: the process
+    /// was migrated and multiplexes until the next adaptation point
+    /// (Figure 2c).
+    Urgent = 2,
+    /// Fully processed (removed from the team).
+    Done = 3,
+}
+
+/// A leave request racing its grace period.
+#[derive(Debug)]
+pub struct PendingLeave {
+    /// The process that must leave.
+    pub gpid: Gpid,
+    /// Grace period granted (`None` = unbounded: always a normal leave).
+    pub grace: Option<Duration>,
+    phase: AtomicU8,
+}
+
+impl PendingLeave {
+    /// New pending leave.
+    pub fn new(gpid: Gpid, grace: Option<Duration>) -> Self {
+        PendingLeave { gpid, grace, phase: AtomicU8::new(LeavePhase::Pending as u8) }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> LeavePhase {
+        match self.phase.load(Ordering::Acquire) {
+            0 => LeavePhase::Pending,
+            1 => LeavePhase::Normal,
+            2 => LeavePhase::Urgent,
+            _ => LeavePhase::Done,
+        }
+    }
+
+    /// Adaptation point claims the leave: `Pending → Normal`.
+    /// Returns `true` if this call won the race against the timer.
+    pub fn claim_normal(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                LeavePhase::Pending as u8,
+                LeavePhase::Normal as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Grace timer claims the leave: `Pending → Urgent`.
+    /// Returns `true` if this call won the race against the adaptation
+    /// point.
+    pub fn claim_urgent(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                LeavePhase::Pending as u8,
+                LeavePhase::Urgent as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Mark fully processed.
+    pub fn finish(&self) {
+        self.phase.store(LeavePhase::Done as u8, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_claim_wins_once() {
+        let p = PendingLeave::new(Gpid(1), Some(Duration::from_secs(3)));
+        assert_eq!(p.phase(), LeavePhase::Pending);
+        assert!(p.claim_normal());
+        assert!(!p.claim_normal(), "second claim loses");
+        assert!(!p.claim_urgent(), "timer loses after normal claim");
+        assert_eq!(p.phase(), LeavePhase::Normal);
+        p.finish();
+        assert_eq!(p.phase(), LeavePhase::Done);
+    }
+
+    #[test]
+    fn urgent_claim_blocks_normal() {
+        let p = PendingLeave::new(Gpid(1), Some(Duration::ZERO));
+        assert!(p.claim_urgent());
+        assert!(!p.claim_normal());
+        assert_eq!(p.phase(), LeavePhase::Urgent);
+    }
+
+    #[test]
+    fn concurrent_claims_exactly_one_winner() {
+        for _ in 0..200 {
+            let p = std::sync::Arc::new(PendingLeave::new(Gpid(1), Some(Duration::ZERO)));
+            let p2 = std::sync::Arc::clone(&p);
+            let t = std::thread::spawn(move || p2.claim_urgent());
+            let normal = p.claim_normal();
+            let urgent = t.join().unwrap();
+            assert!(normal ^ urgent, "exactly one side wins the race");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Workstation pool bookkeeping: which processes occupy which hosts.
+//!
+//! A NOW's nodes come and go; the pool tracks occupancy so the adaptive
+//! layer can place joiners on free workstations and pick multiplexing
+//! targets for urgent migrations (Figure 2c: the migrated process
+//! time-shares its new host).
+
+use nowmp_net::{Gpid, HostId};
+
+/// Occupancy table, indexed by `HostId`.
+#[derive(Debug, Default)]
+pub struct HostPool {
+    occupants: Vec<Vec<Gpid>>,
+    reserved: Vec<bool>,
+}
+
+impl HostPool {
+    /// Pool over `hosts` workstations.
+    pub fn new(hosts: usize) -> Self {
+        HostPool { occupants: vec![Vec::new(); hosts], reserved: vec![false; hosts] }
+    }
+
+    /// Register one more workstation; returns its id.
+    pub fn add_host(&mut self) -> HostId {
+        self.occupants.push(Vec::new());
+        self.reserved.push(false);
+        HostId(self.occupants.len() as u16 - 1)
+    }
+
+    /// Reserve a free workstation for a process being spawned; returns
+    /// `None` when every host is occupied or reserved.
+    pub fn reserve_free(&mut self) -> Option<HostId> {
+        let i = self
+            .occupants
+            .iter()
+            .enumerate()
+            .position(|(i, o)| o.is_empty() && !self.reserved[i])?;
+        self.reserved[i] = true;
+        Some(HostId(i as u16))
+    }
+
+    /// Clear a reservation (after the process lands, or on failure).
+    pub fn unreserve(&mut self, host: HostId) {
+        self.reserved[host.0 as usize] = false;
+    }
+
+    /// Number of workstations.
+    pub fn len(&self) -> usize {
+        self.occupants.len()
+    }
+
+    /// True when the pool has no workstations.
+    pub fn is_empty(&self) -> bool {
+        self.occupants.is_empty()
+    }
+
+    /// Place `gpid` on `host`.
+    pub fn occupy(&mut self, host: HostId, gpid: Gpid) {
+        let o = &mut self.occupants[host.0 as usize];
+        debug_assert!(!o.contains(&gpid));
+        o.push(gpid);
+    }
+
+    /// Remove `gpid` from `host`.
+    pub fn vacate(&mut self, host: HostId, gpid: Gpid) {
+        self.occupants[host.0 as usize].retain(|&g| g != gpid);
+    }
+
+    /// Occupant count of `host`.
+    pub fn occupancy(&self, host: HostId) -> usize {
+        self.occupants[host.0 as usize].len()
+    }
+
+    /// Host of `gpid`, if placed.
+    pub fn host_of(&self, gpid: Gpid) -> Option<HostId> {
+        self.occupants
+            .iter()
+            .position(|o| o.contains(&gpid))
+            .map(|i| HostId(i as u16))
+    }
+
+    /// An unoccupied, unreserved workstation, if any (lowest id first).
+    pub fn free_host(&self) -> Option<HostId> {
+        self.occupants
+            .iter()
+            .enumerate()
+            .position(|(i, o)| o.is_empty() && !self.reserved[i])
+            .map(|i| HostId(i as u16))
+    }
+
+    /// The least-loaded workstation other than `exclude` (multiplexing
+    /// target when no free host exists).
+    pub fn least_loaded_excluding(&self, exclude: HostId) -> Option<HostId> {
+        (0..self.occupants.len())
+            .filter(|&i| i != exclude.0 as usize)
+            .min_by_key(|&i| self.occupants[i].len())
+            .map(|i| HostId(i as u16))
+    }
+
+    /// Total processes placed.
+    pub fn total_procs(&self) -> usize {
+        self.occupants.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupy_vacate_cycle() {
+        let mut p = HostPool::new(3);
+        p.occupy(HostId(0), Gpid(1));
+        p.occupy(HostId(1), Gpid(2));
+        assert_eq!(p.occupancy(HostId(0)), 1);
+        assert_eq!(p.host_of(Gpid(2)), Some(HostId(1)));
+        assert_eq!(p.free_host(), Some(HostId(2)));
+        p.vacate(HostId(1), Gpid(2));
+        assert_eq!(p.free_host(), Some(HostId(1)));
+        assert_eq!(p.host_of(Gpid(2)), None);
+        assert_eq!(p.total_procs(), 1);
+    }
+
+    #[test]
+    fn no_free_host_when_full() {
+        let mut p = HostPool::new(2);
+        p.occupy(HostId(0), Gpid(1));
+        p.occupy(HostId(1), Gpid(2));
+        assert_eq!(p.free_host(), None);
+        let target = p.least_loaded_excluding(HostId(0)).unwrap();
+        assert_eq!(target, HostId(1));
+    }
+
+    #[test]
+    fn least_loaded_prefers_emptier() {
+        let mut p = HostPool::new(3);
+        p.occupy(HostId(0), Gpid(1));
+        p.occupy(HostId(1), Gpid(2));
+        p.occupy(HostId(1), Gpid(3));
+        assert_eq!(p.least_loaded_excluding(HostId(0)), Some(HostId(2)));
+        p.occupy(HostId(2), Gpid(4));
+        p.occupy(HostId(2), Gpid(5));
+        // Host 1 (2 occupants) vs host 2 (2): lowest index wins ties.
+        assert_eq!(p.least_loaded_excluding(HostId(0)), Some(HostId(1)));
+    }
+
+    #[test]
+    fn add_host_grows_pool() {
+        let mut p = HostPool::new(1);
+        let h = p.add_host();
+        assert_eq!(h, HostId(1));
+        assert_eq!(p.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod reserve_tests {
+    use super::*;
+
+    #[test]
+    fn reserve_hides_host_from_free_list() {
+        let mut p = HostPool::new(2);
+        let h = p.reserve_free().unwrap();
+        assert_eq!(h, HostId(0));
+        assert_eq!(p.free_host(), Some(HostId(1)));
+        let h2 = p.reserve_free().unwrap();
+        assert_eq!(h2, HostId(1));
+        assert!(p.reserve_free().is_none());
+        p.unreserve(h);
+        assert_eq!(p.free_host(), Some(HostId(0)));
+    }
+}

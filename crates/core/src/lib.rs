@@ -1,0 +1,39 @@
+//! # nowmp-core — transparent adaptive parallelism (the PPoPP'99 contribution)
+//!
+//! This crate layers *transparent adaptation* over the TreadMarks-like
+//! DSM in `nowmp-tmk`:
+//!
+//! * [`cluster::Cluster`] — the adaptive runtime: join events, normal
+//!   and urgent leaves with **grace periods**, migration with
+//!   **multiplexing**, pid reassignment, checkpointing and recovery;
+//! * [`event`] — adapt events and the grace-period race (Figure 2);
+//! * [`mod@reassign`] — pid reassignment policies and the Figure 3
+//!   block-partition overlap analytics;
+//! * [`freeze`] — the stop-the-world gate used during migration;
+//! * [`hostpool`] — workstation occupancy;
+//! * [`log`] — the event timeline (Figure 2) and per-adaptation cost
+//!   records (Table 2).
+//!
+//! No application code changes to obtain adaptivity: applications
+//! allocate shared arrays and call [`cluster::Cluster::parallel`]; the
+//! runtime re-partitions iterations by re-deriving each process's share
+//! from `(pid, nprocs)` at every fork, and the DSM re-distributes data
+//! lazily through ordinary page faults.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod driver;
+pub mod event;
+pub mod freeze;
+pub mod hostpool;
+pub mod log;
+pub mod reassign;
+
+pub use cluster::{AdaptError, Cluster, ClusterConfig, ClusterShared, LeaveStrategy};
+pub use driver::{Driver, DriverEvent, Schedule};
+pub use event::{AdaptEvent, LeavePhase, PendingLeave};
+pub use freeze::Freeze;
+pub use hostpool::HostPool;
+pub use log::{EventKind, EventLog, LogEntry};
+pub use reassign::{moved_fraction, moved_fraction_on_leave, reassign, ReassignPolicy};

@@ -1,0 +1,238 @@
+//! Event log: the timeline behind Figure 2 and the per-adaptation cost
+//! measurements behind Table 2.
+
+use nowmp_net::{Gpid, HostId};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// One logged cluster event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A join was requested; a process is being spawned.
+    JoinRequested {
+        /// Target workstation.
+        host: HostId,
+    },
+    /// The spawned process finished its connection setup.
+    JoinReady {
+        /// The embryo.
+        gpid: Gpid,
+    },
+    /// The join took effect at an adaptation point.
+    JoinCommitted {
+        /// The new member.
+        gpid: Gpid,
+        /// Its assigned pid.
+        pid: u16,
+    },
+    /// A leave was requested with the given grace period.
+    LeaveRequested {
+        /// The process asked to leave.
+        gpid: Gpid,
+        /// Grace period (`None` = unbounded).
+        grace: Option<Duration>,
+    },
+    /// The leave completed normally at an adaptation point (Fig. 2b).
+    NormalLeave {
+        /// The departed process.
+        gpid: Gpid,
+    },
+    /// The grace period expired: migration began (Fig. 2c).
+    UrgentMigrationStart {
+        /// The migrating process.
+        gpid: Gpid,
+        /// Source workstation.
+        from: HostId,
+        /// Destination workstation (multiplexed if occupied).
+        to: HostId,
+        /// Process-image bytes streamed.
+        image_bytes: usize,
+    },
+    /// Migration finished; multiplexing begins.
+    UrgentMigrationDone {
+        /// The migrated process.
+        gpid: Gpid,
+        /// Time charged (spawn + image transfer).
+        took: Duration,
+    },
+    /// An adaptation point processed events.
+    Adaptation {
+        /// Fork counter at the point.
+        fork_no: u64,
+        /// Joins committed.
+        joins: usize,
+        /// Leaves committed.
+        leaves: usize,
+        /// Wall time of the whole adaptation (GC + fetches + commit).
+        took: Duration,
+        /// Bytes moved network-wide during the adaptation.
+        bytes_moved: u64,
+        /// Busiest link's byte delta during the adaptation (§5.4 metric).
+        max_link_bytes: u64,
+        /// New team size.
+        nprocs: usize,
+    },
+    /// A checkpoint was written.
+    Checkpoint {
+        /// Serialized size.
+        bytes: u64,
+        /// Wall time including page collection.
+        took: Duration,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Time since the log (cluster) was created.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Append-only, thread-safe event log.
+#[derive(Debug)]
+pub struct EventLog {
+    start: Instant,
+    entries: Mutex<Vec<LogEntry>>,
+}
+
+impl EventLog {
+    /// New log starting now.
+    pub fn new() -> Self {
+        EventLog { start: Instant::now(), entries: Mutex::new(Vec::new()) }
+    }
+
+    /// Record an event.
+    pub fn push(&self, kind: EventKind) {
+        self.entries.lock().push(LogEntry { at: self.start.elapsed(), kind });
+    }
+
+    /// Snapshot all entries.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// All adaptation records (for Table 2-style cost accounting).
+    pub fn adaptations(&self) -> Vec<(Duration, u64, usize, usize, Duration, u64, u64)> {
+        self.entries
+            .lock()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Adaptation {
+                    fork_no,
+                    joins,
+                    leaves,
+                    took,
+                    bytes_moved,
+                    max_link_bytes,
+                    ..
+                } => Some((e.at, *fork_no, *joins, *leaves, *took, *bytes_moved, *max_link_bytes)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render a human-readable timeline (the Figure 2 artifact).
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in self.entries.lock().iter() {
+            let t = e.at.as_secs_f64();
+            let line = match &e.kind {
+                EventKind::JoinRequested { host } => {
+                    format!("join requested (spawning on {host})")
+                }
+                EventKind::JoinReady { gpid } => {
+                    format!("process {gpid} connected, ready to join")
+                }
+                EventKind::JoinCommitted { gpid, pid } => {
+                    format!("JOIN committed: {gpid} enters as pid {pid}")
+                }
+                EventKind::LeaveRequested { gpid, grace } => match grace {
+                    Some(g) => format!(
+                        "leave requested for {gpid} (grace period {:.2}s)",
+                        g.as_secs_f64()
+                    ),
+                    None => format!("leave requested for {gpid} (unbounded grace)"),
+                },
+                EventKind::NormalLeave { gpid } => {
+                    format!("NORMAL LEAVE: {gpid} terminated at adaptation point")
+                }
+                EventKind::UrgentMigrationStart { gpid, from, to, image_bytes } => format!(
+                    "URGENT LEAVE: migrating {gpid} {from} -> {to} ({})",
+                    nowmp_util::fmt_bytes(*image_bytes as u64)
+                ),
+                EventKind::UrgentMigrationDone { gpid, took } => format!(
+                    "migration of {gpid} done in {:.3}s; multiplexing until next adaptation point",
+                    took.as_secs_f64()
+                ),
+                EventKind::Adaptation {
+                    fork_no,
+                    joins,
+                    leaves,
+                    took,
+                    max_link_bytes,
+                    nprocs,
+                    ..
+                } => format!(
+                    "adaptation point @fork {fork_no}: +{joins}/-{leaves} procs -> {nprocs} \
+                     ({:.3}s, max link {})",
+                    took.as_secs_f64(),
+                    nowmp_util::fmt_bytes(*max_link_bytes)
+                ),
+                EventKind::Checkpoint { bytes, took } => format!(
+                    "checkpoint written ({}, {:.3}s)",
+                    nowmp_util::fmt_bytes(*bytes),
+                    took.as_secs_f64()
+                ),
+            };
+            writeln!(out, "[{t:9.4}s] {line}").expect("string write");
+        }
+        out
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_and_renders() {
+        let log = EventLog::new();
+        log.push(EventKind::JoinRequested { host: HostId(3) });
+        log.push(EventKind::JoinReady { gpid: Gpid(7) });
+        log.push(EventKind::Adaptation {
+            fork_no: 10,
+            joins: 1,
+            leaves: 0,
+            took: Duration::from_millis(120),
+            bytes_moved: 4096,
+            max_link_bytes: 2048,
+            nprocs: 5,
+        });
+        assert_eq!(log.entries().len(), 3);
+        let text = log.render_timeline();
+        assert!(text.contains("join requested"));
+        assert!(text.contains("adaptation point @fork 10"));
+        assert_eq!(log.adaptations().len(), 1);
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let log = EventLog::new();
+        for _ in 0..5 {
+            log.push(EventKind::Checkpoint { bytes: 1, took: Duration::ZERO });
+        }
+        let e = log.entries();
+        for w in e.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! End-to-end tests of the adaptive runtime: joins, normal leaves,
+//! urgent leaves (migration + multiplexing), checkpoint/recovery — all
+//! with a live workload verifying data integrity across adaptations.
+
+use nowmp_core::{AdaptError, Cluster, ClusterConfig, EventKind, LeaveStrategy, ReassignPolicy};
+use nowmp_net::Gpid;
+use nowmp_tmk::shared::SharedF64Vec;
+use nowmp_tmk::system::RegionRunner;
+use nowmp_tmk::{ElemKind, TmkCtx};
+use std::sync::Arc;
+use std::time::Duration;
+
+const R_FILL: u32 = 0;
+const R_SCALE: u32 = 1;
+
+struct App {
+    n: usize,
+}
+
+impl RegionRunner for App {
+    fn run(&self, region: u32, ctx: &mut TmkCtx) {
+        let n = self.n;
+        let per = n.div_ceil(ctx.nprocs());
+        let pid = ctx.pid() as usize;
+        let (lo, hi) = ((pid * per).min(n), ((pid + 1) * per).min(n));
+        let v = SharedF64Vec::lookup(ctx, "v");
+        match region {
+            R_FILL => {
+                for i in lo..hi {
+                    v.set(ctx, i, i as f64);
+                }
+            }
+            R_SCALE => {
+                for i in lo..hi {
+                    let x = v.get(ctx, i);
+                    v.set(ctx, i, 2.0 * x);
+                }
+            }
+            other => panic!("unknown region {other}"),
+        }
+    }
+}
+
+fn cluster(hosts: usize, procs: usize, n: usize) -> Cluster {
+    let mut c = Cluster::new(ClusterConfig::test(hosts, procs), Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    c
+}
+
+fn read_v(c: &mut Cluster, n: usize) -> Vec<f64> {
+    let v = SharedF64Vec::lookup(c.ctx(), "v");
+    let mut out = vec![0.0; n];
+    v.read_into(c.ctx(), 0, &mut out);
+    out
+}
+
+fn expect_scaled(n: usize, times: u32) -> Vec<f64> {
+    (0..n).map(|i| i as f64 * f64::powi(2.0, times as i32)).collect()
+}
+
+#[test]
+fn steady_state_computation() {
+    let n = 300;
+    let mut c = cluster(4, 4, n);
+    c.parallel(R_FILL, &[]);
+    for _ in 0..3 {
+        c.parallel(R_SCALE, &[]);
+    }
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 3));
+    assert_eq!(c.nprocs(), 4);
+    c.shutdown();
+}
+
+#[test]
+fn normal_leave_end_process() {
+    let n = 400;
+    let mut c = cluster(4, 4, n);
+    c.parallel(R_FILL, &[]);
+    // "End" leave: highest pid.
+    let leaver = c.request_leave_pid(3, None).unwrap();
+    c.parallel(R_SCALE, &[]); // adaptation happens before this fork
+    assert_eq!(c.nprocs(), 3);
+    assert!(!c.team().contains(&leaver));
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    // Log recorded the leave.
+    let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::NormalLeave { gpid } if *gpid == leaver)));
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::Adaptation { leaves: 1, .. })));
+    c.shutdown();
+}
+
+#[test]
+fn normal_leave_middle_process() {
+    let n = 400;
+    let mut c = cluster(4, 4, n);
+    c.parallel(R_FILL, &[]);
+    c.request_leave_pid(1, None).unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 3);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    c.shutdown();
+}
+
+#[test]
+fn join_grows_team() {
+    let n = 400;
+    let mut c = cluster(4, 2, n);
+    c.parallel(R_FILL, &[]);
+    let joiner = c.request_join_ready().unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 3);
+    assert!(c.team().contains(&joiner));
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    c.shutdown();
+}
+
+#[test]
+fn join_without_free_host_fails() {
+    let n = 100;
+    let c = cluster(2, 2, n);
+    assert_eq!(c.request_join().unwrap_err(), AdaptError::NoFreeHost);
+    c.shutdown();
+}
+
+#[test]
+fn master_cannot_leave() {
+    let n = 100;
+    let c = cluster(2, 2, n);
+    assert_eq!(c.request_leave_pid(0, None).unwrap_err(), AdaptError::MasterCannotLeave);
+    c.shutdown();
+}
+
+#[test]
+fn double_leave_rejected() {
+    let n = 100;
+    let c = cluster(3, 3, n);
+    let g = c.request_leave_pid(2, None).unwrap();
+    assert_eq!(c.request_leave(g, None).unwrap_err(), AdaptError::AlreadyLeaving(g));
+    c.shutdown();
+}
+
+#[test]
+fn alternating_leave_join_preserves_results() {
+    let n = 512;
+    let mut c = cluster(5, 4, n);
+    c.parallel(R_FILL, &[]);
+    let mut scales = 0;
+    for round in 0..6 {
+        if round % 2 == 0 {
+            let pid = (c.nprocs() - 1) as u16;
+            c.request_leave_pid(pid, None).unwrap();
+        } else {
+            c.request_join_ready().unwrap();
+        }
+        c.parallel(R_SCALE, &[]);
+        scales += 1;
+        assert_eq!(read_v(&mut c, n), expect_scaled(n, scales), "round {round}");
+    }
+    c.shutdown();
+}
+
+#[test]
+fn multiple_simultaneous_leaves() {
+    let n = 400;
+    let mut c = cluster(6, 6, n);
+    c.parallel(R_FILL, &[]);
+    c.request_leave_pid(5, None).unwrap();
+    c.request_leave_pid(4, None).unwrap();
+    c.request_leave_pid(3, None).unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 3);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    // All three left in ONE adaptation.
+    let adapts = c.log().adaptations();
+    assert_eq!(adapts.len(), 1);
+    assert_eq!(adapts[0].3, 3, "three leaves in one adaptation");
+    c.shutdown();
+}
+
+#[test]
+fn simultaneous_join_and_leave_fill_gaps() {
+    let n = 400;
+    let mut cfg = ClusterConfig::test(5, 4, );
+    cfg.reassign = ReassignPolicy::FillGaps;
+    let mut c = Cluster::new(cfg, Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    c.parallel(R_FILL, &[]);
+    let leaver = c.request_leave_pid(2, None).unwrap();
+    let joiner = c.request_join_ready().unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 4);
+    let team = c.team();
+    assert_eq!(team[2], joiner, "joiner adopted the leaver's slot");
+    assert!(!team.contains(&leaver));
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    c.shutdown();
+}
+
+#[test]
+fn urgent_leave_migrates_and_then_leaves() {
+    let n = 400;
+    let mut c = cluster(4, 3, n);
+    c.parallel(R_FILL, &[]);
+    // Unbounded grace, then force the urgent path deterministically.
+    let g = c.request_leave_pid(2, None).unwrap();
+    assert!(c.shared().force_urgent(g));
+    // The process is migrated (multiplexed) but still a team member.
+    assert_eq!(c.nprocs(), 3);
+    // Next adaptation point removes it.
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 2);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::UrgentMigrationStart { gpid, .. } if *gpid == g)));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::UrgentMigrationDone { gpid, .. } if *gpid == g)));
+    c.shutdown();
+}
+
+#[test]
+fn urgent_leave_via_grace_timer() {
+    let n = 200;
+    let mut c = cluster(4, 3, n);
+    c.parallel(R_FILL, &[]);
+    // Tiny grace; don't reach an adaptation point until it expires.
+    let g = c.request_leave_pid(2, Some(Duration::from_millis(30))).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // Timer should have migrated it by now.
+    let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::UrgentMigrationDone { gpid, .. } if *gpid == g)),
+        "grace timer must trigger migration"
+    );
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 2);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    c.shutdown();
+}
+
+#[test]
+fn normal_leave_wins_grace_race_at_adaptation_point() {
+    let n = 200;
+    let mut c = cluster(4, 3, n);
+    c.parallel(R_FILL, &[]);
+    // Long grace: the adaptation point arrives first -> normal leave.
+    let g = c.request_leave_pid(2, Some(Duration::from_secs(30))).unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 2);
+    let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::NormalLeave { gpid } if *gpid == g)));
+    assert!(!kinds.iter().any(|k| matches!(k, EventKind::UrgentMigrationStart { .. })));
+    c.shutdown();
+}
+
+#[test]
+fn scatter_leave_strategy_preserves_results() {
+    let n = 512;
+    let mut cfg = ClusterConfig::test(5, 5);
+    cfg.leave_strategy = LeaveStrategy::Scatter;
+    let mut c = Cluster::new(cfg, Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    c.parallel(R_FILL, &[]);
+    c.request_leave_pid(4, None).unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 4);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    c.shutdown();
+}
+
+#[test]
+fn checkpoint_and_recover() {
+    let n = 300;
+    let dir = std::env::temp_dir().join("nowmp-core-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("adaptive.ckpt");
+
+    let mut cfg = ClusterConfig::test(3, 3);
+    cfg.ckpt_path = Some(path.clone());
+    let mut c = Cluster::new(cfg.clone(), Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    c.set_master_state_provider(|| b"iteration=2".to_vec());
+    c.parallel(R_FILL, &[]);
+    c.parallel(R_SCALE, &[]);
+    c.request_checkpoint();
+    c.parallel(R_SCALE, &[]); // checkpoint happens at the adaptation point before this fork
+    let expect_at_ckpt = expect_scaled(n, 1);
+    c.shutdown();
+
+    // Crash! Recover from the checkpoint.
+    let (mut c2, blob) = Cluster::recover(cfg, Arc::new(App { n }), &path).unwrap();
+    assert_eq!(blob, b"iteration=2".to_vec());
+    assert_eq!(c2.fork_no(), 2, "two forks had completed at the checkpoint");
+    let v = read_v(&mut c2, n);
+    assert_eq!(v, expect_at_ckpt, "restored memory reflects the checkpoint moment");
+    // The recovered cluster computes onward.
+    c2.parallel(R_SCALE, &[]);
+    assert_eq!(read_v(&mut c2, n), expect_scaled(n, 2));
+    c2.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn periodic_checkpoint_policy() {
+    let n = 100;
+    let mut cfg = ClusterConfig::test(2, 2);
+    cfg.ckpt_every_forks = Some(2);
+    let mut c = Cluster::new(cfg, Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    c.parallel(R_FILL, &[]);
+    for _ in 0..5 {
+        c.parallel(R_SCALE, &[]);
+    }
+    let ckpts = c
+        .log()
+        .entries()
+        .into_iter()
+        .filter(|e| matches!(e.kind, EventKind::Checkpoint { .. }))
+        .count();
+    assert!(ckpts >= 2, "expected periodic checkpoints, saw {ckpts}");
+    c.shutdown();
+}
+
+#[test]
+fn shrink_to_master_only_and_grow_back() {
+    let n = 200;
+    let mut c = cluster(3, 3, n);
+    c.parallel(R_FILL, &[]);
+    c.request_leave_pid(2, None).unwrap();
+    c.request_leave_pid(1, None).unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 1, "master-only team");
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    // Grow back.
+    c.request_join_ready().unwrap();
+    c.request_join_ready().unwrap();
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 3);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 2));
+    c.shutdown();
+}
+
+#[test]
+fn adaptation_records_have_traffic() {
+    let n = 1024; // multiple pages -> measurable movement
+    let mut c = cluster(4, 4, n);
+    c.parallel(R_FILL, &[]);
+    c.request_leave_pid(3, None).unwrap();
+    c.parallel(R_SCALE, &[]);
+    let adapts = c.log().adaptations();
+    assert_eq!(adapts.len(), 1);
+    let (_, _, _joins, leaves, _took, bytes, max_link) = adapts[0];
+    assert_eq!(leaves, 1);
+    assert!(bytes > 0, "adaptation moved bytes");
+    assert!(max_link > 0 && max_link <= bytes);
+    c.shutdown();
+}

@@ -1,0 +1,173 @@
+//! The network/host cost model.
+//!
+//! Defaults follow the paper's §5.1 measurements on the 1999 testbed:
+//!
+//! | quantity | paper | model |
+//! |---|---|---|
+//! | 1-byte roundtrip | 126 µs | 2 × `one_way_latency` (63 µs) |
+//! | full 4 KB page transfer | 1308 µs | latency + (4 KB + headers)/bandwidth + overheads |
+//! | migration image stream | 8.1 MB/s | `migration_bandwidth` |
+//! | process creation | 0.6–0.8 s | `spawn_delay` (0.7 s) |
+//!
+//! `time_scale` shrinks every emulated delay uniformly so benchmark runs
+//! finish in minutes while preserving every *ratio* the paper reports.
+
+use std::time::Duration;
+
+/// Cost model for the simulated NOW.
+#[derive(Debug, Clone)]
+pub struct NetModel {
+    /// Enforce delays in real time (benches/examples). When `false`, the
+    /// transport only counts traffic (unit tests).
+    pub emulate: bool,
+    /// One-way propagation + protocol latency per message.
+    pub one_way_latency: Duration,
+    /// Link bandwidth in bits per second (full duplex, per direction).
+    pub bandwidth_bps: f64,
+    /// Fixed per-message CPU cost charged at the sender in addition to
+    /// serialization (UDP/IP stack traversal, interrupt handling).
+    pub per_msg_overhead: Duration,
+    /// Per-message header bytes added to every payload (Ethernet + IP +
+    /// UDP + protocol header).
+    pub header_bytes: usize,
+    /// Bandwidth of the process-image migration stream (paper: 8.1 MB/s,
+    /// i.e. checkpoint-based migration through `libckpt`).
+    pub migration_bandwidth: f64,
+    /// Cost of creating a new process on a host (paper: 0.6–0.8 s).
+    pub spawn_delay: Duration,
+    /// Multiply every emulated delay by this factor (1.0 = paper speed).
+    pub time_scale: f64,
+}
+
+impl NetModel {
+    /// No emulation: zero delays, counters only. The right model for
+    /// correctness tests.
+    pub fn disabled() -> Self {
+        NetModel {
+            emulate: false,
+            one_way_latency: Duration::ZERO,
+            bandwidth_bps: f64::INFINITY,
+            per_msg_overhead: Duration::ZERO,
+            header_bytes: 42,
+            migration_bandwidth: f64::INFINITY,
+            spawn_delay: Duration::ZERO,
+            time_scale: 1.0,
+        }
+    }
+
+    /// The paper's 1999 testbed: switched full-duplex 100 Mbps Ethernet,
+    /// 126 µs 1-byte roundtrip, 8.1 MB/s migration stream, 0.7 s spawn.
+    pub fn paper_1999() -> Self {
+        NetModel {
+            emulate: true,
+            one_way_latency: Duration::from_micros(63),
+            bandwidth_bps: 100e6,
+            per_msg_overhead: Duration::from_micros(35),
+            header_bytes: 42,
+            migration_bandwidth: 8.1e6,
+            spawn_delay: Duration::from_millis(700),
+            time_scale: 1.0,
+        }
+    }
+
+    /// The paper model with all delays scaled by `scale` (e.g. `0.1`
+    /// makes benches 10× faster while preserving ratios).
+    pub fn paper_scaled(scale: f64) -> Self {
+        NetModel { time_scale: scale, ..Self::paper_1999() }
+    }
+
+    /// Scale a duration by `time_scale`.
+    #[inline]
+    pub fn scaled(&self, d: Duration) -> Duration {
+        if (self.time_scale - 1.0).abs() < f64::EPSILON {
+            d
+        } else {
+            d.mul_f64(self.time_scale)
+        }
+    }
+
+    /// Wire serialization time for a message of `payload` bytes
+    /// (headers added), before scaling.
+    pub fn serialize_time(&self, payload: usize) -> Duration {
+        if !self.bandwidth_bps.is_finite() {
+            return Duration::ZERO;
+        }
+        let bits = ((payload + self.header_bytes) as f64) * 8.0;
+        Duration::from_secs_f64(bits / self.bandwidth_bps)
+    }
+
+    /// Total sender-side occupancy for a message: serialization plus
+    /// fixed per-message overhead (scaled).
+    pub fn sender_time(&self, payload: usize) -> Duration {
+        self.scaled(self.serialize_time(payload) + self.per_msg_overhead)
+    }
+
+    /// Propagation latency (scaled).
+    pub fn latency(&self) -> Duration {
+        self.scaled(self.one_way_latency)
+    }
+
+    /// Time to stream a migration image of `bytes` (scaled), excluding
+    /// spawn cost.
+    pub fn migration_time(&self, bytes: usize) -> Duration {
+        if !self.migration_bandwidth.is_finite() {
+            return Duration::ZERO;
+        }
+        self.scaled(Duration::from_secs_f64(bytes as f64 / self.migration_bandwidth))
+    }
+
+    /// Process creation delay (scaled).
+    pub fn spawn_time(&self) -> Duration {
+        self.scaled(self.spawn_delay)
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_free() {
+        let m = NetModel::disabled();
+        assert_eq!(m.sender_time(1 << 20), Duration::ZERO);
+        assert_eq!(m.latency(), Duration::ZERO);
+        assert_eq!(m.migration_time(50 << 20), Duration::ZERO);
+        assert_eq!(m.spawn_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_roundtrip_is_126us() {
+        let m = NetModel::paper_1999();
+        let rtt = m.latency() * 2;
+        assert_eq!(rtt, Duration::from_micros(126));
+    }
+
+    #[test]
+    fn page_serialization_near_paper() {
+        let m = NetModel::paper_1999();
+        // 4 KB + headers at 100 Mbps ≈ 331 µs of wire time.
+        let t = m.serialize_time(4096);
+        assert!(t > Duration::from_micros(300) && t < Duration::from_micros(400), "{t:?}");
+    }
+
+    #[test]
+    fn migration_rate_is_8_1_mbps() {
+        let m = NetModel::paper_1999();
+        // Paper: Jacobi image ≈ 6.7 s at 8.1 MB/s => ~54 MB.
+        let t = m.migration_time(54 * 1000 * 1000);
+        assert!((t.as_secs_f64() - 6.67).abs() < 0.1, "{t:?}");
+    }
+
+    #[test]
+    fn time_scale_shrinks_everything() {
+        let m = NetModel::paper_scaled(0.1);
+        assert_eq!(m.latency(), Duration::from_micros(63).mul_f64(0.1));
+        assert_eq!(m.spawn_time(), Duration::from_millis(700).mul_f64(0.1));
+    }
+}

@@ -1,0 +1,299 @@
+//! `OmpCtx` — what code inside a parallel region programs against.
+//!
+//! Mirrors the OpenMP directives the paper's applications use:
+//! worksharing loops (`for` with `static`, `static,chunk`, `dynamic`,
+//! `guided` schedules), `barrier`, `critical`, `master`/`single`, and
+//! reductions. Everything lowers onto the DSM context exactly the way
+//! the SUIF-generated TreadMarks code does.
+
+use crate::params::ParamsReader;
+use crate::sched;
+use nowmp_tmk::shared::{SharedF64Mat, SharedF64Vec, SharedU64Vec};
+use nowmp_tmk::TmkCtx;
+use std::ops::Range;
+
+/// Lock id carved out for the dynamic-schedule iteration counter.
+const DYN_LOCK: u32 = 0xFFFF_0000;
+/// Base for user critical-section locks.
+const CRIT_BASE: u32 = 0xFFFF_1000;
+/// Name of the runtime's reduction scratch array.
+pub(crate) const RED_ARRAY: &str = "__omp_red";
+/// Name of the runtime's dynamic-schedule counter.
+pub(crate) const DYN_COUNTER: &str = "__omp_dyn";
+/// Maximum team size the runtime scratch provides for.
+pub(crate) const MAX_TEAM: usize = 64;
+
+/// A `sections` work item.
+pub type Section<'c, 'a> = Box<dyn FnOnce(&mut OmpCtx<'a>) + 'c>;
+
+/// Per-region execution context (one per process per region execution).
+pub struct OmpCtx<'a> {
+    tmk: &'a mut TmkCtx,
+}
+
+impl<'a> OmpCtx<'a> {
+    /// Wrap a DSM context.
+    pub fn new(tmk: &'a mut TmkCtx) -> Self {
+        OmpCtx { tmk }
+    }
+
+    /// This process's rank (0 = master).
+    pub fn pid(&self) -> usize {
+        self.tmk.pid() as usize
+    }
+
+    /// Team size (`omp_get_num_threads`).
+    pub fn nprocs(&self) -> usize {
+        self.tmk.nprocs()
+    }
+
+    /// Firstprivate parameters of this region execution.
+    pub fn params(&self) -> ParamsReader<'_> {
+        ParamsReader::new(self.tmk.params())
+    }
+
+    /// Strip bounds appended by [`crate::OmpSystem::parallel_strips`]
+    /// (the paper's §7 loop-tiling transformation: the compiler splits
+    /// one parallel loop into strips so adaptation points occur more
+    /// frequently). Returns the `(lo, hi)` sub-range this fork covers,
+    /// or the full `0..u64::MAX` marker when the region was launched
+    /// unstripped.
+    pub fn strip_bounds(&self) -> (u64, u64) {
+        let raw = self.tmk.params();
+        if raw.len() < 16 {
+            return (0, u64::MAX);
+        }
+        let tail = &raw[raw.len() - 16..];
+        let lo = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+        (lo, hi)
+    }
+
+    /// `schedule(static)` over the intersection of `range` with this
+    /// fork's strip (see [`Self::strip_bounds`]).
+    pub fn for_static_stripped(
+        &mut self,
+        range: Range<u64>,
+        mut f: impl FnMut(&mut Self, u64),
+    ) {
+        let (lo, hi) = self.strip_bounds();
+        let sub = range.start.max(lo)..range.end.min(hi);
+        if sub.start >= sub.end {
+            return;
+        }
+        let block = sched::static_block(sub, self.pid(), self.nprocs());
+        for i in block {
+            f(self, i);
+        }
+    }
+
+    /// Escape hatch to the DSM layer (typed arrays take this).
+    pub fn dsm(&mut self) -> &mut TmkCtx {
+        self.tmk
+    }
+
+    /// Look up a shared `f64` vector by name.
+    pub fn f64vec(&mut self, name: &str) -> SharedF64Vec {
+        SharedF64Vec::lookup(self.tmk, name)
+    }
+
+    /// Look up a shared `f64` matrix by name.
+    pub fn f64mat(&mut self, name: &str, rows: u64, cols: u64) -> SharedF64Mat {
+        SharedF64Mat::lookup(self.tmk, name, rows, cols)
+    }
+
+    /// Look up a shared `u64` vector by name.
+    pub fn u64vec(&mut self, name: &str) -> SharedU64Vec {
+        SharedU64Vec::lookup(self.tmk, name)
+    }
+
+    // ------------------------------------------------------------------
+    // Worksharing
+    // ------------------------------------------------------------------
+
+    /// `#pragma omp for schedule(static)`: run `f` on this process's
+    /// contiguous block of `range`. No implied barrier (the region's
+    /// join provides one); call [`Self::barrier`] if needed earlier.
+    pub fn for_static(&mut self, range: Range<u64>, mut f: impl FnMut(&mut Self, u64)) {
+        let block = sched::static_block(range, self.pid(), self.nprocs());
+        for i in block {
+            f(self, i);
+        }
+    }
+
+    /// The block of `range` this process owns under `schedule(static)`.
+    pub fn my_block(&self, range: Range<u64>) -> Range<u64> {
+        sched::static_block(range, self.pid(), self.nprocs())
+    }
+
+    /// `#pragma omp for schedule(static, chunk)`.
+    pub fn for_static_chunk(
+        &mut self,
+        range: Range<u64>,
+        chunk: u64,
+        mut f: impl FnMut(&mut Self, u64),
+    ) {
+        let chunks: Vec<_> =
+            sched::static_chunks(range, chunk, self.pid(), self.nprocs()).collect();
+        for c in chunks {
+            for i in c {
+                f(self, i);
+            }
+        }
+    }
+
+    /// `#pragma omp for schedule(dynamic, chunk)`: processes grab
+    /// chunks from a shared counter under a lock. Self-contained: the
+    /// counter is reset by pid 0 between two barriers, then chunks are
+    /// claimed until the range is exhausted. Implies a trailing barrier.
+    pub fn for_dynamic(
+        &mut self,
+        range: Range<u64>,
+        chunk: u64,
+        mut f: impl FnMut(&mut Self, u64),
+    ) {
+        assert!(chunk > 0);
+        let counter = SharedU64Vec::lookup(self.tmk, DYN_COUNTER);
+        self.barrier();
+        if self.pid() == 0 {
+            counter.set(self.tmk, 0, range.start);
+        }
+        self.barrier();
+        loop {
+            let lo = self.tmk.critical(DYN_LOCK, |t| {
+                let cur = counter.get(t, 0);
+                if cur < range.end {
+                    counter.set(t, 0, (cur + chunk).min(range.end));
+                }
+                cur
+            });
+            if lo >= range.end {
+                break;
+            }
+            let hi = (lo + chunk).min(range.end);
+            for i in lo..hi {
+                f(self, i);
+            }
+        }
+        self.barrier();
+    }
+
+    /// `#pragma omp for schedule(guided, min_chunk)`: like dynamic but
+    /// with shrinking chunks.
+    pub fn for_guided(
+        &mut self,
+        range: Range<u64>,
+        min_chunk: u64,
+        mut f: impl FnMut(&mut Self, u64),
+    ) {
+        assert!(min_chunk > 0);
+        let n = self.nprocs() as u64;
+        let counter = SharedU64Vec::lookup(self.tmk, DYN_COUNTER);
+        self.barrier();
+        if self.pid() == 0 {
+            counter.set(self.tmk, 0, range.start);
+        }
+        self.barrier();
+        loop {
+            let (lo, hi) = self.tmk.critical(DYN_LOCK, |t| {
+                let cur = counter.get(t, 0);
+                if cur >= range.end {
+                    (cur, cur)
+                } else {
+                    let remaining = range.end - cur;
+                    let c = (remaining / n).max(min_chunk).min(remaining);
+                    counter.set(t, 0, cur + c);
+                    (cur, cur + c)
+                }
+            });
+            if lo >= range.end {
+                break;
+            }
+            for i in lo..hi {
+                f(self, i);
+            }
+        }
+        self.barrier();
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// `#pragma omp barrier`.
+    pub fn barrier(&mut self) {
+        self.tmk.barrier();
+    }
+
+    /// `#pragma omp critical(id)`: run `f` under distributed lock `id`.
+    pub fn critical<R>(&mut self, id: u32, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.tmk.lock(CRIT_BASE + id);
+        let r = f(self);
+        self.tmk.unlock(CRIT_BASE + id);
+        r
+    }
+
+    /// `#pragma omp master`: only pid 0 runs `f` (no implied barrier).
+    pub fn master(&mut self, f: impl FnOnce(&mut Self)) {
+        if self.pid() == 0 {
+            f(self);
+        }
+    }
+
+    /// `#pragma omp single`: pid 0 runs `f`; everyone barriers after
+    /// (OpenMP's implied barrier at the end of `single`).
+    pub fn single(&mut self, f: impl FnOnce(&mut Self)) {
+        if self.pid() == 0 {
+            f(self);
+        }
+        self.barrier();
+    }
+
+    /// `#pragma omp sections`: section `k` runs on pid `k % nprocs`;
+    /// implied barrier at the end.
+    pub fn sections(&mut self, fs: Vec<Section<'_, 'a>>) {
+        let me = self.pid();
+        let n = self.nprocs();
+        for (k, f) in fs.into_iter().enumerate() {
+            if k % n == me {
+                f(self);
+            }
+        }
+        self.barrier();
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    fn reduce_f64(&mut self, local: f64, combine: impl Fn(f64, f64) -> f64, init: f64) -> f64 {
+        let n = self.nprocs();
+        assert!(n <= MAX_TEAM, "team exceeds reduction scratch");
+        let red = SharedF64Vec::lookup(self.tmk, RED_ARRAY);
+        red.set(self.tmk, self.pid(), local);
+        self.barrier();
+        let mut acc = init;
+        for p in 0..n {
+            acc = combine(acc, red.get(self.tmk, p));
+        }
+        // Second barrier: nobody may overwrite the scratch for a later
+        // reduction while stragglers still read this one.
+        self.barrier();
+        acc
+    }
+
+    /// `reduction(+: x)`: global sum of each process's `local`.
+    pub fn reduce_sum_f64(&mut self, local: f64) -> f64 {
+        self.reduce_f64(local, |a, b| a + b, 0.0)
+    }
+
+    /// `reduction(max: x)`.
+    pub fn reduce_max_f64(&mut self, local: f64) -> f64 {
+        self.reduce_f64(local, f64::max, f64::NEG_INFINITY)
+    }
+
+    /// `reduction(min: x)`.
+    pub fn reduce_min_f64(&mut self, local: f64) -> f64 {
+        self.reduce_f64(local, f64::min, f64::INFINITY)
+    }
+}

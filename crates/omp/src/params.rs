@@ -1,0 +1,110 @@
+//! Region parameter passing.
+//!
+//! An OpenMP parallel construct captures firstprivate scalars; our
+//! outlined regions receive them as a small wire-encoded blob attached
+//! to the fork message. [`Params`] builds the blob; [`ParamsReader`]
+//! decodes it inside the region.
+
+use nowmp_util::wire::{Dec, Enc};
+
+/// Builder for a region's parameter blob.
+#[derive(Default, Debug)]
+pub struct Params {
+    enc: Enc,
+}
+
+impl Params {
+    /// Empty parameter list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.enc.put_u64(v);
+        self
+    }
+
+    /// Append an `i64`.
+    pub fn i64(mut self, v: i64) -> Self {
+        self.enc.put_i64(v);
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.enc.put_f64(v);
+        self
+    }
+
+    /// Append a string.
+    pub fn str(mut self, v: &str) -> Self {
+        self.enc.put_str(v);
+        self
+    }
+
+    /// Finish into the blob.
+    pub fn build(self) -> Vec<u8> {
+        self.enc.finish()
+    }
+}
+
+/// Cursor over a region's parameter blob.
+pub struct ParamsReader<'a> {
+    dec: Dec<'a>,
+}
+
+impl<'a> ParamsReader<'a> {
+    /// Wrap a blob.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ParamsReader { dec: Dec::new(buf) }
+    }
+
+    /// Next `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.dec.get_u64().expect("missing u64 region parameter")
+    }
+
+    /// Next `i64`.
+    pub fn i64(&mut self) -> i64 {
+        self.dec.get_i64().expect("missing i64 region parameter")
+    }
+
+    /// Next `f64`.
+    pub fn f64(&mut self) -> f64 {
+        self.dec.get_f64().expect("missing f64 region parameter")
+    }
+
+    /// Next string.
+    pub fn str(&mut self) -> &'a str {
+        self.dec.get_str().expect("missing str region parameter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let blob = Params::new().u64(7).f64(1.5).i64(-3).str("grid").build();
+        let mut r = ParamsReader::new(&blob);
+        assert_eq!(r.u64(), 7);
+        assert_eq!(r.f64(), 1.5);
+        assert_eq!(r.i64(), -3);
+        assert_eq!(r.str(), "grid");
+    }
+
+    #[test]
+    fn empty_params() {
+        let blob = Params::new().build();
+        assert!(blob.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing u64")]
+    fn over_read_panics() {
+        let blob = Params::new().build();
+        ParamsReader::new(&blob).u64();
+    }
+}

@@ -1,0 +1,111 @@
+//! The "compiled" OpenMP program: a registry of outlined parallel
+//! regions.
+//!
+//! The paper's toolchain outlines the body of every OpenMP parallel
+//! construct into a procedure (SUIF pass, §2); the master replaces the
+//! construct with `Tmk_fork(procedure)`. Rust has no OpenMP frontend
+//! (repro note in DESIGN.md), so the outlining is done by the
+//! programmer: each region is registered under a name, and the runtime
+//! dispatches fork messages to it by index. The *shape* of generated
+//! code is identical — in particular, the iteration partitioning inside
+//! each region is re-derived from `(pid, nprocs)` on every execution,
+//! which is what makes adaptation transparent.
+
+use crate::ctx::OmpCtx;
+use nowmp_tmk::system::RegionRunner;
+use nowmp_tmk::TmkCtx;
+use std::sync::Arc;
+
+type RegionFn = Arc<dyn Fn(&mut OmpCtx<'_>) + Send + Sync>;
+
+/// A program: named, outlined parallel regions.
+#[derive(Default)]
+pub struct OmpProgram {
+    regions: Vec<(String, RegionFn)>,
+}
+
+impl OmpProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parallel region under `name` (builder style).
+    /// Registration order defines region ids; every process must build
+    /// the identical program (they run the same binary).
+    pub fn region(
+        mut self,
+        name: &str,
+        f: impl Fn(&mut OmpCtx<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        assert!(
+            self.id_of(name).is_none(),
+            "region {name:?} registered twice"
+        );
+        self.regions.push((name.to_owned(), Arc::new(f)));
+        self
+    }
+
+    /// Region id of `name`.
+    pub fn id_of(&self, name: &str) -> Option<u32> {
+        self.regions.iter().position(|(n, _)| n == name).map(|i| i as u32)
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    pub(crate) fn run(&self, region: u32, tmk: &mut TmkCtx) {
+        let (_, f) = self
+            .regions
+            .get(region as usize)
+            .unwrap_or_else(|| panic!("unknown region id {region}"));
+        let mut ctx = OmpCtx::new(tmk);
+        f(&mut ctx);
+    }
+}
+
+/// Adapter plugging an [`OmpProgram`] into the DSM's fork dispatcher.
+pub struct OmpRunner {
+    program: Arc<OmpProgram>,
+}
+
+impl OmpRunner {
+    /// Wrap a program.
+    pub fn new(program: Arc<OmpProgram>) -> Self {
+        OmpRunner { program }
+    }
+}
+
+impl RegionRunner for OmpRunner {
+    fn run(&self, region: u32, ctx: &mut TmkCtx) {
+        self.program.run(region, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let p = OmpProgram::new().region("a", |_| {}).region("b", |_| {});
+        assert_eq!(p.id_of("a"), Some(0));
+        assert_eq!(p.id_of("b"), Some(1));
+        assert_eq!(p.id_of("c"), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_region_panics() {
+        let _ = OmpProgram::new().region("a", |_| {}).region("a", |_| {});
+    }
+}

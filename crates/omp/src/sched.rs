@@ -1,0 +1,146 @@
+//! OpenMP loop schedules: how iterations map to team members.
+//!
+//! The SUIF pass "lets each process figure out, based on its TreadMarks
+//! process identifier and the total number of processes, which
+//! iterations of the loop it should execute" (§2). Because the mapping
+//! is a pure function of `(pid, nprocs)`, changing `nprocs` at a fork
+//! re-partitions the loop — that is the entire trick behind transparent
+//! adaptation. This module implements the pure mapping functions for
+//! `static`, `static,chunk` and `guided`; `dynamic` needs shared state
+//! and lives in the context ([`crate::ctx::OmpCtx::for_dynamic`]).
+
+use std::ops::Range;
+
+/// Contiguous block partition (OpenMP `schedule(static)`).
+///
+/// Iterations split into `nprocs` blocks of size `ceil(n/nprocs)`;
+/// process `pid` gets block `pid`. Matches the paper's applications and
+/// the Figure 3 analysis.
+pub fn static_block(range: Range<u64>, pid: usize, nprocs: usize) -> Range<u64> {
+    assert!(nprocs > 0);
+    let n = range.end.saturating_sub(range.start);
+    let per = n.div_ceil(nprocs as u64);
+    let lo = (range.start + per * pid as u64).min(range.end);
+    let hi = (lo + per).min(range.end);
+    lo..hi
+}
+
+/// Round-robin chunks (OpenMP `schedule(static, chunk)`).
+///
+/// Returns the chunks owned by `pid` as an iterator of sub-ranges.
+pub fn static_chunks(
+    range: Range<u64>,
+    chunk: u64,
+    pid: usize,
+    nprocs: usize,
+) -> impl Iterator<Item = Range<u64>> {
+    assert!(nprocs > 0 && chunk > 0);
+    let stride = chunk * nprocs as u64;
+    let first = range.start + chunk * pid as u64;
+    let end = range.end;
+    (0..)
+        .map(move |k| {
+            let lo = first + k * stride;
+            let hi = (lo + chunk).min(end);
+            lo..hi
+        })
+        .take_while(move |r| r.start < end)
+}
+
+/// Guided chunk sizes (OpenMP `schedule(guided, min_chunk)`).
+///
+/// Produces the sequence of chunk sizes a guided scheduler hands out:
+/// each chunk is `remaining / nprocs`, floored at `min_chunk`.
+pub fn guided_chunk_sizes(n: u64, min_chunk: u64, nprocs: usize) -> Vec<u64> {
+    assert!(nprocs > 0 && min_chunk > 0);
+    let mut sizes = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let c = (remaining / nprocs as u64).max(min_chunk).min(remaining);
+        sizes.push(c);
+        remaining -= c;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_block_basic() {
+        assert_eq!(static_block(0..10, 0, 3), 0..4);
+        assert_eq!(static_block(0..10, 1, 3), 4..8);
+        assert_eq!(static_block(0..10, 2, 3), 8..10);
+    }
+
+    #[test]
+    fn static_block_more_procs_than_iters() {
+        assert_eq!(static_block(0..2, 0, 4), 0..1);
+        assert_eq!(static_block(0..2, 1, 4), 1..2);
+        assert_eq!(static_block(0..2, 2, 4), 2..2);
+        assert_eq!(static_block(0..2, 3, 4), 2..2);
+    }
+
+    #[test]
+    fn static_block_nonzero_start() {
+        assert_eq!(static_block(100..110, 1, 2), 105..110);
+    }
+
+    #[test]
+    fn static_chunks_interleave() {
+        let c: Vec<_> = static_chunks(0..10, 2, 0, 2).collect();
+        assert_eq!(c, vec![0..2, 4..6, 8..10]);
+        let c: Vec<_> = static_chunks(0..10, 2, 1, 2).collect();
+        assert_eq!(c, vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn guided_sizes_decrease() {
+        let sizes = guided_chunk_sizes(100, 4, 4);
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "guided chunks shrink: {sizes:?}");
+        }
+        assert!(*sizes.last().unwrap() >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_static_block_partitions(n in 0u64..10_000, start in 0u64..100, nprocs in 1usize..17) {
+            let range = start..start + n;
+            let mut total = 0u64;
+            let mut prev_end = range.start;
+            for pid in 0..nprocs {
+                let b = static_block(range.clone(), pid, nprocs);
+                prop_assert!(b.start >= prev_end, "blocks in order, disjoint");
+                prop_assert!(b.end <= range.end);
+                total += b.end - b.start;
+                prev_end = b.end.max(prev_end);
+            }
+            prop_assert_eq!(total, n, "blocks cover the range exactly");
+        }
+
+        #[test]
+        fn prop_static_chunks_partition(n in 0u64..2_000, chunk in 1u64..64, nprocs in 1usize..9) {
+            let mut seen = vec![false; n as usize];
+            for pid in 0..nprocs {
+                for r in static_chunks(0..n, chunk, pid, nprocs) {
+                    for i in r {
+                        prop_assert!(!seen[i as usize], "iteration {i} assigned twice");
+                        seen[i as usize] = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "every iteration assigned");
+        }
+
+        #[test]
+        fn prop_guided_covers(n in 0u64..100_000, min in 1u64..100, nprocs in 1usize..17) {
+            let sizes = guided_chunk_sizes(n, min, nprocs);
+            prop_assert_eq!(sizes.iter().sum::<u64>(), n);
+            prop_assert!(sizes.iter().all(|&s| s > 0));
+        }
+    }
+}

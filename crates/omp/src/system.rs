@@ -1,0 +1,245 @@
+//! `OmpSystem` — the top-level handle an application drives.
+//!
+//! Owns the adaptive cluster and the compiled program; provides the
+//! master's sequential phase, `parallel(...)` (one OpenMP parallel
+//! construct = one fork/join = one adaptation opportunity), adaptivity
+//! controls, checkpointing and recovery with fork replay.
+
+use crate::ctx::{OmpCtx, DYN_COUNTER, MAX_TEAM, RED_ARRAY};
+use crate::program::{OmpProgram, OmpRunner};
+use nowmp_core::{AdaptError, Cluster, ClusterConfig, ClusterShared, EventLog};
+use nowmp_net::Gpid;
+use nowmp_tmk::ElemKind;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The application-facing runtime.
+pub struct OmpSystem {
+    cluster: Cluster,
+    program: Arc<OmpProgram>,
+    /// Forks to skip after recovery (already completed before the
+    /// checkpoint; the application replays its main loop and the
+    /// runtime fast-forwards).
+    skip_replays: u64,
+}
+
+impl OmpSystem {
+    fn setup(mut cluster: Cluster, program: Arc<OmpProgram>, skip: u64) -> Self {
+        // Runtime scratch: reduction slots and the dynamic-schedule
+        // counter. Allocated before any user allocation so recovery
+        // (which restores the registry wholesale) keeps them stable.
+        if cluster.ctx().handle(RED_ARRAY).is_none() {
+            cluster.alloc(RED_ARRAY, MAX_TEAM as u64, ElemKind::F64);
+            cluster.alloc(DYN_COUNTER, 1, ElemKind::U64);
+        }
+        OmpSystem { cluster, program, skip_replays: skip }
+    }
+
+    /// Bring up a system running `program` on a fresh cluster.
+    pub fn new(cfg: ClusterConfig, program: OmpProgram) -> Self {
+        let program = Arc::new(program);
+        let cluster = Cluster::new(cfg, Arc::new(OmpRunner::new(Arc::clone(&program))));
+        Self::setup(cluster, program, 0)
+    }
+
+    /// Recover from a checkpoint file. Returns the system (with fork
+    /// replay armed) and the master's private blob.
+    pub fn recover(
+        cfg: ClusterConfig,
+        program: OmpProgram,
+        path: &Path,
+    ) -> Result<(Self, Vec<u8>), nowmp_ckpt::CkptError> {
+        let program = Arc::new(program);
+        let (cluster, blob) =
+            Cluster::recover(cfg, Arc::new(OmpRunner::new(Arc::clone(&program))), path)?;
+        let done = cluster.fork_no();
+        Ok((Self::setup(cluster, program, done), blob))
+    }
+
+    fn alloc(&mut self, name: &str, len: u64, kind: ElemKind) {
+        // Recovery replay: the registry was restored wholesale from the
+        // checkpoint, so a re-executed allocation of the same name and
+        // length is a no-op (the application replays its setup code).
+        if let Some(e) = self.cluster.ctx().handle(name) {
+            assert_eq!(e.len, len, "allocation {name:?} replayed with different length");
+            assert_eq!(e.kind, kind, "allocation {name:?} replayed with different kind");
+            return;
+        }
+        self.cluster.alloc(name, len, kind);
+    }
+
+    /// Allocate and publish a shared `f64` array (idempotent under
+    /// recovery replay).
+    pub fn alloc_f64(&mut self, name: &str, len: u64) {
+        self.alloc(name, len, ElemKind::F64);
+    }
+
+    /// Allocate and publish a shared `u64` array (idempotent under
+    /// recovery replay).
+    pub fn alloc_u64(&mut self, name: &str, len: u64) {
+        self.alloc(name, len, ElemKind::U64);
+    }
+
+    /// Run sequential master code with DSM access (the code between
+    /// parallel constructs in an OpenMP program).
+    ///
+    /// On recovery this re-executes; sequential code must be
+    /// replay-safe (deterministic, not self-mutating through shared
+    /// state) or the application should use the master-state blob.
+    pub fn seq<R>(&mut self, f: impl FnOnce(&mut OmpCtx<'_>) -> R) -> R {
+        let mut ctx = OmpCtx::new(self.cluster.ctx());
+        f(&mut ctx)
+    }
+
+    /// Execute one OpenMP parallel construct (fork + join), processing
+    /// pending adapt events at the adaptation point first. During
+    /// recovery replay, already-completed forks are skipped.
+    pub fn parallel(&mut self, region: &str, params: &[u8]) {
+        if self.skip_replays > 0 {
+            self.skip_replays -= 1;
+            return;
+        }
+        let id = self
+            .program
+            .id_of(region)
+            .unwrap_or_else(|| panic!("region {region:?} not registered"));
+        self.cluster.parallel(id, params);
+    }
+
+    /// Forks still to be skipped during recovery replay.
+    pub fn replaying(&self) -> u64 {
+        self.skip_replays
+    }
+
+    /// The paper's §7 adaptation-point-frequency transformation: run
+    /// one logical parallel loop over `range` as `strips` consecutive
+    /// forks, each covering a contiguous sub-range. More strips = more
+    /// adaptation points per logical iteration, at the cost of more
+    /// fork/join rounds. The region must read its sub-range with
+    /// [`OmpCtx::strip_bounds`] or iterate with
+    /// [`OmpCtx::for_static_stripped`]; `params` are passed through
+    /// unchanged (the strip bounds ride at the end of the blob).
+    pub fn parallel_strips(
+        &mut self,
+        region: &str,
+        range: std::ops::Range<u64>,
+        strips: usize,
+        params: &[u8],
+    ) {
+        assert!(strips > 0, "need at least one strip");
+        let n = range.end.saturating_sub(range.start);
+        let per = n.div_ceil(strips as u64).max(1);
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + per).min(range.end);
+            let mut blob = params.to_vec();
+            blob.extend_from_slice(&lo.to_le_bytes());
+            blob.extend_from_slice(&hi.to_le_bytes());
+            self.parallel(region, &blob);
+            lo = hi;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptivity controls (event sources use these; the computation
+    // itself never does)
+    // ------------------------------------------------------------------
+
+    /// Request a join (asynchronous spawn; enters at a later
+    /// adaptation point).
+    pub fn request_join(&self) -> Result<nowmp_net::HostId, AdaptError> {
+        self.cluster.request_join()
+    }
+
+    /// Request a join and wait until the process is connected, so the
+    /// very next adaptation point commits it (deterministic variant).
+    pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
+        self.cluster.request_join_ready()
+    }
+
+    /// Request a leave of the process currently ranked `pid`.
+    pub fn request_leave_pid(
+        &self,
+        pid: u16,
+        grace: Option<Duration>,
+    ) -> Result<Gpid, AdaptError> {
+        self.cluster.request_leave_pid(pid, grace)
+    }
+
+    /// Request a leave by process instance id.
+    pub fn request_leave(&self, gpid: Gpid, grace: Option<Duration>) -> Result<(), AdaptError> {
+        self.cluster.request_leave(gpid, grace)
+    }
+
+    /// Request a checkpoint at the next adaptation point.
+    pub fn request_checkpoint(&self) {
+        self.cluster.request_checkpoint();
+    }
+
+    /// Write a checkpoint right now (between parallel constructs).
+    pub fn checkpoint_now(&mut self) {
+        self.cluster.checkpoint_now();
+    }
+
+    /// The OpenMP dynamic-adjustment switch (§4.4): disabling makes the
+    /// program run non-adaptively.
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.cluster.set_adaptive(on);
+    }
+
+    /// Provide the master-private state for checkpoints.
+    pub fn set_master_state_provider(&mut self, f: impl Fn() -> Vec<u8> + Send + 'static) {
+        self.cluster.set_master_state_provider(f);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// DSM page size in 8-byte slots (layout decisions, e.g. padding
+    /// matrix rows to page boundaries).
+    pub fn page_slots(&self) -> usize {
+        self.cluster.page_size() / 8
+    }
+
+    /// Current team size (`omp_get_num_procs` over the NOW).
+    pub fn nprocs(&self) -> usize {
+        self.cluster.nprocs()
+    }
+
+    /// Completed forks.
+    pub fn fork_no(&self) -> u64 {
+        self.cluster.fork_no()
+    }
+
+    /// Shared handle for external event sources (timers, sensors).
+    pub fn shared(&self) -> Arc<ClusterShared> {
+        self.cluster.shared()
+    }
+
+    /// The event log (timelines, adaptation records).
+    pub fn log(&self) -> &EventLog {
+        self.cluster.log()
+    }
+
+    /// DSM protocol counters.
+    pub fn dsm_stats(&self) -> nowmp_tmk::DsmSnapshot {
+        self.cluster.dsm_stats()
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> nowmp_net::StatsSnapshot {
+        self.cluster.net_stats()
+    }
+
+    /// Direct cluster access (benches and tests).
+    pub fn cluster(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Tear everything down.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}

@@ -1,0 +1,99 @@
+//! DSM configuration.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunable parameters of the DSM protocol.
+#[derive(Clone)]
+pub struct DsmConfig {
+    /// Page size in bytes (power of two, ≥ 64; paper/TreadMarks: 4096).
+    pub page_size: usize,
+    /// Bytes of stored diff data that trigger a garbage collection at
+    /// the next adaptation point (TreadMarks GCs when consistency
+    /// memory is exhausted).
+    pub gc_diff_threshold: usize,
+    /// Create diffs lazily (on first request / next write) instead of
+    /// eagerly at interval close. TreadMarks is lazy; eager is our
+    /// default for determinism. Ablated in `nowmp-bench`.
+    pub lazy_diffs: bool,
+    /// Deadline for any single protocol request (turns protocol
+    /// deadlocks into errors instead of hangs).
+    pub call_timeout: Duration,
+    /// Optional hook invoked at every synchronization operation and
+    /// page fault; the adaptive layer installs the migration freeze
+    /// gate here ("all processes wait for the completion of the
+    /// migration").
+    pub throttle: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for DsmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DsmConfig")
+            .field("page_size", &self.page_size)
+            .field("gc_diff_threshold", &self.gc_diff_threshold)
+            .field("lazy_diffs", &self.lazy_diffs)
+            .field("call_timeout", &self.call_timeout)
+            .field("throttle", &self.throttle.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl DsmConfig {
+    /// TreadMarks-like defaults: 4 KB pages, 8 MB diff budget, eager diffs.
+    pub fn default_4k() -> Self {
+        DsmConfig {
+            page_size: 4096,
+            gc_diff_threshold: 8 << 20,
+            lazy_diffs: false,
+            call_timeout: Duration::from_secs(120),
+            throttle: None,
+        }
+    }
+
+    /// Small pages for tests: exercises multi-page logic with tiny data.
+    pub fn test_small() -> Self {
+        DsmConfig { page_size: 256, gc_diff_threshold: 1 << 20, ..Self::default_4k() }
+    }
+
+    /// Slots (8-byte words) per page.
+    pub fn slots_per_page(&self) -> usize {
+        self.page_size / 8
+    }
+
+    /// Validate invariants; panics on nonsense configurations.
+    pub fn validate(&self) {
+        assert!(self.page_size >= 64, "page_size must be >= 64");
+        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
+        assert_eq!(self.page_size % 8, 0, "page_size must hold whole 8-byte slots");
+    }
+}
+
+impl Default for DsmConfig {
+    fn default() -> Self {
+        Self::default_4k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        DsmConfig::default_4k().validate();
+        DsmConfig::test_small().validate();
+    }
+
+    #[test]
+    fn slots_per_page() {
+        assert_eq!(DsmConfig::default_4k().slots_per_page(), 512);
+        assert_eq!(DsmConfig::test_small().slots_per_page(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        let cfg = DsmConfig { page_size: 1000, ..DsmConfig::default_4k() };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,273 @@
+//! Diffs: run-length encodings of the words a process changed in a page
+//! during one interval.
+//!
+//! A diff is computed by comparing the current page contents against the
+//! *twin* snapshot taken at the first write of the interval, exactly as
+//! in TreadMarks. Diffs are word-granular (the paper's TreadMarks also
+//! diffs at word granularity), so two processes writing disjoint words
+//! of the same page produce disjoint, commuting diffs — the heart of the
+//! multiple-writer protocol.
+
+use crate::page::PageBuf;
+use crate::types::PageId;
+use nowmp_util::wire::{Dec, Enc, Wire, WireError};
+
+/// One run of modified words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// First modified slot index.
+    pub start: u32,
+    /// The new word values.
+    pub words: Vec<u64>,
+}
+
+/// All modifications a single interval made to a single page.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    /// Modified runs, in ascending `start` order, non-overlapping.
+    pub runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compute the diff of `page` against its `twin` snapshot.
+    ///
+    /// Adjacent modified words within `gap_merge` unmodified words of
+    /// each other coalesce into one run (fewer headers on the wire);
+    /// TreadMarks used a similar heuristic. `gap_merge = 0` produces
+    /// exact runs.
+    pub fn create(twin: &[u64], page: &PageBuf, gap_merge: usize) -> Diff {
+        assert_eq!(twin.len(), page.slots(), "twin/page size mismatch");
+        let cur = page.snapshot();
+        Self::create_from_words(twin, &cur, gap_merge)
+    }
+
+    /// Diff of two word slices (testable core of [`Diff::create`]).
+    pub fn create_from_words(twin: &[u64], cur: &[u64], gap_merge: usize) -> Diff {
+        assert_eq!(twin.len(), cur.len());
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut i = 0usize;
+        while i < cur.len() {
+            if cur[i] == twin[i] {
+                i += 1;
+                continue;
+            }
+            // Start of a modified run; extend while changed or within the
+            // merge gap of the next change.
+            let start = i;
+            let mut end = i + 1; // exclusive end of last *changed* word
+            let mut j = i + 1;
+            let mut gap = 0usize;
+            while j < cur.len() {
+                if cur[j] != twin[j] {
+                    end = j + 1;
+                    gap = 0;
+                } else {
+                    gap += 1;
+                    if gap > gap_merge {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            runs.push(DiffRun { start: start as u32, words: cur[start..end].to_vec() });
+            i = end.max(j);
+        }
+        Diff { runs }
+    }
+
+    /// Apply this diff to `page`.
+    pub fn apply(&self, page: &PageBuf) {
+        for run in &self.runs {
+            page.write_range(run.start as usize, &run.words);
+        }
+    }
+
+    /// Apply this diff to a plain word buffer.
+    pub fn apply_to_words(&self, words: &mut [u64]) {
+        for run in &self.runs {
+            let s = run.start as usize;
+            words[s..s + run.words.len()].copy_from_slice(&run.words);
+        }
+    }
+
+    /// True when no words changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of modified (carried) words.
+    pub fn words(&self) -> usize {
+        self.runs.iter().map(|r| r.words.len()).sum()
+    }
+
+    /// Approximate size on the wire (headers + payload).
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.runs.iter().map(|r| 8 + r.words.len() * 8).sum::<usize>()
+    }
+}
+
+impl Wire for DiffRun {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u32(self.start);
+        e.put_u64_slice(&self.words);
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(DiffRun { start: d.get_u32()?, words: d.get_u64_vec()? })
+    }
+}
+
+impl Wire for Diff {
+    fn enc(&self, e: &mut Enc) {
+        e.put_seq(&self.runs);
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(Diff { runs: d.get_seq()? })
+    }
+}
+
+/// Key identifying a stored diff: which page, which interval of ours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiffKey {
+    /// Page modified.
+    pub page: PageId,
+    /// Our interval that modified it.
+    pub seq: crate::types::Seq,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_diff_for_identical() {
+        let twin = vec![7u64; 16];
+        let page = PageBuf::from_words(&twin);
+        let d = Diff::create(&twin, &page, 0);
+        assert!(d.is_empty());
+        assert_eq!(d.words(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = vec![0u64; 16];
+        let page = PageBuf::from_words(&twin);
+        page.store(5, 99);
+        let d = Diff::create(&twin, &page, 0);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].start, 5);
+        assert_eq!(d.runs[0].words, vec![99]);
+    }
+
+    #[test]
+    fn gap_merge_coalesces_runs() {
+        let twin = vec![0u64; 16];
+        let cur = {
+            let mut c = twin.clone();
+            c[2] = 1;
+            c[4] = 2; // gap of 1 unmodified word
+            c
+        };
+        let exact = Diff::create_from_words(&twin, &cur, 0);
+        assert_eq!(exact.runs.len(), 2);
+        let merged = Diff::create_from_words(&twin, &cur, 1);
+        assert_eq!(merged.runs.len(), 1);
+        // Merged run still applies correctly (it carries the unmodified
+        // word's current value, which equals the twin's).
+        let mut back = twin.clone();
+        merged.apply_to_words(&mut back);
+        assert_eq!(back, cur);
+    }
+
+    #[test]
+    fn apply_reconstructs() {
+        let twin: Vec<u64> = (0..32).collect();
+        let mut cur = twin.clone();
+        cur[0] = 100;
+        cur[15] = 200;
+        cur[16] = 201;
+        cur[31] = 300;
+        let d = Diff::create_from_words(&twin, &cur, 0);
+        let page = PageBuf::from_words(&twin);
+        d.apply(&page);
+        assert_eq!(page.snapshot(), cur);
+    }
+
+    #[test]
+    fn disjoint_diffs_commute() {
+        let twin = vec![0u64; 32];
+        let mut a = twin.clone();
+        a[3] = 1;
+        a[4] = 2;
+        let mut b = twin.clone();
+        b[20] = 9;
+        let da = Diff::create_from_words(&twin, &a, 0);
+        let db = Diff::create_from_words(&twin, &b, 0);
+        let mut ab = twin.clone();
+        da.apply_to_words(&mut ab);
+        db.apply_to_words(&mut ab);
+        let mut ba = twin.clone();
+        db.apply_to_words(&mut ba);
+        da.apply_to_words(&mut ba);
+        assert_eq!(ab, ba);
+        assert_eq!(ab[3], 1);
+        assert_eq!(ab[20], 9);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let d = Diff {
+            runs: vec![
+                DiffRun { start: 0, words: vec![1, 2, 3] },
+                DiffRun { start: 10, words: vec![u64::MAX] },
+            ],
+        };
+        assert_eq!(Diff::from_wire(&d.to_wire()).unwrap(), d);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_diff_apply_roundtrip(
+            twin in proptest::collection::vec(0u64..4, 1..128),
+            flips in proptest::collection::vec((0usize..128, 1u64..100), 0..40),
+            gap in 0usize..4,
+        ) {
+            let mut cur = twin.clone();
+            for (i, v) in flips {
+                let i = i % cur.len();
+                cur[i] = v;
+            }
+            let d = Diff::create_from_words(&twin, &cur, gap);
+            let mut back = twin.clone();
+            d.apply_to_words(&mut back);
+            prop_assert_eq!(back, cur);
+        }
+
+        #[test]
+        fn prop_exact_diff_is_minimal(
+            twin in proptest::collection::vec(0u64..4, 1..64),
+            flips in proptest::collection::vec((0usize..64, 10u64..100), 0..20),
+        ) {
+            let mut cur = twin.clone();
+            for (i, v) in flips {
+                let i = i % cur.len();
+                cur[i] = v;
+            }
+            let d = Diff::create_from_words(&twin, &cur, 0);
+            let changed = twin.iter().zip(&cur).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(d.words(), changed, "exact diff carries only changed words");
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(starts in proptest::collection::vec((0u32..500, 1usize..8), 0..10)) {
+            let mut next = 0u32;
+            let runs: Vec<DiffRun> = starts.into_iter().map(|(gap, len)| {
+                let start = next + gap;
+                next = start + len as u32 + 1;
+                DiffRun { start, words: (0..len as u64).collect() }
+            }).collect();
+            let d = Diff { runs };
+            prop_assert_eq!(Diff::from_wire(&d.to_wire()).unwrap(), d);
+        }
+    }
+}

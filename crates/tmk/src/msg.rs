@@ -1,0 +1,793 @@
+//! Protocol messages.
+//!
+//! Every message crossing the simulated network is one [`Msg`], encoded
+//! with the hand-rolled wire codec (realistic sizes feed the traffic
+//! statistics that Tables 1–2 and §5.4 are built on).
+//!
+//! Requests served by the *service thread* (the SIGIO-handler analog)
+//! can be answered at any time, even while the peer's application
+//! thread computes: `ConnHello`, `PageReq`, `DiffReq`, `RecordsReq`,
+//! `LockReq`, `LockRelease`.
+//!
+//! *Control* messages are forwarded by the service thread to the
+//! application thread: `Fork`, `JoinArrive`, `BarrierArrive`, the GC
+//! sequence, `Commit`/`JoinInit`, `ReadyJoin`, `Terminate`.
+
+use crate::diff::Diff;
+use crate::page::Wn;
+use crate::records::Record;
+use crate::types::{Addr, Epoch, PageId, Pid, Seq, Vc};
+use nowmp_net::Gpid;
+use nowmp_util::wire::{Dec, Enc, Wire, WireError};
+
+/// Shared-array element kinds carried in the handle registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// IEEE-754 double stored in one slot.
+    F64 = 0,
+    /// Unsigned 64-bit integer in one slot.
+    U64 = 1,
+    /// Signed 64-bit integer in one slot.
+    I64 = 2,
+}
+
+impl ElemKind {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(ElemKind::F64),
+            1 => Ok(ElemKind::U64),
+            2 => Ok(ElemKind::I64),
+            t => Err(WireError::BadTag { what: "ElemKind", tag: t as u32 }),
+        }
+    }
+}
+
+/// A published shared allocation: name → (address, length, kind).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegEntry {
+    /// Registry key used by application code.
+    pub name: String,
+    /// First slot of the allocation (page-aligned).
+    pub addr: Addr,
+    /// Length in slots.
+    pub len: u64,
+    /// Element kind (documentation/type-check aid).
+    pub kind: ElemKind,
+    /// Registry version at publication (for delta distribution).
+    pub ver: u32,
+}
+
+impl Wire for RegEntry {
+    fn enc(&self, e: &mut Enc) {
+        e.put_str(&self.name);
+        e.put_u64(self.addr);
+        e.put_u64(self.len);
+        e.put_u8(self.kind as u8);
+        e.put_u32(self.ver);
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(RegEntry {
+            name: d.get_str()?.to_owned(),
+            addr: d.get_u64()?,
+            len: d.get_u64()?,
+            kind: ElemKind::from_u8(d.get_u8()?)?,
+            ver: d.get_u32()?,
+        })
+    }
+}
+
+/// Run-length-encoded page directory: who owns each page after a GC.
+///
+/// "It suffices for the master to send the joining process a message
+/// describing where an up-to-date copy of every shared memory page is
+/// located" — this is that message's payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DirRle {
+    /// `(run_length, owner)` pairs covering pages `0..total`.
+    pub runs: Vec<(u32, Gpid)>,
+}
+
+impl DirRle {
+    /// Encode a full directory.
+    pub fn from_vec(dir: &[Gpid]) -> Self {
+        let mut runs: Vec<(u32, Gpid)> = Vec::new();
+        for &g in dir {
+            match runs.last_mut() {
+                Some((n, last)) if *last == g => *n += 1,
+                _ => runs.push((1, g)),
+            }
+        }
+        DirRle { runs }
+    }
+
+    /// Expand to one owner per page.
+    pub fn to_vec(&self) -> Vec<Gpid> {
+        let mut v = Vec::new();
+        for &(n, g) in &self.runs {
+            v.extend(std::iter::repeat_n(g, n as usize));
+        }
+        v
+    }
+
+    /// Total pages covered.
+    pub fn total(&self) -> usize {
+        self.runs.iter().map(|&(n, _)| n as usize).sum()
+    }
+}
+
+impl Wire for DirRle {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u32(self.runs.len() as u32);
+        for &(n, g) in &self.runs {
+            e.put_u32(n);
+            g.enc(e);
+        }
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let n = d.get_u32()? as usize;
+        if n > 1 << 24 {
+            return Err(WireError::BadLength { what: "DirRle", len: n });
+        }
+        let mut runs = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let c = d.get_u32()?;
+            let g = Gpid::dec(d)?;
+            runs.push((c, g));
+        }
+        Ok(DirRle { runs })
+    }
+}
+
+impl Wire for Wn {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u16(self.pid);
+        e.put_u32(self.seq);
+        e.put_u64(self.vcsum);
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(Wn { pid: d.get_u16()?, seq: d.get_u32()?, vcsum: d.get_u64()? })
+    }
+}
+
+/// A page's sparse applied-clock summary in a GC report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageApplied {
+    /// The page.
+    pub page: PageId,
+    /// Non-zero `(pid, seq)` entries of the local copy's applied clock.
+    pub applied: Vec<(Pid, Seq)>,
+}
+
+impl Wire for PageApplied {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u32(self.page);
+        e.put_u32(self.applied.len() as u32);
+        for &(p, s) in &self.applied {
+            e.put_u16(p);
+            e.put_u32(s);
+        }
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let page = d.get_u32()?;
+        let n = d.get_u32()? as usize;
+        if n > 1 << 20 {
+            return Err(WireError::BadLength { what: "PageApplied", len: n });
+        }
+        let mut applied = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            applied.push((d.get_u16()?, d.get_u32()?));
+        }
+        Ok(PageApplied { page, applied })
+    }
+}
+
+/// Every message of the DSM + adaptation protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ---- service-handled requests ----
+    /// New process introducing itself ("asynchronously sets up network
+    /// connections first to all other slave processes, then to the
+    /// master").
+    ConnHello {
+        /// Sender's gpid.
+        from: Gpid,
+    },
+    /// Full-page fetch.
+    PageReq {
+        /// Protocol epoch of the requester.
+        epoch: Epoch,
+        /// Page wanted.
+        page: PageId,
+    },
+    /// Fetch diffs the target created: `(page, seq)` pairs.
+    DiffReq {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Diff keys wanted from this creator.
+        wants: Vec<(PageId, Seq)>,
+    },
+    /// Fetch interval records unknown to the holder of `vc` (lock
+    /// acquire consistency data).
+    RecordsReq {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Requester's vector clock.
+        vc: Vc,
+    },
+    /// Lock acquire request, sent to the lock's manager.
+    LockReq {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Lock id.
+        lock: u32,
+    },
+    /// Lock release notice, sent to the lock's manager (one-way).
+    LockRelease {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Lock id.
+        lock: u32,
+    },
+
+    // ---- replies ----
+    /// Generic acknowledgement.
+    Ack,
+    /// Full-page reply.
+    PageRep {
+        /// Sparse applied clock of the served copy.
+        applied: Vec<(Pid, Seq)>,
+        /// Page contents (word-atomic snapshot); empty on redirect.
+        words: Vec<u64>,
+        /// Set when the responder has no copy: try this process.
+        redirect: Option<Gpid>,
+    },
+    /// Diff reply: `(page, seq, diff)` triples.
+    DiffRep {
+        /// The requested diffs in request order.
+        diffs: Vec<(PageId, Seq, Diff)>,
+    },
+    /// Interval records reply.
+    RecordsRep {
+        /// Records the requester had not seen.
+        records: Vec<Record>,
+    },
+    /// Lock grant: fetch consistency records from `prev` (if any) before
+    /// entering the critical section.
+    LockRep {
+        /// The previous holder (None: first acquisition).
+        prev: Option<Gpid>,
+    },
+
+    // ---- control (application thread) ----
+    /// Master → slave: execute a parallel region (the `Tmk_fork`).
+    Fork {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Running fork counter (diagnostics, checkpoint replay).
+        fork_no: u64,
+        /// Region id to run (application's outlined procedure).
+        region: u32,
+        /// Opaque region parameters.
+        params: Vec<u8>,
+        /// Global vector clock after the master's merge.
+        vc: Vc,
+        /// Records this slave has not seen.
+        records: Vec<Record>,
+        /// New registry entries since the last fork this slave saw.
+        registry_delta: Vec<RegEntry>,
+        /// Slots allocated so far (keeps the slave's page table sized).
+        alloc_slots: Addr,
+    },
+    /// Slave → master: finished the region (the `Tmk_join`), one-way.
+    JoinArrive {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Arriving pid.
+        pid: Pid,
+        /// Arriving vector clock.
+        vc: Vc,
+        /// Records created since last contact with the master.
+        records: Vec<Record>,
+    },
+    /// In-region barrier arrival (request; reply is `BarrierRep`).
+    BarrierArrive {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// Arriving pid.
+        pid: Pid,
+        /// Arriving vector clock.
+        vc: Vc,
+        /// Records created since the last sync with the manager.
+        records: Vec<Record>,
+    },
+    /// Barrier release.
+    BarrierRep {
+        /// Merged global clock.
+        vc: Vc,
+        /// Records the receiver had not seen.
+        records: Vec<Record>,
+    },
+    /// Master → slave: report per-page applied clocks (GC step 1).
+    GcQuery {
+        /// Protocol epoch.
+        epoch: Epoch,
+    },
+    /// Slave → master: the report.
+    GcReport {
+        /// Applied summaries for every page with a local copy.
+        pages: Vec<PageApplied>,
+    },
+    /// Master → slave: complete these pages by fetching the named diffs
+    /// (GC step 2); reply `Ack` when done.
+    GcFetch {
+        /// Protocol epoch.
+        epoch: Epoch,
+        /// `(page, missing write notices)` to pull before commit.
+        wants: Vec<(PageId, Vec<Wn>)>,
+    },
+    /// Master → all: finish GC / adaptation: install new epoch, team,
+    /// directory; drop listed incomplete copies; reply `Ack`.
+    Commit {
+        /// Epoch being left.
+        epoch: Epoch,
+        /// New epoch (== old + 1).
+        new_epoch: Epoch,
+        /// New team (possibly identical).
+        team: crate::types::Team,
+        /// Receiver's pid in the new team.
+        my_pid: Pid,
+        /// Full page directory after GC.
+        dir: DirRle,
+        /// Pages whose local copy is incomplete and must be dropped.
+        drop_pages: Vec<PageId>,
+    },
+    /// Master → embryo: full state for a process joining the
+    /// computation (or initial team formation); reply `Ack`.
+    JoinInit {
+        /// Epoch the joiner enters at.
+        epoch: Epoch,
+        /// The team.
+        team: crate::types::Team,
+        /// Joiner's pid.
+        my_pid: Pid,
+        /// Full page directory.
+        dir: DirRle,
+        /// Complete handle registry.
+        registry: Vec<RegEntry>,
+        /// Slots allocated so far.
+        alloc_slots: Addr,
+    },
+    /// Embryo → master: connections set up, ready to join (one-way).
+    /// "When the master receives this connection request, it knows that
+    /// the new process has set up all its other connections."
+    ReadyJoin {
+        /// The embryo's gpid.
+        gpid: Gpid,
+    },
+    /// Master → slave: leave the computation (one-way; the process
+    /// exits its wait loop and its endpoint is unregistered).
+    Terminate,
+}
+
+mod tags {
+    pub const CONN_HELLO: u8 = 1;
+    pub const PAGE_REQ: u8 = 2;
+    pub const DIFF_REQ: u8 = 3;
+    pub const RECORDS_REQ: u8 = 4;
+    pub const LOCK_REQ: u8 = 5;
+    pub const LOCK_RELEASE: u8 = 6;
+    pub const ACK: u8 = 7;
+    pub const PAGE_REP: u8 = 8;
+    pub const DIFF_REP: u8 = 9;
+    pub const RECORDS_REP: u8 = 10;
+    pub const LOCK_REP: u8 = 11;
+    pub const FORK: u8 = 12;
+    pub const JOIN_ARRIVE: u8 = 13;
+    pub const BARRIER_ARRIVE: u8 = 14;
+    pub const BARRIER_REP: u8 = 15;
+    pub const GC_QUERY: u8 = 16;
+    pub const GC_REPORT: u8 = 17;
+    pub const GC_FETCH: u8 = 18;
+    pub const COMMIT: u8 = 19;
+    pub const JOIN_INIT: u8 = 20;
+    pub const READY_JOIN: u8 = 21;
+    pub const TERMINATE: u8 = 22;
+}
+
+impl Wire for Msg {
+    fn enc(&self, e: &mut Enc) {
+        use tags::*;
+        match self {
+            Msg::ConnHello { from } => {
+                e.put_u8(CONN_HELLO);
+                from.enc(e);
+            }
+            Msg::PageReq { epoch, page } => {
+                e.put_u8(PAGE_REQ);
+                e.put_u32(*epoch);
+                e.put_u32(*page);
+            }
+            Msg::DiffReq { epoch, wants } => {
+                e.put_u8(DIFF_REQ);
+                e.put_u32(*epoch);
+                e.put_u32(wants.len() as u32);
+                for &(p, s) in wants {
+                    e.put_u32(p);
+                    e.put_u32(s);
+                }
+            }
+            Msg::RecordsReq { epoch, vc } => {
+                e.put_u8(RECORDS_REQ);
+                e.put_u32(*epoch);
+                vc.enc(e);
+            }
+            Msg::LockReq { epoch, lock } => {
+                e.put_u8(LOCK_REQ);
+                e.put_u32(*epoch);
+                e.put_u32(*lock);
+            }
+            Msg::LockRelease { epoch, lock } => {
+                e.put_u8(LOCK_RELEASE);
+                e.put_u32(*epoch);
+                e.put_u32(*lock);
+            }
+            Msg::Ack => e.put_u8(ACK),
+            Msg::PageRep { applied, words, redirect } => {
+                e.put_u8(PAGE_REP);
+                e.put_u32(applied.len() as u32);
+                for &(p, s) in applied {
+                    e.put_u16(p);
+                    e.put_u32(s);
+                }
+                e.put_u64_slice(words);
+                redirect.enc(e);
+            }
+            Msg::DiffRep { diffs } => {
+                e.put_u8(DIFF_REP);
+                e.put_u32(diffs.len() as u32);
+                for (p, s, diff) in diffs {
+                    e.put_u32(*p);
+                    e.put_u32(*s);
+                    diff.enc(e);
+                }
+            }
+            Msg::RecordsRep { records } => {
+                e.put_u8(RECORDS_REP);
+                e.put_seq(records);
+            }
+            Msg::LockRep { prev } => {
+                e.put_u8(LOCK_REP);
+                prev.enc(e);
+            }
+            Msg::Fork { epoch, fork_no, region, params, vc, records, registry_delta, alloc_slots } => {
+                e.put_u8(FORK);
+                e.put_u32(*epoch);
+                e.put_u64(*fork_no);
+                e.put_u32(*region);
+                e.put_bytes(params);
+                vc.enc(e);
+                e.put_seq(records);
+                e.put_seq(registry_delta);
+                e.put_u64(*alloc_slots);
+            }
+            Msg::JoinArrive { epoch, pid, vc, records } => {
+                e.put_u8(JOIN_ARRIVE);
+                e.put_u32(*epoch);
+                e.put_u16(*pid);
+                vc.enc(e);
+                e.put_seq(records);
+            }
+            Msg::BarrierArrive { epoch, pid, vc, records } => {
+                e.put_u8(BARRIER_ARRIVE);
+                e.put_u32(*epoch);
+                e.put_u16(*pid);
+                vc.enc(e);
+                e.put_seq(records);
+            }
+            Msg::BarrierRep { vc, records } => {
+                e.put_u8(BARRIER_REP);
+                vc.enc(e);
+                e.put_seq(records);
+            }
+            Msg::GcQuery { epoch } => {
+                e.put_u8(GC_QUERY);
+                e.put_u32(*epoch);
+            }
+            Msg::GcReport { pages } => {
+                e.put_u8(GC_REPORT);
+                e.put_seq(pages);
+            }
+            Msg::GcFetch { epoch, wants } => {
+                e.put_u8(GC_FETCH);
+                e.put_u32(*epoch);
+                e.put_u32(wants.len() as u32);
+                for (p, wns) in wants {
+                    e.put_u32(*p);
+                    e.put_seq(wns);
+                }
+            }
+            Msg::Commit { epoch, new_epoch, team, my_pid, dir, drop_pages } => {
+                e.put_u8(COMMIT);
+                e.put_u32(*epoch);
+                e.put_u32(*new_epoch);
+                team.enc(e);
+                e.put_u16(*my_pid);
+                dir.enc(e);
+                e.put_u32_slice(drop_pages);
+            }
+            Msg::JoinInit { epoch, team, my_pid, dir, registry, alloc_slots } => {
+                e.put_u8(JOIN_INIT);
+                e.put_u32(*epoch);
+                team.enc(e);
+                e.put_u16(*my_pid);
+                dir.enc(e);
+                e.put_seq(registry);
+                e.put_u64(*alloc_slots);
+            }
+            Msg::ReadyJoin { gpid } => {
+                e.put_u8(READY_JOIN);
+                gpid.enc(e);
+            }
+            Msg::Terminate => e.put_u8(TERMINATE),
+        }
+    }
+
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        use tags::*;
+        let tag = d.get_u8()?;
+        Ok(match tag {
+            CONN_HELLO => Msg::ConnHello { from: Gpid::dec(d)? },
+            PAGE_REQ => Msg::PageReq { epoch: d.get_u32()?, page: d.get_u32()? },
+            DIFF_REQ => {
+                let epoch = d.get_u32()?;
+                let n = d.get_u32()? as usize;
+                if n > 1 << 22 {
+                    return Err(WireError::BadLength { what: "DiffReq", len: n });
+                }
+                let mut wants = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    wants.push((d.get_u32()?, d.get_u32()?));
+                }
+                Msg::DiffReq { epoch, wants }
+            }
+            RECORDS_REQ => Msg::RecordsReq { epoch: d.get_u32()?, vc: Vc::dec(d)? },
+            LOCK_REQ => Msg::LockReq { epoch: d.get_u32()?, lock: d.get_u32()? },
+            LOCK_RELEASE => Msg::LockRelease { epoch: d.get_u32()?, lock: d.get_u32()? },
+            ACK => Msg::Ack,
+            PAGE_REP => {
+                let n = d.get_u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(WireError::BadLength { what: "PageRep applied", len: n });
+                }
+                let mut applied = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    applied.push((d.get_u16()?, d.get_u32()?));
+                }
+                let words = d.get_u64_vec()?;
+                let redirect = Option::<Gpid>::dec(d)?;
+                Msg::PageRep { applied, words, redirect }
+            }
+            DIFF_REP => {
+                let n = d.get_u32()? as usize;
+                if n > 1 << 22 {
+                    return Err(WireError::BadLength { what: "DiffRep", len: n });
+                }
+                let mut diffs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    diffs.push((d.get_u32()?, d.get_u32()?, Diff::dec(d)?));
+                }
+                Msg::DiffRep { diffs }
+            }
+            RECORDS_REP => Msg::RecordsRep { records: d.get_seq()? },
+            LOCK_REP => Msg::LockRep { prev: Option::<Gpid>::dec(d)? },
+            FORK => Msg::Fork {
+                epoch: d.get_u32()?,
+                fork_no: d.get_u64()?,
+                region: d.get_u32()?,
+                params: d.get_bytes()?.to_vec(),
+                vc: Vc::dec(d)?,
+                records: d.get_seq()?,
+                registry_delta: d.get_seq()?,
+                alloc_slots: d.get_u64()?,
+            },
+            JOIN_ARRIVE => Msg::JoinArrive {
+                epoch: d.get_u32()?,
+                pid: d.get_u16()?,
+                vc: Vc::dec(d)?,
+                records: d.get_seq()?,
+            },
+            BARRIER_ARRIVE => Msg::BarrierArrive {
+                epoch: d.get_u32()?,
+                pid: d.get_u16()?,
+                vc: Vc::dec(d)?,
+                records: d.get_seq()?,
+            },
+            BARRIER_REP => Msg::BarrierRep { vc: Vc::dec(d)?, records: d.get_seq()? },
+            GC_QUERY => Msg::GcQuery { epoch: d.get_u32()? },
+            GC_REPORT => Msg::GcReport { pages: d.get_seq()? },
+            GC_FETCH => {
+                let epoch = d.get_u32()?;
+                let n = d.get_u32()? as usize;
+                if n > 1 << 22 {
+                    return Err(WireError::BadLength { what: "GcFetch", len: n });
+                }
+                let mut wants = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let p = d.get_u32()?;
+                    let wns = d.get_seq()?;
+                    wants.push((p, wns));
+                }
+                Msg::GcFetch { epoch, wants }
+            }
+            COMMIT => Msg::Commit {
+                epoch: d.get_u32()?,
+                new_epoch: d.get_u32()?,
+                team: crate::types::Team::dec(d)?,
+                my_pid: d.get_u16()?,
+                dir: DirRle::dec(d)?,
+                drop_pages: d.get_u32_vec()?,
+            },
+            JOIN_INIT => Msg::JoinInit {
+                epoch: d.get_u32()?,
+                team: crate::types::Team::dec(d)?,
+                my_pid: d.get_u16()?,
+                dir: DirRle::dec(d)?,
+                registry: d.get_seq()?,
+                alloc_slots: d.get_u64()?,
+            },
+            READY_JOIN => Msg::ReadyJoin { gpid: Gpid::dec(d)? },
+            TERMINATE => Msg::Terminate,
+            t => return Err(WireError::BadTag { what: "Msg", tag: t as u32 }),
+        })
+    }
+}
+
+impl Msg {
+    /// Encode to bytes ready for the transport.
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        let mut e = Enc::with_capacity(64);
+        self.enc(&mut e);
+        e.finish_bytes()
+    }
+
+    /// True when the service thread must forward this to the
+    /// application thread instead of handling it inline.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Msg::Fork { .. }
+                | Msg::JoinArrive { .. }
+                | Msg::BarrierArrive { .. }
+                | Msg::GcQuery { .. }
+                | Msg::GcFetch { .. }
+                | Msg::Commit { .. }
+                | Msg::JoinInit { .. }
+                | Msg::ReadyJoin { .. }
+                | Msg::Terminate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::DiffRun;
+    use crate::types::Team;
+
+    fn roundtrip(m: &Msg) {
+        let b = m.to_bytes();
+        let back = Msg::from_wire(&b).unwrap();
+        assert_eq!(*m, back);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let mut vc = Vc::new(3);
+        vc.set(1, 4);
+        let rec = Record { pid: 1, seq: 4, vc: vc.clone(), pages: vec![3, 9] };
+        let team = Team::new(2, vec![Gpid(1), Gpid(5)]);
+        let dir = DirRle::from_vec(&[Gpid(1), Gpid(1), Gpid(5)]);
+        let cases = vec![
+            Msg::ConnHello { from: Gpid(9) },
+            Msg::PageReq { epoch: 1, page: 7 },
+            Msg::DiffReq { epoch: 1, wants: vec![(7, 2), (8, 1)] },
+            Msg::RecordsReq { epoch: 1, vc: vc.clone() },
+            Msg::LockReq { epoch: 1, lock: 3 },
+            Msg::LockRelease { epoch: 1, lock: 3 },
+            Msg::Ack,
+            Msg::PageRep {
+                applied: vec![(0, 2), (1, 4)],
+                words: vec![1, 2, 3],
+                redirect: None,
+            },
+            Msg::PageRep { applied: vec![], words: vec![], redirect: Some(Gpid(4)) },
+            Msg::DiffRep {
+                diffs: vec![(7, 2, Diff { runs: vec![DiffRun { start: 1, words: vec![42] }] })],
+            },
+            Msg::RecordsRep { records: vec![rec.clone()] },
+            Msg::LockRep { prev: Some(Gpid(2)) },
+            Msg::Fork {
+                epoch: 1,
+                fork_no: 10,
+                region: 2,
+                params: vec![1, 2, 3],
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+                registry_delta: vec![RegEntry {
+                    name: "grid".into(),
+                    addr: 512,
+                    len: 100,
+                    kind: ElemKind::F64,
+                    ver: 1,
+                }],
+                alloc_slots: 1024,
+            },
+            Msg::JoinArrive { epoch: 1, pid: 2, vc: vc.clone(), records: vec![] },
+            Msg::BarrierArrive { epoch: 1, pid: 2, vc: vc.clone(), records: vec![rec.clone()] },
+            Msg::BarrierRep { vc: vc.clone(), records: vec![rec.clone()] },
+            Msg::GcQuery { epoch: 1 },
+            Msg::GcReport {
+                pages: vec![PageApplied { page: 3, applied: vec![(0, 1)] }],
+            },
+            Msg::GcFetch {
+                epoch: 1,
+                wants: vec![(3, vec![Wn { pid: 0, seq: 1, vcsum: 1 }])],
+            },
+            Msg::Commit {
+                epoch: 1,
+                new_epoch: 2,
+                team: team.clone(),
+                my_pid: 1,
+                dir: dir.clone(),
+                drop_pages: vec![4, 5],
+            },
+            Msg::JoinInit {
+                epoch: 2,
+                team,
+                my_pid: 1,
+                dir,
+                registry: vec![],
+                alloc_slots: 2048,
+            },
+            Msg::ReadyJoin { gpid: Gpid(7) },
+            Msg::Terminate,
+        ];
+        for m in &cases {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Msg::Terminate.is_control());
+        assert!(Msg::GcQuery { epoch: 0 }.is_control());
+        assert!(!Msg::PageReq { epoch: 0, page: 0 }.is_control());
+        assert!(!Msg::LockReq { epoch: 0, lock: 0 }.is_control());
+    }
+
+    #[test]
+    fn dir_rle_roundtrip() {
+        let dir = vec![Gpid(1); 100]
+            .into_iter()
+            .chain(vec![Gpid(2); 50])
+            .chain(vec![Gpid(1); 3])
+            .collect::<Vec<_>>();
+        let rle = DirRle::from_vec(&dir);
+        assert_eq!(rle.runs.len(), 3);
+        assert_eq!(rle.to_vec(), dir);
+        assert_eq!(rle.total(), 153);
+    }
+
+    #[test]
+    fn dir_rle_empty() {
+        let rle = DirRle::from_vec(&[]);
+        assert!(rle.to_vec().is_empty());
+        assert_eq!(rle.total(), 0);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Msg::from_wire(&[200, 1, 2]).is_err());
+        assert!(Msg::from_wire(&[]).is_err());
+    }
+}

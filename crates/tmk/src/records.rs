@@ -1,0 +1,191 @@
+//! Interval records — the unit of consistency information exchanged at
+//! synchronization points.
+//!
+//! Closing an interval at process `pid` produces one [`Record`]: the
+//! interval's sequence number, the creator's vector clock at close time,
+//! and the list of pages written (the write notices). Records flow:
+//!
+//! * lock grant: the releaser sends the acquirer every record the
+//!   acquirer has not seen;
+//! * barrier / join: every process sends its new records to the
+//!   manager, which redistributes the union at release;
+//! * GC: records let the master compute, for every page, which writes a
+//!   complete copy must contain.
+
+use crate::types::{PageId, Pid, Seq, Vc};
+use nowmp_util::wire::{Dec, Enc, Wire, WireError};
+
+/// One closed interval's consistency record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Creator's pid (in the creating epoch).
+    pub pid: Pid,
+    /// The interval sequence number at the creator.
+    pub seq: Seq,
+    /// Creator's vector clock at interval close (captures
+    /// happens-before; its sum is the diff application sort key).
+    pub vc: Vc,
+    /// Pages written during the interval (write notices).
+    pub pages: Vec<PageId>,
+}
+
+impl Record {
+    /// Causal sort key: strictly increases along happens-before.
+    pub fn vcsum(&self) -> u64 {
+        self.vc.sum()
+    }
+}
+
+impl Wire for Record {
+    fn enc(&self, e: &mut Enc) {
+        e.put_u16(self.pid);
+        e.put_u32(self.seq);
+        self.vc.enc(e);
+        e.put_u32_slice(&self.pages);
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(Record {
+            pid: d.get_u16()?,
+            seq: d.get_u32()?,
+            vc: Vc::dec(d)?,
+            pages: d.get_u32_vec()?,
+        })
+    }
+}
+
+/// A process's store of every record known this epoch (its own and
+/// received ones), deduplicated by `(pid, seq)`.
+#[derive(Debug, Default)]
+pub struct RecordStore {
+    records: Vec<Record>,
+}
+
+impl RecordStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records.
+    pub fn all(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Insert unless `(pid, seq)` is already present. Returns whether
+    /// the record was new.
+    pub fn insert(&mut self, rec: Record) -> bool {
+        if self.contains(rec.pid, rec.seq) {
+            return false;
+        }
+        self.records.push(rec);
+        true
+    }
+
+    /// Is `(pid, seq)` present?
+    pub fn contains(&self, pid: Pid, seq: Seq) -> bool {
+        self.records.iter().any(|r| r.pid == pid && r.seq == seq)
+    }
+
+    /// Records the holder of clock `vc` has not seen (i.e. `seq >
+    /// vc[pid]`). This is exactly the set a lock releaser must forward.
+    pub fn newer_than(&self, vc: &Vc) -> Vec<Record> {
+        self.records.iter().filter(|r| r.seq > vc.get(r.pid)).cloned().collect()
+    }
+
+    /// Drop everything (garbage collection).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// For every page, the per-pid maximum interval that wrote it — the
+    /// "needed" clock a complete copy must dominate. Used by GC.
+    pub fn page_needs(&self) -> std::collections::HashMap<PageId, Vc> {
+        let mut needs: std::collections::HashMap<PageId, Vc> = std::collections::HashMap::new();
+        for r in &self.records {
+            for &p in &r.pages {
+                needs.entry(p).or_default().raise(r.pid, r.seq);
+            }
+        }
+        needs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pid: Pid, seq: Seq, pages: &[PageId]) -> Record {
+        let mut vc = Vc::new(4);
+        vc.set(pid, seq);
+        Record { pid, seq, vc, pages: pages.to_vec() }
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = RecordStore::new();
+        assert!(s.insert(rec(0, 1, &[5])));
+        assert!(!s.insert(rec(0, 1, &[5])));
+        assert!(s.insert(rec(0, 2, &[5])));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn newer_than_filters() {
+        let mut s = RecordStore::new();
+        s.insert(rec(0, 1, &[1]));
+        s.insert(rec(0, 2, &[2]));
+        s.insert(rec(1, 1, &[3]));
+        let mut vc = Vc::new(2);
+        vc.set(0, 1);
+        let newer = s.newer_than(&vc);
+        assert_eq!(newer.len(), 2);
+        assert!(newer.iter().any(|r| r.pid == 0 && r.seq == 2));
+        assert!(newer.iter().any(|r| r.pid == 1 && r.seq == 1));
+    }
+
+    #[test]
+    fn page_needs_takes_max() {
+        let mut s = RecordStore::new();
+        s.insert(rec(0, 1, &[7]));
+        s.insert(rec(0, 3, &[7]));
+        s.insert(rec(1, 2, &[7, 8]));
+        let needs = s.page_needs();
+        let n7 = &needs[&7];
+        assert_eq!(n7.get(0), 3);
+        assert_eq!(n7.get(1), 2);
+        let n8 = &needs[&8];
+        assert_eq!(n8.get(0), 0);
+        assert_eq!(n8.get(1), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = RecordStore::new();
+        s.insert(rec(0, 1, &[1]));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.page_needs().is_empty());
+    }
+
+    #[test]
+    fn record_wire_roundtrip() {
+        let r = rec(3, 9, &[1, 2, 3]);
+        assert_eq!(Record::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn vcsum_reflects_clock() {
+        let r = rec(1, 5, &[]);
+        assert_eq!(r.vcsum(), 5);
+    }
+}

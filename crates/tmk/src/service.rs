@@ -1,0 +1,237 @@
+//! The per-process **service thread** — TreadMarks' SIGIO handler.
+//!
+//! Every process runs one service thread that owns the endpoint's
+//! receive side. Protocol requests (pages, diffs, records, locks) are
+//! answered inline, under short critical sections on the shared
+//! [`ProcCore`]; *control* messages (forks, joins, GC steps, adaptation
+//! commits) are forwarded to the application thread through the control
+//! channel, preserving their [`nowmp_net::Replier`] so the application
+//! thread can acknowledge them when it is ready.
+
+use crate::core::{LockGrant, LockWaiter, ProcCore};
+use crate::msg::Msg;
+use nowmp_net::{Endpoint, Gpid, Replier};
+use nowmp_util::wire::Wire;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A control message forwarded to the application thread.
+pub struct Ctrl {
+    /// The decoded message.
+    pub msg: Msg,
+    /// The sender.
+    pub src: Gpid,
+    /// Reply handle when the sender awaits an acknowledgement.
+    pub replier: Option<Replier>,
+}
+
+/// Run the service loop until the endpoint disconnects.
+///
+/// Panics on malformed messages or protocol violations — this is a
+/// research system reproduction; loud failure beats silent corruption.
+pub fn service_loop(
+    endpoint: Arc<Endpoint>,
+    core: Arc<Mutex<ProcCore>>,
+    ctrl_tx: crossbeam_channel::Sender<Ctrl>,
+) {
+    while let Ok(inc) = endpoint.recv() {
+        let msg = match Msg::from_wire(&inc.payload) {
+            Ok(m) => m,
+            Err(e) => panic!("malformed message from {}: {e}", inc.src),
+        };
+        if msg.is_control() {
+            // Forward to the application thread; if it has exited (post
+            // Terminate), drop silently — late control traffic is
+            // possible during teardown.
+            let _ = ctrl_tx.send(Ctrl { msg, src: inc.src, replier: inc.replier });
+            continue;
+        }
+        match msg {
+            Msg::ConnHello { .. } => {
+                if let Some(r) = inc.replier {
+                    r.reply(Msg::Ack.to_bytes());
+                }
+            }
+            Msg::PageReq { epoch, page } => {
+                let rep = {
+                    let mut c = core.lock();
+                    debug_assert_eq!(epoch, c.epoch(), "PageReq from wrong epoch");
+                    c.serve_page(page)
+                };
+                inc.replier.expect("PageReq is a request").reply(rep.to_bytes());
+            }
+            Msg::DiffReq { epoch, wants } => {
+                let rep = {
+                    let mut c = core.lock();
+                    debug_assert_eq!(epoch, c.epoch(), "DiffReq from wrong epoch");
+                    c.serve_diffs(&wants)
+                };
+                inc.replier.expect("DiffReq is a request").reply(rep.to_bytes());
+            }
+            Msg::RecordsReq { epoch, vc } => {
+                let rep = {
+                    let c = core.lock();
+                    debug_assert_eq!(epoch, c.epoch(), "RecordsReq from wrong epoch");
+                    c.serve_records(&vc)
+                };
+                inc.replier.expect("RecordsReq is a request").reply(rep.to_bytes());
+            }
+            Msg::LockReq { epoch, lock } => {
+                let replier = inc.replier.expect("LockReq is a request");
+                let grant = {
+                    let mut c = core.lock();
+                    debug_assert_eq!(epoch, c.epoch(), "LockReq from wrong epoch");
+                    c.lock_acquire(lock, inc.src, LockWaiter::Remote(replier))
+                };
+                deliver_grant(grant);
+            }
+            Msg::LockRelease { epoch, lock } => {
+                let grant = {
+                    let mut c = core.lock();
+                    debug_assert_eq!(epoch, c.epoch(), "LockRelease from wrong epoch");
+                    c.lock_release(lock)
+                };
+                deliver_grant(grant);
+            }
+            other => panic!("service thread received non-request message {other:?}"),
+        }
+    }
+}
+
+/// Dispatch a lock grant decided by the manager state machine.
+pub fn deliver_grant(grant: Option<LockGrant>) {
+    match grant {
+        None => {}
+        Some(LockGrant::Remote(replier, prev)) => {
+            replier.reply(Msg::LockRep { prev }.to_bytes());
+        }
+        Some(LockGrant::Local(tx, prev)) => {
+            // The local application thread is blocked on this channel.
+            let _ = tx.send(prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DsmConfig;
+    use crate::stats::DsmStats;
+    use nowmp_net::{HostId, NetModel, Network};
+
+    fn spawn_proc(
+        net: &Network,
+        host: u16,
+    ) -> (Arc<Endpoint>, Arc<Mutex<ProcCore>>, crossbeam_channel::Receiver<Ctrl>, Gpid) {
+        let ep = Arc::new(net.register(HostId(host)));
+        let gpid = ep.gpid();
+        let core = Arc::new(Mutex::new(ProcCore::new(
+            DsmConfig { page_size: 64, ..DsmConfig::test_small() },
+            gpid,
+            DsmStats::new_shared(),
+            gpid,
+        )));
+        let (tx, rx) = crossbeam_channel::unbounded();
+        {
+            let ep = Arc::clone(&ep);
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || service_loop(ep, core, tx));
+        }
+        (ep, core, rx, gpid)
+    }
+
+    #[test]
+    fn page_request_served_while_idle() {
+        let net = Network::new(2, 1, NetModel::disabled());
+        let (_ep_a, core_a, _rx_a, gpid_a) = spawn_proc(&net, 0);
+        let (ep_b, _core_b, _rx_b, _gpid_b) = spawn_proc(&net, 1);
+
+        // A materializes and writes a page locally.
+        {
+            let mut c = core_a.lock();
+            let crate::core::AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+                panic!()
+            };
+            buf.store(2, 1234);
+        }
+        // B fetches it through the wire.
+        let rep = ep_b.call(gpid_a, Msg::PageReq { epoch: 0, page: 0 }.to_bytes()).unwrap();
+        let Msg::PageRep { words, redirect, .. } = Msg::from_wire(&rep).unwrap() else {
+            panic!()
+        };
+        assert!(redirect.is_none());
+        assert_eq!(words[2], 1234);
+        // A's page is now shared and twinned (it was exclusive-dirty).
+        let c = core_a.lock();
+        assert!(c.pages[0].shared);
+        assert!(c.pages[0].twin.is_some());
+    }
+
+    #[test]
+    fn control_messages_reach_app_thread() {
+        let net = Network::new(2, 1, NetModel::disabled());
+        let (_ep_a, _core_a, rx_a, gpid_a) = spawn_proc(&net, 0);
+        let (ep_b, _core_b, _rx_b, gpid_b) = spawn_proc(&net, 1);
+
+        ep_b.send(gpid_a, Msg::ReadyJoin { gpid: gpid_b }.to_bytes()).unwrap();
+        let ctrl = rx_a.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(matches!(ctrl.msg, Msg::ReadyJoin { .. }));
+        assert_eq!(ctrl.src, gpid_b);
+        assert!(ctrl.replier.is_none());
+    }
+
+    #[test]
+    fn remote_lock_protocol() {
+        let net = Network::new(2, 1, NetModel::disabled());
+        let (_ep_mgr, _core_mgr, _rx, mgr_gpid) = spawn_proc(&net, 0);
+        let (ep_b, _core_b, _rx_b, _g) = spawn_proc(&net, 1);
+
+        // First acquire: immediate grant, no previous holder.
+        let rep = ep_b.call(mgr_gpid, Msg::LockReq { epoch: 0, lock: 3 }.to_bytes()).unwrap();
+        assert_eq!(Msg::from_wire(&rep).unwrap(), Msg::LockRep { prev: None });
+
+        // Contended acquire from another proc: grant arrives only after release.
+        let net2 = net.clone();
+        let waiter = std::thread::spawn(move || {
+            let ep_c = net2.register(HostId(1));
+            let rep = ep_c.call(mgr_gpid, Msg::LockReq { epoch: 0, lock: 3 }.to_bytes()).unwrap();
+            Msg::from_wire(&rep).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        ep_b.send(mgr_gpid, Msg::LockRelease { epoch: 0, lock: 3 }.to_bytes()).unwrap();
+        let granted = waiter.join().unwrap();
+        match granted {
+            Msg::LockRep { prev } => assert_eq!(prev, Some(ep_b.gpid())),
+            other => panic!("expected LockRep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn records_request_served() {
+        let net = Network::new(2, 1, NetModel::disabled());
+        let (_ep_a, core_a, _rx_a, gpid_a) = spawn_proc(&net, 0);
+        let (ep_b, _core_b, _rx_b, _g) = spawn_proc(&net, 1);
+
+        {
+            let mut c = core_a.lock();
+            c.team = crate::types::Team::new(0, vec![gpid_a, ep_b.gpid()]);
+            c.vc = crate::types::Vc::new(2);
+            let _ = c.plan_access(0, false);
+            let _ = c.serve_page(0); // shared
+            let crate::core::AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+                panic!()
+            };
+            buf.store(0, 9);
+            c.close_interval().unwrap();
+        }
+        let rep = ep_b
+            .call(
+                gpid_a,
+                Msg::RecordsReq { epoch: 0, vc: crate::types::Vc::new(2) }.to_bytes(),
+            )
+            .unwrap();
+        let Msg::RecordsRep { records } = Msg::from_wire(&rep).unwrap() else { panic!() };
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].pages, vec![0]);
+    }
+}

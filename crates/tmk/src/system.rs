@@ -1,0 +1,763 @@
+//! System orchestration: process bring-up, fork-join, GC rounds, team
+//! commits, checkpoint images.
+//!
+//! * [`DsmSystem`] owns the process threads (one application + one
+//!   service thread per DSM process) over a [`nowmp_net::Network`];
+//! * [`MasterCtl`] is the master process's handle: sequential-phase
+//!   shared memory access, `parallel()` (the `Tmk_fork`/`Tmk_join`
+//!   pair), and the **adaptation SPI** used by the adaptive layer
+//!   (`run_gc`, `commit_team`, `spawn_worker` bridging, checkpoint
+//!   export/import) — the paper's "purely TreadMarks-internal" changes
+//!   surface here as an explicit internal API;
+//! * [`RegionRunner`] is the compiled application: region id → outlined
+//!   procedure (what SUIF emits from each OpenMP parallel construct).
+
+use crate::config::DsmConfig;
+use crate::core::ProcCore;
+use crate::ctx::{CtrlBuf, TmkCtx};
+use crate::gc::{compute_gc_plan, page_writes, GcPlan, LeaveSink};
+use crate::msg::{DirRle, Msg, RegEntry};
+use crate::page::PageState;
+use crate::records::Record;
+use crate::service::{service_loop, Ctrl};
+use crate::shm::{Allocator, Registry};
+use crate::stats::DsmStats;
+use crate::types::{Addr, Epoch, PageId, Pid, Team, Vc};
+use nowmp_net::{Endpoint, Gpid, HostId, Network};
+use nowmp_util::wire::Wire;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The compiled application: dispatches outlined parallel regions.
+///
+/// This is the seam where the SUIF OpenMP compiler would plug in; the
+/// `nowmp-omp` crate implements it from registered closures.
+pub trait RegionRunner: Send + Sync + 'static {
+    /// Execute region `region` with the context's parameters.
+    fn run(&self, region: u32, ctx: &mut TmkCtx);
+}
+
+/// A no-op runner (for systems driven purely through the SPI in tests).
+pub struct NullRunner;
+
+impl RegionRunner for NullRunner {
+    fn run(&self, _region: u32, _ctx: &mut TmkCtx) {}
+}
+
+/// Result of a GC round, consumed by the adaptive layer.
+#[derive(Debug, Default)]
+pub struct GcOutcome {
+    /// Owner per page after GC.
+    pub dir: Vec<Gpid>,
+    /// Complete holders per page (owner first; may include leavers).
+    pub complete: Vec<Vec<Gpid>>,
+    /// Pages each process must drop at commit.
+    pub drops: HashMap<Gpid, Vec<PageId>>,
+    /// Pages fetched during the completion phase, per process.
+    pub fetch_pages: HashMap<Gpid, usize>,
+}
+
+/// Shared bookkeeping for one DSM deployment.
+pub struct DsmSystem {
+    net: Network,
+    cfg: DsmConfig,
+    stats: Arc<DsmStats>,
+    runner: Arc<dyn RegionRunner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    cores: Mutex<HashMap<Gpid, Arc<Mutex<ProcCore>>>>,
+}
+
+impl DsmSystem {
+    /// Create a system over `net` running `runner`'s regions.
+    pub fn new(net: Network, cfg: DsmConfig, runner: Arc<dyn RegionRunner>) -> Arc<Self> {
+        cfg.validate();
+        Arc::new(DsmSystem {
+            net,
+            cfg,
+            stats: DsmStats::new_shared(),
+            runner,
+            threads: Mutex::new(Vec::new()),
+            cores: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Shared DSM counters.
+    pub fn stats(&self) -> &Arc<DsmStats> {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &DsmConfig {
+        &self.cfg
+    }
+
+    /// Simulation SPI: direct access to a process's core (the adaptive
+    /// layer uses it to size migration images; a distributed deployment
+    /// would message instead).
+    pub fn core_of(&self, gpid: Gpid) -> Option<Arc<Mutex<ProcCore>>> {
+        self.cores.lock().get(&gpid).cloned()
+    }
+
+    /// Start the master process on `host`; returns its control handle.
+    /// Call once per system.
+    pub fn start_master(self: &Arc<Self>, host: HostId) -> MasterCtl {
+        let endpoint = Arc::new(self.net.register(host));
+        let gpid = endpoint.gpid();
+        let core = Arc::new(Mutex::new(ProcCore::new(
+            self.cfg.clone(),
+            gpid,
+            Arc::clone(&self.stats),
+            gpid,
+        )));
+        self.cores.lock().insert(gpid, Arc::clone(&core));
+        let (ctrl_tx, ctrl_rx) = crossbeam_channel::unbounded();
+        {
+            let ep = Arc::clone(&endpoint);
+            let core = Arc::clone(&core);
+            let h = std::thread::Builder::new()
+                .name(format!("svc-{gpid}"))
+                .spawn(move || service_loop(ep, core, ctrl_tx))
+                .expect("spawn service thread");
+            self.threads.lock().push(h);
+        }
+        let ctrl = Arc::new(Mutex::new(CtrlBuf::new(ctrl_rx)));
+        let ctx = TmkCtx::new(Arc::clone(&core), Arc::clone(&endpoint), Some(Arc::clone(&ctrl)));
+        let spp = self.cfg.slots_per_page();
+        MasterCtl {
+            sys: Arc::clone(self),
+            endpoint,
+            core,
+            ctrl,
+            ctx,
+            allocator: Allocator::new(spp),
+            fork_no: 0,
+            last_fork_vc: Vc::new(1),
+            sent_reg_ver: 0,
+            dir: Vec::new(),
+            call_timeout: self.cfg.call_timeout,
+        }
+    }
+
+    /// Spawn a worker (embryo) process on `host`. It greets `hello_to`
+    /// (existing processes), announces readiness to `master`, then waits
+    /// for `JoinInit` — the asynchronous connection setup of §4.1 that
+    /// overlaps the ongoing computation.
+    pub fn spawn_worker(
+        self: &Arc<Self>,
+        host: HostId,
+        master: Gpid,
+        hello_to: Vec<Gpid>,
+    ) -> Gpid {
+        let endpoint = Arc::new(self.net.register(host));
+        let gpid = endpoint.gpid();
+        let core = Arc::new(Mutex::new(ProcCore::new(
+            self.cfg.clone(),
+            gpid,
+            Arc::clone(&self.stats),
+            master,
+        )));
+        self.cores.lock().insert(gpid, Arc::clone(&core));
+        let (ctrl_tx, ctrl_rx) = crossbeam_channel::unbounded();
+        {
+            let ep = Arc::clone(&endpoint);
+            let c = Arc::clone(&core);
+            let h = std::thread::Builder::new()
+                .name(format!("svc-{gpid}"))
+                .spawn(move || service_loop(ep, c, ctrl_tx))
+                .expect("spawn service thread");
+            self.threads.lock().push(h);
+        }
+        {
+            let sys = Arc::clone(self);
+            let ep = Arc::clone(&endpoint);
+            let h = std::thread::Builder::new()
+                .name(format!("app-{gpid}"))
+                .spawn(move || worker_main(sys, ep, core, ctrl_rx, master, hello_to))
+                .expect("spawn worker thread");
+            self.threads.lock().push(h);
+        }
+        gpid
+    }
+
+    /// Wait for every spawned thread to finish (after shutdown).
+    pub fn join_threads(&self) {
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker application thread: connection setup, then the Tmk wait loop.
+fn worker_main(
+    sys: Arc<DsmSystem>,
+    endpoint: Arc<Endpoint>,
+    core: Arc<Mutex<ProcCore>>,
+    ctrl_rx: crossbeam_channel::Receiver<Ctrl>,
+    master: Gpid,
+    hello_to: Vec<Gpid>,
+) {
+    let gpid = endpoint.gpid();
+    let timeout = sys.cfg.call_timeout;
+    // Connection setup: slaves first, master last (§4.1).
+    for peer in &hello_to {
+        let _ = endpoint.call_deadline(*peer, Msg::ConnHello { from: gpid }.to_bytes(), timeout);
+    }
+    let _ = endpoint.send(master, Msg::ReadyJoin { gpid }.to_bytes());
+
+    let mut ctrl = CtrlBuf::new(ctrl_rx);
+    let mut ctx = TmkCtx::new(Arc::clone(&core), Arc::clone(&endpoint), None);
+    let runner = Arc::clone(&sys.runner);
+
+    loop {
+        let c = match ctrl.recv_where(Duration::from_secs(3600), |_| true) {
+            Ok(c) => c,
+            Err(_) => break, // system torn down
+        };
+        match c.msg {
+            Msg::JoinInit { epoch, team, my_pid, dir, registry, alloc_slots } => {
+                {
+                    let mut pc = core.lock();
+                    pc.registry = Registry::new();
+                    pc.registry.merge(&registry);
+                    let dirv = dir.to_vec();
+                    let spp = pc.cfg.slots_per_page();
+                    pc.ensure_pages(
+                        dirv.len().max(nowmp_util::div_ceil(alloc_slots as usize, spp)),
+                    );
+                    let n = team.members.len();
+                    assert_eq!(team.epoch, epoch, "JoinInit team/epoch mismatch");
+                    pc.vc = Vc::new(n);
+                    pc.my_pid = my_pid;
+                    pc.team = team;
+                    for (i, owner) in dirv.iter().enumerate() {
+                        let meta = &mut pc.pages[i];
+                        meta.owner = *owner;
+                        meta.shared = true;
+                    }
+                }
+                ctx.sync_reset();
+                if let Some(r) = c.replier {
+                    r.reply(Msg::Ack.to_bytes());
+                }
+            }
+            Msg::Fork { epoch, region, params, vc, records, registry_delta, alloc_slots, .. } => {
+                {
+                    let mut pc = core.lock();
+                    assert_eq!(epoch, pc.epoch(), "Fork from wrong epoch");
+                    pc.registry.merge(&registry_delta);
+                    let spp = pc.cfg.slots_per_page();
+                    pc.ensure_pages(nowmp_util::div_ceil(alloc_slots as usize, spp));
+                    pc.apply_records(&records);
+                    pc.vc.merge(&vc);
+                }
+                ctx.sync_reset();
+                ctx.set_params(params);
+                runner.run(region, &mut ctx);
+                // Tmk_join: close, ship our records, return to waiting.
+                let (pid, vc, records) = {
+                    let mut pc = core.lock();
+                    pc.close_interval();
+                    (pc.my_pid, pc.vc.clone(), pc.drain_unsent())
+                };
+                let _ = endpoint.send(
+                    ctx.team().master(),
+                    Msg::JoinArrive { epoch, pid, vc, records }.to_bytes(),
+                );
+                ctx.sync_reset();
+            }
+            Msg::GcQuery { epoch } => {
+                let report = {
+                    let pc = core.lock();
+                    assert_eq!(epoch, pc.epoch(), "GcQuery from wrong epoch");
+                    pc.gc_report()
+                };
+                c.replier
+                    .expect("GcQuery is a request")
+                    .reply(Msg::GcReport { pages: report }.to_bytes());
+            }
+            Msg::GcFetch { epoch, wants } => {
+                {
+                    let mut pc = core.lock();
+                    assert_eq!(epoch, pc.epoch(), "GcFetch from wrong epoch");
+                    pc.gc_prepare_fetch(&wants);
+                }
+                ctx.sync_reset();
+                for (page, _) in &wants {
+                    ctx.ensure_page(*page, false);
+                    DsmStats::bump(&sys.stats.gc_fetch_pages);
+                }
+                c.replier.expect("GcFetch is a request").reply(Msg::Ack.to_bytes());
+            }
+            Msg::Commit { epoch, new_epoch, team, my_pid, dir, drop_pages } => {
+                {
+                    let mut pc = core.lock();
+                    assert_eq!(epoch, pc.epoch(), "Commit from wrong epoch");
+                    pc.gc_commit(new_epoch, team, my_pid, &dir.to_vec(), &drop_pages);
+                }
+                ctx.sync_reset();
+                c.replier.expect("Commit is a request").reply(Msg::Ack.to_bytes());
+            }
+            Msg::Terminate => {
+                sys.net.unregister(gpid);
+                sys.cores.lock().remove(&gpid);
+                break;
+            }
+            other => panic!("worker {gpid} got unexpected control message {other:?}"),
+        }
+    }
+}
+
+/// The master process handle (application thread side).
+pub struct MasterCtl {
+    sys: Arc<DsmSystem>,
+    endpoint: Arc<Endpoint>,
+    core: Arc<Mutex<ProcCore>>,
+    ctrl: Arc<Mutex<CtrlBuf>>,
+    ctx: TmkCtx,
+    allocator: Allocator,
+    fork_no: u64,
+    last_fork_vc: Vc,
+    sent_reg_ver: u32,
+    /// Authoritative page directory (valid after each GC).
+    dir: Vec<Gpid>,
+    call_timeout: Duration,
+}
+
+/// A checkpointable memory image (serialized by `nowmp-ckpt`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryImage {
+    /// Fork counter at the checkpoint (replay fast-forward index).
+    pub fork_no: u64,
+    /// Allocator high-water mark.
+    pub alloc_slots: Addr,
+    /// Full handle registry.
+    pub registry: Vec<RegEntry>,
+    /// Every shared page's contents.
+    pub pages: Vec<(PageId, Vec<u64>)>,
+}
+
+impl MasterCtl {
+    /// Our gpid.
+    pub fn gpid(&self) -> Gpid {
+        self.endpoint.gpid()
+    }
+
+    /// The system handle.
+    pub fn system(&self) -> &Arc<DsmSystem> {
+        &self.sys
+    }
+
+    /// Mutable DSM context for the sequential phase (and region 0).
+    pub fn ctx(&mut self) -> &mut TmkCtx {
+        &mut self.ctx
+    }
+
+    /// Current team.
+    pub fn team(&self) -> Team {
+        self.core.lock().team.clone()
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.core.lock().epoch()
+    }
+
+    /// Completed fork count.
+    pub fn fork_no(&self) -> u64 {
+        self.fork_no
+    }
+
+    /// Allocate `len` slots of shared memory and publish under `name`
+    /// (the `Tmk_malloc` + registry step; master-only, sequential phase).
+    pub fn alloc(&mut self, name: &str, len: u64, kind: crate::msg::ElemKind) -> RegEntry {
+        let addr = self.allocator.alloc(len);
+        let mut c = self.core.lock();
+        c.ensure_pages(self.allocator.allocated_pages());
+        c.registry.publish(name, addr, len, kind)
+    }
+
+    /// Slots allocated so far.
+    pub fn alloc_slots(&self) -> Addr {
+        self.allocator.allocated_slots()
+    }
+
+    /// Wait for `workers` to finish connection setup, then form the
+    /// initial team (epoch 0).
+    pub fn init_team(&mut self, workers: &[Gpid]) {
+        let mut pending: HashSet<Gpid> = workers.iter().copied().collect();
+        while !pending.is_empty() {
+            let c = self
+                .ctrl
+                .lock()
+                .recv_where(self.call_timeout, |c| matches!(c.msg, Msg::ReadyJoin { .. }))
+                .expect("worker never became ready");
+            if let Msg::ReadyJoin { gpid } = c.msg {
+                pending.remove(&gpid);
+            }
+        }
+        let mut members = vec![self.gpid()];
+        members.extend_from_slice(workers);
+        let team = Team::new(0, members);
+        self.dir = vec![self.gpid(); self.allocator.allocated_pages()];
+        {
+            let mut c = self.core.lock();
+            c.vc = Vc::new(team.nprocs());
+            c.my_pid = 0;
+            c.team = team.clone();
+        }
+        let (registry, alloc_slots) =
+            { (self.core.lock().registry.full(), self.allocator.allocated_slots()) };
+        self.sent_reg_ver = registry.iter().map(|e| e.ver).max().unwrap_or(0);
+        for (i, &w) in workers.iter().enumerate() {
+            let msg = Msg::JoinInit {
+                epoch: 0,
+                team: team.clone(),
+                my_pid: (i + 1) as Pid,
+                dir: DirRle::from_vec(&self.dir),
+                registry: registry.clone(),
+                alloc_slots,
+            };
+            let rep = self
+                .endpoint
+                .call_deadline(w, msg.to_bytes(), self.call_timeout)
+                .expect("JoinInit failed");
+            assert_eq!(Msg::from_wire(&rep).unwrap(), Msg::Ack);
+        }
+        self.last_fork_vc = Vc::new(team.nprocs());
+        self.ctx.sync_reset();
+    }
+
+    /// Execute one parallel construct: `Tmk_fork`, run our share (pid
+    /// 0), `Tmk_join`. Returns when every process has joined.
+    pub fn parallel(&mut self, region: u32, params: &[u8]) {
+        self.ctx.throttle();
+        let (team, epoch) = {
+            let mut c = self.core.lock();
+            c.close_interval();
+            c.drain_unsent(); // distributed via fork records below
+            (c.team.clone(), c.epoch())
+        };
+        let n = team.nprocs();
+        let (vc, records, reg_delta, alloc_slots) = {
+            let c = self.core.lock();
+            (
+                c.vc.clone(),
+                c.records.newer_than(&self.last_fork_vc),
+                c.registry.delta_since(self.sent_reg_ver),
+                self.allocator.allocated_slots(),
+            )
+        };
+        for pid in 1..n {
+            let msg = Msg::Fork {
+                epoch,
+                fork_no: self.fork_no,
+                region,
+                params: params.to_vec(),
+                vc: vc.clone(),
+                records: records.clone(),
+                registry_delta: reg_delta.clone(),
+                alloc_slots,
+            };
+            self.endpoint
+                .send(team.gpid(pid as Pid), msg.to_bytes())
+                .expect("slave vanished at fork");
+        }
+        self.sent_reg_ver = self
+            .sent_reg_ver
+            .max(reg_delta.iter().map(|e| e.ver).max().unwrap_or(0));
+        self.last_fork_vc = vc;
+        DsmStats::bump(&self.sys.stats.forks);
+
+        // Run our own share.
+        self.ctx.sync_reset();
+        self.ctx.set_params(params.to_vec());
+        let runner = Arc::clone(&self.sys.runner);
+        runner.run(region, &mut self.ctx);
+
+        // Join: close our interval, then collect all slaves.
+        {
+            let mut c = self.core.lock();
+            c.close_interval();
+            c.drain_unsent();
+        }
+        for _ in 1..n {
+            let c = self
+                .ctrl
+                .lock()
+                .recv_where(self.call_timeout, |c| {
+                    matches!(&c.msg, Msg::JoinArrive { epoch: e, .. } if *e == epoch)
+                })
+                .expect("join arrival lost");
+            if let Msg::JoinArrive { vc, records, .. } = c.msg {
+                let mut pc = self.core.lock();
+                pc.apply_records(&records);
+                pc.vc.merge(&vc);
+            }
+        }
+        self.fork_no += 1;
+        self.ctx.sync_reset();
+    }
+
+    /// Does accumulated consistency data call for a GC?
+    pub fn gc_due(&self) -> bool {
+        self.core.lock().gc_due()
+    }
+
+    /// Drain `ReadyJoin` announcements that arrived since the last
+    /// check (non-blocking). The adaptive layer calls this at each
+    /// adaptation point to learn which spawned processes finished their
+    /// connection setup.
+    pub fn drain_ready_joins(&mut self) -> Vec<Gpid> {
+        self.ctrl
+            .lock()
+            .drain_where(|c| matches!(c.msg, Msg::ReadyJoin { .. }))
+            .into_iter()
+            .map(|c| match c.msg {
+                Msg::ReadyJoin { gpid } => gpid,
+                _ => unreachable!("drain_where filtered ReadyJoin"),
+            })
+            .collect()
+    }
+
+    /// Block until a specific spawned process announces readiness.
+    pub fn wait_ready(&mut self, gpid: Gpid) {
+        self.ctrl
+            .lock()
+            .recv_where(self.call_timeout, |c| {
+                matches!(c.msg, Msg::ReadyJoin { gpid: g } if g == gpid)
+            })
+            .expect("spawned process never became ready");
+    }
+
+    fn call_msg(&self, dst: Gpid, msg: &Msg) -> Msg {
+        let rep = self
+            .endpoint
+            .call_deadline(dst, msg.to_bytes(), self.call_timeout)
+            .unwrap_or_else(|e| panic!("master call to {dst} failed: {e}"));
+        Msg::from_wire(&rep).expect("malformed reply to master")
+    }
+
+    /// Run a garbage collection round (queries, plan, completion
+    /// fetches). Must be called at an adaptation point (all slaves
+    /// waiting). `avoid` are processes that may own nothing afterwards;
+    /// `scatter` picks the leaver-page sink.
+    pub fn run_gc(&mut self, avoid: &HashSet<Gpid>, scatter: Option<&[Gpid]>) -> GcOutcome {
+        let (team, epoch) = {
+            let mut c = self.core.lock();
+            c.close_interval();
+            c.drain_unsent();
+            (c.team.clone(), c.epoch())
+        };
+        // Step 1: gather reports.
+        let mut reports = vec![(self.gpid(), self.core.lock().gc_report())];
+        for pid in 1..team.nprocs() {
+            let g = team.gpid(pid as Pid);
+            match self.call_msg(g, &Msg::GcQuery { epoch }) {
+                Msg::GcReport { pages } => reports.push((g, pages)),
+                other => panic!("unexpected GC report: {other:?}"),
+            }
+        }
+        // Step 2: plan.
+        let total = self
+            .allocator
+            .allocated_pages()
+            .max(self.dir.len())
+            .max(self.core.lock().pages.len());
+        let writes = page_writes(&self.core.lock().records);
+        let sink = match scatter {
+            Some(survivors) => LeaveSink::Scatter(survivors),
+            None => LeaveSink::ViaMaster,
+        };
+        let plan: GcPlan =
+            compute_gc_plan(total, &writes, &reports, &self.dir, avoid, self.gpid(), sink);
+        // Step 3: completion fetches (slaves first, then our own).
+        let mut fetch_pages: HashMap<Gpid, usize> = HashMap::new();
+        for (g, wants) in &plan.fetches {
+            fetch_pages.insert(*g, wants.len());
+            if *g == self.gpid() {
+                {
+                    let mut c = self.core.lock();
+                    c.gc_prepare_fetch(wants);
+                }
+                self.ctx.sync_reset();
+                for (page, _) in wants {
+                    self.ctx.ensure_page(*page, false);
+                    DsmStats::bump(&self.sys.stats.gc_fetch_pages);
+                }
+            } else {
+                match self.call_msg(*g, &Msg::GcFetch { epoch, wants: wants.clone() }) {
+                    Msg::Ack => {}
+                    other => panic!("unexpected GcFetch reply: {other:?}"),
+                }
+            }
+        }
+        self.dir = plan.dir.clone();
+        GcOutcome { dir: plan.dir, complete: plan.complete, drops: plan.drops, fetch_pages }
+    }
+
+    /// Commit a new team after [`Self::run_gc`]: survivors get
+    /// `Commit`, joiners get `JoinInit`, leavers get `Terminate`.
+    /// `new_members[0]` must be the master.
+    pub fn commit_team(&mut self, new_members: Vec<Gpid>, outcome: &GcOutcome) {
+        assert_eq!(new_members[0], self.gpid(), "master must stay pid 0");
+        let (old_team, epoch) = {
+            let c = self.core.lock();
+            (c.team.clone(), c.epoch())
+        };
+        let new_epoch = epoch + 1;
+        let team = Team::new(new_epoch, new_members.clone());
+        let dir_rle = DirRle::from_vec(&outcome.dir);
+        let empty: Vec<PageId> = Vec::new();
+
+        let old_set: HashSet<Gpid> = old_team.members.iter().copied().collect();
+        // Survivors: in both teams (skip ourselves).
+        for &g in &new_members {
+            if g == self.gpid() || !old_set.contains(&g) {
+                continue;
+            }
+            let my_pid = team.pid_of(g).expect("survivor is in new team");
+            let msg = Msg::Commit {
+                epoch,
+                new_epoch,
+                team: team.clone(),
+                my_pid,
+                dir: dir_rle.clone(),
+                drop_pages: outcome.drops.get(&g).unwrap_or(&empty).clone(),
+            };
+            match self.call_msg(g, &msg) {
+                Msg::Ack => {}
+                other => panic!("unexpected Commit reply: {other:?}"),
+            }
+        }
+        // Joiners: in the new team but not the old.
+        let (registry, alloc_slots) =
+            { (self.core.lock().registry.full(), self.allocator.allocated_slots()) };
+        for &g in &new_members {
+            if g == self.gpid() || old_set.contains(&g) {
+                continue;
+            }
+            let my_pid = team.pid_of(g).expect("joiner is in new team");
+            let msg = Msg::JoinInit {
+                epoch: new_epoch,
+                team: team.clone(),
+                my_pid,
+                dir: dir_rle.clone(),
+                registry: registry.clone(),
+                alloc_slots,
+            };
+            match self.call_msg(g, &msg) {
+                Msg::Ack => {}
+                other => panic!("unexpected JoinInit reply: {other:?}"),
+            }
+        }
+        // Ourselves.
+        {
+            let mut c = self.core.lock();
+            let drops = outcome.drops.get(&self.gpid()).cloned().unwrap_or_default();
+            c.gc_commit(new_epoch, team.clone(), 0, &outcome.dir, &drops);
+        }
+        // Leavers: in the old team but not the new.
+        let new_set: HashSet<Gpid> = new_members.iter().copied().collect();
+        for &g in &old_team.members {
+            if !new_set.contains(&g) {
+                let _ = self.endpoint.send(g, Msg::Terminate.to_bytes());
+            }
+        }
+        self.last_fork_vc = Vc::new(team.nprocs());
+        self.ctx.sync_reset();
+    }
+
+    /// Number of team members whose gpid appears as sole complete
+    /// holder — diagnostic for leave-cost analysis.
+    pub fn sole_holder_pages(outcome: &GcOutcome, g: Gpid) -> usize {
+        outcome.complete.iter().filter(|c| c.len() == 1 && c[0] == g).count()
+    }
+
+    /// Bring every allocated page into the master's memory (checkpoint
+    /// step 2: "the master collects all pages for which it does not
+    /// have a valid copy").
+    pub fn collect_all_pages(&mut self) {
+        let total = self.allocator.allocated_pages();
+        self.ctx.sync_reset();
+        for p in 0..total as PageId {
+            self.ctx.ensure_page(p, false);
+        }
+    }
+
+    /// Export the full memory image (after [`Self::collect_all_pages`]).
+    pub fn export_image(&self) -> MemoryImage {
+        let c = self.core.lock();
+        MemoryImage {
+            fork_no: self.fork_no,
+            alloc_slots: self.allocator.allocated_slots(),
+            registry: c.registry.full(),
+            pages: c.export_pages(),
+        }
+    }
+
+    /// Restore a memory image into a *fresh* master (recovery).
+    pub fn import_image(&mut self, image: &MemoryImage) {
+        {
+            let mut c = self.core.lock();
+            c.registry = Registry::new();
+            c.registry.merge(&image.registry);
+            let spp = c.cfg.slots_per_page();
+            c.ensure_pages(nowmp_util::div_ceil(image.alloc_slots as usize, spp));
+            c.import_pages(&image.pages);
+        }
+        self.allocator.restore(image.alloc_slots);
+        self.fork_no = image.fork_no;
+        self.sent_reg_ver = 0;
+        self.dir = vec![self.gpid(); self.allocator.allocated_pages()];
+        self.ctx.sync_reset();
+    }
+
+    /// Estimated process-image size of `gpid` in bytes (valid pages +
+    /// metadata), for migration cost accounting.
+    pub fn resident_image_bytes(&self, gpid: Gpid) -> usize {
+        let Some(core) = self.sys.core_of(gpid) else { return 0 };
+        let c = core.lock();
+        let page_bytes: usize = c
+            .pages
+            .iter()
+            .filter(|m| m.data.is_some())
+            .count()
+            * c.cfg.page_size;
+        // Stack + heap metadata estimate (libckpt also writes those).
+        page_bytes + 256 * 1024
+    }
+
+    /// Count of the master's currently valid pages (diagnostics).
+    pub fn master_valid_pages(&self) -> usize {
+        self.core.lock().pages.iter().filter(|m| m.state != PageState::Invalid).count()
+    }
+
+    /// Gracefully shut the system down: terminate every slave, then
+    /// unregister ourselves.
+    pub fn shutdown(self) {
+        let team = self.core.lock().team.clone();
+        for pid in 1..team.nprocs() {
+            let _ = self
+                .endpoint
+                .send(team.gpid(pid as Pid), Msg::Terminate.to_bytes());
+        }
+        self.sys.net.unregister(self.gpid());
+        self.sys.cores.lock().remove(&self.gpid());
+        self.sys.join_threads();
+    }
+
+    /// The master's own drained records plus current knowledge — used
+    /// by tests asserting distribution invariants.
+    pub fn knowledge(&self) -> (Vc, Vec<Record>) {
+        let c = self.core.lock();
+        (c.vc.clone(), c.records.all().to_vec())
+    }
+}

@@ -1,0 +1,101 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Protects checkpoint files and migration images against corruption, the
+//! same role the original `libckpt` delegated to filesystem integrity.
+
+/// Lazily-built 256-entry CRC table for the reflected IEEE polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Compute the CRC-32 of `data` (matches zlib's `crc32(0, data)`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0, data)
+}
+
+/// Continue a CRC-32 computation: `crc32_update(crc32(a), b) == crc32(a ++ b)`.
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !crc;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Incremental CRC-32 hasher for streaming writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crc32 {
+    value: u32,
+}
+
+impl Crc32 {
+    /// Fresh hasher (CRC of the empty string is 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.value = crc32_update(self.value, data);
+    }
+
+    /// Final CRC value.
+    pub fn finish(&self) -> u32 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 512];
+        data[100] = 42;
+        let good = crc32(&data);
+        data[100] ^= 0x01;
+        assert_ne!(good, crc32(&data));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_anywhere(data in proptest::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
+            let split = split.min(data.len());
+            let (a, b) = data.split_at(split);
+            prop_assert_eq!(crc32_update(crc32(a), b), crc32(&data));
+        }
+    }
+}

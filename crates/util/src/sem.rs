@@ -1,0 +1,178 @@
+//! Counting semaphore built on `parking_lot` (`Mutex` + `Condvar`).
+//!
+//! The simulated NOW uses one semaphore per host to model CPU slots: a
+//! workstation normally runs one DSM process, but after an *urgent leave*
+//! the migrated process is multiplexed onto another node (paper §3,
+//! Figure 2c) and the two processes time-share. Acquiring a CPU slot per
+//! iteration chunk reproduces the idle time the paper attributes to
+//! multiplexing.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A counting semaphore with RAII permits.
+#[derive(Debug)]
+pub struct Semaphore {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// RAII guard returned by [`Semaphore::acquire`]; releases on drop.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore { inner: Arc::new(Inner { permits: Mutex::new(permits), cv: Condvar::new() }) }
+    }
+
+    /// Block until a permit is available, then take it.
+    pub fn acquire(&self) -> Permit {
+        let mut p = self.inner.permits.lock();
+        while *p == 0 {
+            self.inner.cv.wait(&mut p);
+        }
+        *p -= 1;
+        Permit { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Take a permit if one is available without blocking.
+    pub fn try_acquire(&self) -> Option<Permit> {
+        let mut p = self.inner.permits.lock();
+        if *p == 0 {
+            None
+        } else {
+            *p -= 1;
+            Some(Permit { inner: Arc::clone(&self.inner) })
+        }
+    }
+
+    /// Block up to `timeout` for a permit.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Option<Permit> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut p = self.inner.permits.lock();
+        while *p == 0 {
+            if self.inner.cv.wait_until(&mut p, deadline).timed_out() {
+                return None;
+            }
+        }
+        *p -= 1;
+        Some(Permit { inner: Arc::clone(&self.inner) })
+    }
+
+    /// Add `n` permits (e.g. a host gaining CPU slots).
+    pub fn release_extra(&self, n: usize) {
+        let mut p = self.inner.permits.lock();
+        *p += n;
+        for _ in 0..n {
+            self.inner.cv.notify_one();
+        }
+    }
+
+    /// Current available permits (racy; for diagnostics only).
+    pub fn available(&self) -> usize {
+        *self.inner.permits.lock()
+    }
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut p = self.inner.permits.lock();
+        *p += 1;
+        self.inner.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn try_acquire_exhausts() {
+        let s = Semaphore::new(2);
+        let a = s.try_acquire();
+        let b = s.try_acquire();
+        assert!(a.is_some() && b.is_some());
+        assert!(s.try_acquire().is_none());
+        drop(a);
+        assert!(s.try_acquire().is_some());
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let s = Semaphore::new(1);
+        let p = s.acquire();
+        let s2 = s.clone();
+        let flag = StdArc::new(AtomicUsize::new(0));
+        let f2 = StdArc::clone(&flag);
+        let h = std::thread::spawn(move || {
+            let _p = s2.acquire();
+            f2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(flag.load(Ordering::SeqCst), 0, "acquire should still be blocked");
+        drop(p);
+        h.join().unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let s = Semaphore::new(0);
+        let got = s.acquire_timeout(Duration::from_millis(20));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn mutual_exclusion_with_one_permit() {
+        let s = Semaphore::new(1);
+        let counter = StdArc::new(AtomicUsize::new(0));
+        let max_seen = StdArc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let s = s.clone();
+            let c = StdArc::clone(&counter);
+            let m = StdArc::clone(&max_seen);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let _p = s.acquire();
+                    let now = c.fetch_add(1, Ordering::SeqCst) + 1;
+                    m.fetch_max(now, Ordering::SeqCst);
+                    c.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "only one holder at a time");
+    }
+
+    #[test]
+    fn release_extra_grows_capacity() {
+        let s = Semaphore::new(0);
+        s.release_extra(3);
+        assert_eq!(s.available(), 3);
+        let _a = s.acquire();
+        let _b = s.acquire();
+        let _c = s.acquire();
+        assert!(s.try_acquire().is_none());
+    }
+}

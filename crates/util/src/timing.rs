@@ -1,0 +1,100 @@
+//! Timing helpers for the network cost emulation.
+//!
+//! The paper's cost constants are in the 60 µs – 1.5 ms range; OS sleep
+//! granularity on Linux is tens of microseconds at best. [`precise_sleep`]
+//! sleeps most of the interval and spins the remainder so that emulated
+//! message latencies are accurate to a few microseconds without burning a
+//! whole core for long waits.
+
+use std::time::{Duration, Instant};
+
+/// Sleep for `d` with microsecond-ish precision (hybrid sleep + spin).
+///
+/// For durations above ~200 µs the bulk is a real `thread::sleep` (leaving
+/// the CPU to other simulated processes — important when multiplexing);
+/// the final stretch is a spin on `Instant::now()`.
+pub fn precise_sleep(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let deadline = Instant::now() + d;
+    // Leave ~150 us of spin slack; sleep the rest.
+    const SPIN_SLACK: Duration = Duration::from_micros(150);
+    if d > SPIN_SLACK {
+        std::thread::sleep(d - SPIN_SLACK);
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Simple stopwatch for harness timing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start a stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in (floating) seconds.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restart and return the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_sleep_zero_returns_immediately() {
+        let t = Instant::now();
+        precise_sleep(Duration::ZERO);
+        assert!(t.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn precise_sleep_hits_target_within_tolerance() {
+        for &us in &[100u64, 500, 1500] {
+            let d = Duration::from_micros(us);
+            let t = Instant::now();
+            precise_sleep(d);
+            let e = t.elapsed();
+            assert!(e >= d, "slept {e:?} < requested {d:?}");
+            // Allow generous upper slack for CI noise.
+            assert!(e < d + Duration::from_millis(10), "slept {e:?} for request {d:?}");
+        }
+    }
+
+    #[test]
+    fn stopwatch_lap_resets() {
+        let mut sw = Stopwatch::start();
+        precise_sleep(Duration::from_micros(300));
+        let lap1 = sw.lap();
+        assert!(lap1 >= Duration::from_micros(300));
+        let lap2 = sw.elapsed();
+        assert!(lap2 < lap1 + Duration::from_millis(50));
+    }
+}

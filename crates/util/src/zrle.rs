@@ -1,0 +1,185 @@
+//! Zero-run-length encoding of word buffers.
+//!
+//! Checkpoints and migration images carry whole shared-memory pages.
+//! Scientific arrays are overwhelmingly zero early in a run (and often
+//! stay sparse), so a trivial zero-run codec buys large, predictable
+//! compression with no dependencies.
+//!
+//! Format (all little-endian `u32` counts):
+//!
+//! ```text
+//! total_words: u32
+//! repeat {
+//!     zero_run_words: u32        // may be 0
+//!     literal_words:  u32        // may be 0
+//!     literal data:   u64 * literal_words
+//! } until total consumed
+//! ```
+
+use crate::wire::{Dec, Enc, WireError};
+
+/// Encode `words` with zero-run compression into `e`.
+pub fn encode_words(words: &[u64], e: &mut Enc) {
+    e.put_u32(words.len() as u32);
+    let mut i = 0;
+    while i < words.len() {
+        // Count zeros.
+        let zstart = i;
+        while i < words.len() && words[i] == 0 {
+            i += 1;
+        }
+        let zeros = i - zstart;
+        // Count literals: stop when we see a run of >= 4 zeros (threshold
+        // below which emitting a run header is not worth it).
+        let lstart = i;
+        let mut zrun = 0usize;
+        while i < words.len() {
+            if words[i] == 0 {
+                zrun += 1;
+                if zrun >= 4 {
+                    i -= zrun - 1; // back up to start of the zero run
+                    break;
+                }
+            } else {
+                zrun = 0;
+            }
+            i += 1;
+        }
+        let mut lend = i;
+        // Trim trailing zeros we may have swallowed (when the loop ended at
+        // the buffer end inside a short zero run, keep them as literals —
+        // simpler and still correct).
+        if lend > lstart && i == words.len() {
+            // keep as-is
+        }
+        if lend < lstart {
+            lend = lstart;
+        }
+        let lits = &words[lstart..lend];
+        e.put_u32(zeros as u32);
+        e.put_u32(lits.len() as u32);
+        for &w in lits {
+            e.put_u64(w);
+        }
+        if zeros == 0 && lits.is_empty() {
+            // Cannot happen (outer loop guarantees progress), but guard
+            // against an infinite loop if the invariant is ever broken.
+            debug_assert!(false, "zrle made no progress");
+            break;
+        }
+    }
+}
+
+/// Decode a zero-run-compressed word buffer from `d`.
+pub fn decode_words(d: &mut Dec<'_>) -> Result<Vec<u64>, WireError> {
+    let total = d.get_u32()? as usize;
+    if total > (1 << 28) {
+        return Err(WireError::BadLength { what: "zrle total", len: total });
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let zeros = d.get_u32()? as usize;
+        let lits = d.get_u32()? as usize;
+        if out.len() + zeros + lits > total {
+            return Err(WireError::BadLength { what: "zrle run", len: zeros + lits });
+        }
+        out.resize(out.len() + zeros, 0);
+        for _ in 0..lits {
+            out.push(d.get_u64()?);
+        }
+        if zeros == 0 && lits == 0 {
+            return Err(WireError::BadLength { what: "zrle empty run", len: 0 });
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: encode to a fresh buffer.
+pub fn compress(words: &[u64]) -> Vec<u8> {
+    let mut e = Enc::with_capacity(words.len() / 4 + 16);
+    encode_words(words, &mut e);
+    e.finish()
+}
+
+/// Convenience: decode from a complete buffer.
+pub fn decompress(buf: &[u8]) -> Result<Vec<u64>, WireError> {
+    let mut d = Dec::new(buf);
+    let v = decode_words(&mut d)?;
+    d.expect_done()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_zero_page_compresses_hard() {
+        let words = vec![0u64; 512]; // one 4 KB page
+        let buf = compress(&words);
+        assert!(buf.len() <= 16, "4KB of zeros should encode in <= 16 bytes, got {}", buf.len());
+        assert_eq!(decompress(&buf).unwrap(), words);
+    }
+
+    #[test]
+    fn dense_page_roundtrips() {
+        let words: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1).collect();
+        let buf = compress(&words);
+        assert_eq!(decompress(&buf).unwrap(), words);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let words: Vec<u64> = vec![];
+        let buf = compress(&words);
+        assert_eq!(decompress(&buf).unwrap(), words);
+    }
+
+    #[test]
+    fn mixed_runs() {
+        let mut words = vec![0u64; 100];
+        words.extend_from_slice(&[1, 2, 3]);
+        words.extend(vec![0u64; 50]);
+        words.push(9);
+        words.extend(vec![0u64; 7]);
+        let buf = compress(&words);
+        assert_eq!(decompress(&buf).unwrap(), words);
+    }
+
+    #[test]
+    fn short_zero_runs_stay_literal() {
+        // 0 interleaved singly should not explode into many run headers.
+        let words: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { 0 } else { i }).collect();
+        let buf = compress(&words);
+        assert_eq!(decompress(&buf).unwrap(), words);
+    }
+
+    #[test]
+    fn corrupt_run_rejected() {
+        let words = vec![1u64, 2, 3];
+        let mut buf = compress(&words);
+        // Claim more total words than runs provide -> decoder must error, not hang.
+        buf[0] = 0xFF;
+        assert!(decompress(&buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(words in proptest::collection::vec(prop_oneof![Just(0u64), any::<u64>()], 0..600)) {
+            let buf = compress(&words);
+            prop_assert_eq!(decompress(&buf).unwrap(), words);
+        }
+
+        #[test]
+        fn prop_sparse_compresses(density in 0usize..8) {
+            let words: Vec<u64> = (0..512usize)
+                .map(|i| if density > 0 && i % (512 / density.max(1)).max(1) == 0 { i as u64 + 1 } else { 0 })
+                .collect();
+            let buf = compress(&words);
+            // Sparse pages must compress below raw size.
+            prop_assert!(buf.len() < 512 * 8);
+            prop_assert_eq!(decompress(&buf).unwrap(), words);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Molecular dynamics on a shrinking and growing NOW.
+//!
+//! NBF (the paper's irregular kernel) runs a short MD simulation while
+//! the workstation pool fluctuates: two machines join early, then three
+//! leave in one batch (the paper: "all adapt event signals received
+//! between two successive adaptation points are handled at the next
+//! adaptation point … much cheaper than adapting at successive
+//! points"), then one joins back. Forces and positions stay bit-exact
+//! throughout.
+//!
+//! Run with: `cargo run --release --example molecular_dynamics`
+
+use nowmp_apps::{build_program, nbf::Nbf, Kernel};
+use nowmp_core::{ClusterConfig, EventKind};
+use nowmp_omp::OmpSystem;
+
+fn main() {
+    let app = Nbf::new(256, 12);
+    let iters = 12;
+
+    let mut sys = OmpSystem::new(ClusterConfig::test(6, 3), build_program(&[&app]));
+    app.setup(&mut sys);
+
+    println!(
+        "NBF: {} atoms x {} partners, starting on {} processes",
+        app.atoms,
+        app.partners,
+        sys.nprocs()
+    );
+    for it in 0..iters {
+        match it {
+            2 => {
+                println!("[step {it}] two workstations become available");
+                sys.request_join_ready().unwrap();
+                sys.request_join_ready().unwrap();
+            }
+            6 => {
+                println!("[step {it}] three owners return at once -> batched leaves");
+                let n = sys.nprocs();
+                sys.request_leave_pid((n - 1) as u16, None).unwrap();
+                sys.request_leave_pid((n - 2) as u16, None).unwrap();
+                sys.request_leave_pid((n - 3) as u16, None).unwrap();
+            }
+            9 => {
+                println!("[step {it}] one machine frees up again");
+                sys.request_join_ready().unwrap();
+            }
+            _ => {}
+        }
+        app.step(&mut sys, it);
+        println!("[step {it}] team = {} processes", sys.nprocs());
+    }
+
+    let err = app.verify(&mut sys, iters);
+    println!("\nmax abs error vs serial MD: {err:e}");
+    assert_eq!(err, 0.0);
+
+    // The batched leave shows up as ONE adaptation with leaves=3.
+    let batched = sys.log().entries().into_iter().any(|e| {
+        matches!(e.kind, EventKind::Adaptation { leaves: 3, .. })
+    });
+    assert!(batched, "three leaves must be handled at one adaptation point");
+    println!("OK — 3 leaves were batched into a single adaptation, results exact.");
+    sys.shutdown();
+}

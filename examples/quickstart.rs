@@ -1,0 +1,76 @@
+//! Quickstart: a parallel AXPY on a simulated network of workstations.
+//!
+//! Shows the whole programming model in ~60 lines:
+//!
+//! 1. register the outlined parallel regions (what the OpenMP compiler
+//!    would generate from `#pragma omp parallel for`);
+//! 2. bring up a cluster (here: 4 workstations, 4 processes);
+//! 3. allocate shared arrays, run parallel constructs, read results.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nowmp_core::ClusterConfig;
+use nowmp_omp::{OmpProgram, OmpSystem, Params};
+
+fn main() {
+    let n = 10_000u64;
+
+    // The "compiled" program: each region re-derives its iteration
+    // share from (pid, nprocs) at every fork — that is what makes the
+    // same binary run on any team size, and adapt when the team changes.
+    let program = OmpProgram::new()
+        .region("init", |ctx| {
+            let mut p = ctx.params();
+            let n = p.u64();
+            let x = ctx.f64vec("x");
+            let y = ctx.f64vec("y");
+            ctx.for_static(0..n, |c, i| {
+                x.set(c.dsm(), i as usize, i as f64);
+                y.set(c.dsm(), i as usize, 1.0);
+            });
+        })
+        .region("axpy", |ctx| {
+            let mut p = ctx.params();
+            let n = p.u64();
+            let a = p.f64();
+            let x = ctx.f64vec("x");
+            let y = ctx.f64vec("y");
+            ctx.for_static(0..n, |c, i| {
+                let v = a * x.get(c.dsm(), i as usize) + y.get(c.dsm(), i as usize);
+                y.set(c.dsm(), i as usize, v);
+            });
+        })
+        .region("sum", |ctx| {
+            let mut p = ctx.params();
+            let n = p.u64();
+            let y = ctx.f64vec("y");
+            let out = ctx.f64vec("out");
+            let mut local = 0.0;
+            ctx.for_static(0..n, |c, i| local += y.get(c.dsm(), i as usize));
+            let total = ctx.reduce_sum_f64(local); // reduction(+: total)
+            ctx.master(|c| out.set(c.dsm(), 0, total));
+        });
+
+    // 4 workstations, one DSM process each.
+    let mut sys = OmpSystem::new(ClusterConfig::test(4, 4), program);
+    sys.alloc_f64("x", n);
+    sys.alloc_f64("y", n);
+    sys.alloc_f64("out", 1);
+
+    sys.parallel("init", &Params::new().u64(n).build());
+    sys.parallel("axpy", &Params::new().u64(n).f64(2.0).build());
+    sys.parallel("sum", &Params::new().u64(n).build());
+
+    let total = sys.seq(|ctx| {
+        let out = ctx.f64vec("out");
+        out.get(ctx.dsm(), 0)
+    });
+    let expect: f64 = (0..n).map(|i| 2.0 * i as f64 + 1.0).sum();
+    println!("sum(2*x + 1) over {n} elements on {} processes = {total}", sys.nprocs());
+    assert_eq!(total, expect, "distributed result must match");
+    println!("network traffic: {} messages, {}",
+        sys.net_stats().total_msgs,
+        nowmp_util::fmt_bytes(sys.net_stats().total_bytes));
+    sys.shutdown();
+    println!("OK");
+}

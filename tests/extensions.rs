@@ -1,0 +1,177 @@
+//! Tests of the extension features beyond the paper's prototype:
+//! the scripted availability daemon, master migration (§4.4 says the
+//! master *can* migrate), and §7's strip-mining transformation for
+//! adaptation-point frequency control.
+
+use nowmp::apps::{build_program, jacobi::Jacobi, Kernel};
+use nowmp::core::{Driver, DriverEvent, EventKind, Schedule};
+use nowmp::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn scripted_driver_runs_events_against_live_cluster() {
+    let app = Jacobi::new(24);
+    let mut sys = OmpSystem::new(ClusterConfig::test(5, 3), build_program(&[&app]));
+    app.setup(&mut sys);
+
+    // The "daemon": a workstation frees up almost immediately; later an
+    // owner returns.
+    let schedule = Schedule::new()
+        .at(Duration::from_millis(5), DriverEvent::Join)
+        .at(
+            Duration::from_millis(60),
+            DriverEvent::LeaveByPid { pid: 1, grace: None },
+        );
+    let driver = Driver::spawn(sys.shared(), schedule);
+
+    for it in 0..20 {
+        app.step(&mut sys, it);
+        // Adaptation points arrive every few ms; give the daemon's
+        // wall-clock schedule room to fire.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let outcomes = driver.join();
+    assert_eq!(outcomes.len(), 2);
+    assert!(outcomes.iter().all(|(_, r)| r.is_ok()), "{outcomes:?}");
+
+    assert_eq!(app.verify(&mut sys, 20), 0.0);
+    let kinds: Vec<_> = sys.log().entries().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::JoinCommitted { .. })));
+    assert!(kinds.iter().any(|k| matches!(k, EventKind::NormalLeave { .. })));
+    sys.shutdown();
+}
+
+#[test]
+fn master_can_migrate_but_not_leave() {
+    let app = Jacobi::new(24);
+    let mut sys = OmpSystem::new(ClusterConfig::test(4, 3), build_program(&[&app]));
+    app.setup(&mut sys);
+    app.step(&mut sys, 0);
+
+    let master_gpid = sys.cluster().team()[0];
+    // §4.4: no normal leave for the master...
+    assert!(matches!(
+        sys.request_leave(master_gpid, None),
+        Err(nowmp::core::AdaptError::MasterCannotLeave)
+    ));
+    // ...but it can migrate.
+    let shared = sys.shared();
+    shared.migrate_now(master_gpid, nowmp::net::HostId(3)).expect("master migrates");
+    let kinds: Vec<_> = sys.log().entries().into_iter().map(|e| e.kind).collect();
+    assert!(kinds.iter().any(|k| matches!(
+        k,
+        EventKind::UrgentMigrationDone { gpid, .. } if *gpid == master_gpid
+    )));
+
+    // The computation continues correctly from the new host.
+    for it in 1..6 {
+        app.step(&mut sys, it);
+    }
+    assert_eq!(app.verify(&mut sys, 6), 0.0);
+    sys.shutdown();
+}
+
+#[test]
+fn migrate_to_same_host_is_noop() {
+    let app = Jacobi::new(16);
+    let mut sys = OmpSystem::new(ClusterConfig::test(3, 2), build_program(&[&app]));
+    app.setup(&mut sys);
+    let g = sys.cluster().team()[1];
+    let shared = sys.shared();
+    shared.migrate_now(g, nowmp::net::HostId(1)).expect("same-host migrate ok");
+    let migrations = sys
+        .log()
+        .entries()
+        .into_iter()
+        .filter(|e| matches!(e.kind, EventKind::UrgentMigrationStart { .. }))
+        .count();
+    assert_eq!(migrations, 0, "same-host migration is free");
+    sys.shutdown();
+}
+
+// --- strip mining (§7) ---
+
+fn strip_program() -> OmpProgram {
+    OmpProgram::new()
+        .region("fill", |ctx| {
+            let mut p = ctx.params();
+            let n = p.u64();
+            let x = ctx.f64vec("x");
+            ctx.for_static(0..n, |c, i| x.set(c.dsm(), i as usize, i as f64));
+        })
+        .region("scale_strip", |ctx| {
+            let mut p = ctx.params();
+            let n = p.u64();
+            let x = ctx.f64vec("x");
+            ctx.for_static_stripped(0..n, |c, i| {
+                let v = x.get(c.dsm(), i as usize);
+                x.set(c.dsm(), i as usize, 2.0 * v);
+            });
+        })
+}
+
+#[test]
+fn strip_mining_covers_range_exactly_once() {
+    let n = 500u64;
+    for strips in [1usize, 3, 7] {
+        let mut sys = OmpSystem::new(ClusterConfig::test(4, 3), strip_program());
+        sys.alloc_f64("x", n);
+        sys.parallel("fill", &nowmp::omp::Params::new().u64(n).build());
+        let forks_before = sys.fork_no();
+        sys.parallel_strips(
+            "scale_strip",
+            0..n,
+            strips,
+            &nowmp::omp::Params::new().u64(n).build(),
+        );
+        assert_eq!(
+            sys.fork_no() - forks_before,
+            strips as u64,
+            "one fork (adaptation point) per strip"
+        );
+        let x: Vec<f64> = sys.seq(|ctx| {
+            let v = ctx.f64vec("x");
+            let mut out = vec![0.0; n as usize];
+            v.read_into(ctx.dsm(), 0, &mut out);
+            out
+        });
+        for i in 0..n as usize {
+            assert_eq!(x[i], 2.0 * i as f64, "strips={strips} i={i}");
+        }
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn strip_mining_multiplies_adaptation_opportunities() {
+    // A leave requested mid-strip-sequence takes effect BETWEEN strips
+    // of one logical loop — the whole point of §7's transformation.
+    let n = 400u64;
+    let mut sys = OmpSystem::new(ClusterConfig::test(4, 4), strip_program());
+    sys.alloc_f64("x", n);
+    sys.parallel("fill", &nowmp::omp::Params::new().u64(n).build());
+    sys.request_leave_pid(3, None).unwrap();
+    sys.parallel_strips("scale_strip", 0..n, 4, &nowmp::omp::Params::new().u64(n).build());
+    assert_eq!(sys.nprocs(), 3, "leave committed at the first strip boundary");
+    let x: Vec<f64> = sys.seq(|ctx| {
+        let v = ctx.f64vec("x");
+        let mut out = vec![0.0; n as usize];
+        v.read_into(ctx.dsm(), 0, &mut out);
+        out
+    });
+    for i in 0..n as usize {
+        assert_eq!(x[i], 2.0 * i as f64);
+    }
+    sys.shutdown();
+}
+
+#[test]
+fn unstripped_region_sees_full_range_marker() {
+    let program = OmpProgram::new().region("probe", |ctx| {
+        let (lo, hi) = ctx.strip_bounds();
+        assert_eq!((lo, hi), (0, u64::MAX));
+    });
+    let mut sys = OmpSystem::new(ClusterConfig::test(2, 2), program);
+    sys.parallel("probe", &[]);
+    sys.shutdown();
+}

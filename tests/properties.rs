@@ -1,0 +1,74 @@
+//! Workspace-level property tests: randomized adaptation schedules,
+//! team-size trajectories and problem sizes must never change results.
+
+use nowmp::apps::{build_program, jacobi::Jacobi, Kernel};
+use nowmp::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One randomized action per iteration.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Nothing,
+    Leave,
+    Join,
+}
+
+fn run_with_schedule(seed: u64, n_grid: usize, iters: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let app = Jacobi::new(n_grid);
+    let mut sys = OmpSystem::new(ClusterConfig::test(6, 3), build_program(&[&app]));
+    app.setup(&mut sys);
+    for it in 0..iters {
+        let action = match rng.gen_range(0..4) {
+            0 => Action::Leave,
+            1 => Action::Join,
+            _ => Action::Nothing,
+        };
+        match action {
+            Action::Leave if sys.nprocs() > 1 => {
+                let pid = rng.gen_range(1..sys.nprocs()) as u16;
+                let _ = sys.request_leave_pid(pid, None);
+            }
+            Action::Join => {
+                let _ = sys.request_join_ready();
+            }
+            _ => {}
+        }
+        app.step(&mut sys, it);
+    }
+    let err = app.verify(&mut sys, iters);
+    sys.shutdown();
+    err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_adaptation_schedules_preserve_results(seed in 0u64..1_000_000) {
+        let err = run_with_schedule(seed, 20, 6);
+        prop_assert_eq!(err, 0.0, "seed {} must stay exact", seed);
+    }
+
+    #[test]
+    fn random_team_sizes_preserve_results(procs in 1usize..6, grid in 3usize..24) {
+        let app = Jacobi::new(grid.max(3));
+        let (sys, err) = nowmp::apps::run_kernel(
+            &app,
+            ClusterConfig::test(procs + 1, procs),
+            3,
+        );
+        prop_assert_eq!(err, 0.0);
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn many_seeds_sequential() {
+    // A denser deterministic sweep (not under proptest shrinking).
+    for seed in [1u64, 7, 42, 99, 1234] {
+        assert_eq!(run_with_schedule(seed, 16, 8), 0.0, "seed {seed}");
+    }
+}
