@@ -357,14 +357,23 @@ impl Kernel for Fft3d {
     fn step(&self, sys: &mut OmpSystem, iter: usize) {
         let (n1, n2, n3) = (self.n1 as u64, self.n2 as u64, self.n3 as u64);
         let total = self.total() as u64;
-        sys.parallel("fft_evolve", &Params::new().u64(total).u64(iter as u64).build());
-        sys.parallel("fft_dim3", &Params::new().u64(0).u64(n1).u64(n2).u64(n3).build());
+        sys.parallel(
+            "fft_evolve",
+            &Params::new().u64(total).u64(iter as u64).build(),
+        );
+        sys.parallel(
+            "fft_dim3",
+            &Params::new().u64(0).u64(n1).u64(n2).u64(n3).build(),
+        );
         sys.parallel("fft_dim2", &Params::new().u64(n1).u64(n2).u64(n3).build());
         sys.parallel(
             "fft_transpose",
             &Params::new().u64(0).u64(n1).u64(n2).u64(n3).build(),
         );
-        sys.parallel("fft_dim3", &Params::new().u64(1).u64(n3).u64(n2).u64(n1).build());
+        sys.parallel(
+            "fft_dim3",
+            &Params::new().u64(1).u64(n3).u64(n2).u64(n1).build(),
+        );
         sys.parallel(
             "fft_transpose",
             &Params::new().u64(1).u64(n1).u64(n2).u64(n3).build(),

@@ -124,7 +124,11 @@ impl Kernel for Gauss {
             for r in rows {
                 let r = r as usize;
                 for (c, v) in row.iter_mut().enumerate() {
-                    *v = if c == n { Gauss::b0(r) } else { Gauss::a0(n, r, c) };
+                    *v = if c == n {
+                        Gauss::b0(r)
+                    } else {
+                        Gauss::a0(n, r, c)
+                    };
                 }
                 ab.write_from(ctx.dsm(), r * stride, &row);
             }
@@ -136,6 +140,7 @@ impl Kernel for Gauss {
             let stride = p.u64() as usize;
             let ab = ctx.f64vec("gauss_ab");
             let w = n + 1 - k; // active row width from column k
+
             // Everyone reads the pivot row once (bulk, page-granular).
             let mut pivot = vec![0.0; w];
             let d = ctx.dsm();

@@ -32,7 +32,11 @@ impl Nbf {
     /// New kernel with `atoms` atoms and `partners` partners per atom.
     pub fn new(atoms: usize, partners: usize) -> Self {
         assert!(atoms >= 2);
-        Nbf { atoms, partners, dt: 1e-4 }
+        Nbf {
+            atoms,
+            partners,
+            dt: 1e-4,
+        }
     }
 
     /// Paper-scale instance (131072 atoms × 80 partners).
@@ -72,7 +76,9 @@ impl Nbf {
     }
 
     fn init_pos(&self) -> Vec<f64> {
-        (0..self.atoms).flat_map(|a| Self::atom_pos(self.atoms, a)).collect()
+        (0..self.atoms)
+            .flat_map(|a| Self::atom_pos(self.atoms, a))
+            .collect()
     }
 
     fn init_partners(&self) -> Vec<u64> {
@@ -293,7 +299,10 @@ mod tests {
         for procs in [1, 2, 4] {
             let k = Nbf::new(64, 8);
             let (sys, err) = run_kernel(&k, ClusterConfig::test(procs + 1, procs), 3);
-            assert_eq!(err, 0.0, "procs={procs}: forces/positions must be bit-exact");
+            assert_eq!(
+                err, 0.0,
+                "procs={procs}: forces/positions must be bit-exact"
+            );
             sys.shutdown();
         }
     }

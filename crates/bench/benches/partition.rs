@@ -22,9 +22,7 @@ fn bench_static(c: &mut Criterion) {
 
 fn bench_chunks(c: &mut Criterion) {
     c.bench_function("static_chunks_collect", |b| {
-        b.iter(|| {
-            sched::static_chunks(black_box(0..100_000), 64, 3, 8).count()
-        })
+        b.iter(|| sched::static_chunks(black_box(0..100_000), 64, 3, 8).count())
     });
     c.bench_function("guided_sizes", |b| {
         b.iter(|| sched::guided_chunk_sizes(black_box(100_000), 16, 8))
@@ -69,5 +67,11 @@ fn bench_reassign(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_static, bench_chunks, bench_fig3, bench_reassign);
+criterion_group!(
+    benches,
+    bench_static,
+    bench_chunks,
+    bench_fig3,
+    bench_reassign
+);
 criterion_main!(benches);

@@ -37,7 +37,9 @@ fn bench_diff(c: &mut Criterion) {
 
 fn bench_twin(c: &mut Criterion) {
     let page = PageBuf::new(512);
-    c.bench_function("twin_snapshot_4k", |b| b.iter(|| black_box(&page).snapshot()));
+    c.bench_function("twin_snapshot_4k", |b| {
+        b.iter(|| black_box(&page).snapshot())
+    });
 }
 
 fn bench_vc(c: &mut Criterion) {
@@ -54,7 +56,9 @@ fn bench_vc(c: &mut Criterion) {
             x
         })
     });
-    c.bench_function("vc_dominates_8", |b| b.iter(|| black_box(&a).dominates(black_box(&bb))));
+    c.bench_function("vc_dominates_8", |b| {
+        b.iter(|| black_box(&a).dominates(black_box(&bb)))
+    });
 }
 
 fn bench_zrle(c: &mut Criterion) {

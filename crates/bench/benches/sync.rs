@@ -70,13 +70,17 @@ fn bench_forkjoin(c: &mut Criterion) {
 
 fn bench_barrier(c: &mut Criterion) {
     let mut master = system(4);
-    c.bench_function("in_region_barrier_4p", |b| b.iter(|| master.parallel(R_BARRIER, &[])));
+    c.bench_function("in_region_barrier_4p", |b| {
+        b.iter(|| master.parallel(R_BARRIER, &[]))
+    });
     master.shutdown();
 }
 
 fn bench_lock(c: &mut Criterion) {
     let mut master = system(4);
-    c.bench_function("lock_unlock_all_4p", |b| b.iter(|| master.parallel(R_LOCK, &[])));
+    c.bench_function("lock_unlock_all_4p", |b| {
+        b.iter(|| master.parallel(R_LOCK, &[]))
+    });
     master.shutdown();
 }
 
@@ -93,5 +97,11 @@ fn bench_page_traffic(c: &mut Criterion) {
     master.shutdown();
 }
 
-criterion_group!(benches, bench_forkjoin, bench_barrier, bench_lock, bench_page_traffic);
+criterion_group!(
+    benches,
+    bench_forkjoin,
+    bench_barrier,
+    bench_lock,
+    bench_page_traffic
+);
 criterion_main!(benches);

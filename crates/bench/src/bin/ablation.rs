@@ -15,6 +15,7 @@ use nowmp_core::{EventKind, LeaveStrategy, ReassignPolicy};
 use std::time::Duration;
 
 fn main() {
+    nowmp_bench::smoke_from_args();
     let n_grid = if nowmp_bench::quick() { 96 } else { 192 };
     let iters = 8;
     let app = Jacobi::new(n_grid);
@@ -47,9 +48,10 @@ fn main() {
     // lazy redistribution — so measure the MASTER's link (host 0) from
     // the leave to the end of the run.
     let mut rows = Vec::new();
-    for (label, strat) in
-        [("ViaMaster (paper)", LeaveStrategy::ViaMaster), ("Scatter (§7)", LeaveStrategy::Scatter)]
-    {
+    for (label, strat) in [
+        ("ViaMaster (paper)", LeaveStrategy::ViaMaster),
+        ("Scatter (§7)", LeaveStrategy::Scatter),
+    ] {
         let mut cfg = bench_cfg(8, 8);
         cfg.leave_strategy = strat;
         let mut at_leave = None;
@@ -72,15 +74,16 @@ fn main() {
         );
         let before = at_leave.expect("leave happened");
         let end = at_end.expect("end snapshot");
-        let master_from_leave =
-            end.links[0].bytes_total().saturating_sub(before.links[0].bytes_total());
+        let master_from_leave = end.links[0]
+            .bytes_total()
+            .saturating_sub(before.links[0].bytes_total());
         let (took, bytes) = run
             .log
             .iter()
             .find_map(|e| match e.kind {
-                EventKind::Adaptation { took, bytes_moved, .. } => {
-                    Some((took.as_secs_f64(), bytes_moved))
-                }
+                EventKind::Adaptation {
+                    took, bytes_moved, ..
+                } => Some((took.as_secs_f64(), bytes_moved)),
                 _ => None,
             })
             .expect("one adaptation");
@@ -93,7 +96,12 @@ fn main() {
     }
     print_table(
         "Ablation 2: leaver-page sink (Jacobi middle-leave, 8 procs)",
-        &["strategy", "AdaptTime(s)", "AdaptBytes", "MasterLinkFromLeave"],
+        &[
+            "strategy",
+            "AdaptTime(s)",
+            "AdaptBytes",
+            "MasterLinkFromLeave",
+        ],
         &rows,
     );
     println!("Shape: ViaMaster funnels the leaver's pages through the master, which then\nre-serves them during redistribution; Scatter cuts the master-link load,\nconfirming the paper's §7 improvement hypothesis.");

@@ -14,7 +14,12 @@ use nowmp_apps::jacobi::Jacobi;
 use nowmp_bench::{bench_cfg, measure};
 
 fn main() {
-    let app = if nowmp_bench::quick() { Jacobi::new(64) } else { Jacobi::new(128) };
+    nowmp_bench::smoke_from_args();
+    let app = if nowmp_bench::quick() {
+        Jacobi::new(64)
+    } else {
+        Jacobi::new(128)
+    };
     let iters = 10;
 
     // (a) Join.
@@ -61,9 +66,7 @@ fn main() {
         true,
         |sys, it| {
             if it == 3 {
-                let g = sys
-                    .request_leave_pid(3, None)
-                    .expect("slave can leave");
+                let g = sys.request_leave_pid(3, None).expect("slave can leave");
                 // Deterministically expire the grace period now.
                 assert!(sys.shared().force_urgent(g));
             }

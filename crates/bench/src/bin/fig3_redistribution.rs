@@ -18,6 +18,7 @@ use nowmp_bench::{bench_cfg, measure, print_table};
 use nowmp_core::moved_fraction_on_leave;
 
 fn main() {
+    nowmp_bench::smoke_from_args();
     // Analytic table for n = 8.
     let mut rows = Vec::new();
     for leaver in 1..8usize {
@@ -31,12 +32,14 @@ fn main() {
         &["LeaverPid", "Moved"],
         &rows,
     );
-    println!(
-        "Paper check: pid 7 (end) -> 50.0%; pid 3 (middle) -> ~28.6% ('up to 30%')."
-    );
+    println!("Paper check: pid 7 (end) -> 50.0%; pid 3 (middle) -> ~28.6% ('up to 30%').");
 
     // Measured on a live system.
-    let app = if nowmp_bench::quick() { Jacobi::new(96) } else { Jacobi::new(192) };
+    let app = if nowmp_bench::quick() {
+        Jacobi::new(96)
+    } else {
+        Jacobi::new(192)
+    };
     let shared = app.shared_bytes();
     let mut rows = Vec::new();
     // Baseline: traffic of the same window with NO leave (steady state).
@@ -100,12 +103,21 @@ fn main() {
             nowmp_util::fmt_bytes(adapt_bytes),
             nowmp_util::fmt_bytes(redist as u64),
             format!("{:.1}%", redist / shared as f64 * 100.0),
-            format!("{:.1}%", moved_fraction_on_leave(8, leaver as usize) * 100.0),
+            format!(
+                "{:.1}%",
+                moved_fraction_on_leave(8, leaver as usize) * 100.0
+            ),
         ]);
     }
     print_table(
         "Figure 3 (measured): Jacobi on 8 procs, one leave at iteration 4",
-        &["LeaverPid", "AdaptBytes", "RedistBytes", "Redist/Shared", "AnalyticMoved"],
+        &[
+            "LeaverPid",
+            "AdaptBytes",
+            "RedistBytes",
+            "Redist/Shared",
+            "AnalyticMoved",
+        ],
         &rows,
     );
     println!(

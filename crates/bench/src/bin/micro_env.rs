@@ -51,6 +51,7 @@ impl RegionRunner for Toggle {
 }
 
 fn main() {
+    nowmp_bench::smoke_from_args();
     let model = bench_net_model();
     let reps = 50;
 
@@ -99,6 +100,7 @@ fn main() {
             let mut e = nowmp_util::wire::Enc::new();
             e.put_u64(words as u64);
             master.parallel(0, &e.finish()); // worker writes `words` words
+
             // Master's read triggers diff fetch (it holds a stale copy
             // after the first iteration) or a page fetch the first time.
             let t0 = Instant::now();
@@ -116,7 +118,11 @@ fn main() {
 
     let lock_us_paper = "178-272";
     let rows = vec![
-        vec!["1-byte roundtrip".into(), "126 us".into(), format!("{rtt_us:.0} us")],
+        vec![
+            "1-byte roundtrip".into(),
+            "126 us".into(),
+            format!("{rtt_us:.0} us"),
+        ],
         vec![
             "lock acquire (region incl. fork/join)".into(),
             format!("{lock_us_paper} us"),
@@ -137,9 +143,17 @@ fn main() {
             "313-1544 us".into(),
             format!("{:.0} us", diff_us[2].1),
         ],
-        vec!["full 4K page transfer".into(), "1308 us".into(), format!("{page_us:.0} us")],
+        vec![
+            "full 4K page transfer".into(),
+            "1308 us".into(),
+            format!("{page_us:.0} us"),
+        ],
     ];
-    print_table("§5.1 micro-costs: paper vs simulated NOW", &["quantity", "paper", "ours"], &rows);
+    print_table(
+        "§5.1 micro-costs: paper vs simulated NOW",
+        &["quantity", "paper", "ours"],
+        &rows,
+    );
     println!(
         "\nNote: 'ours' for lock/diff/page includes one fork/join pair around the probe\n\
          (the DSM has no standalone probe), so compare growth with diff size and the\n\

@@ -18,6 +18,7 @@ use nowmp_bench::{bench_cfg, bench_net_model, measure, print_table, BenchApps};
 use nowmp_core::EventKind;
 
 fn main() {
+    nowmp_bench::smoke_from_args();
     let apps: Vec<(Box<dyn Kernel>, usize)> = vec![
         (Box::new(BenchApps::jacobi()), BenchApps::jacobi_iters()),
         (Box::new(BenchApps::gauss()), BenchApps::gauss_iters()),

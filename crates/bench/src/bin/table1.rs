@@ -16,6 +16,7 @@ use nowmp_apps::Kernel;
 use nowmp_bench::{bench_cfg, mb, measure, print_table, BenchApps};
 
 fn main() {
+    nowmp_bench::smoke_from_args();
     let apps: Vec<(Box<dyn Kernel>, usize)> = vec![
         (Box::new(BenchApps::jacobi()), BenchApps::jacobi_iters()),
         (Box::new(BenchApps::gauss()), BenchApps::gauss_iters()),
@@ -26,10 +27,22 @@ fn main() {
     let mut rows = Vec::new();
     for (app, iters) in &apps {
         for &procs in &[8usize, 4, 1] {
-            let std_run =
-                measure(app.as_ref(), bench_cfg(procs, procs), *iters, false, |_, _| {}, false);
-            let ada_run =
-                measure(app.as_ref(), bench_cfg(procs, procs), *iters, true, |_, _| {}, true);
+            let std_run = measure(
+                app.as_ref(),
+                bench_cfg(procs, procs),
+                *iters,
+                false,
+                |_, _| {},
+                false,
+            );
+            let ada_run = measure(
+                app.as_ref(),
+                bench_cfg(procs, procs),
+                *iters,
+                true,
+                |_, _| {},
+                true,
+            );
             assert_eq!(ada_run.err, 0.0, "{} must verify", app.name());
             // Two *separate* runs race independently: when an exclusive
             // page is served mid-interval, the snapshot/diff split is
@@ -57,8 +70,18 @@ fn main() {
     print_table(
         "Table 1: execution time and network traffic, no adapt events",
         &[
-            "App", "Shared", "Iters", "Nodes", "Std(s)", "Adaptive(s)", "Pages(4k)", "MB(std)",
-            "MB(ada)", "Messages", "Diffs", "dTraffic",
+            "App",
+            "Shared",
+            "Iters",
+            "Nodes",
+            "Std(s)",
+            "Adaptive(s)",
+            "Pages(4k)",
+            "MB(std)",
+            "MB(ada)",
+            "Messages",
+            "Diffs",
+            "dTraffic",
         ],
         &rows,
     );

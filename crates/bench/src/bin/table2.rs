@@ -15,6 +15,7 @@ use nowmp_core::EventKind;
 use std::time::Duration;
 
 fn main() {
+    nowmp_bench::smoke_from_args();
     let apps: Vec<(Box<dyn Kernel>, usize)> = vec![
         (Box::new(BenchApps::jacobi()), BenchApps::jacobi_iters()),
         (Box::new(BenchApps::gauss()), BenchApps::gauss_iters()),
@@ -26,10 +27,24 @@ fn main() {
     for (app, iters) in &apps {
         for &n in &[8usize, 6] {
             // Non-adaptive baselines at n and n-1 for interpolation.
-            let t_n =
-                measure(app.as_ref(), bench_cfg(n, n), *iters, false, |_, _| {}, false).secs;
-            let t_n1 = measure(app.as_ref(), bench_cfg(n, n - 1), *iters, false, |_, _| {}, false)
-                .secs;
+            let t_n = measure(
+                app.as_ref(),
+                bench_cfg(n, n),
+                *iters,
+                false,
+                |_, _| {},
+                false,
+            )
+            .secs;
+            let t_n1 = measure(
+                app.as_ref(),
+                bench_cfg(n, n - 1),
+                *iters,
+                false,
+                |_, _| {},
+                false,
+            )
+            .secs;
 
             for leaver in ["end", "middle"] {
                 // Alternate leave / join at evenly spaced iterations.
@@ -76,10 +91,8 @@ fn main() {
                     })
                     .sum::<f64>()
                     / n_adapt as f64;
-                let avg_n =
-                    avg_nodes(&run.log, n, Duration::from_secs_f64(run.secs));
-                let t_ref =
-                    interpolate_runtime(t_n1, (n - 1) as f64, t_n, n as f64, avg_n);
+                let avg_n = avg_nodes(&run.log, n, Duration::from_secs_f64(run.secs));
+                let t_ref = interpolate_runtime(t_n1, (n - 1) as f64, t_n, n as f64, avg_n);
                 let per_adapt = (run.secs - t_ref) / n_adapt as f64;
 
                 rows.push(vec![
@@ -100,8 +113,15 @@ fn main() {
     print_table(
         "Table 2: average cost per adaptation (alternating leave/join, n <-> n-1)",
         &[
-            "App", "n", "Leaver", "Adapts", "AvgNodes", "T_adapt(s)", "T_interp(s)",
-            "Cost/adapt(s)", "DirectLat(s)",
+            "App",
+            "n",
+            "Leaver",
+            "Adapts",
+            "AvgNodes",
+            "T_adapt(s)",
+            "T_interp(s)",
+            "Cost/adapt(s)",
+            "DirectLat(s)",
         ],
         &rows,
     );

@@ -105,12 +105,26 @@ impl BenchApps {
 
 /// `NOWMP_QUICK=1`?
 pub fn quick() -> bool {
-    std::env::var("NOWMP_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NOWMP_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Handle a `--smoke` command-line flag: force quick mode (equivalent
+/// to `NOWMP_QUICK=1`) so CI can exercise a reproducer binary in a
+/// couple of seconds. Call at the top of every bin's `main`.
+pub fn smoke_from_args() {
+    if std::env::args().any(|a| a == "--smoke") {
+        std::env::set_var("NOWMP_QUICK", "1");
+    }
 }
 
 /// The benchmark network model (paper constants, env-scaled).
 pub fn bench_net_model() -> NetModel {
-    if std::env::var("NOWMP_NO_EMULATE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("NOWMP_NO_EMULATE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return NetModel::disabled();
     }
     let scale = std::env::var("NOWMP_TIME_SCALE")
@@ -173,9 +187,19 @@ pub fn measure(
     let dsm = sys.dsm_stats().since(&dsm0);
     let net = sys.net_stats().since(&net0);
     let log = sys.log().entries();
-    let err = if verify { kernel.verify(&mut sys, iters) } else { 0.0 };
+    let err = if verify {
+        kernel.verify(&mut sys, iters)
+    } else {
+        0.0
+    };
     sys.shutdown();
-    RunResult { secs, dsm, net, log, err }
+    RunResult {
+        secs,
+        dsm,
+        net,
+        log,
+        err,
+    }
 }
 
 /// Time-weighted average team size over a run (the paper's §5.3
@@ -230,7 +254,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         s
     };
     println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

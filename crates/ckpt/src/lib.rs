@@ -60,7 +60,10 @@ impl fmt::Display for CkptError {
             CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             CkptError::BadFormat(s) => write!(f, "bad checkpoint format: {s}"),
             CkptError::Corrupt { stored, computed } => {
-                write!(f, "checkpoint corrupt: crc stored {stored:#x} != computed {computed:#x}")
+                write!(
+                    f,
+                    "checkpoint corrupt: crc stored {stored:#x} != computed {computed:#x}"
+                )
             }
             CkptError::Wire(e) => write!(f, "checkpoint decode error: {e}"),
         }
@@ -126,7 +129,9 @@ impl Checkpoint {
         }
         let version = d.get_u32()?;
         if version != VERSION {
-            return Err(CkptError::BadFormat(format!("unsupported version {version}")));
+            return Err(CkptError::BadFormat(format!(
+                "unsupported version {version}"
+            )));
         }
         let stored = d.get_u32()?;
         let body = d.get_bytes()?;
@@ -155,7 +160,12 @@ impl Checkpoint {
         let master_blob = b.get_bytes()?.to_vec();
         b.expect_done()?;
         Ok(Checkpoint {
-            image: MemoryImage { fork_no, alloc_slots, registry, pages },
+            image: MemoryImage {
+                fork_no,
+                alloc_slots,
+                registry,
+                pages,
+            },
             master_blob,
         })
     }
@@ -266,14 +276,20 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[0] = b'X';
-        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(CkptError::BadFormat(_))));
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CkptError::BadFormat(_))
+        ));
     }
 
     #[test]
     fn truncation_rejected() {
         let bytes = sample().to_bytes();
         for cut in [0, 8, 12, 20, bytes.len() - 1] {
-            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 

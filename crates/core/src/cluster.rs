@@ -170,7 +170,11 @@ impl ClusterShared {
     /// ongoing computation), and let it enter at a later adaptation
     /// point. Returns the reserved host.
     pub fn request_join(self: &Arc<Self>) -> Result<HostId, AdaptError> {
-        let host = self.hosts.lock().reserve_free().ok_or(AdaptError::NoFreeHost)?;
+        let host = self
+            .hosts
+            .lock()
+            .reserve_free()
+            .ok_or(AdaptError::NoFreeHost)?;
         self.log.push(EventKind::JoinRequested { host });
         let me = Arc::clone(self);
         std::thread::spawn(move || {
@@ -204,7 +208,10 @@ impl ClusterShared {
         }
         {
             let pl = self.pending_leaves.lock();
-            if pl.iter().any(|p| p.gpid == gpid && p.phase() != LeavePhase::Done) {
+            if pl
+                .iter()
+                .any(|p| p.gpid == gpid && p.phase() != LeavePhase::Done)
+            {
                 return Err(AdaptError::AlreadyLeaving(gpid));
             }
         }
@@ -239,7 +246,11 @@ impl ClusterShared {
             .expect("urgent migration target vanished");
         let to = {
             let hosts = self.hosts.lock();
-            let free = if self.migrate_prefer_free { hosts.free_host() } else { None };
+            let free = if self.migrate_prefer_free {
+                hosts.free_host()
+            } else {
+                None
+            };
             free.or_else(|| hosts.least_loaded_excluding(from))
                 .expect("no workstation to migrate to")
         };
@@ -249,21 +260,31 @@ impl ClusterShared {
             .map(|c| c.lock().pages.iter().filter(|m| m.data.is_some()).count())
             .unwrap_or(0);
         let image = migration_image_bytes(resident, self.page_size);
-        self.log.push(EventKind::UrgentMigrationStart { gpid, from, to, image_bytes: image });
+        self.log.push(EventKind::UrgentMigrationStart {
+            gpid,
+            from,
+            to,
+            image_bytes: image,
+        });
 
         // "All processes then wait for the completion of the migration."
         self.freeze.freeze();
         let t0 = Instant::now();
         self.net.charge_spawn(); // create the new process on the target host
         self.net.charge_migration(from, to, image); // stream heap + stack
-        self.net.relabel(gpid, to).expect("relabel migrating process");
+        self.net
+            .relabel(gpid, to)
+            .expect("relabel migrating process");
         {
             let mut hosts = self.hosts.lock();
             hosts.vacate(from, gpid);
             hosts.occupy(to, gpid);
         }
         self.freeze.thaw();
-        self.log.push(EventKind::UrgentMigrationDone { gpid, took: t0.elapsed() });
+        self.log.push(EventKind::UrgentMigrationDone {
+            gpid,
+            took: t0.elapsed(),
+        });
     }
 
     /// Migrate any team member — including the master — to `to` right
@@ -285,19 +306,29 @@ impl ClusterShared {
             .map(|c| c.lock().pages.iter().filter(|m| m.data.is_some()).count())
             .unwrap_or(0);
         let image = migration_image_bytes(resident, self.page_size);
-        self.log.push(EventKind::UrgentMigrationStart { gpid, from, to, image_bytes: image });
+        self.log.push(EventKind::UrgentMigrationStart {
+            gpid,
+            from,
+            to,
+            image_bytes: image,
+        });
         self.freeze.freeze();
         let t0 = Instant::now();
         self.net.charge_spawn();
         self.net.charge_migration(from, to, image);
-        self.net.relabel(gpid, to).expect("relabel migrating process");
+        self.net
+            .relabel(gpid, to)
+            .expect("relabel migrating process");
         {
             let mut hosts = self.hosts.lock();
             hosts.vacate(from, gpid);
             hosts.occupy(to, gpid);
         }
         self.freeze.thaw();
-        self.log.push(EventKind::UrgentMigrationDone { gpid, took: t0.elapsed() });
+        self.log.push(EventKind::UrgentMigrationDone {
+            gpid,
+            took: t0.elapsed(),
+        });
         Ok(())
     }
 
@@ -335,7 +366,10 @@ impl Cluster {
     /// Bring up a cluster: network, master, initial workers, team.
     pub fn new(cfg: ClusterConfig, runner: Arc<dyn RegionRunner>) -> Self {
         assert!(cfg.initial_procs >= 1, "need at least the master");
-        assert!(cfg.hosts >= cfg.initial_procs, "one process per workstation");
+        assert!(
+            cfg.hosts >= cfg.initial_procs,
+            "one process per workstation"
+        );
         let net = Network::new(cfg.hosts, 1, cfg.net_model.clone());
         let freeze = Freeze::new();
         let mut dsm = cfg.dsm.clone();
@@ -373,7 +407,14 @@ impl Cluster {
             migrate_prefer_free: cfg.migrate_prefer_free,
             page_size,
         });
-        Cluster { shared, master, cfg, last_ckpt_fork: 0, blob_provider: None, adaptive: true }
+        Cluster {
+            shared,
+            master,
+            cfg,
+            last_ckpt_fork: 0,
+            blob_provider: None,
+            adaptive: true,
+        }
     }
 
     /// Recover a cluster from a checkpoint file: fresh processes, the
@@ -429,7 +470,14 @@ impl Cluster {
                 migrate_prefer_free: cfg2.migrate_prefer_free,
                 page_size,
             });
-            Cluster { shared, master, cfg: cfg2, last_ckpt_fork: ckpt.image.fork_no, blob_provider: None, adaptive: true }
+            Cluster {
+                shared,
+                master,
+                cfg: cfg2,
+                last_ckpt_fork: ckpt.image.fork_no,
+                blob_provider: None,
+                adaptive: true,
+            }
         };
         cluster.last_ckpt_fork = ckpt.image.fork_no;
         Ok((cluster, ckpt.master_blob))
@@ -518,22 +566,20 @@ impl Cluster {
         self.master.wait_ready(gpid);
         // `wait_ready` consumed the announcement; replay it for the
         // adaptation point.
-        self.shared.events.lock().push_back(AdaptEvent::JoinReady {
-            gpid,
-            host,
-        });
+        self.shared
+            .events
+            .lock()
+            .push_back(AdaptEvent::JoinReady { gpid, host });
         Ok(gpid)
     }
 
     /// Request a leave by current pid (see [`ClusterShared::request_leave`]).
-    pub fn request_leave_pid(
-        &self,
-        pid: u16,
-        grace: Option<Duration>,
-    ) -> Result<Gpid, AdaptError> {
+    pub fn request_leave_pid(&self, pid: u16, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
         let gpid = {
             let team = self.shared.team_view.lock();
-            *team.get(pid as usize).ok_or(AdaptError::NotInTeam(Gpid(0)))?
+            *team
+                .get(pid as usize)
+                .ok_or(AdaptError::NotInTeam(Gpid(0)))?
         };
         self.shared.request_leave(gpid, grace)?;
         Ok(gpid)
@@ -631,8 +677,11 @@ impl Cluster {
         // GC with leavers avoided; their pages re-home per strategy.
         let avoid: HashSet<Gpid> = leaves.iter().map(|p| p.gpid).collect();
         let old_members = self.master.team().members.clone();
-        let survivors: Vec<Gpid> =
-            old_members.iter().copied().filter(|g| !avoid.contains(g)).collect();
+        let survivors: Vec<Gpid> = old_members
+            .iter()
+            .copied()
+            .filter(|g| !avoid.contains(g))
+            .collect();
         let outcome = match self.cfg.leave_strategy {
             LeaveStrategy::ViaMaster => self.master.run_gc(&avoid, None),
             LeaveStrategy::Scatter => self.master.run_gc(&avoid, Some(&survivors)),
@@ -641,7 +690,12 @@ impl Cluster {
         // New team.
         let leaver_gpids: Vec<Gpid> = leaves.iter().map(|p| p.gpid).collect();
         let joiner_gpids: Vec<Gpid> = joins.iter().map(|(g, _)| *g).collect();
-        let members = reassign(self.cfg.reassign, &old_members, &leaver_gpids, &joiner_gpids);
+        let members = reassign(
+            self.cfg.reassign,
+            &old_members,
+            &leaver_gpids,
+            &joiner_gpids,
+        );
         // Record leaver hosts before they disappear.
         let leaver_hosts: Vec<(Gpid, Option<HostId>)> = leaver_gpids
             .iter()
@@ -664,7 +718,9 @@ impl Cluster {
             }
         }
         for p in &leaves {
-            self.shared.log.push(EventKind::NormalLeave { gpid: p.gpid });
+            self.shared
+                .log
+                .push(EventKind::NormalLeave { gpid: p.gpid });
             p.finish();
         }
         self.shared
@@ -673,7 +729,9 @@ impl Cluster {
             .retain(|p| p.phase() != LeavePhase::Done);
         for (g, _) in &joins {
             let pid = members.iter().position(|m| m == g).unwrap_or(0) as u16;
-            self.shared.log.push(EventKind::JoinCommitted { gpid: *g, pid });
+            self.shared
+                .log
+                .push(EventKind::JoinCommitted { gpid: *g, pid });
         }
         *self.shared.team_view.lock() = members.clone();
 
@@ -690,7 +748,12 @@ impl Cluster {
             leaves: leaves.len(),
             took: t0.elapsed(),
             bytes_moved: delta.total_bytes,
-            max_link_bytes: delta.links.iter().map(|l| l.bytes_total()).max().unwrap_or(0),
+            max_link_bytes: delta
+                .links
+                .iter()
+                .map(|l| l.bytes_total())
+                .max()
+                .unwrap_or(0),
             nprocs: members.len(),
         });
     }
@@ -700,13 +763,19 @@ impl Cluster {
         self.master.collect_all_pages();
         let image = self.master.export_image();
         let blob = self.blob_provider.as_ref().map(|f| f()).unwrap_or_default();
-        let ckpt = Checkpoint { image, master_blob: blob };
+        let ckpt = Checkpoint {
+            image,
+            master_blob: blob,
+        };
         let bytes = match &self.cfg.ckpt_path {
             Some(path) => ckpt.write_file(path).expect("checkpoint write failed"),
             None => ckpt.to_bytes().len() as u64, // sized but not persisted
         };
         self.last_ckpt_fork = self.master.fork_no();
-        self.shared.log.push(EventKind::Checkpoint { bytes, took: t0.elapsed() });
+        self.shared.log.push(EventKind::Checkpoint {
+            bytes,
+            took: t0.elapsed(),
+        });
     }
 
     /// Write a checkpoint immediately (the caller is at an adaptation

@@ -113,12 +113,18 @@ impl Driver {
                 outcomes
             })
             .expect("spawn driver thread");
-        Driver { handle: Some(handle) }
+        Driver {
+            handle: Some(handle),
+        }
     }
 
     /// Wait for the schedule to finish; returns per-event outcomes.
     pub fn join(mut self) -> Vec<(Duration, Result<(), crate::AdaptError>)> {
-        self.handle.take().expect("driver joined twice").join().expect("driver panicked")
+        self.handle
+            .take()
+            .expect("driver joined twice")
+            .join()
+            .expect("driver panicked")
     }
 }
 

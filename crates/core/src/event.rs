@@ -57,7 +57,11 @@ pub struct PendingLeave {
 impl PendingLeave {
     /// New pending leave.
     pub fn new(gpid: Gpid, grace: Option<Duration>) -> Self {
-        PendingLeave { gpid, grace, phase: AtomicU8::new(LeavePhase::Pending as u8) }
+        PendingLeave {
+            gpid,
+            grace,
+            phase: AtomicU8::new(LeavePhase::Pending as u8),
+        }
     }
 
     /// Current phase.

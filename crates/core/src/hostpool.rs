@@ -17,7 +17,10 @@ pub struct HostPool {
 impl HostPool {
     /// Pool over `hosts` workstations.
     pub fn new(hosts: usize) -> Self {
-        HostPool { occupants: vec![Vec::new(); hosts], reserved: vec![false; hosts] }
+        HostPool {
+            occupants: vec![Vec::new(); hosts],
+            reserved: vec![false; hosts],
+        }
     }
 
     /// Register one more workstation; returns its id.

@@ -100,12 +100,18 @@ pub struct EventLog {
 impl EventLog {
     /// New log starting now.
     pub fn new() -> Self {
-        EventLog { start: Instant::now(), entries: Mutex::new(Vec::new()) }
+        EventLog {
+            start: Instant::now(),
+            entries: Mutex::new(Vec::new()),
+        }
     }
 
     /// Record an event.
     pub fn push(&self, kind: EventKind) {
-        self.entries.lock().push(LogEntry { at: self.start.elapsed(), kind });
+        self.entries.lock().push(LogEntry {
+            at: self.start.elapsed(),
+            kind,
+        });
     }
 
     /// Snapshot all entries.
@@ -127,7 +133,15 @@ impl EventLog {
                     bytes_moved,
                     max_link_bytes,
                     ..
-                } => Some((e.at, *fork_no, *joins, *leaves, *took, *bytes_moved, *max_link_bytes)),
+                } => Some((
+                    e.at,
+                    *fork_no,
+                    *joins,
+                    *leaves,
+                    *took,
+                    *bytes_moved,
+                    *max_link_bytes,
+                )),
                 _ => None,
             })
             .collect()
@@ -159,7 +173,12 @@ impl EventLog {
                 EventKind::NormalLeave { gpid } => {
                     format!("NORMAL LEAVE: {gpid} terminated at adaptation point")
                 }
-                EventKind::UrgentMigrationStart { gpid, from, to, image_bytes } => format!(
+                EventKind::UrgentMigrationStart {
+                    gpid,
+                    from,
+                    to,
+                    image_bytes,
+                } => format!(
                     "URGENT LEAVE: migrating {gpid} {from} -> {to} ({})",
                     nowmp_util::fmt_bytes(*image_bytes as u64)
                 ),
@@ -228,7 +247,10 @@ mod tests {
     fn timestamps_monotone() {
         let log = EventLog::new();
         for _ in 0..5 {
-            log.push(EventKind::Checkpoint { bytes: 1, took: Duration::ZERO });
+            log.push(EventKind::Checkpoint {
+                bytes: 1,
+                took: Duration::ZERO,
+            });
         }
         let e = log.entries();
         for w in e.windows(2) {

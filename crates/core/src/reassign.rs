@@ -36,8 +36,11 @@ pub fn reassign(
     debug_assert!(!leavers.contains(&old[0]), "master cannot leave");
     match policy {
         ReassignPolicy::CompactKeepOrder => {
-            let mut members: Vec<Gpid> =
-                old.iter().copied().filter(|g| !leavers.contains(g)).collect();
+            let mut members: Vec<Gpid> = old
+                .iter()
+                .copied()
+                .filter(|g| !leavers.contains(g))
+                .collect();
             members.extend_from_slice(joiners);
             members
         }
@@ -72,9 +75,14 @@ pub fn moved_fraction(old_n: usize, survivors: &[(usize, usize)]) -> f64 {
     assert!(new_n > 0 && old_n > 0);
     let mut kept = 0.0_f64;
     for &(old_pid, new_rank) in survivors {
-        let (olo, ohi) = (old_pid as f64 / old_n as f64, (old_pid + 1) as f64 / old_n as f64);
-        let (nlo, nhi) =
-            (new_rank as f64 / new_n as f64, (new_rank + 1) as f64 / new_n as f64);
+        let (olo, ohi) = (
+            old_pid as f64 / old_n as f64,
+            (old_pid + 1) as f64 / old_n as f64,
+        );
+        let (nlo, nhi) = (
+            new_rank as f64 / new_n as f64,
+            (new_rank + 1) as f64 / new_n as f64,
+        );
         let overlap = (ohi.min(nhi) - olo.max(nlo)).max(0.0);
         kept += overlap;
     }
@@ -110,7 +118,11 @@ mod tests {
     fn fill_gaps_swaps_in_joiner() {
         let old = vec![G(1), G(2), G(3), G(4)];
         let members = reassign(ReassignPolicy::FillGaps, &old, &[G(3)], &[G(9)]);
-        assert_eq!(members, vec![G(1), G(2), G(9), G(4)], "joiner takes the leaver's slot");
+        assert_eq!(
+            members,
+            vec![G(1), G(2), G(9), G(4)],
+            "joiner takes the leaver's slot"
+        );
     }
 
     #[test]
@@ -138,7 +150,10 @@ mod tests {
     fn figure3_middle_leave_is_less() {
         // Node 3 of 8 leaves: paper says "up to 30%".
         let f = moved_fraction_on_leave(8, 3);
-        assert!((f - 0.2857).abs() < 1e-3, "middle leave moves {f}, expected ~0.286");
+        assert!(
+            (f - 0.2857).abs() < 1e-3,
+            "middle leave moves {f}, expected ~0.286"
+        );
         assert!(f < moved_fraction_on_leave(8, 7), "middle < end");
     }
 

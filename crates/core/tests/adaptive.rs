@@ -3,7 +3,6 @@
 //! with a live workload verifying data integrity across adaptations.
 
 use nowmp_core::{AdaptError, Cluster, ClusterConfig, EventKind, LeaveStrategy, ReassignPolicy};
-use nowmp_net::Gpid;
 use nowmp_tmk::shared::SharedF64Vec;
 use nowmp_tmk::system::RegionRunner;
 use nowmp_tmk::{ElemKind, TmkCtx};
@@ -55,7 +54,9 @@ fn read_v(c: &mut Cluster, n: usize) -> Vec<f64> {
 }
 
 fn expect_scaled(n: usize, times: u32) -> Vec<f64> {
-    (0..n).map(|i| i as f64 * f64::powi(2.0, times as i32)).collect()
+    (0..n)
+        .map(|i| i as f64 * f64::powi(2.0, times as i32))
+        .collect()
 }
 
 #[test]
@@ -84,8 +85,12 @@ fn normal_leave_end_process() {
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
     // Log recorded the leave.
     let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
-    assert!(kinds.iter().any(|k| matches!(k, EventKind::NormalLeave { gpid } if *gpid == leaver)));
-    assert!(kinds.iter().any(|k| matches!(k, EventKind::Adaptation { leaves: 1, .. })));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::NormalLeave { gpid } if *gpid == leaver)));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::Adaptation { leaves: 1, .. })));
     c.shutdown();
 }
 
@@ -126,7 +131,10 @@ fn join_without_free_host_fails() {
 fn master_cannot_leave() {
     let n = 100;
     let c = cluster(2, 2, n);
-    assert_eq!(c.request_leave_pid(0, None).unwrap_err(), AdaptError::MasterCannotLeave);
+    assert_eq!(
+        c.request_leave_pid(0, None).unwrap_err(),
+        AdaptError::MasterCannotLeave
+    );
     c.shutdown();
 }
 
@@ -135,7 +143,10 @@ fn double_leave_rejected() {
     let n = 100;
     let c = cluster(3, 3, n);
     let g = c.request_leave_pid(2, None).unwrap();
-    assert_eq!(c.request_leave(g, None).unwrap_err(), AdaptError::AlreadyLeaving(g));
+    assert_eq!(
+        c.request_leave(g, None).unwrap_err(),
+        AdaptError::AlreadyLeaving(g)
+    );
     c.shutdown();
 }
 
@@ -180,7 +191,7 @@ fn multiple_simultaneous_leaves() {
 #[test]
 fn simultaneous_join_and_leave_fill_gaps() {
     let n = 400;
-    let mut cfg = ClusterConfig::test(5, 4, );
+    let mut cfg = ClusterConfig::test(5, 4);
     cfg.reassign = ReassignPolicy::FillGaps;
     let mut c = Cluster::new(cfg, Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
@@ -226,16 +237,27 @@ fn urgent_leave_via_grace_timer() {
     let mut c = cluster(4, 3, n);
     c.parallel(R_FILL, &[]);
     // Tiny grace; don't reach an adaptation point until it expires.
-    let g = c.request_leave_pid(2, Some(Duration::from_millis(30))).unwrap();
-    std::thread::sleep(Duration::from_millis(300));
-    // Timer should have migrated it by now.
-    let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
-    assert!(
-        kinds
+    let g = c
+        .request_leave_pid(2, Some(Duration::from_millis(30)))
+        .unwrap();
+    // Poll for the timer-driven migration instead of one fixed sleep:
+    // bounded wall-clock wait, immune to scheduler stalls well past
+    // the 30ms grace period.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let migrated = loop {
+        let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+        if kinds
             .iter()
-            .any(|k| matches!(k, EventKind::UrgentMigrationDone { gpid, .. } if *gpid == g)),
-        "grace timer must trigger migration"
-    );
+            .any(|k| matches!(k, EventKind::UrgentMigrationDone { gpid, .. } if *gpid == g))
+        {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(migrated, "grace timer must trigger migration");
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 2);
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
@@ -248,12 +270,18 @@ fn normal_leave_wins_grace_race_at_adaptation_point() {
     let mut c = cluster(4, 3, n);
     c.parallel(R_FILL, &[]);
     // Long grace: the adaptation point arrives first -> normal leave.
-    let g = c.request_leave_pid(2, Some(Duration::from_secs(30))).unwrap();
+    let g = c
+        .request_leave_pid(2, Some(Duration::from_secs(30)))
+        .unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 2);
     let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
-    assert!(kinds.iter().any(|k| matches!(k, EventKind::NormalLeave { gpid } if *gpid == g)));
-    assert!(!kinds.iter().any(|k| matches!(k, EventKind::UrgentMigrationStart { .. })));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::NormalLeave { gpid } if *gpid == g)));
+    assert!(!kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::UrgentMigrationStart { .. })));
     c.shutdown();
 }
 
@@ -296,7 +324,10 @@ fn checkpoint_and_recover() {
     assert_eq!(blob, b"iteration=2".to_vec());
     assert_eq!(c2.fork_no(), 2, "two forks had completed at the checkpoint");
     let v = read_v(&mut c2, n);
-    assert_eq!(v, expect_at_ckpt, "restored memory reflects the checkpoint moment");
+    assert_eq!(
+        v, expect_at_ckpt,
+        "restored memory reflects the checkpoint moment"
+    );
     // The recovered cluster computes onward.
     c2.parallel(R_SCALE, &[]);
     assert_eq!(read_v(&mut c2, n), expect_scaled(n, 2));

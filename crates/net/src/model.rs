@@ -71,18 +71,38 @@ impl NetModel {
     }
 
     /// The paper model with all delays scaled by `scale` (e.g. `0.1`
-    /// makes benches 10× faster while preserving ratios).
+    /// makes benches 10× faster while preserving ratios). `scale` is
+    /// sanitized: non-finite falls back to 1.0 and the rest clamps to
+    /// [0, 1e6] — `Duration::mul_f64` panics on negative or
+    /// overflowing scalars, and the knob is env-settable
+    /// (`NOWMP_TIME_SCALE`).
     pub fn paper_scaled(scale: f64) -> Self {
-        NetModel { time_scale: scale, ..Self::paper_1999() }
+        let scale = if scale.is_finite() {
+            scale.clamp(0.0, 1e6)
+        } else {
+            1.0
+        };
+        NetModel {
+            time_scale: scale,
+            ..Self::paper_1999()
+        }
     }
 
-    /// Scale a duration by `time_scale`.
+    /// Scale a duration by `time_scale`, sanitized the same way as
+    /// [`NetModel::paper_scaled`]. `time_scale` is a `pub` field, so
+    /// the guard must live here to cover every construction path —
+    /// `Duration::mul_f64` panics on negative or overflowing scalars.
     #[inline]
     pub fn scaled(&self, d: Duration) -> Duration {
-        if (self.time_scale - 1.0).abs() < f64::EPSILON {
+        let s = if self.time_scale.is_finite() {
+            self.time_scale.clamp(0.0, 1e6)
+        } else {
+            1.0
+        };
+        if (s - 1.0).abs() < f64::EPSILON {
             d
         } else {
-            d.mul_f64(self.time_scale)
+            d.mul_f64(s)
         }
     }
 
@@ -113,7 +133,9 @@ impl NetModel {
         if !self.migration_bandwidth.is_finite() {
             return Duration::ZERO;
         }
-        self.scaled(Duration::from_secs_f64(bytes as f64 / self.migration_bandwidth))
+        self.scaled(Duration::from_secs_f64(
+            bytes as f64 / self.migration_bandwidth,
+        ))
     }
 
     /// Process creation delay (scaled).
@@ -153,7 +175,10 @@ mod tests {
         let m = NetModel::paper_1999();
         // 4 KB + headers at 100 Mbps ≈ 331 µs of wire time.
         let t = m.serialize_time(4096);
-        assert!(t > Duration::from_micros(300) && t < Duration::from_micros(400), "{t:?}");
+        assert!(
+            t > Duration::from_micros(300) && t < Duration::from_micros(400),
+            "{t:?}"
+        );
     }
 
     #[test]

@@ -89,7 +89,8 @@ impl Replier {
     /// the requester's mailbox.
     pub fn reply(self, payload: Bytes) {
         let tx = self.tx.clone();
-        self.net.transmit_reply(&self.from_host, self.to, payload, &tx, self.from);
+        self.net
+            .transmit_reply(&self.from_host, self.to, payload, &tx, self.from);
     }
 
     /// The gpid that will receive the reply.
@@ -147,8 +148,11 @@ impl NetInner {
             precise_sleep(self.model.sender_time(payload.len()));
         }
 
-        let deliver_at =
-            if self.model.emulate { Some(Instant::now() + self.model.latency()) } else { None };
+        let deliver_at = if self.model.emulate {
+            Some(Instant::now() + self.model.latency())
+        } else {
+            None
+        };
 
         // Resolve destination *after* serialization (a migrating peer may
         // have re-labeled meanwhile; the switch forwards to its port).
@@ -164,7 +168,13 @@ impl NetInner {
         self.host(dst_host).link_stats.record_in(bytes);
         self.stats.record_msg(bytes);
 
-        tx.send(Packet { src, payload, reply, deliver_at }).is_ok()
+        tx.send(Packet {
+            src,
+            payload,
+            reply,
+            deliver_at,
+        })
+        .is_ok()
     }
 }
 
@@ -233,15 +243,26 @@ impl Network {
 
     /// Register a new process endpoint on `host`.
     pub fn register(&self, host: HostId) -> Endpoint {
-        assert!((host.0 as usize) < self.host_count(), "register on unknown host {host}");
+        assert!(
+            (host.0 as usize) < self.host_count(),
+            "register on unknown host {host}"
+        );
         let gpid = Gpid(self.inner.next_gpid.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
         let host_cell = Arc::new(AtomicU16::new(host.0));
-        self.inner
-            .endpoints
-            .write()
-            .insert(gpid.0, EndpointRec { tx, host: Arc::clone(&host_cell) });
-        Endpoint { net: Arc::clone(&self.inner), gpid, host: host_cell, rx }
+        self.inner.endpoints.write().insert(
+            gpid.0,
+            EndpointRec {
+                tx,
+                host: Arc::clone(&host_cell),
+            },
+        );
+        Endpoint {
+            net: Arc::clone(&self.inner),
+            gpid,
+            host: host_cell,
+            rx,
+        }
     }
 
     /// Remove a process endpoint (the process left the computation).
@@ -253,7 +274,10 @@ impl Network {
     /// Re-label `gpid` onto `new_host` (process migration). The mailbox
     /// and all queued messages survive; only link accounting moves.
     pub fn relabel(&self, gpid: Gpid, new_host: HostId) -> Result<(), NetError> {
-        assert!((new_host.0 as usize) < self.host_count(), "relabel to unknown host {new_host}");
+        assert!(
+            (new_host.0 as usize) < self.host_count(),
+            "relabel to unknown host {new_host}"
+        );
         let eps = self.inner.endpoints.read();
         match eps.get(&gpid.0) {
             Some(rec) => {
@@ -330,7 +354,10 @@ impl Endpoint {
 
     /// Fire-and-forget send.
     pub fn send(&self, dst: Gpid, payload: Bytes) -> Result<(), NetError> {
-        if self.net.transmit(self.gpid, &self.host_rec(), dst, payload, None) {
+        if self
+            .net
+            .transmit(self.gpid, &self.host_rec(), dst, payload, None)
+        {
             Ok(())
         } else {
             Err(NetError::Unknown(dst))
@@ -350,7 +377,10 @@ impl Endpoint {
         timeout: Duration,
     ) -> Result<Bytes, NetError> {
         let (tx, rx) = bounded(1);
-        if !self.net.transmit(self.gpid, &self.host_rec(), dst, payload, Some(tx)) {
+        if !self
+            .net
+            .transmit(self.gpid, &self.host_rec(), dst, payload, Some(tx))
+        {
             return Err(NetError::Unknown(dst));
         }
         match rx.recv_timeout(timeout) {
@@ -387,7 +417,11 @@ impl Endpoint {
         // Stash the raw reply sender inside the Replier; answering goes
         // through the full transmit path for accounting, then down the
         // channel.
-        Incoming { src: pkt.src, payload: pkt.payload, replier }
+        Incoming {
+            src: pkt.src,
+            payload: pkt.payload,
+            replier,
+        }
     }
 
     /// Blocking receive; `Err` means the network shut down.
@@ -435,8 +469,11 @@ impl NetInner {
             let _wire = src_host.link.lock();
             precise_sleep(self.model.sender_time(payload.len()));
         }
-        let deliver_at =
-            if self.model.emulate { Some(Instant::now() + self.model.latency()) } else { None };
+        let deliver_at = if self.model.emulate {
+            Some(Instant::now() + self.model.latency())
+        } else {
+            None
+        };
         // Account on the requester's current link if it still exists.
         if let Some(rec) = self.endpoints.read().get(&dst.0) {
             let h = HostId(rec.host.load(Ordering::Acquire));
@@ -444,7 +481,13 @@ impl NetInner {
         }
         src_host.link_stats.record_out(bytes);
         self.stats.record_msg(bytes);
-        tx.send(Packet { src, payload, reply: None, deliver_at }).is_ok()
+        tx.send(Packet {
+            src,
+            payload,
+            reply: None,
+            deliver_at,
+        })
+        .is_ok()
     }
 }
 
@@ -452,7 +495,8 @@ impl Replier {
     /// Answer the request; returns `false` if the requester vanished.
     pub fn reply_checked(self, payload: Bytes) -> bool {
         let tx = self.tx.clone();
-        self.net.transmit_reply(&self.from_host, self.to, payload, &tx, self.from)
+        self.net
+            .transmit_reply(&self.from_host, self.to, payload, &tx, self.from)
     }
 }
 
@@ -578,8 +622,14 @@ mod tests {
         a.call(b_gpid, Bytes::from_static(b"y")).unwrap();
         let rtt = t.elapsed();
         server.join().unwrap();
-        assert!(rtt >= Duration::from_micros(1000), "roundtrip {rtt:?} < 2x latency");
-        assert!(rtt < Duration::from_millis(100), "roundtrip {rtt:?} unexpectedly slow");
+        assert!(
+            rtt >= Duration::from_micros(1000),
+            "roundtrip {rtt:?} < 2x latency"
+        );
+        assert!(
+            rtt < Duration::from_millis(100),
+            "roundtrip {rtt:?} unexpectedly slow"
+        );
     }
 
     #[test]
@@ -683,7 +733,11 @@ mod edge_tests {
         let a = net.register(HostId(0));
         let b = net.register(HostId(1)); // nobody serves b's mailbox
         let err = a
-            .call_deadline(b.gpid(), Bytes::from_static(b"?"), Duration::from_millis(30))
+            .call_deadline(
+                b.gpid(),
+                Bytes::from_static(b"?"),
+                Duration::from_millis(30),
+            )
             .unwrap_err();
         assert_eq!(err, NetError::Timeout(b.gpid()));
     }
@@ -715,7 +769,8 @@ mod edge_tests {
         let a = net.register(HostId(0));
         let b = net.register(HostId(1));
         for i in 0..100u32 {
-            a.send(b.gpid(), Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            a.send(b.gpid(), Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
         }
         for i in 0..100u32 {
             let got = b.recv().unwrap();

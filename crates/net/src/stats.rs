@@ -125,7 +125,11 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// The busiest link's total byte count — the §5.4 bottleneck metric.
     pub fn max_link_bytes(&self) -> u64 {
-        self.links.iter().map(|l| l.bytes_total()).max().unwrap_or(0)
+        self.links
+            .iter()
+            .map(|l| l.bytes_total())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Index of the busiest link.

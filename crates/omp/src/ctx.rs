@@ -71,11 +71,7 @@ impl<'a> OmpCtx<'a> {
 
     /// `schedule(static)` over the intersection of `range` with this
     /// fork's strip (see [`Self::strip_bounds`]).
-    pub fn for_static_stripped(
-        &mut self,
-        range: Range<u64>,
-        mut f: impl FnMut(&mut Self, u64),
-    ) {
+    pub fn for_static_stripped(&mut self, range: Range<u64>, mut f: impl FnMut(&mut Self, u64)) {
         let (lo, hi) = self.strip_bounds();
         let sub = range.start.max(lo)..range.end.min(hi);
         if sub.start >= sub.end {

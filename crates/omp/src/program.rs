@@ -48,7 +48,10 @@ impl OmpProgram {
 
     /// Region id of `name`.
     pub fn id_of(&self, name: &str) -> Option<u32> {
-        self.regions.iter().position(|(n, _)| n == name).map(|i| i as u32)
+        self.regions
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| i as u32)
     }
 
     /// Number of registered regions.

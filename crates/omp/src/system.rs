@@ -33,7 +33,11 @@ impl OmpSystem {
             cluster.alloc(RED_ARRAY, MAX_TEAM as u64, ElemKind::F64);
             cluster.alloc(DYN_COUNTER, 1, ElemKind::U64);
         }
-        OmpSystem { cluster, program, skip_replays: skip }
+        OmpSystem {
+            cluster,
+            program,
+            skip_replays: skip,
+        }
     }
 
     /// Bring up a system running `program` on a fresh cluster.
@@ -62,8 +66,14 @@ impl OmpSystem {
         // checkpoint, so a re-executed allocation of the same name and
         // length is a no-op (the application replays its setup code).
         if let Some(e) = self.cluster.ctx().handle(name) {
-            assert_eq!(e.len, len, "allocation {name:?} replayed with different length");
-            assert_eq!(e.kind, kind, "allocation {name:?} replayed with different kind");
+            assert_eq!(
+                e.len, len,
+                "allocation {name:?} replayed with different length"
+            );
+            assert_eq!(
+                e.kind, kind,
+                "allocation {name:?} replayed with different kind"
+            );
             return;
         }
         self.cluster.alloc(name, len, kind);
@@ -159,11 +169,7 @@ impl OmpSystem {
     }
 
     /// Request a leave of the process currently ranked `pid`.
-    pub fn request_leave_pid(
-        &self,
-        pid: u16,
-        grace: Option<Duration>,
-    ) -> Result<Gpid, AdaptError> {
+    pub fn request_leave_pid(&self, pid: u16, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
         self.cluster.request_leave_pid(pid, grace)
     }
 

@@ -321,7 +321,10 @@ fn recovery_replays_forks() {
     s2.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // executes: y = 2x
     s2.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // y = 3x
     let y_recovered = read_vec(&mut s2, "y", n as usize);
-    assert_eq!(y_recovered, y_final, "recovered run converges to the same result");
+    assert_eq!(
+        y_recovered, y_final,
+        "recovered run converges to the same result"
+    );
     s2.shutdown();
     std::fs::remove_file(&path).ok();
 }

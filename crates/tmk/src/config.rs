@@ -52,7 +52,11 @@ impl DsmConfig {
 
     /// Small pages for tests: exercises multi-page logic with tiny data.
     pub fn test_small() -> Self {
-        DsmConfig { page_size: 256, gc_diff_threshold: 1 << 20, ..Self::default_4k() }
+        DsmConfig {
+            page_size: 256,
+            gc_diff_threshold: 1 << 20,
+            ..Self::default_4k()
+        }
     }
 
     /// Slots (8-byte words) per page.
@@ -63,8 +67,15 @@ impl DsmConfig {
     /// Validate invariants; panics on nonsense configurations.
     pub fn validate(&self) {
         assert!(self.page_size >= 64, "page_size must be >= 64");
-        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
-        assert_eq!(self.page_size % 8, 0, "page_size must hold whole 8-byte slots");
+        assert!(
+            self.page_size.is_power_of_two(),
+            "page_size must be a power of two"
+        );
+        assert_eq!(
+            self.page_size % 8,
+            0,
+            "page_size must hold whole 8-byte slots"
+        );
     }
 }
 
@@ -93,7 +104,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_page_size_panics() {
-        let cfg = DsmConfig { page_size: 1000, ..DsmConfig::default_4k() };
+        let cfg = DsmConfig {
+            page_size: 1000,
+            ..DsmConfig::default_4k()
+        };
         cfg.validate();
     }
 }

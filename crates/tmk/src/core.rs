@@ -35,7 +35,11 @@ use std::sync::Arc;
 /// Page id traced when the `NOWMP_TRACE_PAGE` env var is set (debugging aid).
 fn trace_page() -> Option<u32> {
     static P: std::sync::OnceLock<Option<u32>> = std::sync::OnceLock::new();
-    *P.get_or_init(|| std::env::var("NOWMP_TRACE_PAGE").ok().and_then(|v| v.parse().ok()))
+    *P.get_or_init(|| {
+        std::env::var("NOWMP_TRACE_PAGE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
 }
 
 macro_rules! ptrace {
@@ -132,12 +136,7 @@ pub struct ProcCore {
 impl ProcCore {
     /// Fresh state for a process joining (or founding) a system whose
     /// master is `default_owner`.
-    pub fn new(
-        cfg: DsmConfig,
-        gpid: Gpid,
-        stats: Arc<DsmStats>,
-        default_owner: Gpid,
-    ) -> Self {
+    pub fn new(cfg: DsmConfig, gpid: Gpid, stats: Arc<DsmStats>, default_owner: Gpid) -> Self {
         cfg.validate();
         ProcCore {
             cfg,
@@ -218,15 +217,23 @@ impl ProcCore {
                         let g = team.gpid(wn.pid);
                         groups.entry(g).or_default().push((page, wn.seq));
                     }
-                    return AccessPlan::NeedDiffs { groups: groups.into_iter().collect() };
+                    return AccessPlan::NeedDiffs {
+                        groups: groups.into_iter().collect(),
+                    };
                 }
                 let buf = Arc::clone(meta.data.as_ref().expect("Write state implies data"));
-                AccessPlan::Ready { buf, writable: true }
+                AccessPlan::Ready {
+                    buf,
+                    writable: true,
+                }
             }
             PageState::Read => {
                 if !want_write {
                     let buf = Arc::clone(meta.data.as_ref().expect("Read state implies data"));
-                    return AccessPlan::Ready { buf, writable: false };
+                    return AccessPlan::Ready {
+                        buf,
+                        writable: false,
+                    };
                 }
                 // Write fault on a valid page: twin unless exclusive.
                 DsmStats::bump(&self.stats.write_faults);
@@ -249,7 +256,10 @@ impl ProcCore {
                 // (exclusive) write shadow a later recorded interval with
                 // the same sequence number.
                 let _ = (my_pid, open_seq);
-                AccessPlan::Ready { buf: data, writable: true }
+                AccessPlan::Ready {
+                    buf: data,
+                    writable: true,
+                }
             }
             PageState::Invalid => {
                 if meta.data.is_some() {
@@ -266,7 +276,9 @@ impl ProcCore {
                         let g = team.gpid(wn.pid);
                         groups.entry(g).or_default().push((page, wn.seq));
                     }
-                    AccessPlan::NeedDiffs { groups: groups.into_iter().collect() }
+                    AccessPlan::NeedDiffs {
+                        groups: groups.into_iter().collect(),
+                    }
                 } else if meta.owner == me && meta.pending.is_empty() {
                     // We are the directory owner of a page nobody has
                     // materialized yet — and nobody has written it
@@ -305,9 +317,20 @@ impl ProcCore {
         from: Gpid,
     ) {
         self.ensure_pages(page as usize + 1);
-        assert_eq!(words.len(), self.cfg.slots_per_page(), "page payload size mismatch");
+        assert_eq!(
+            words.len(),
+            self.cfg.slots_per_page(),
+            "page payload size mismatch"
+        );
         DsmStats::bump(&self.stats.pages_fetched);
-        ptrace!(page, "[{:?}] install_page {} from {:?} applied={:?}", self.gpid, page, from, applied);
+        ptrace!(
+            page,
+            "[{:?}] install_page {} from {:?} applied={:?}",
+            self.gpid,
+            page,
+            from,
+            applied
+        );
         let meta = &mut self.pages[page as usize];
         meta.data = Some(Arc::new(PageBuf::from_words(&words)));
         let mut vc = Vc::default();
@@ -318,8 +341,11 @@ impl ProcCore {
         meta.owner = from;
         meta.shared = true; // another copy (the server's) exists
         meta.prune_pending();
-        meta.state =
-            if meta.unapplied().is_empty() { PageState::Read } else { PageState::Invalid };
+        meta.state = if meta.unapplied().is_empty() {
+            PageState::Read
+        } else {
+            PageState::Invalid
+        };
     }
 
     /// Apply fetched diffs (already collected from all creators) to a
@@ -328,15 +354,28 @@ impl ProcCore {
         self.ensure_pages(page as usize + 1);
         // Attach vcsum sort keys from the pending write notices.
         let meta = &mut self.pages[page as usize];
-        let keyed: HashMap<(Pid, Seq), u64> =
-            meta.pending.iter().map(|w| ((w.pid, w.seq), w.vcsum)).collect();
+        let keyed: HashMap<(Pid, Seq), u64> = meta
+            .pending
+            .iter()
+            .map(|w| ((w.pid, w.seq), w.vcsum))
+            .collect();
         batch.sort_by_key(|(p, s, _)| keyed.get(&(*p, *s)).copied().unwrap_or(u64::MAX));
         let data = Arc::clone(
-            meta.data.as_ref().expect("apply_diffs requires a stale local copy"),
+            meta.data
+                .as_ref()
+                .expect("apply_diffs requires a stale local copy"),
         );
         let mut words = 0u64;
         for (pid, seq, diff) in &batch {
-            ptrace!(page, "[{:?}] apply_diff {} from pid {} seq {} ({} words)", self.gpid, page, pid, seq, diff.words());
+            ptrace!(
+                page,
+                "[{:?}] apply_diff {} from pid {} seq {} ({} words)",
+                self.gpid,
+                page,
+                pid,
+                seq,
+                diff.words()
+            );
             diff.apply(&data);
             // Multiple-writer invariant: our eventual close-diff must
             // contain *only our own* modifications, or it would carry
@@ -374,8 +413,7 @@ impl ProcCore {
             let meta = &self.pages[page as usize];
             let data = meta.data.as_ref().expect("pending twin implies data");
             let diff = Diff::create(&twin, data, 0);
-            self.consistency_bytes =
-                self.consistency_bytes.saturating_sub(self.cfg.page_size);
+            self.consistency_bytes = self.consistency_bytes.saturating_sub(self.cfg.page_size);
             self.consistency_bytes += diff.wire_bytes();
             self.diffs.insert(DiffKey { page, seq }, Arc::new(diff));
         }
@@ -417,7 +455,14 @@ impl ProcCore {
                     } else {
                         let data = meta.data.as_ref().expect("twinned page has data");
                         let diff = Diff::create(&twin, data, 0);
-                        ptrace!(page, "[{:?}] close_interval page {} seq {} diff_words={}", self.gpid, page, seq, diff.words());
+                        ptrace!(
+                            page,
+                            "[{:?}] close_interval page {} seq {} diff_words={}",
+                            self.gpid,
+                            page,
+                            seq,
+                            diff.words()
+                        );
                         if diff.is_empty() {
                             continue; // spurious write fault, nothing changed
                         }
@@ -439,7 +484,12 @@ impl ProcCore {
             return None;
         }
         self.vc.set(me, seq);
-        let rec = Record { pid: me, seq, vc: self.vc.clone(), pages: rec_pages };
+        let rec = Record {
+            pid: me,
+            seq,
+            vc: self.vc.clone(),
+            pages: rec_pages,
+        };
         self.records.insert(rec.clone());
         self.unsent.push(rec.clone());
         Some(rec)
@@ -459,7 +509,11 @@ impl ProcCore {
                 self.ensure_pages(page as usize + 1);
                 let meta = &mut self.pages[page as usize];
                 let before = meta.pending.len();
-                meta.push_wn(Wn { pid: rec.pid, seq: rec.seq, vcsum });
+                meta.push_wn(Wn {
+                    pid: rec.pid,
+                    seq: rec.seq,
+                    vcsum,
+                });
                 if meta.pending.len() > before && meta.state != PageState::Write {
                     // Invalidate; the copy (if any) becomes stale. A page
                     // we are currently writing stays writable — the
@@ -484,8 +538,14 @@ impl ProcCore {
     /// Serve a full-page request.
     pub fn serve_page(&mut self, page: PageId) -> crate::msg::Msg {
         self.ensure_pages(page as usize + 1);
-        ptrace!(page, "[{:?}] serve_page {} state={:?} applied={:?}", self.gpid,
-            page, self.pages[page as usize].state, self.pages[page as usize].applied);
+        ptrace!(
+            page,
+            "[{:?}] serve_page {} state={:?} applied={:?}",
+            self.gpid,
+            page,
+            self.pages[page as usize].state,
+            self.pages[page as usize].applied
+        );
         let open_seq = self.open_seq();
         let me_pid = self.my_pid;
         let meta = &mut self.pages[page as usize];
@@ -582,7 +642,9 @@ impl ProcCore {
 
     /// Serve a records request (lock-transfer consistency data).
     pub fn serve_records(&self, vc: &Vc) -> crate::msg::Msg {
-        crate::msg::Msg::RecordsRep { records: self.records.newer_than(vc) }
+        crate::msg::Msg::RecordsRep {
+            records: self.records.newer_than(vc),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -591,7 +653,12 @@ impl ProcCore {
 
     /// Handle an acquire request at the manager. Returns an immediate
     /// grant action, or queues the waiter.
-    pub fn lock_acquire(&mut self, lock: u32, requester: Gpid, waiter: LockWaiter) -> Option<LockGrant> {
+    pub fn lock_acquire(
+        &mut self,
+        lock: u32,
+        requester: Gpid,
+        waiter: LockWaiter,
+    ) -> Option<LockGrant> {
         let mgr = self.locks.entry(lock).or_default();
         if mgr.held {
             mgr.queue.push_back((requester, waiter));
@@ -682,8 +749,11 @@ impl ProcCore {
             if let Some(&owner) = dir.get(i) {
                 meta.owner = owner;
             }
-            meta.state =
-                if meta.data.is_some() { PageState::Read } else { PageState::Invalid };
+            meta.state = if meta.data.is_some() {
+                PageState::Read
+            } else {
+                PageState::Invalid
+            };
         }
         self.diffs.clear();
         self.pending_twins.clear();
@@ -737,7 +807,10 @@ mod tests {
     use crate::msg::Msg;
 
     fn core() -> ProcCore {
-        let cfg = DsmConfig { page_size: 64, ..DsmConfig::test_small() }; // 8 slots/page
+        let cfg = DsmConfig {
+            page_size: 64,
+            ..DsmConfig::test_small()
+        }; // 8 slots/page
         ProcCore::new(cfg, Gpid(1), DsmStats::new_shared(), Gpid(1))
     }
 
@@ -785,10 +858,14 @@ mod tests {
         assert!(matches!(rep, Msg::PageRep { redirect: None, .. }));
         assert!(c.pages[0].shared);
         // Now a write must twin.
-        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         buf.store(3, 99);
         assert!(c.pages[0].twin.is_some());
-        let rec = c.close_interval().expect("dirty shared page yields a record");
+        let rec = c
+            .close_interval()
+            .expect("dirty shared page yields a record");
         assert_eq!(rec.pid, 0);
         assert_eq!(rec.seq, 1);
         assert_eq!(rec.pages, vec![0]);
@@ -801,11 +878,20 @@ mod tests {
     #[test]
     fn serve_exclusive_dirty_page_installs_twin() {
         let mut c = core();
-        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         buf.store(1, 5);
         // Service thread serves the page mid-interval.
         let rep = c.serve_page(0);
-        let Msg::PageRep { words, applied, redirect } = rep else { panic!() };
+        let Msg::PageRep {
+            words,
+            applied,
+            redirect,
+        } = rep
+        else {
+            panic!()
+        };
         assert!(redirect.is_none());
         assert_eq!(words[1], 5);
         assert!(applied.is_empty(), "no closed intervals yet");
@@ -825,9 +911,14 @@ mod tests {
         two_proc_team(&mut c, 0);
         let _ = c.plan_access(0, false);
         let _ = c.serve_page(0); // shared now
-        let AccessPlan::Ready { .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         // No write actually performed.
-        assert!(c.close_interval().is_none(), "no record for an unchanged page");
+        assert!(
+            c.close_interval().is_none(),
+            "no record for an unchanged page"
+        );
         assert!(c.diffs.is_empty());
     }
 
@@ -839,7 +930,12 @@ mod tests {
         c.pages[0].shared = true;
         let mut vc = Vc::new(2);
         vc.set(1, 1);
-        let rec = Record { pid: 1, seq: 1, vc, pages: vec![0] };
+        let rec = Record {
+            pid: 1,
+            seq: 1,
+            vc,
+            pages: vec![0],
+        };
         c.apply_records(&[rec]);
         assert_eq!(c.pages[0].state, PageState::Invalid);
         assert!(c.pages[0].data.is_some(), "stale copy kept for diffing");
@@ -863,7 +959,12 @@ mod tests {
         c.pages[0].shared = true;
         let mut vc = Vc::new(2);
         vc.set(1, 1);
-        c.apply_records(&[Record { pid: 1, seq: 1, vc, pages: vec![0] }]);
+        c.apply_records(&[Record {
+            pid: 1,
+            seq: 1,
+            vc,
+            pages: vec![0],
+        }]);
         let diff = Diff::create_from_words(&[0; 8], &[0, 42, 0, 0, 0, 0, 0, 0], 0);
         c.apply_diffs(0, vec![(1, 1, diff)]);
         assert_eq!(c.pages[0].state, PageState::Read);
@@ -882,8 +983,18 @@ mod tests {
         let mut vc2 = Vc::new(2);
         vc2.set(1, 2);
         c.apply_records(&[
-            Record { pid: 1, seq: 1, vc: vc1, pages: vec![3] },
-            Record { pid: 1, seq: 2, vc: vc2, pages: vec![3] },
+            Record {
+                pid: 1,
+                seq: 1,
+                vc: vc1,
+                pages: vec![3],
+            },
+            Record {
+                pid: 1,
+                seq: 2,
+                vc: vc2,
+                pages: vec![3],
+            },
         ]);
         // Fetch a copy that only includes seq 1.
         c.install_page(3, &[(1, 1)], vec![0; 8], Gpid(2));
@@ -904,7 +1015,12 @@ mod tests {
         c.gpid = Gpid(2);
         let mut vc = Vc::new(2);
         vc.set(0, 3);
-        c.apply_records(&[Record { pid: 0, seq: 3, vc, pages: vec![5] }]);
+        c.apply_records(&[Record {
+            pid: 0,
+            seq: 3,
+            vc,
+            pages: vec![5],
+        }]);
         match c.plan_access(5, false) {
             AccessPlan::NeedFull { target } => assert_eq!(target, Gpid(1)),
             other => panic!("expected NeedFull, got {other:?}"),
@@ -913,20 +1029,27 @@ mod tests {
 
     #[test]
     fn lazy_mode_materializes_diff_on_demand() {
-        let mut cfg = DsmConfig { page_size: 64, ..DsmConfig::test_small() };
+        let mut cfg = DsmConfig {
+            page_size: 64,
+            ..DsmConfig::test_small()
+        };
         cfg.lazy_diffs = true;
         let mut c = ProcCore::new(cfg, Gpid(1), DsmStats::new_shared(), Gpid(1));
         two_proc_team(&mut c, 0);
         let _ = c.plan_access(0, false);
         let _ = c.serve_page(0); // make shared
-        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         buf.store(4, 11);
         let rec = c.close_interval().unwrap();
         assert_eq!(rec.pages, vec![0]);
         assert!(c.diffs.is_empty(), "lazy: no diff yet");
         assert!(c.pending_twins.contains_key(&0));
         // A diff request forces materialization.
-        let Msg::DiffRep { diffs } = c.serve_diffs(&[(0, 1)]) else { panic!() };
+        let Msg::DiffRep { diffs } = c.serve_diffs(&[(0, 1)]) else {
+            panic!()
+        };
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].2.words(), 1);
         assert!(c.pending_twins.is_empty());
@@ -934,21 +1057,30 @@ mod tests {
 
     #[test]
     fn lazy_mode_flushes_before_rewrite() {
-        let mut cfg = DsmConfig { page_size: 64, ..DsmConfig::test_small() };
+        let mut cfg = DsmConfig {
+            page_size: 64,
+            ..DsmConfig::test_small()
+        };
         cfg.lazy_diffs = true;
         let mut c = ProcCore::new(cfg, Gpid(1), DsmStats::new_shared(), Gpid(1));
         two_proc_team(&mut c, 0);
         let _ = c.plan_access(0, false);
         let _ = c.serve_page(0);
-        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         buf.store(4, 11);
         c.close_interval().unwrap();
         // Second interval writes the page again: pending twin must flush first.
-        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         buf.store(5, 12);
         assert!(c.diffs.contains_key(&DiffKey { page: 0, seq: 1 }));
         c.close_interval().unwrap();
-        let Msg::DiffRep { diffs } = c.serve_diffs(&[(0, 1), (0, 2)]) else { panic!() };
+        let Msg::DiffRep { diffs } = c.serve_diffs(&[(0, 1), (0, 2)]) else {
+            panic!()
+        };
         assert_eq!(diffs.len(), 2);
     }
 
@@ -958,7 +1090,12 @@ mod tests {
         c.gpid = Gpid(2);
         c.default_owner = Gpid(1);
         c.ensure_pages(1);
-        let Msg::PageRep { redirect, words, .. } = c.serve_page(0) else { panic!() };
+        let Msg::PageRep {
+            redirect, words, ..
+        } = c.serve_page(0)
+        else {
+            panic!()
+        };
         assert_eq!(redirect, Some(Gpid(1)));
         assert!(words.is_empty());
     }
@@ -968,14 +1105,19 @@ mod tests {
         let mut c = core();
         let (tx1, rx1) = crossbeam_channel::bounded(1);
         let g = c.lock_acquire(7, Gpid(10), LockWaiter::Local(tx1));
-        assert!(matches!(g, Some(LockGrant::Local(_, None))), "first grant, no prev");
+        assert!(
+            matches!(g, Some(LockGrant::Local(_, None))),
+            "first grant, no prev"
+        );
         if let Some(LockGrant::Local(s, prev)) = g {
             s.send(prev).unwrap();
         }
         assert_eq!(rx1.recv().unwrap(), None);
         // Second acquire queues.
         let (tx2, rx2) = crossbeam_channel::bounded(1);
-        assert!(c.lock_acquire(7, Gpid(11), LockWaiter::Local(tx2)).is_none());
+        assert!(c
+            .lock_acquire(7, Gpid(11), LockWaiter::Local(tx2))
+            .is_none());
         // Release grants to the waiter with prev = first holder.
         match c.lock_release(7) {
             Some(LockGrant::Local(s, prev)) => {
@@ -994,7 +1136,9 @@ mod tests {
         two_proc_team(&mut c, 0);
         let _ = c.plan_access(0, false);
         let _ = c.serve_page(0);
-        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+            panic!()
+        };
         buf.store(0, 1);
         c.close_interval().unwrap();
         assert!(!c.records.is_empty());
@@ -1038,12 +1182,16 @@ mod tests {
     #[test]
     fn export_import_roundtrip() {
         let mut c = core();
-        let AccessPlan::Ready { buf, .. } = c.plan_access(1, true) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c.plan_access(1, true) else {
+            panic!()
+        };
         buf.store(0, 77);
         let pages = c.export_pages();
         let mut c2 = core();
         c2.import_pages(&pages);
-        let AccessPlan::Ready { buf, .. } = c2.plan_access(1, false) else { panic!() };
+        let AccessPlan::Ready { buf, .. } = c2.plan_access(1, false) else {
+            panic!()
+        };
         assert_eq!(buf.load(0), 77);
     }
 

@@ -39,7 +39,10 @@ pub struct CtrlBuf {
 impl CtrlBuf {
     /// Wrap a control channel.
     pub fn new(rx: crossbeam_channel::Receiver<Ctrl>) -> Self {
-        CtrlBuf { rx, backlog: VecDeque::new() }
+        CtrlBuf {
+            rx,
+            backlog: VecDeque::new(),
+        }
     }
 
     /// Receive the next control message matching `pred`, buffering
@@ -132,7 +135,13 @@ impl TmkCtx {
     ) -> Self {
         let (stats, cfg, epoch, team, my_pid): (Arc<DsmStats>, DsmConfig, Epoch, Team, Pid) = {
             let c = core.lock();
-            (Arc::clone(&c.stats), c.cfg.clone(), c.epoch(), c.team.clone(), c.my_pid)
+            (
+                Arc::clone(&c.stats),
+                c.cfg.clone(),
+                c.epoch(),
+                c.team.clone(),
+                c.my_pid,
+            )
         };
         let spp = cfg.slots_per_page();
         TmkCtx {
@@ -269,13 +278,30 @@ impl TmkCtx {
     /// Fetch a full page, following owner redirects.
     fn fetch_full(&mut self, page: PageId, mut target: Gpid) {
         for _ in 0..MAX_REDIRECTS {
-            assert_ne!(target, self.gpid(), "page {page} redirect loop back to self");
-            let rep = self.call(target, &Msg::PageReq { epoch: self.epoch, page });
+            assert_ne!(
+                target,
+                self.gpid(),
+                "page {page} redirect loop back to self"
+            );
+            let rep = self.call(
+                target,
+                &Msg::PageReq {
+                    epoch: self.epoch,
+                    page,
+                },
+            );
             match rep {
-                Msg::PageRep { redirect: Some(next), .. } => {
+                Msg::PageRep {
+                    redirect: Some(next),
+                    ..
+                } => {
                     target = next;
                 }
-                Msg::PageRep { applied, words, redirect: None } => {
+                Msg::PageRep {
+                    applied,
+                    words,
+                    redirect: None,
+                } => {
                     self.core.lock().install_page(page, &applied, words, target);
                     return;
                 }
@@ -293,7 +319,13 @@ impl TmkCtx {
                 .team
                 .pid_of(creator)
                 .unwrap_or_else(|| panic!("diff creator {creator} not in team"));
-            let rep = self.call(creator, &Msg::DiffReq { epoch: self.epoch, wants });
+            let rep = self.call(
+                creator,
+                &Msg::DiffReq {
+                    epoch: self.epoch,
+                    wants,
+                },
+            );
             match rep {
                 Msg::DiffRep { diffs } => {
                     for (p, s, d) in diffs {
@@ -313,7 +345,10 @@ impl TmkCtx {
 
     #[inline]
     fn locate(&self, addr: Addr) -> (PageId, usize) {
-        ((addr >> self.page_shift) as PageId, (addr & (self.slots_per_page as u64 - 1)) as usize)
+        (
+            (addr >> self.page_shift) as PageId,
+            (addr & (self.slots_per_page as u64 - 1)) as usize,
+        )
     }
 
     /// Read the 8-byte slot at `addr` as `u64`.
@@ -430,11 +465,20 @@ impl TmkCtx {
             // We manage this lock: local acquire (may still block while
             // a remote process holds it).
             let (tx, rx) = crossbeam_channel::bounded(1);
-            let grant = self.core.lock().lock_acquire(lock, self.gpid(), LockWaiter::Local(tx));
+            let grant = self
+                .core
+                .lock()
+                .lock_acquire(lock, self.gpid(), LockWaiter::Local(tx));
             deliver_grant(grant);
             rx.recv_timeout(self.call_timeout).expect("lock grant lost")
         } else {
-            match self.call(mgr_gpid, &Msg::LockReq { epoch: self.epoch, lock }) {
+            match self.call(
+                mgr_gpid,
+                &Msg::LockReq {
+                    epoch: self.epoch,
+                    lock,
+                },
+            ) {
                 Msg::LockRep { prev } => prev,
                 other => panic!("unexpected reply to LockReq: {other:?}"),
             }
@@ -442,7 +486,13 @@ impl TmkCtx {
         if let Some(prev) = prev {
             if prev != self.gpid() {
                 let vc = self.core.lock().vc.clone();
-                match self.call(prev, &Msg::RecordsReq { epoch: self.epoch, vc }) {
+                match self.call(
+                    prev,
+                    &Msg::RecordsReq {
+                        epoch: self.epoch,
+                        vc,
+                    },
+                ) {
                     Msg::RecordsRep { records } => {
                         self.core.lock().apply_records(&records);
                     }
@@ -470,7 +520,14 @@ impl TmkCtx {
             deliver_grant(grant);
         } else {
             self.endpoint
-                .send(mgr_gpid, Msg::LockRelease { epoch: self.epoch, lock }.to_bytes())
+                .send(
+                    mgr_gpid,
+                    Msg::LockRelease {
+                        epoch: self.epoch,
+                        lock,
+                    }
+                    .to_bytes(),
+                )
                 .expect("lock manager vanished");
         }
     }
@@ -510,7 +567,12 @@ impl TmkCtx {
         let master = self.team.master();
         let rep = self.call(
             master,
-            &Msg::BarrierArrive { epoch: self.epoch, pid, vc, records },
+            &Msg::BarrierArrive {
+                epoch: self.epoch,
+                pid,
+                vc,
+                records,
+            },
         );
         match rep {
             Msg::BarrierRep { vc, records } => {
@@ -536,9 +598,10 @@ impl TmkCtx {
         for _ in 0..n - 1 {
             let c = ctrl
                 .lock()
-                .recv_where(self.call_timeout, |c| {
-                    matches!(&c.msg, Msg::BarrierArrive { epoch: e, .. } if *e == epoch)
-                })
+                .recv_where(
+                    self.call_timeout,
+                    |c| matches!(&c.msg, Msg::BarrierArrive { epoch: e, .. } if *e == epoch),
+                )
                 .expect("barrier arrival lost");
             let (vc, records) = match &c.msg {
                 Msg::BarrierArrive { vc, records, .. } => (vc.clone(), records.clone()),
@@ -562,10 +625,13 @@ impl TmkCtx {
             (merged, replies)
         };
         for (ctrl_msg, records) in replies {
-            ctrl_msg
-                .replier
-                .expect("BarrierArrive is a request")
-                .reply(Msg::BarrierRep { vc: merged_vc.clone(), records }.to_bytes());
+            ctrl_msg.replier.expect("BarrierArrive is a request").reply(
+                Msg::BarrierRep {
+                    vc: merged_vc.clone(),
+                    records,
+                }
+                .to_bytes(),
+            );
         }
     }
 }
@@ -581,7 +647,10 @@ mod tests {
         let ep = Arc::new(net.register(HostId(0)));
         let gpid = ep.gpid();
         let core = Arc::new(Mutex::new(ProcCore::new(
-            DsmConfig { page_size: 64, ..DsmConfig::test_small() },
+            DsmConfig {
+                page_size: 64,
+                ..DsmConfig::test_small()
+            },
             gpid,
             Stats::new_shared(),
             gpid,

@@ -69,7 +69,10 @@ impl Diff {
                 }
                 j += 1;
             }
-            runs.push(DiffRun { start: start as u32, words: cur[start..end].to_vec() });
+            runs.push(DiffRun {
+                start: start as u32,
+                words: cur[start..end].to_vec(),
+            });
             i = end.max(j);
         }
         Diff { runs }
@@ -102,7 +105,11 @@ impl Diff {
 
     /// Approximate size on the wire (headers + payload).
     pub fn wire_bytes(&self) -> usize {
-        4 + self.runs.iter().map(|r| 8 + r.words.len() * 8).sum::<usize>()
+        4 + self
+            .runs
+            .iter()
+            .map(|r| 8 + r.words.len() * 8)
+            .sum::<usize>()
     }
 }
 
@@ -112,7 +119,10 @@ impl Wire for DiffRun {
         e.put_u64_slice(&self.words);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(DiffRun { start: d.get_u32()?, words: d.get_u64_vec()? })
+        Ok(DiffRun {
+            start: d.get_u32()?,
+            words: d.get_u64_vec()?,
+        })
     }
 }
 
@@ -218,8 +228,14 @@ mod tests {
     fn wire_roundtrip() {
         let d = Diff {
             runs: vec![
-                DiffRun { start: 0, words: vec![1, 2, 3] },
-                DiffRun { start: 10, words: vec![u64::MAX] },
+                DiffRun {
+                    start: 0,
+                    words: vec![1, 2, 3],
+                },
+                DiffRun {
+                    start: 10,
+                    words: vec![u64::MAX],
+                },
             ],
         };
         assert_eq!(Diff::from_wire(&d.to_wire()).unwrap(), d);

@@ -23,7 +23,11 @@ pub fn page_writes(records: &RecordStore) -> HashMap<PageId, Vec<Wn>> {
     for r in records.all() {
         let vcsum = r.vcsum();
         for &p in &r.pages {
-            writes.entry(p).or_default().push(Wn { pid: r.pid, seq: r.seq, vcsum });
+            writes.entry(p).or_default().push(Wn {
+                pid: r.pid,
+                seq: r.seq,
+                vcsum,
+            });
         }
     }
     writes
@@ -85,7 +89,10 @@ pub fn compute_gc_plan(
     let mut holders: HashMap<PageId, Vec<(Gpid, Vc)>> = HashMap::new();
     for (gpid, pages) in reports {
         for pa in pages {
-            holders.entry(pa.page).or_default().push((*gpid, applied_vc(&pa.applied)));
+            holders
+                .entry(pa.page)
+                .or_default()
+                .push((*gpid, applied_vc(&pa.applied)));
         }
     }
 
@@ -100,8 +107,7 @@ pub fn compute_gc_plan(
     for p in 0..total_pages as PageId {
         let wns = writes.get(&p).unwrap_or(&empty);
         let hs = holders.get(&p).map(Vec::as_slice).unwrap_or(&[]);
-        let is_complete =
-            |vc: &Vc| wns.iter().all(|w| vc.get(w.pid) >= w.seq);
+        let is_complete = |vc: &Vc| wns.iter().all(|w| vc.get(w.pid) >= w.seq);
 
         let mut complete: Vec<Gpid> = hs
             .iter()
@@ -139,8 +145,7 @@ pub fn compute_gc_plan(
                 let candidates: Vec<&(Gpid, Vc)> =
                     hs.iter().filter(|(g, _)| !avoid.contains(g)).collect();
                 if let Some((g, _)) = candidates.iter().max_by_key(|(g, vc)| {
-                    let coverage =
-                        wns.iter().filter(|w| vc.get(w.pid) >= w.seq).count();
+                    let coverage = wns.iter().filter(|w| vc.get(w.pid) >= w.seq).count();
                     (coverage, vc.sum(), u64::MAX - g.0 as u64)
                 }) {
                     *g
@@ -170,7 +175,10 @@ pub fn compute_gc_plan(
                     .find(|(g, _)| *g == fetcher)
                     .map(|(_, vc)| vc.clone())
                     .unwrap_or_default();
-                wns.iter().copied().filter(|w| w.seq > vc.get(w.pid)).collect()
+                wns.iter()
+                    .copied()
+                    .filter(|w| w.seq > vc.get(w.pid))
+                    .collect()
             };
             plan.fetches.entry(fetcher).or_default().push((p, missing));
             complete.push(fetcher);
@@ -198,11 +206,18 @@ mod tests {
     use crate::types::{Pid, Seq};
 
     fn wn(pid: Pid, seq: Seq) -> Wn {
-        Wn { pid, seq, vcsum: seq as u64 }
+        Wn {
+            pid,
+            seq,
+            vcsum: seq as u64,
+        }
     }
 
     fn report(page: PageId, applied: &[(Pid, Seq)]) -> PageApplied {
-        PageApplied { page, applied: applied.to_vec() }
+        PageApplied {
+            page,
+            applied: applied.to_vec(),
+        }
     }
 
     const M: Gpid = Gpid(1); // master
@@ -230,8 +245,8 @@ mod tests {
         let mut writes = HashMap::new();
         writes.insert(0, vec![wn(1, 2)]);
         let reports = vec![
-            (M, vec![report(0, &[])]),          // master: stale
-            (A, vec![report(0, &[(1, 2)])]),    // A (pid 1) wrote it
+            (M, vec![report(0, &[])]),       // master: stale
+            (A, vec![report(0, &[(1, 2)])]), // A (pid 1) wrote it
         ];
         let plan = compute_gc_plan(
             1,
@@ -348,7 +363,11 @@ mod tests {
             M,
             LeaveSink::ViaMaster,
         );
-        assert_eq!(plan.dir, vec![B], "ownership moves by directory update only");
+        assert_eq!(
+            plan.dir,
+            vec![B],
+            "ownership moves by directory update only"
+        );
         assert!(plan.fetches.is_empty(), "no data moves");
     }
 
@@ -357,9 +376,19 @@ mod tests {
         let mut store = RecordStore::new();
         let mut vc = Vc::new(2);
         vc.set(0, 1);
-        store.insert(crate::records::Record { pid: 0, seq: 1, vc: vc.clone(), pages: vec![2, 3] });
+        store.insert(crate::records::Record {
+            pid: 0,
+            seq: 1,
+            vc: vc.clone(),
+            pages: vec![2, 3],
+        });
         vc.set(1, 1);
-        store.insert(crate::records::Record { pid: 1, seq: 1, vc, pages: vec![3] });
+        store.insert(crate::records::Record {
+            pid: 1,
+            seq: 1,
+            vc,
+            pages: vec![3],
+        });
         let w = page_writes(&store);
         assert_eq!(w[&2].len(), 1);
         assert_eq!(w[&3].len(), 2);
@@ -376,8 +405,24 @@ mod tests {
             (B, vec![report(0, &[(1, 1)])]),
             (M, vec![report(0, &[(1, 1)])]),
         ];
-        let p1 = compute_gc_plan(1, &writes, &reports, &[], &HashSet::new(), M, LeaveSink::ViaMaster);
-        let p2 = compute_gc_plan(1, &writes, &reports, &[], &HashSet::new(), M, LeaveSink::ViaMaster);
+        let p1 = compute_gc_plan(
+            1,
+            &writes,
+            &reports,
+            &[],
+            &HashSet::new(),
+            M,
+            LeaveSink::ViaMaster,
+        );
+        let p2 = compute_gc_plan(
+            1,
+            &writes,
+            &reports,
+            &[],
+            &HashSet::new(),
+            M,
+            LeaveSink::ViaMaster,
+        );
         assert_eq!(p1.dir, p2.dir);
     }
 }

@@ -37,7 +37,10 @@ impl ElemKind {
             0 => Ok(ElemKind::F64),
             1 => Ok(ElemKind::U64),
             2 => Ok(ElemKind::I64),
-            t => Err(WireError::BadTag { what: "ElemKind", tag: t as u32 }),
+            t => Err(WireError::BadTag {
+                what: "ElemKind",
+                tag: t as u32,
+            }),
         }
     }
 }
@@ -126,7 +129,10 @@ impl Wire for DirRle {
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
         let n = d.get_u32()? as usize;
         if n > 1 << 24 {
-            return Err(WireError::BadLength { what: "DirRle", len: n });
+            return Err(WireError::BadLength {
+                what: "DirRle",
+                len: n,
+            });
         }
         let mut runs = Vec::with_capacity(n.min(4096));
         for _ in 0..n {
@@ -145,7 +151,11 @@ impl Wire for Wn {
         e.put_u64(self.vcsum);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(Wn { pid: d.get_u16()?, seq: d.get_u32()?, vcsum: d.get_u64()? })
+        Ok(Wn {
+            pid: d.get_u16()?,
+            seq: d.get_u32()?,
+            vcsum: d.get_u64()?,
+        })
     }
 }
 
@@ -171,7 +181,10 @@ impl Wire for PageApplied {
         let page = d.get_u32()?;
         let n = d.get_u32()? as usize;
         if n > 1 << 20 {
-            return Err(WireError::BadLength { what: "PageApplied", len: n });
+            return Err(WireError::BadLength {
+                what: "PageApplied",
+                len: n,
+            });
         }
         let mut applied = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
@@ -432,7 +445,11 @@ impl Wire for Msg {
                 e.put_u32(*lock);
             }
             Msg::Ack => e.put_u8(ACK),
-            Msg::PageRep { applied, words, redirect } => {
+            Msg::PageRep {
+                applied,
+                words,
+                redirect,
+            } => {
                 e.put_u8(PAGE_REP);
                 e.put_u32(applied.len() as u32);
                 for &(p, s) in applied {
@@ -459,7 +476,16 @@ impl Wire for Msg {
                 e.put_u8(LOCK_REP);
                 prev.enc(e);
             }
-            Msg::Fork { epoch, fork_no, region, params, vc, records, registry_delta, alloc_slots } => {
+            Msg::Fork {
+                epoch,
+                fork_no,
+                region,
+                params,
+                vc,
+                records,
+                registry_delta,
+                alloc_slots,
+            } => {
                 e.put_u8(FORK);
                 e.put_u32(*epoch);
                 e.put_u64(*fork_no);
@@ -470,14 +496,24 @@ impl Wire for Msg {
                 e.put_seq(registry_delta);
                 e.put_u64(*alloc_slots);
             }
-            Msg::JoinArrive { epoch, pid, vc, records } => {
+            Msg::JoinArrive {
+                epoch,
+                pid,
+                vc,
+                records,
+            } => {
                 e.put_u8(JOIN_ARRIVE);
                 e.put_u32(*epoch);
                 e.put_u16(*pid);
                 vc.enc(e);
                 e.put_seq(records);
             }
-            Msg::BarrierArrive { epoch, pid, vc, records } => {
+            Msg::BarrierArrive {
+                epoch,
+                pid,
+                vc,
+                records,
+            } => {
                 e.put_u8(BARRIER_ARRIVE);
                 e.put_u32(*epoch);
                 e.put_u16(*pid);
@@ -506,7 +542,14 @@ impl Wire for Msg {
                     e.put_seq(wns);
                 }
             }
-            Msg::Commit { epoch, new_epoch, team, my_pid, dir, drop_pages } => {
+            Msg::Commit {
+                epoch,
+                new_epoch,
+                team,
+                my_pid,
+                dir,
+                drop_pages,
+            } => {
                 e.put_u8(COMMIT);
                 e.put_u32(*epoch);
                 e.put_u32(*new_epoch);
@@ -515,7 +558,14 @@ impl Wire for Msg {
                 dir.enc(e);
                 e.put_u32_slice(drop_pages);
             }
-            Msg::JoinInit { epoch, team, my_pid, dir, registry, alloc_slots } => {
+            Msg::JoinInit {
+                epoch,
+                team,
+                my_pid,
+                dir,
+                registry,
+                alloc_slots,
+            } => {
                 e.put_u8(JOIN_INIT);
                 e.put_u32(*epoch);
                 team.enc(e);
@@ -536,13 +586,21 @@ impl Wire for Msg {
         use tags::*;
         let tag = d.get_u8()?;
         Ok(match tag {
-            CONN_HELLO => Msg::ConnHello { from: Gpid::dec(d)? },
-            PAGE_REQ => Msg::PageReq { epoch: d.get_u32()?, page: d.get_u32()? },
+            CONN_HELLO => Msg::ConnHello {
+                from: Gpid::dec(d)?,
+            },
+            PAGE_REQ => Msg::PageReq {
+                epoch: d.get_u32()?,
+                page: d.get_u32()?,
+            },
             DIFF_REQ => {
                 let epoch = d.get_u32()?;
                 let n = d.get_u32()? as usize;
                 if n > 1 << 22 {
-                    return Err(WireError::BadLength { what: "DiffReq", len: n });
+                    return Err(WireError::BadLength {
+                        what: "DiffReq",
+                        len: n,
+                    });
                 }
                 let mut wants = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -550,14 +608,26 @@ impl Wire for Msg {
                 }
                 Msg::DiffReq { epoch, wants }
             }
-            RECORDS_REQ => Msg::RecordsReq { epoch: d.get_u32()?, vc: Vc::dec(d)? },
-            LOCK_REQ => Msg::LockReq { epoch: d.get_u32()?, lock: d.get_u32()? },
-            LOCK_RELEASE => Msg::LockRelease { epoch: d.get_u32()?, lock: d.get_u32()? },
+            RECORDS_REQ => Msg::RecordsReq {
+                epoch: d.get_u32()?,
+                vc: Vc::dec(d)?,
+            },
+            LOCK_REQ => Msg::LockReq {
+                epoch: d.get_u32()?,
+                lock: d.get_u32()?,
+            },
+            LOCK_RELEASE => Msg::LockRelease {
+                epoch: d.get_u32()?,
+                lock: d.get_u32()?,
+            },
             ACK => Msg::Ack,
             PAGE_REP => {
                 let n = d.get_u32()? as usize;
                 if n > 1 << 20 {
-                    return Err(WireError::BadLength { what: "PageRep applied", len: n });
+                    return Err(WireError::BadLength {
+                        what: "PageRep applied",
+                        len: n,
+                    });
                 }
                 let mut applied = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
@@ -565,12 +635,19 @@ impl Wire for Msg {
                 }
                 let words = d.get_u64_vec()?;
                 let redirect = Option::<Gpid>::dec(d)?;
-                Msg::PageRep { applied, words, redirect }
+                Msg::PageRep {
+                    applied,
+                    words,
+                    redirect,
+                }
             }
             DIFF_REP => {
                 let n = d.get_u32()? as usize;
                 if n > 1 << 22 {
-                    return Err(WireError::BadLength { what: "DiffRep", len: n });
+                    return Err(WireError::BadLength {
+                        what: "DiffRep",
+                        len: n,
+                    });
                 }
                 let mut diffs = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -578,8 +655,12 @@ impl Wire for Msg {
                 }
                 Msg::DiffRep { diffs }
             }
-            RECORDS_REP => Msg::RecordsRep { records: d.get_seq()? },
-            LOCK_REP => Msg::LockRep { prev: Option::<Gpid>::dec(d)? },
+            RECORDS_REP => Msg::RecordsRep {
+                records: d.get_seq()?,
+            },
+            LOCK_REP => Msg::LockRep {
+                prev: Option::<Gpid>::dec(d)?,
+            },
             FORK => Msg::Fork {
                 epoch: d.get_u32()?,
                 fork_no: d.get_u64()?,
@@ -602,14 +683,24 @@ impl Wire for Msg {
                 vc: Vc::dec(d)?,
                 records: d.get_seq()?,
             },
-            BARRIER_REP => Msg::BarrierRep { vc: Vc::dec(d)?, records: d.get_seq()? },
-            GC_QUERY => Msg::GcQuery { epoch: d.get_u32()? },
-            GC_REPORT => Msg::GcReport { pages: d.get_seq()? },
+            BARRIER_REP => Msg::BarrierRep {
+                vc: Vc::dec(d)?,
+                records: d.get_seq()?,
+            },
+            GC_QUERY => Msg::GcQuery {
+                epoch: d.get_u32()?,
+            },
+            GC_REPORT => Msg::GcReport {
+                pages: d.get_seq()?,
+            },
             GC_FETCH => {
                 let epoch = d.get_u32()?;
                 let n = d.get_u32()? as usize;
                 if n > 1 << 22 {
-                    return Err(WireError::BadLength { what: "GcFetch", len: n });
+                    return Err(WireError::BadLength {
+                        what: "GcFetch",
+                        len: n,
+                    });
                 }
                 let mut wants = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -635,9 +726,16 @@ impl Wire for Msg {
                 registry: d.get_seq()?,
                 alloc_slots: d.get_u64()?,
             },
-            READY_JOIN => Msg::ReadyJoin { gpid: Gpid::dec(d)? },
+            READY_JOIN => Msg::ReadyJoin {
+                gpid: Gpid::dec(d)?,
+            },
             TERMINATE => Msg::Terminate,
-            t => return Err(WireError::BadTag { what: "Msg", tag: t as u32 }),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "Msg",
+                    tag: t as u32,
+                })
+            }
         })
     }
 }
@@ -684,14 +782,25 @@ mod tests {
     fn all_variants_roundtrip() {
         let mut vc = Vc::new(3);
         vc.set(1, 4);
-        let rec = Record { pid: 1, seq: 4, vc: vc.clone(), pages: vec![3, 9] };
+        let rec = Record {
+            pid: 1,
+            seq: 4,
+            vc: vc.clone(),
+            pages: vec![3, 9],
+        };
         let team = Team::new(2, vec![Gpid(1), Gpid(5)]);
         let dir = DirRle::from_vec(&[Gpid(1), Gpid(1), Gpid(5)]);
         let cases = vec![
             Msg::ConnHello { from: Gpid(9) },
             Msg::PageReq { epoch: 1, page: 7 },
-            Msg::DiffReq { epoch: 1, wants: vec![(7, 2), (8, 1)] },
-            Msg::RecordsReq { epoch: 1, vc: vc.clone() },
+            Msg::DiffReq {
+                epoch: 1,
+                wants: vec![(7, 2), (8, 1)],
+            },
+            Msg::RecordsReq {
+                epoch: 1,
+                vc: vc.clone(),
+            },
             Msg::LockReq { epoch: 1, lock: 3 },
             Msg::LockRelease { epoch: 1, lock: 3 },
             Msg::Ack,
@@ -700,12 +809,29 @@ mod tests {
                 words: vec![1, 2, 3],
                 redirect: None,
             },
-            Msg::PageRep { applied: vec![], words: vec![], redirect: Some(Gpid(4)) },
-            Msg::DiffRep {
-                diffs: vec![(7, 2, Diff { runs: vec![DiffRun { start: 1, words: vec![42] }] })],
+            Msg::PageRep {
+                applied: vec![],
+                words: vec![],
+                redirect: Some(Gpid(4)),
             },
-            Msg::RecordsRep { records: vec![rec.clone()] },
-            Msg::LockRep { prev: Some(Gpid(2)) },
+            Msg::DiffRep {
+                diffs: vec![(
+                    7,
+                    2,
+                    Diff {
+                        runs: vec![DiffRun {
+                            start: 1,
+                            words: vec![42],
+                        }],
+                    },
+                )],
+            },
+            Msg::RecordsRep {
+                records: vec![rec.clone()],
+            },
+            Msg::LockRep {
+                prev: Some(Gpid(2)),
+            },
             Msg::Fork {
                 epoch: 1,
                 fork_no: 10,
@@ -722,16 +848,39 @@ mod tests {
                 }],
                 alloc_slots: 1024,
             },
-            Msg::JoinArrive { epoch: 1, pid: 2, vc: vc.clone(), records: vec![] },
-            Msg::BarrierArrive { epoch: 1, pid: 2, vc: vc.clone(), records: vec![rec.clone()] },
-            Msg::BarrierRep { vc: vc.clone(), records: vec![rec.clone()] },
+            Msg::JoinArrive {
+                epoch: 1,
+                pid: 2,
+                vc: vc.clone(),
+                records: vec![],
+            },
+            Msg::BarrierArrive {
+                epoch: 1,
+                pid: 2,
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+            },
+            Msg::BarrierRep {
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+            },
             Msg::GcQuery { epoch: 1 },
             Msg::GcReport {
-                pages: vec![PageApplied { page: 3, applied: vec![(0, 1)] }],
+                pages: vec![PageApplied {
+                    page: 3,
+                    applied: vec![(0, 1)],
+                }],
             },
             Msg::GcFetch {
                 epoch: 1,
-                wants: vec![(3, vec![Wn { pid: 0, seq: 1, vcsum: 1 }])],
+                wants: vec![(
+                    3,
+                    vec![Wn {
+                        pid: 0,
+                        seq: 1,
+                        vcsum: 1,
+                    }],
+                )],
             },
             Msg::Commit {
                 epoch: 1,

@@ -26,13 +26,17 @@ impl PageBuf {
     pub fn new(slots: usize) -> Self {
         let mut v = Vec::with_capacity(slots);
         v.resize_with(slots, || AtomicU64::new(0));
-        PageBuf { words: v.into_boxed_slice() }
+        PageBuf {
+            words: v.into_boxed_slice(),
+        }
     }
 
     /// Page initialized from a word slice.
     pub fn from_words(words: &[u64]) -> Self {
         let v: Vec<AtomicU64> = words.iter().map(|&w| AtomicU64::new(w)).collect();
-        PageBuf { words: v.into_boxed_slice() }
+        PageBuf {
+            words: v.into_boxed_slice(),
+        }
     }
 
     /// Number of 8-byte slots.
@@ -54,7 +58,10 @@ impl PageBuf {
 
     /// Word-atomic snapshot of the whole page.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Overwrite the whole page from `words` (must match in length).
@@ -149,7 +156,11 @@ impl PageMeta {
 
     /// Write notices still unapplied given the `applied` clock.
     pub fn unapplied(&self) -> Vec<Wn> {
-        self.pending.iter().copied().filter(|w| w.seq > self.applied.get(w.pid)).collect()
+        self.pending
+            .iter()
+            .copied()
+            .filter(|w| w.seq > self.applied.get(w.pid))
+            .collect()
     }
 
     /// Record a write notice (idempotent).
@@ -157,7 +168,11 @@ impl PageMeta {
         if wn.seq <= self.applied.get(wn.pid) {
             return; // already reflected
         }
-        if self.pending.iter().any(|w| w.pid == wn.pid && w.seq == wn.seq) {
+        if self
+            .pending
+            .iter()
+            .any(|w| w.pid == wn.pid && w.seq == wn.seq)
+        {
             return;
         }
         self.pending.push(wn);
@@ -232,9 +247,21 @@ mod tests {
     #[test]
     fn wn_bookkeeping() {
         let mut m = PageMeta::new(Gpid(1));
-        m.push_wn(Wn { pid: 1, seq: 2, vcsum: 5 });
-        m.push_wn(Wn { pid: 1, seq: 2, vcsum: 5 }); // dup ignored
-        m.push_wn(Wn { pid: 2, seq: 1, vcsum: 3 });
+        m.push_wn(Wn {
+            pid: 1,
+            seq: 2,
+            vcsum: 5,
+        });
+        m.push_wn(Wn {
+            pid: 1,
+            seq: 2,
+            vcsum: 5,
+        }); // dup ignored
+        m.push_wn(Wn {
+            pid: 2,
+            seq: 1,
+            vcsum: 3,
+        });
         assert_eq!(m.pending.len(), 2);
         m.applied.set(1, 2);
         assert_eq!(m.unapplied().len(), 1);
@@ -242,7 +269,11 @@ mod tests {
         assert_eq!(m.pending.len(), 1);
         assert_eq!(m.pending[0].pid, 2);
         // A WN already covered by `applied` is dropped on arrival.
-        m.push_wn(Wn { pid: 1, seq: 1, vcsum: 1 });
+        m.push_wn(Wn {
+            pid: 1,
+            seq: 1,
+            vcsum: 1,
+        });
         assert_eq!(m.pending.len(), 1);
     }
 }

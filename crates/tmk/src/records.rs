@@ -99,7 +99,11 @@ impl RecordStore {
     /// Records the holder of clock `vc` has not seen (i.e. `seq >
     /// vc[pid]`). This is exactly the set a lock releaser must forward.
     pub fn newer_than(&self, vc: &Vc) -> Vec<Record> {
-        self.records.iter().filter(|r| r.seq > vc.get(r.pid)).cloned().collect()
+        self.records
+            .iter()
+            .filter(|r| r.seq > vc.get(r.pid))
+            .cloned()
+            .collect()
     }
 
     /// Drop everything (garbage collection).
@@ -127,7 +131,12 @@ mod tests {
     fn rec(pid: Pid, seq: Seq, pages: &[PageId]) -> Record {
         let mut vc = Vc::new(4);
         vc.set(pid, seq);
-        Record { pid, seq, vc, pages: pages.to_vec() }
+        Record {
+            pid,
+            seq,
+            vc,
+            pages: pages.to_vec(),
+        }
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub fn service_loop(
             // Forward to the application thread; if it has exited (post
             // Terminate), drop silently — late control traffic is
             // possible during teardown.
-            let _ = ctrl_tx.send(Ctrl { msg, src: inc.src, replier: inc.replier });
+            let _ = ctrl_tx.send(Ctrl {
+                msg,
+                src: inc.src,
+                replier: inc.replier,
+            });
             continue;
         }
         match msg {
@@ -58,7 +62,9 @@ pub fn service_loop(
                     debug_assert_eq!(epoch, c.epoch(), "PageReq from wrong epoch");
                     c.serve_page(page)
                 };
-                inc.replier.expect("PageReq is a request").reply(rep.to_bytes());
+                inc.replier
+                    .expect("PageReq is a request")
+                    .reply(rep.to_bytes());
             }
             Msg::DiffReq { epoch, wants } => {
                 let rep = {
@@ -66,7 +72,9 @@ pub fn service_loop(
                     debug_assert_eq!(epoch, c.epoch(), "DiffReq from wrong epoch");
                     c.serve_diffs(&wants)
                 };
-                inc.replier.expect("DiffReq is a request").reply(rep.to_bytes());
+                inc.replier
+                    .expect("DiffReq is a request")
+                    .reply(rep.to_bytes());
             }
             Msg::RecordsReq { epoch, vc } => {
                 let rep = {
@@ -74,7 +82,9 @@ pub fn service_loop(
                     debug_assert_eq!(epoch, c.epoch(), "RecordsReq from wrong epoch");
                     c.serve_records(&vc)
                 };
-                inc.replier.expect("RecordsReq is a request").reply(rep.to_bytes());
+                inc.replier
+                    .expect("RecordsReq is a request")
+                    .reply(rep.to_bytes());
             }
             Msg::LockReq { epoch, lock } => {
                 let replier = inc.replier.expect("LockReq is a request");
@@ -122,11 +132,19 @@ mod tests {
     fn spawn_proc(
         net: &Network,
         host: u16,
-    ) -> (Arc<Endpoint>, Arc<Mutex<ProcCore>>, crossbeam_channel::Receiver<Ctrl>, Gpid) {
+    ) -> (
+        Arc<Endpoint>,
+        Arc<Mutex<ProcCore>>,
+        crossbeam_channel::Receiver<Ctrl>,
+        Gpid,
+    ) {
         let ep = Arc::new(net.register(HostId(host)));
         let gpid = ep.gpid();
         let core = Arc::new(Mutex::new(ProcCore::new(
-            DsmConfig { page_size: 64, ..DsmConfig::test_small() },
+            DsmConfig {
+                page_size: 64,
+                ..DsmConfig::test_small()
+            },
             gpid,
             DsmStats::new_shared(),
             gpid,
@@ -155,8 +173,13 @@ mod tests {
             buf.store(2, 1234);
         }
         // B fetches it through the wire.
-        let rep = ep_b.call(gpid_a, Msg::PageReq { epoch: 0, page: 0 }.to_bytes()).unwrap();
-        let Msg::PageRep { words, redirect, .. } = Msg::from_wire(&rep).unwrap() else {
+        let rep = ep_b
+            .call(gpid_a, Msg::PageReq { epoch: 0, page: 0 }.to_bytes())
+            .unwrap();
+        let Msg::PageRep {
+            words, redirect, ..
+        } = Msg::from_wire(&rep).unwrap()
+        else {
             panic!()
         };
         assert!(redirect.is_none());
@@ -173,8 +196,11 @@ mod tests {
         let (_ep_a, _core_a, rx_a, gpid_a) = spawn_proc(&net, 0);
         let (ep_b, _core_b, _rx_b, gpid_b) = spawn_proc(&net, 1);
 
-        ep_b.send(gpid_a, Msg::ReadyJoin { gpid: gpid_b }.to_bytes()).unwrap();
-        let ctrl = rx_a.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        ep_b.send(gpid_a, Msg::ReadyJoin { gpid: gpid_b }.to_bytes())
+            .unwrap();
+        let ctrl = rx_a
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
         assert!(matches!(ctrl.msg, Msg::ReadyJoin { .. }));
         assert_eq!(ctrl.src, gpid_b);
         assert!(ctrl.replier.is_none());
@@ -187,18 +213,23 @@ mod tests {
         let (ep_b, _core_b, _rx_b, _g) = spawn_proc(&net, 1);
 
         // First acquire: immediate grant, no previous holder.
-        let rep = ep_b.call(mgr_gpid, Msg::LockReq { epoch: 0, lock: 3 }.to_bytes()).unwrap();
+        let rep = ep_b
+            .call(mgr_gpid, Msg::LockReq { epoch: 0, lock: 3 }.to_bytes())
+            .unwrap();
         assert_eq!(Msg::from_wire(&rep).unwrap(), Msg::LockRep { prev: None });
 
         // Contended acquire from another proc: grant arrives only after release.
         let net2 = net.clone();
         let waiter = std::thread::spawn(move || {
             let ep_c = net2.register(HostId(1));
-            let rep = ep_c.call(mgr_gpid, Msg::LockReq { epoch: 0, lock: 3 }.to_bytes()).unwrap();
+            let rep = ep_c
+                .call(mgr_gpid, Msg::LockReq { epoch: 0, lock: 3 }.to_bytes())
+                .unwrap();
             Msg::from_wire(&rep).unwrap()
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
-        ep_b.send(mgr_gpid, Msg::LockRelease { epoch: 0, lock: 3 }.to_bytes()).unwrap();
+        ep_b.send(mgr_gpid, Msg::LockRelease { epoch: 0, lock: 3 }.to_bytes())
+            .unwrap();
         let granted = waiter.join().unwrap();
         match granted {
             Msg::LockRep { prev } => assert_eq!(prev, Some(ep_b.gpid())),
@@ -227,10 +258,16 @@ mod tests {
         let rep = ep_b
             .call(
                 gpid_a,
-                Msg::RecordsReq { epoch: 0, vc: crate::types::Vc::new(2) }.to_bytes(),
+                Msg::RecordsReq {
+                    epoch: 0,
+                    vc: crate::types::Vc::new(2),
+                }
+                .to_bytes(),
             )
             .unwrap();
-        let Msg::RecordsRep { records } = Msg::from_wire(&rep).unwrap() else { panic!() };
+        let Msg::RecordsRep { records } = Msg::from_wire(&rep).unwrap() else {
+            panic!()
+        };
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].pages, vec![0]);
     }

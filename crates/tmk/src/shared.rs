@@ -23,12 +23,17 @@ impl SharedF64Vec {
     /// View a registry entry as an `f64` vector.
     pub fn from_entry(e: &RegEntry) -> Self {
         debug_assert_eq!(e.kind, ElemKind::F64);
-        SharedF64Vec { addr: e.addr, len: e.len }
+        SharedF64Vec {
+            addr: e.addr,
+            len: e.len,
+        }
     }
 
     /// Resolve by name through the context's registry.
     pub fn lookup(ctx: &TmkCtx, name: &str) -> Self {
-        let e = ctx.handle(name).unwrap_or_else(|| panic!("no shared allocation {name:?}"));
+        let e = ctx
+            .handle(name)
+            .unwrap_or_else(|| panic!("no shared allocation {name:?}"));
         Self::from_entry(&e)
     }
 
@@ -45,14 +50,22 @@ impl SharedF64Vec {
     /// Read element `i`.
     #[inline]
     pub fn get(&self, ctx: &mut TmkCtx, i: usize) -> f64 {
-        debug_assert!((i as u64) < self.len, "index {i} out of bounds {}", self.len);
+        debug_assert!(
+            (i as u64) < self.len,
+            "index {i} out of bounds {}",
+            self.len
+        );
         ctx.read_f64(self.addr + i as u64)
     }
 
     /// Write element `i`.
     #[inline]
     pub fn set(&self, ctx: &mut TmkCtx, i: usize, v: f64) {
-        debug_assert!((i as u64) < self.len, "index {i} out of bounds {}", self.len);
+        debug_assert!(
+            (i as u64) < self.len,
+            "index {i} out of bounds {}",
+            self.len
+        );
         ctx.write_f64(self.addr + i as u64, v);
     }
 
@@ -83,7 +96,10 @@ impl Wire for SharedF64Vec {
         e.put_u64(self.len);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(SharedF64Vec { addr: d.get_u64()?, len: d.get_u64()? })
+        Ok(SharedF64Vec {
+            addr: d.get_u64()?,
+            len: d.get_u64()?,
+        })
     }
 }
 
@@ -103,12 +119,18 @@ impl SharedF64Mat {
     pub fn from_entry(e: &RegEntry, rows: u64, cols: u64) -> Self {
         debug_assert_eq!(e.kind, ElemKind::F64);
         debug_assert!(rows * cols <= e.len, "shape exceeds allocation");
-        SharedF64Mat { addr: e.addr, rows, cols }
+        SharedF64Mat {
+            addr: e.addr,
+            rows,
+            cols,
+        }
     }
 
     /// Resolve by name; the allocation length must equal `rows * cols`.
     pub fn lookup(ctx: &TmkCtx, name: &str, rows: u64, cols: u64) -> Self {
-        let e = ctx.handle(name).unwrap_or_else(|| panic!("no shared allocation {name:?}"));
+        let e = ctx
+            .handle(name)
+            .unwrap_or_else(|| panic!("no shared allocation {name:?}"));
         Self::from_entry(&e, rows, cols)
     }
 
@@ -151,7 +173,11 @@ impl Wire for SharedF64Mat {
         e.put_u64(self.cols);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(SharedF64Mat { addr: d.get_u64()?, rows: d.get_u64()?, cols: d.get_u64()? })
+        Ok(SharedF64Mat {
+            addr: d.get_u64()?,
+            rows: d.get_u64()?,
+            cols: d.get_u64()?,
+        })
     }
 }
 
@@ -168,12 +194,17 @@ impl SharedU64Vec {
     /// View a registry entry as a `u64` vector.
     pub fn from_entry(e: &RegEntry) -> Self {
         debug_assert_eq!(e.kind, ElemKind::U64);
-        SharedU64Vec { addr: e.addr, len: e.len }
+        SharedU64Vec {
+            addr: e.addr,
+            len: e.len,
+        }
     }
 
     /// Resolve by name through the context's registry.
     pub fn lookup(ctx: &TmkCtx, name: &str) -> Self {
-        let e = ctx.handle(name).unwrap_or_else(|| panic!("no shared allocation {name:?}"));
+        let e = ctx
+            .handle(name)
+            .unwrap_or_else(|| panic!("no shared allocation {name:?}"));
         Self::from_entry(&e)
     }
 
@@ -220,7 +251,10 @@ impl Wire for SharedU64Vec {
         e.put_u64(self.len);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(SharedU64Vec { addr: d.get_u64()?, len: d.get_u64()? })
+        Ok(SharedU64Vec {
+            addr: d.get_u64()?,
+            len: d.get_u64()?,
+        })
     }
 }
 
@@ -239,7 +273,10 @@ mod tests {
         let ep = Arc::new(net.register(HostId(0)));
         let gpid = ep.gpid();
         let core = Arc::new(Mutex::new(ProcCore::new(
-            DsmConfig { page_size: 64, ..DsmConfig::test_small() },
+            DsmConfig {
+                page_size: 64,
+                ..DsmConfig::test_small()
+            },
             gpid,
             DsmStats::new_shared(),
             gpid,
@@ -275,7 +312,11 @@ mod tests {
     #[test]
     fn mat_rows_and_cells() {
         let mut c = ctx();
-        let m = SharedF64Mat { addr: 0, rows: 5, cols: 7 };
+        let m = SharedF64Mat {
+            addr: 0,
+            rows: 5,
+            cols: 7,
+        };
         for r in 0..5 {
             for col in 0..7 {
                 m.set(&mut c, r, col, (r * 10 + col) as f64);
@@ -305,7 +346,11 @@ mod tests {
     fn wire_roundtrips() {
         let v = SharedF64Vec { addr: 5, len: 10 };
         assert_eq!(SharedF64Vec::from_wire(&v.to_wire()).unwrap(), v);
-        let m = SharedF64Mat { addr: 1, rows: 2, cols: 3 };
+        let m = SharedF64Mat {
+            addr: 1,
+            rows: 2,
+            cols: 3,
+        };
         assert_eq!(SharedF64Mat::from_wire(&m.to_wire()).unwrap(), m);
         let u = SharedU64Vec { addr: 0, len: 4 };
         assert_eq!(SharedU64Vec::from_wire(&u.to_wire()).unwrap(), u);

@@ -26,7 +26,10 @@ pub struct Allocator {
 impl Allocator {
     /// Allocator for a page size of `slots_per_page` slots.
     pub fn new(slots_per_page: usize) -> Self {
-        Allocator { slots_per_page, next_slot: 0 }
+        Allocator {
+            slots_per_page,
+            next_slot: 0,
+        }
     }
 
     /// Allocate `len` slots, page-aligned; returns the base address.
@@ -70,9 +73,18 @@ impl Registry {
     /// Publish an allocation under `name`. Panics on duplicate names
     /// (application bug).
     pub fn publish(&mut self, name: &str, addr: Addr, len: u64, kind: ElemKind) -> RegEntry {
-        assert!(!self.by_name.contains_key(name), "registry name {name:?} already published");
+        assert!(
+            !self.by_name.contains_key(name),
+            "registry name {name:?} already published"
+        );
         self.version += 1;
-        let entry = RegEntry { name: name.to_owned(), addr, len, kind, ver: self.version };
+        let entry = RegEntry {
+            name: name.to_owned(),
+            addr,
+            len,
+            kind,
+            ver: self.version,
+        };
         self.by_name.insert(name.to_owned(), self.entries.len());
         self.entries.push(entry.clone());
         entry
@@ -90,7 +102,11 @@ impl Registry {
 
     /// Entries newer than `since` (fork delta payload).
     pub fn delta_since(&self, since: u32) -> Vec<RegEntry> {
-        self.entries.iter().filter(|e| e.ver > since).cloned().collect()
+        self.entries
+            .iter()
+            .filter(|e| e.ver > since)
+            .cloned()
+            .collect()
     }
 
     /// All entries (join payload).

@@ -128,7 +128,11 @@ impl DsmSystem {
             self.threads.lock().push(h);
         }
         let ctrl = Arc::new(Mutex::new(CtrlBuf::new(ctrl_rx)));
-        let ctx = TmkCtx::new(Arc::clone(&core), Arc::clone(&endpoint), Some(Arc::clone(&ctrl)));
+        let ctx = TmkCtx::new(
+            Arc::clone(&core),
+            Arc::clone(&endpoint),
+            Some(Arc::clone(&ctrl)),
+        );
         let spp = self.cfg.slots_per_page();
         MasterCtl {
             sys: Arc::clone(self),
@@ -149,12 +153,7 @@ impl DsmSystem {
     /// (existing processes), announces readiness to `master`, then waits
     /// for `JoinInit` — the asynchronous connection setup of §4.1 that
     /// overlaps the ongoing computation.
-    pub fn spawn_worker(
-        self: &Arc<Self>,
-        host: HostId,
-        master: Gpid,
-        hello_to: Vec<Gpid>,
-    ) -> Gpid {
+    pub fn spawn_worker(self: &Arc<Self>, host: HostId, master: Gpid, hello_to: Vec<Gpid>) -> Gpid {
         let endpoint = Arc::new(self.net.register(host));
         let gpid = endpoint.gpid();
         let core = Arc::new(Mutex::new(ProcCore::new(
@@ -222,7 +221,14 @@ fn worker_main(
             Err(_) => break, // system torn down
         };
         match c.msg {
-            Msg::JoinInit { epoch, team, my_pid, dir, registry, alloc_slots } => {
+            Msg::JoinInit {
+                epoch,
+                team,
+                my_pid,
+                dir,
+                registry,
+                alloc_slots,
+            } => {
                 {
                     let mut pc = core.lock();
                     pc.registry = Registry::new();
@@ -230,7 +236,8 @@ fn worker_main(
                     let dirv = dir.to_vec();
                     let spp = pc.cfg.slots_per_page();
                     pc.ensure_pages(
-                        dirv.len().max(nowmp_util::div_ceil(alloc_slots as usize, spp)),
+                        dirv.len()
+                            .max(nowmp_util::div_ceil(alloc_slots as usize, spp)),
                     );
                     let n = team.members.len();
                     assert_eq!(team.epoch, epoch, "JoinInit team/epoch mismatch");
@@ -248,7 +255,16 @@ fn worker_main(
                     r.reply(Msg::Ack.to_bytes());
                 }
             }
-            Msg::Fork { epoch, region, params, vc, records, registry_delta, alloc_slots, .. } => {
+            Msg::Fork {
+                epoch,
+                region,
+                params,
+                vc,
+                records,
+                registry_delta,
+                alloc_slots,
+                ..
+            } => {
                 {
                     let mut pc = core.lock();
                     assert_eq!(epoch, pc.epoch(), "Fork from wrong epoch");
@@ -269,7 +285,13 @@ fn worker_main(
                 };
                 let _ = endpoint.send(
                     ctx.team().master(),
-                    Msg::JoinArrive { epoch, pid, vc, records }.to_bytes(),
+                    Msg::JoinArrive {
+                        epoch,
+                        pid,
+                        vc,
+                        records,
+                    }
+                    .to_bytes(),
                 );
                 ctx.sync_reset();
             }
@@ -294,16 +316,27 @@ fn worker_main(
                     ctx.ensure_page(*page, false);
                     DsmStats::bump(&sys.stats.gc_fetch_pages);
                 }
-                c.replier.expect("GcFetch is a request").reply(Msg::Ack.to_bytes());
+                c.replier
+                    .expect("GcFetch is a request")
+                    .reply(Msg::Ack.to_bytes());
             }
-            Msg::Commit { epoch, new_epoch, team, my_pid, dir, drop_pages } => {
+            Msg::Commit {
+                epoch,
+                new_epoch,
+                team,
+                my_pid,
+                dir,
+                drop_pages,
+            } => {
                 {
                     let mut pc = core.lock();
                     assert_eq!(epoch, pc.epoch(), "Commit from wrong epoch");
                     pc.gc_commit(new_epoch, team, my_pid, &dir.to_vec(), &drop_pages);
                 }
                 ctx.sync_reset();
-                c.replier.expect("Commit is a request").reply(Msg::Ack.to_bytes());
+                c.replier
+                    .expect("Commit is a request")
+                    .reply(Msg::Ack.to_bytes());
             }
             Msg::Terminate => {
                 sys.net.unregister(gpid);
@@ -397,7 +430,9 @@ impl MasterCtl {
             let c = self
                 .ctrl
                 .lock()
-                .recv_where(self.call_timeout, |c| matches!(c.msg, Msg::ReadyJoin { .. }))
+                .recv_where(self.call_timeout, |c| {
+                    matches!(c.msg, Msg::ReadyJoin { .. })
+                })
                 .expect("worker never became ready");
             if let Msg::ReadyJoin { gpid } = c.msg {
                 pending.remove(&gpid);
@@ -413,8 +448,12 @@ impl MasterCtl {
             c.my_pid = 0;
             c.team = team.clone();
         }
-        let (registry, alloc_slots) =
-            { (self.core.lock().registry.full(), self.allocator.allocated_slots()) };
+        let (registry, alloc_slots) = {
+            (
+                self.core.lock().registry.full(),
+                self.allocator.allocated_slots(),
+            )
+        };
         self.sent_reg_ver = registry.iter().map(|e| e.ver).max().unwrap_or(0);
         for (i, &w) in workers.iter().enumerate() {
             let msg = Msg::JoinInit {
@@ -492,9 +531,10 @@ impl MasterCtl {
             let c = self
                 .ctrl
                 .lock()
-                .recv_where(self.call_timeout, |c| {
-                    matches!(&c.msg, Msg::JoinArrive { epoch: e, .. } if *e == epoch)
-                })
+                .recv_where(
+                    self.call_timeout,
+                    |c| matches!(&c.msg, Msg::JoinArrive { epoch: e, .. } if *e == epoch),
+                )
                 .expect("join arrival lost");
             if let Msg::JoinArrive { vc, records, .. } = c.msg {
                 let mut pc = self.core.lock();
@@ -531,9 +571,10 @@ impl MasterCtl {
     pub fn wait_ready(&mut self, gpid: Gpid) {
         self.ctrl
             .lock()
-            .recv_where(self.call_timeout, |c| {
-                matches!(c.msg, Msg::ReadyJoin { gpid: g } if g == gpid)
-            })
+            .recv_where(
+                self.call_timeout,
+                |c| matches!(c.msg, Msg::ReadyJoin { gpid: g } if g == gpid),
+            )
             .expect("spawned process never became ready");
     }
 
@@ -576,8 +617,15 @@ impl MasterCtl {
             Some(survivors) => LeaveSink::Scatter(survivors),
             None => LeaveSink::ViaMaster,
         };
-        let plan: GcPlan =
-            compute_gc_plan(total, &writes, &reports, &self.dir, avoid, self.gpid(), sink);
+        let plan: GcPlan = compute_gc_plan(
+            total,
+            &writes,
+            &reports,
+            &self.dir,
+            avoid,
+            self.gpid(),
+            sink,
+        );
         // Step 3: completion fetches (slaves first, then our own).
         let mut fetch_pages: HashMap<Gpid, usize> = HashMap::new();
         for (g, wants) in &plan.fetches {
@@ -593,14 +641,25 @@ impl MasterCtl {
                     DsmStats::bump(&self.sys.stats.gc_fetch_pages);
                 }
             } else {
-                match self.call_msg(*g, &Msg::GcFetch { epoch, wants: wants.clone() }) {
+                match self.call_msg(
+                    *g,
+                    &Msg::GcFetch {
+                        epoch,
+                        wants: wants.clone(),
+                    },
+                ) {
                     Msg::Ack => {}
                     other => panic!("unexpected GcFetch reply: {other:?}"),
                 }
             }
         }
         self.dir = plan.dir.clone();
-        GcOutcome { dir: plan.dir, complete: plan.complete, drops: plan.drops, fetch_pages }
+        GcOutcome {
+            dir: plan.dir,
+            complete: plan.complete,
+            drops: plan.drops,
+            fetch_pages,
+        }
     }
 
     /// Commit a new team after [`Self::run_gc`]: survivors get
@@ -638,8 +697,12 @@ impl MasterCtl {
             }
         }
         // Joiners: in the new team but not the old.
-        let (registry, alloc_slots) =
-            { (self.core.lock().registry.full(), self.allocator.allocated_slots()) };
+        let (registry, alloc_slots) = {
+            (
+                self.core.lock().registry.full(),
+                self.allocator.allocated_slots(),
+            )
+        };
         for &g in &new_members {
             if g == self.gpid() || old_set.contains(&g) {
                 continue;
@@ -678,7 +741,11 @@ impl MasterCtl {
     /// Number of team members whose gpid appears as sole complete
     /// holder — diagnostic for leave-cost analysis.
     pub fn sole_holder_pages(outcome: &GcOutcome, g: Gpid) -> usize {
-        outcome.complete.iter().filter(|c| c.len() == 1 && c[0] == g).count()
+        outcome
+            .complete
+            .iter()
+            .filter(|c| c.len() == 1 && c[0] == g)
+            .count()
     }
 
     /// Bring every allocated page into the master's memory (checkpoint
@@ -723,21 +790,24 @@ impl MasterCtl {
     /// Estimated process-image size of `gpid` in bytes (valid pages +
     /// metadata), for migration cost accounting.
     pub fn resident_image_bytes(&self, gpid: Gpid) -> usize {
-        let Some(core) = self.sys.core_of(gpid) else { return 0 };
+        let Some(core) = self.sys.core_of(gpid) else {
+            return 0;
+        };
         let c = core.lock();
-        let page_bytes: usize = c
-            .pages
-            .iter()
-            .filter(|m| m.data.is_some())
-            .count()
-            * c.cfg.page_size;
+        let page_bytes: usize =
+            c.pages.iter().filter(|m| m.data.is_some()).count() * c.cfg.page_size;
         // Stack + heap metadata estimate (libckpt also writes those).
         page_bytes + 256 * 1024
     }
 
     /// Count of the master's currently valid pages (diagnostics).
     pub fn master_valid_pages(&self) -> usize {
-        self.core.lock().pages.iter().filter(|m| m.state != PageState::Invalid).count()
+        self.core
+            .lock()
+            .pages
+            .iter()
+            .filter(|m| m.state != PageState::Invalid)
+            .count()
     }
 
     /// Gracefully shut the system down: terminate every slave, then

@@ -160,7 +160,10 @@ impl Team {
 
     /// Pid of `gpid`, if a member.
     pub fn pid_of(&self, gpid: Gpid) -> Option<Pid> {
-        self.members.iter().position(|&g| g == gpid).map(|i| i as Pid)
+        self.members
+            .iter()
+            .position(|&g| g == gpid)
+            .map(|i| i as Pid)
     }
 
     /// The master's gpid.
@@ -181,7 +184,10 @@ impl Wire for Team {
         e.put_seq(&self.members);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(Team { epoch: d.get_u32()?, members: d.get_seq()? })
+        Ok(Team {
+            epoch: d.get_u32()?,
+            members: d.get_seq()?,
+        })
     }
 }
 

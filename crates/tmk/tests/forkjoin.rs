@@ -78,7 +78,10 @@ fn bring_up(nprocs: usize, n: usize) -> (Arc<DsmSystem>, MasterCtl, Vec<Gpid>) {
     let net = Network::new(nprocs.max(2), 1, NetModel::disabled());
     let sys = DsmSystem::new(
         net,
-        DsmConfig { page_size: 256, ..DsmConfig::test_small() },
+        DsmConfig {
+            page_size: 256,
+            ..DsmConfig::test_small()
+        },
         Arc::new(TestApp { n }),
     );
     let mut master = sys.start_master(HostId(0));
@@ -190,7 +193,11 @@ fn master_sequential_writes_reach_slaves() {
         master.parallel(R_SCALE, &[]);
         let got = read_all(&mut master, "v", n);
         for i in 0..n {
-            assert_eq!(got[i], 2.0 * (round * 100 + i) as f64, "round {round} element {i}");
+            assert_eq!(
+                got[i],
+                2.0 * (round * 100 + i) as f64,
+                "round {round} element {i}"
+            );
         }
     }
     master.shutdown();
@@ -329,7 +336,10 @@ fn checkpoint_image_roundtrip_through_fresh_system() {
     let net = Network::new(2, 1, NetModel::disabled());
     let sys2 = DsmSystem::new(
         net,
-        DsmConfig { page_size: 256, ..DsmConfig::test_small() },
+        DsmConfig {
+            page_size: 256,
+            ..DsmConfig::test_small()
+        },
         Arc::new(TestApp { n }),
     );
     let mut master2 = sys2.start_master(HostId(0));

@@ -84,7 +84,10 @@ impl RegionRunner for Stress {
 
 fn system(procs: usize, n: usize, rounds: usize, lazy: bool) -> MasterCtl {
     let net = Network::new(procs, 1, NetModel::disabled());
-    let mut cfg = DsmConfig { page_size: 256, ..DsmConfig::test_small() };
+    let mut cfg = DsmConfig {
+        page_size: 256,
+        ..DsmConfig::test_small()
+    };
     cfg.lazy_diffs = lazy;
     let sys = DsmSystem::new(net, cfg, Arc::new(Stress { n, rounds }));
     let mut master = sys.start_master(HostId(0));
@@ -200,7 +203,10 @@ fn gc_threshold_triggers_automatically() {
     // Tiny GC threshold: the runtime must GC on its own at adaptation
     // points once diffs accumulate (TreadMarks' memory exhaustion).
     let net = Network::new(3, 1, NetModel::disabled());
-    let mut cfg = DsmConfig { page_size: 256, ..DsmConfig::test_small() };
+    let mut cfg = DsmConfig {
+        page_size: 256,
+        ..DsmConfig::test_small()
+    };
     cfg.gc_diff_threshold = 512; // bytes — absurdly small
     let sys = DsmSystem::new(net, cfg, Arc::new(Stress { n: 64, rounds: 4 }));
     let mut master = sys.start_master(HostId(0));

@@ -32,7 +32,12 @@ pub struct Permit {
 impl Semaphore {
     /// Create a semaphore with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
-        Semaphore { inner: Arc::new(Inner { permits: Mutex::new(permits), cv: Condvar::new() }) }
+        Semaphore {
+            inner: Arc::new(Inner {
+                permits: Mutex::new(permits),
+                cv: Condvar::new(),
+            }),
+        }
     }
 
     /// Block until a permit is available, then take it.
@@ -42,7 +47,9 @@ impl Semaphore {
             self.inner.cv.wait(&mut p);
         }
         *p -= 1;
-        Permit { inner: Arc::clone(&self.inner) }
+        Permit {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Take a permit if one is available without blocking.
@@ -52,7 +59,9 @@ impl Semaphore {
             None
         } else {
             *p -= 1;
-            Some(Permit { inner: Arc::clone(&self.inner) })
+            Some(Permit {
+                inner: Arc::clone(&self.inner),
+            })
         }
     }
 
@@ -66,7 +75,9 @@ impl Semaphore {
             }
         }
         *p -= 1;
-        Some(Permit { inner: Arc::clone(&self.inner) })
+        Some(Permit {
+            inner: Arc::clone(&self.inner),
+        })
     }
 
     /// Add `n` permits (e.g. a host gaining CPU slots).
@@ -86,7 +97,9 @@ impl Semaphore {
 
 impl Clone for Semaphore {
     fn clone(&self) -> Self {
-        Semaphore { inner: Arc::clone(&self.inner) }
+        Semaphore {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -127,7 +140,11 @@ mod tests {
             f2.store(1, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(flag.load(Ordering::SeqCst), 0, "acquire should still be blocked");
+        assert_eq!(
+            flag.load(Ordering::SeqCst),
+            0,
+            "acquire should still be blocked"
+        );
         drop(p);
         h.join().unwrap();
         assert_eq!(flag.load(Ordering::SeqCst), 1);
@@ -162,7 +179,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "only one holder at a time");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "only one holder at a time"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { needed, remaining } => {
-                write!(f, "truncated wire data: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "truncated wire data: needed {needed} bytes, {remaining} remain"
+                )
             }
             WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
             WireError::BadLength { what, len } => write!(f, "bad {what} length {len}"),
@@ -73,7 +76,9 @@ impl Enc {
 
     /// New encoder with a capacity hint (avoids reallocation on hot paths).
     pub fn with_capacity(cap: usize) -> Self {
-        Enc { buf: Vec::with_capacity(cap) }
+        Enc {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of bytes encoded so far.
@@ -225,7 +230,10 @@ impl<'a> Dec<'a> {
     #[inline]
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -262,7 +270,9 @@ impl<'a> Dec<'a> {
     #[inline]
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         let s = self.take(8)?;
-        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
     }
 
     /// Read a little-endian `i64`.
@@ -292,7 +302,10 @@ impl<'a> Dec<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.get_u32()? as usize;
         if n > self.remaining() {
-            return Err(WireError::BadLength { what: "bytes", len: n });
+            return Err(WireError::BadLength {
+                what: "bytes",
+                len: n,
+            });
         }
         self.take(n)
     }
@@ -306,7 +319,10 @@ impl<'a> Dec<'a> {
     pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
         let n = self.get_u32()? as usize;
         if n.saturating_mul(4) > self.remaining() {
-            return Err(WireError::BadLength { what: "u32 vec", len: n });
+            return Err(WireError::BadLength {
+                what: "u32 vec",
+                len: n,
+            });
         }
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
@@ -319,7 +335,10 @@ impl<'a> Dec<'a> {
     pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
         let n = self.get_u32()? as usize;
         if n.saturating_mul(8) > self.remaining() {
-            return Err(WireError::BadLength { what: "u64 vec", len: n });
+            return Err(WireError::BadLength {
+                what: "u64 vec",
+                len: n,
+            });
         }
         let mut v = Vec::with_capacity(n);
         for _ in 0..n {
@@ -338,7 +357,10 @@ impl<'a> Dec<'a> {
         let n = self.get_u32()? as usize;
         // Each element takes at least one byte; reject absurd counts early.
         if n > self.remaining().saturating_add(1).saturating_mul(8) {
-            return Err(WireError::BadLength { what: "seq", len: n });
+            return Err(WireError::BadLength {
+                what: "seq",
+                len: n,
+            });
         }
         let mut v = Vec::with_capacity(n.min(4096));
         for _ in 0..n {
@@ -440,7 +462,10 @@ impl<W: Wire> Wire for Option<W> {
         match d.get_u8()? {
             0 => Ok(None),
             1 => Ok(Some(W::dec(d)?)),
-            t => Err(WireError::BadTag { what: "Option", tag: t as u32 }),
+            t => Err(WireError::BadTag {
+                what: "Option",
+                tag: t as u32,
+            }),
         }
     }
 }
@@ -485,7 +510,13 @@ mod tests {
         let buf = e.finish();
         let mut d = Dec::new(&buf[..5]);
         let err = d.get_u64().unwrap_err();
-        assert!(matches!(err, WireError::Truncated { needed: 8, remaining: 5 }));
+        assert!(matches!(
+            err,
+            WireError::Truncated {
+                needed: 8,
+                remaining: 5
+            }
+        ));
     }
 
     #[test]

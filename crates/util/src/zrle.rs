@@ -74,21 +74,30 @@ pub fn encode_words(words: &[u64], e: &mut Enc) {
 pub fn decode_words(d: &mut Dec<'_>) -> Result<Vec<u64>, WireError> {
     let total = d.get_u32()? as usize;
     if total > (1 << 28) {
-        return Err(WireError::BadLength { what: "zrle total", len: total });
+        return Err(WireError::BadLength {
+            what: "zrle total",
+            len: total,
+        });
     }
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         let zeros = d.get_u32()? as usize;
         let lits = d.get_u32()? as usize;
         if out.len() + zeros + lits > total {
-            return Err(WireError::BadLength { what: "zrle run", len: zeros + lits });
+            return Err(WireError::BadLength {
+                what: "zrle run",
+                len: zeros + lits,
+            });
         }
         out.resize(out.len() + zeros, 0);
         for _ in 0..lits {
             out.push(d.get_u64()?);
         }
         if zeros == 0 && lits == 0 {
-            return Err(WireError::BadLength { what: "zrle empty run", len: 0 });
+            return Err(WireError::BadLength {
+                what: "zrle empty run",
+                len: 0,
+            });
         }
     }
     Ok(out)
@@ -118,13 +127,19 @@ mod tests {
     fn all_zero_page_compresses_hard() {
         let words = vec![0u64; 512]; // one 4 KB page
         let buf = compress(&words);
-        assert!(buf.len() <= 16, "4KB of zeros should encode in <= 16 bytes, got {}", buf.len());
+        assert!(
+            buf.len() <= 16,
+            "4KB of zeros should encode in <= 16 bytes, got {}",
+            buf.len()
+        );
         assert_eq!(decompress(&buf).unwrap(), words);
     }
 
     #[test]
     fn dense_page_roundtrips() {
-        let words: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1).collect();
+        let words: Vec<u64> = (0..512u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+            .collect();
         let buf = compress(&words);
         assert_eq!(decompress(&buf).unwrap(), words);
     }

@@ -56,10 +56,15 @@ fn main() {
     assert_eq!(err, 0.0);
 
     // The batched leave shows up as ONE adaptation with leaves=3.
-    let batched = sys.log().entries().into_iter().any(|e| {
-        matches!(e.kind, EventKind::Adaptation { leaves: 3, .. })
-    });
-    assert!(batched, "three leaves must be handled at one adaptation point");
+    let batched = sys
+        .log()
+        .entries()
+        .into_iter()
+        .any(|e| matches!(e.kind, EventKind::Adaptation { leaves: 3, .. }));
+    assert!(
+        batched,
+        "three leaves must be handled at one adaptation point"
+    );
     println!("OK — 3 leaves were batched into a single adaptation, results exact.");
     sys.shutdown();
 }

@@ -34,7 +34,8 @@ fn main() {
     for it in 0..6 {
         if it == 2 {
             println!("[iter {it}] owner returns, grants 3s grace");
-            sys.request_leave_pid(3, Some(Duration::from_secs(3))).unwrap();
+            sys.request_leave_pid(3, Some(Duration::from_secs(3)))
+                .unwrap();
         }
         app.step(&mut sys, it);
     }
@@ -65,8 +66,14 @@ fn main() {
         }
         println!("[{:8.3}s] {:?}", e.at.as_secs_f64(), e.kind);
     }
-    assert_eq!(normal, 2, "both leaves finish as normal leaves at adaptation points");
-    assert_eq!(urgent, 1, "the impatient owner's machine was vacated by migration");
+    assert_eq!(
+        normal, 2,
+        "both leaves finish as normal leaves at adaptation points"
+    );
+    assert_eq!(
+        urgent, 1,
+        "the impatient owner's machine was vacated by migration"
+    );
     sys.shutdown();
     println!("\nOK — one graceful leave, one urgent migration, results exact.");
 }

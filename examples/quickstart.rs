@@ -66,11 +66,16 @@ fn main() {
         out.get(ctx.dsm(), 0)
     });
     let expect: f64 = (0..n).map(|i| 2.0 * i as f64 + 1.0).sum();
-    println!("sum(2*x + 1) over {n} elements on {} processes = {total}", sys.nprocs());
+    println!(
+        "sum(2*x + 1) over {n} elements on {} processes = {total}",
+        sys.nprocs()
+    );
     assert_eq!(total, expect, "distributed result must match");
-    println!("network traffic: {} messages, {}",
+    println!(
+        "network traffic: {} messages, {}",
         sys.net_stats().total_msgs,
-        nowmp_util::fmt_bytes(sys.net_stats().total_bytes));
+        nowmp_util::fmt_bytes(sys.net_stats().total_bytes)
+    );
     sys.shutdown();
     println!("OK");
 }

@@ -140,7 +140,12 @@ fn checkpoint_recover_mid_run_all_kernels() {
             k.step(&mut sys, it);
         }
         let err = k.verify(&mut sys, iters);
-        assert_eq!(err, 0.0, "{} recovery must converge to the same result", k.name());
+        assert_eq!(
+            err,
+            0.0,
+            "{} recovery must converge to the same result",
+            k.name()
+        );
         sys.shutdown();
         std::fs::remove_file(&path).ok();
     }
@@ -190,8 +195,7 @@ fn paper_claim_no_overhead_without_adaptation() {
     // produces the same protocol traffic as the non-adaptive system.
     let app = Jacobi::new(32);
     let run = |adaptive: bool| {
-        let mut sys =
-            OmpSystem::new(ClusterConfig::test(4, 4), build_program(&[&app]));
+        let mut sys = OmpSystem::new(ClusterConfig::test(4, 4), build_program(&[&app]));
         sys.set_adaptive(adaptive);
         app.setup(&mut sys);
         for it in 0..6 {

@@ -20,7 +20,10 @@ fn scripted_driver_runs_events_against_live_cluster() {
         .at(Duration::from_millis(5), DriverEvent::Join)
         .at(
             Duration::from_millis(60),
-            DriverEvent::LeaveByPid { pid: 1, grace: None },
+            DriverEvent::LeaveByPid {
+                pid: 1,
+                grace: None,
+            },
         );
     let driver = Driver::spawn(sys.shared(), schedule);
 
@@ -36,8 +39,12 @@ fn scripted_driver_runs_events_against_live_cluster() {
 
     assert_eq!(app.verify(&mut sys, 20), 0.0);
     let kinds: Vec<_> = sys.log().entries().into_iter().map(|e| e.kind).collect();
-    assert!(kinds.iter().any(|k| matches!(k, EventKind::JoinCommitted { .. })));
-    assert!(kinds.iter().any(|k| matches!(k, EventKind::NormalLeave { .. })));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::JoinCommitted { .. })));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, EventKind::NormalLeave { .. })));
     sys.shutdown();
 }
 
@@ -56,7 +63,9 @@ fn master_can_migrate_but_not_leave() {
     ));
     // ...but it can migrate.
     let shared = sys.shared();
-    shared.migrate_now(master_gpid, nowmp::net::HostId(3)).expect("master migrates");
+    shared
+        .migrate_now(master_gpid, nowmp::net::HostId(3))
+        .expect("master migrates");
     let kinds: Vec<_> = sys.log().entries().into_iter().map(|e| e.kind).collect();
     assert!(kinds.iter().any(|k| matches!(
         k,
@@ -78,7 +87,9 @@ fn migrate_to_same_host_is_noop() {
     app.setup(&mut sys);
     let g = sys.cluster().team()[1];
     let shared = sys.shared();
-    shared.migrate_now(g, nowmp::net::HostId(1)).expect("same-host migrate ok");
+    shared
+        .migrate_now(g, nowmp::net::HostId(1))
+        .expect("same-host migrate ok");
     let migrations = sys
         .log()
         .entries()
@@ -151,8 +162,17 @@ fn strip_mining_multiplies_adaptation_opportunities() {
     sys.alloc_f64("x", n);
     sys.parallel("fill", &nowmp::omp::Params::new().u64(n).build());
     sys.request_leave_pid(3, None).unwrap();
-    sys.parallel_strips("scale_strip", 0..n, 4, &nowmp::omp::Params::new().u64(n).build());
-    assert_eq!(sys.nprocs(), 3, "leave committed at the first strip boundary");
+    sys.parallel_strips(
+        "scale_strip",
+        0..n,
+        4,
+        &nowmp::omp::Params::new().u64(n).build(),
+    );
+    assert_eq!(
+        sys.nprocs(),
+        3,
+        "leave committed at the first strip boundary"
+    );
     let x: Vec<f64> = sys.seq(|ctx| {
         let v = ctx.f64vec("x");
         let mut out = vec![0.0; n as usize];

@@ -1,0 +1,178 @@
+//! Offline shim for the subset of the `bytes` crate used by the
+//! `nowmp` workspace: a cheaply-cloneable, immutable byte buffer.
+//!
+//! `Bytes` is either a borrowed `&'static [u8]` (no allocation, used
+//! for protocol literals) or an `Arc<[u8]>` (one allocation, O(1)
+//! clone). The real crate's zero-copy slicing is not needed by this
+//! workspace — payloads are built once by the wire encoder and read
+//! whole by the decoder.
+
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable buffer of bytes.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wraps a static slice (no allocation).
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes(Repr::Static(s))
+    }
+
+    /// Copies a slice into a shared buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(s)))
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Extracts the bytes as a `Vec`, copying.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Repr::Shared(Arc::from(v)))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        Bytes(Repr::Shared(Arc::from(b)))
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, [1u8, 2, 3]);
+        assert_eq!(&a[1..], &[2, 3]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline shim for the subset of `criterion` used by the `nowmp`
+//! benches: `Criterion::bench_function`, `benchmark_group`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up to pick an
+//! iteration count targeting ~`NOWMP_BENCH_MS` (default 50) ms of
+//! runtime, then one timed batch, reporting mean ns/iter. No
+//! statistics, plots, or HTML reports — enough to spot order-of-
+//! magnitude regressions and to keep the bench targets compiling and
+//! runnable in CI (`cargo bench --no-run` + smoke runs).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, choosing an iteration count from a short warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~5ms or 50 iterations to estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(5) && warm_iters < 50 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        let budget_ms: f64 = std::env::var("NOWMP_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50.0);
+        let target = (budget_ms * 1_000_000.0 / est.max(1.0)) as u64;
+        let iters = target.clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_bench(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{name:<40} {:>14.1} ns/iter  ({} iters)",
+        b.ns_per_iter, b.iters
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks; names are prefixed `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.prefix, name), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, trivial);
+
+    // One test, not two: `set_var` racing another test thread's
+    // `env::var` (inside `Bencher::iter`) is a libc getenv/setenv
+    // data race under the default parallel test runner.
+    #[test]
+    fn bench_machinery_runs() {
+        std::env::set_var("NOWMP_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        trivial(&mut c);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+        // The criterion_group!/criterion_main! expansion path.
+        benches();
+    }
+}

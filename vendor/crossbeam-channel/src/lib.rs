@@ -1,0 +1,407 @@
+//! Offline shim for the subset of `crossbeam-channel` used by the
+//! `nowmp` workspace: multi-producer multi-consumer channels with
+//! cloneable senders *and* receivers, bounded or unbounded capacity,
+//! and timeout-aware receives.
+//!
+//! Built on a `Mutex<VecDeque>` + two condvars. This trades the
+//! lock-free performance of the real crate for zero dependencies; the
+//! workspace's message rates (simulated NOW traffic) are far below the
+//! point where that matters, and `nowmp-bench` measures the difference
+//! explicitly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ----------------------------------------------------------- errors
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the channel still empty.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+// ------------------------------------------------------------ shared
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Bounded capacity; `None` means unbounded.
+    cap: Option<usize>,
+    /// Signalled when an item is pushed or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the last receiver leaves.
+    not_full: Condvar,
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a bounded channel with the given capacity.
+///
+/// Capacity 0 (a rendezvous channel in the real crate) is rounded up
+/// to 1: the workspace never uses rendezvous semantics.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+// ------------------------------------------------------------ sender
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Blocks while a bounded channel is full; errors when every
+    /// receiver has been dropped.
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            match self.shared.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .shared
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(t);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake receivers blocked on an empty queue so they can
+            // observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------- receiver
+
+/// The receiving half of a channel. Cloneable.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item arrives; errors when the channel is empty
+    /// and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(t) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(t);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks for at most `timeout`. A timeout too large to represent
+    /// as a deadline (e.g. `Duration::MAX`) blocks like [`recv`],
+    /// matching the real crate's saturating behaviour.
+    ///
+    /// [`recv`]: Receiver::recv
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = match Instant::now().checked_add(timeout) {
+            Some(d) => d,
+            None => {
+                return self
+                    .recv()
+                    .map_err(|RecvError| RecvTimeoutError::Disconnected);
+            }
+        };
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(t) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(t);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, res) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+            if res.timed_out() && st.queue.is_empty() {
+                return if st.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Never blocks.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(t) = st.queue.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(t);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers -= 1;
+        let last = st.receivers == 0;
+        drop(st);
+        if last {
+            // Wake senders blocked on a full queue so they can observe
+            // the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(7).unwrap();
+        assert_eq!(rx2.recv(), Ok(7));
+        assert_eq!(rx1.try_recv(), Err(TryRecvError::Empty));
+    }
+}
