@@ -148,7 +148,8 @@ pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
 /// Result of one measured run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Wall-clock runtime of the iteration loop.
+    /// Runtime of the iteration loop on the system clock: wall seconds
+    /// on the real backend, simulated seconds under a virtual clock.
     pub secs: f64,
     /// DSM counters over the loop (setup excluded).
     pub dsm: nowmp_tmk::DsmSnapshot,
@@ -178,12 +179,13 @@ pub fn measure(
     kernel.setup(&mut sys);
     let dsm0 = sys.dsm_stats();
     let net0 = sys.net_stats();
-    let sw = nowmp_util::Stopwatch::start();
+    let clock = sys.clock().clone();
+    let t0 = clock.now();
     for it in 0..iters {
         events(&mut sys, it);
         kernel.step(&mut sys, it);
     }
-    let secs = sw.secs();
+    let secs = clock.elapsed_since(t0).as_secs_f64();
     let dsm = sys.dsm_stats().since(&dsm0);
     let net = sys.net_stats().since(&net0);
     let log = sys.log().entries();

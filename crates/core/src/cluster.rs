@@ -31,6 +31,7 @@ use nowmp_ckpt::{migration_image_bytes, Checkpoint};
 use nowmp_net::{Gpid, HostId, NetModel, Network};
 use nowmp_tmk::system::RegionRunner;
 use nowmp_tmk::{DsmConfig, DsmSystem, MasterCtl, TmkCtx};
+use nowmp_util::Clock;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
@@ -70,6 +71,11 @@ pub struct ClusterConfig {
     pub ckpt_path: Option<PathBuf>,
     /// Urgent migration prefers a free host over multiplexing.
     pub migrate_prefer_free: bool,
+    /// Time backend for the whole simulation: network delays, grace
+    /// timers, event-log timestamps. Defaults to [`Clock::from_env`]
+    /// (wall time unless `NOWMP_CLOCK=virtual`); tests pass
+    /// [`Clock::new_virtual`] for deterministic, wall-free runs.
+    pub clock: Clock,
 }
 
 impl ClusterConfig {
@@ -86,6 +92,7 @@ impl ClusterConfig {
             ckpt_every_forks: None,
             ckpt_path: None,
             migrate_prefer_free: false,
+            clock: Clock::from_env(),
         }
     }
 
@@ -103,6 +110,7 @@ impl ClusterConfig {
             ckpt_every_forks: None,
             ckpt_path: None,
             migrate_prefer_free: false,
+            clock: Clock::from_env(),
         }
     }
 }
@@ -137,6 +145,7 @@ impl std::error::Error for AdaptError {}
 pub struct ClusterShared {
     sys: Arc<DsmSystem>,
     net: Network,
+    clock: Clock,
     master_gpid: Gpid,
     hosts: Mutex<HostPool>,
     events: Mutex<VecDeque<AdaptEvent>>,
@@ -153,6 +162,11 @@ impl ClusterShared {
     /// The event log.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The simulation's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The underlying DSM system (diagnostics, migration sizing).
@@ -178,6 +192,7 @@ impl ClusterShared {
         self.log.push(EventKind::JoinRequested { host });
         let me = Arc::clone(self);
         std::thread::spawn(move || {
+            let _participant = me.clock.participant();
             // Process creation cost (0.6–0.8 s on the paper's testbed),
             // charged off the critical path.
             me.net.charge_spawn();
@@ -217,12 +232,24 @@ impl ClusterShared {
         }
         self.log.push(EventKind::LeaveRequested { gpid, grace });
         let pending = Arc::new(PendingLeave::new(gpid, grace));
+        // The grace period is a waitable, cancellable deadline on the
+        // cluster clock: under a virtual clock it only fires if the
+        // whole simulation is otherwise idle until it — exactly the
+        // paper's race between the timer and the next adaptation point,
+        // minus the wall time. Arm it *before* publishing the pending
+        // leave, so an adaptation point that claims the leave
+        // immediately always finds a timer to disarm.
+        let alarm = grace.map(|g| {
+            let a = self.clock.alarm(g);
+            pending.arm(a.clone());
+            a
+        });
         self.pending_leaves.lock().push(Arc::clone(&pending));
-        if let Some(g) = grace {
+        if let Some(alarm) = alarm {
             let me = Arc::clone(self);
             std::thread::spawn(move || {
-                std::thread::sleep(g);
-                if pending.claim_urgent() {
+                let _participant = me.clock.participant();
+                if alarm.wait() && pending.claim_urgent() {
                     me.urgent_migrate(pending.gpid);
                 }
             });
@@ -269,7 +296,7 @@ impl ClusterShared {
 
         // "All processes then wait for the completion of the migration."
         self.freeze.freeze();
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         self.net.charge_spawn(); // create the new process on the target host
         self.net.charge_migration(from, to, image); // stream heap + stack
         self.net
@@ -283,7 +310,7 @@ impl ClusterShared {
         self.freeze.thaw();
         self.log.push(EventKind::UrgentMigrationDone {
             gpid,
-            took: t0.elapsed(),
+            took: self.clock.elapsed_since(t0),
         });
     }
 
@@ -313,7 +340,7 @@ impl ClusterShared {
             image_bytes: image,
         });
         self.freeze.freeze();
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         self.net.charge_spawn();
         self.net.charge_migration(from, to, image);
         self.net
@@ -327,7 +354,7 @@ impl ClusterShared {
         self.freeze.thaw();
         self.log.push(EventKind::UrgentMigrationDone {
             gpid,
-            took: t0.elapsed(),
+            took: self.clock.elapsed_since(t0),
         });
         Ok(())
     }
@@ -342,6 +369,7 @@ impl ClusterShared {
         };
         match pending {
             Some(p) if p.claim_urgent() => {
+                p.disarm(); // the timer lost; withdraw its deadline
                 self.urgent_migrate(gpid);
                 true
             }
@@ -370,8 +398,9 @@ impl Cluster {
             cfg.hosts >= cfg.initial_procs,
             "one process per workstation"
         );
-        let net = Network::new(cfg.hosts, 1, cfg.net_model.clone());
-        let freeze = Freeze::new();
+        let clock = cfg.clock.clone();
+        let net = Network::with_clock(cfg.hosts, 1, cfg.net_model.clone(), clock.clone());
+        let freeze = Freeze::new(clock.clone());
         let mut dsm = cfg.dsm.clone();
         dsm.throttle = Some(freeze.hook());
         let sys = DsmSystem::new(net.clone(), dsm, runner);
@@ -396,6 +425,8 @@ impl Cluster {
         let shared = Arc::new(ClusterShared {
             sys,
             net,
+            log: EventLog::with_clock(clock.clone()),
+            clock,
             master_gpid,
             hosts: Mutex::new(hosts),
             events: Mutex::new(VecDeque::new()),
@@ -403,7 +434,6 @@ impl Cluster {
             pending_joins: Mutex::new(HashMap::new()),
             team_view: Mutex::new(team),
             freeze,
-            log: EventLog::new(),
             migrate_prefer_free: cfg.migrate_prefer_free,
             page_size,
         });
@@ -433,8 +463,9 @@ impl Cluster {
             // master start and team formation.
             let cfg2 = cfg.clone();
             assert!(cfg2.initial_procs >= 1);
-            let net = Network::new(cfg2.hosts, 1, cfg2.net_model.clone());
-            let freeze = Freeze::new();
+            let clock = cfg2.clock.clone();
+            let net = Network::with_clock(cfg2.hosts, 1, cfg2.net_model.clone(), clock.clone());
+            let freeze = Freeze::new(clock.clone());
             let mut dsm = cfg2.dsm.clone();
             dsm.throttle = Some(freeze.hook());
             let sys = DsmSystem::new(net.clone(), dsm, runner);
@@ -459,6 +490,8 @@ impl Cluster {
             let shared = Arc::new(ClusterShared {
                 sys,
                 net,
+                log: EventLog::with_clock(clock.clone()),
+                clock,
                 master_gpid,
                 hosts: Mutex::new(hosts),
                 events: Mutex::new(VecDeque::new()),
@@ -466,7 +499,6 @@ impl Cluster {
                 pending_joins: Mutex::new(HashMap::new()),
                 team_view: Mutex::new(team),
                 freeze,
-                log: EventLog::new(),
                 migrate_prefer_free: cfg2.migrate_prefer_free,
                 page_size,
             });
@@ -533,6 +565,11 @@ impl Cluster {
         self.shared.log()
     }
 
+    /// The simulation's time source.
+    pub fn clock(&self) -> &Clock {
+        self.shared.clock()
+    }
+
     /// Install the master-private state provider for checkpoints.
     pub fn set_master_state_provider(&mut self, f: impl Fn() -> Vec<u8> + Send + 'static) {
         self.blob_provider = Some(Box::new(f));
@@ -547,7 +584,11 @@ impl Cluster {
     /// (deterministic variant: the very next adaptation point commits it).
     pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
         let host = self.shared.request_join()?;
-        // Wait for the spawner thread to register the embryo.
+        // Wait for the spawner thread to register the embryo. The poll
+        // sleeps on the cluster clock: under a virtual clock the master
+        // is then visibly blocked and the spawner's 0.7 s creation
+        // delay advances instantly; the `Instant` bound stays a
+        // real-time deadlock guard.
         let deadline = Instant::now() + Duration::from_secs(120);
         let gpid = loop {
             let found = self
@@ -561,7 +602,7 @@ impl Cluster {
                 break g;
             }
             assert!(Instant::now() < deadline, "spawned worker never appeared");
-            std::thread::yield_now();
+            self.shared.clock.sleep(Duration::from_micros(200));
         };
         self.master.wait_ready(gpid);
         // `wait_ready` consumed the announcement; replay it for the
@@ -649,6 +690,9 @@ impl Cluster {
             let pl = self.shared.pending_leaves.lock();
             for p in pl.iter() {
                 if p.claim_normal() || p.phase() == LeavePhase::Urgent {
+                    // Either way the race is decided: withdraw the
+                    // grace timer and its pending deadline.
+                    p.disarm();
                     leaves.push(Arc::clone(p));
                 }
             }
@@ -671,7 +715,7 @@ impl Cluster {
             return;
         }
 
-        let t0 = Instant::now();
+        let t0 = self.shared.clock.now();
         let net_before = self.shared.net.stats();
 
         // GC with leavers avoided; their pages re-home per strategy.
@@ -746,7 +790,7 @@ impl Cluster {
             fork_no: self.master.fork_no(),
             joins: joins.len(),
             leaves: leaves.len(),
-            took: t0.elapsed(),
+            took: self.shared.clock.elapsed_since(t0),
             bytes_moved: delta.total_bytes,
             max_link_bytes: delta
                 .links
@@ -759,7 +803,7 @@ impl Cluster {
     }
 
     fn write_checkpoint(&mut self) {
-        let t0 = Instant::now();
+        let t0 = self.shared.clock.now();
         self.master.collect_all_pages();
         let image = self.master.export_image();
         let blob = self.blob_provider.as_ref().map(|f| f()).unwrap_or_default();
@@ -774,7 +818,7 @@ impl Cluster {
         self.last_ckpt_fork = self.master.fork_no();
         self.shared.log.push(EventKind::Checkpoint {
             bytes,
-            took: t0.elapsed(),
+            took: self.shared.clock.elapsed_since(t0),
         });
     }
 

@@ -4,10 +4,13 @@
 //! "How these events are generated is beyond the scope of this paper.
 //! E.g., a daemon may generate events at set times according to an
 //! operational schedule, or a load sensor may be employed" (§4). This
-//! module provides that daemon for experiments: a wall-clock schedule
-//! of join/leave/checkpoint events executed by a background thread
+//! module provides that daemon for experiments: a schedule of
+//! join/leave/checkpoint events executed by a background thread
 //! against a [`ClusterShared`] handle, mimicking workstation owners
-//! coming and going while the computation runs.
+//! coming and going while the computation runs. Offsets are measured
+//! on the cluster's clock: wall time on the real backend, simulated
+//! time under a virtual clock (where a whole day of churn can replay
+//! in milliseconds).
 
 use crate::cluster::ClusterShared;
 use nowmp_net::Gpid;
@@ -39,7 +42,7 @@ pub enum DriverEvent {
     Checkpoint,
 }
 
-/// A wall-clock schedule: `(delay from driver start, event)` pairs.
+/// A clock schedule: `(delay from driver start, event)` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Schedule {
     entries: Vec<(Duration, DriverEvent)>,
@@ -75,21 +78,23 @@ pub struct Driver {
 
 impl Driver {
     /// Start a background daemon executing `schedule` against the
-    /// cluster. Events fire in schedule order at their wall-clock
-    /// offsets; failures (e.g. no free host) are recorded, not fatal —
-    /// a real availability daemon also races reality.
+    /// cluster. Events fire in schedule order at their clock offsets;
+    /// failures (e.g. no free host) are recorded, not fatal — a real
+    /// availability daemon also races reality.
     pub fn spawn(shared: Arc<ClusterShared>, schedule: Schedule) -> Self {
         let mut entries = schedule.entries;
         entries.sort_by_key(|(d, _)| *d);
         let handle = std::thread::Builder::new()
             .name("nowmp-driver".into())
             .spawn(move || {
-                let start = std::time::Instant::now();
+                let clock = shared.clock().clone();
+                let _participant = clock.participant();
+                let start = clock.now();
                 let mut outcomes = Vec::with_capacity(entries.len());
                 for (at, event) in entries {
-                    let now = start.elapsed();
+                    let now = clock.elapsed_since(start);
                     if at > now {
-                        std::thread::sleep(at - now);
+                        clock.sleep(at - now);
                     }
                     let result = match &event {
                         DriverEvent::Join => shared.request_join().map(|_| ()),
@@ -108,7 +113,7 @@ impl Driver {
                             Ok(())
                         }
                     };
-                    outcomes.push((start.elapsed(), result));
+                    outcomes.push((clock.elapsed_since(start), result));
                 }
                 outcomes
             })

@@ -8,6 +8,8 @@
 //! grace-period state machine of a pending leave.
 
 use nowmp_net::{Gpid, HostId};
+use nowmp_util::Alarm;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Duration;
 
@@ -52,6 +54,10 @@ pub struct PendingLeave {
     /// Grace period granted (`None` = unbounded: always a normal leave).
     pub grace: Option<Duration>,
     phase: AtomicU8,
+    /// The armed grace timer, if any: cancelled ("disarmed") as soon as
+    /// the race is decided, so a dead deadline neither keeps a timer
+    /// thread around nor pulls a virtual clock toward it.
+    alarm: Mutex<Option<Alarm>>,
 }
 
 impl PendingLeave {
@@ -61,6 +67,20 @@ impl PendingLeave {
             gpid,
             grace,
             phase: AtomicU8::new(LeavePhase::Pending as u8),
+            alarm: Mutex::new(None),
+        }
+    }
+
+    /// Attach the grace timer backing this leave.
+    pub fn arm(&self, alarm: Alarm) {
+        *self.alarm.lock() = Some(alarm);
+    }
+
+    /// Cancel and drop the grace timer (idempotent; no-op if never
+    /// armed). Call once the normal/urgent race is decided.
+    pub fn disarm(&self) {
+        if let Some(a) = self.alarm.lock().take() {
+            a.cancel();
         }
     }
 

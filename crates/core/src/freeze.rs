@@ -6,45 +6,98 @@
 //! operation, page fault and iteration chunk passes through it, so all
 //! processes stall promptly once a migration begins and resume when it
 //! completes.
+//!
+//! Gated waits are clock-visible ([`nowmp_util::Clock::blocked`]): under
+//! a virtual clock, a frozen cluster is quiescent and the migration's
+//! charged transfer time advances instantly. The gate also counts its
+//! waiters, so tests (and diagnostics) can wait for "somebody is
+//! actually blocked here" as a condition instead of sleeping and hoping.
 
+use nowmp_util::Clock;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct GateState {
+    frozen: bool,
+    /// Threads currently parked in [`Freeze::gate`].
+    waiting: usize,
+}
 
 /// A cluster-wide stop-the-world gate.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Freeze {
-    frozen: Mutex<bool>,
+    state: Mutex<GateState>,
+    /// Wakes gated threads on thaw.
     cv: Condvar,
+    /// Wakes observers when the waiter count changes.
+    observers: Condvar,
+    clock: Clock,
 }
 
 impl Freeze {
-    /// New, open gate.
-    pub fn new() -> Arc<Self> {
-        Arc::new(Self::default())
+    /// New, open gate on `clock`.
+    pub fn new(clock: Clock) -> Arc<Self> {
+        Arc::new(Freeze {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            observers: Condvar::new(),
+            clock,
+        })
     }
 
     /// Close the gate: subsequent [`Freeze::gate`] calls block.
     pub fn freeze(&self) {
-        *self.frozen.lock() = true;
+        self.state.lock().frozen = true;
     }
 
     /// Open the gate and wake all waiters.
     pub fn thaw(&self) {
-        *self.frozen.lock() = false;
+        self.state.lock().frozen = false;
         self.cv.notify_all();
     }
 
     /// Block while the gate is closed (the throttle hook body).
     pub fn gate(&self) {
-        let mut f = self.frozen.lock();
-        while *f {
-            self.cv.wait(&mut f);
+        let mut st = self.state.lock();
+        while st.frozen {
+            st.waiting += 1;
+            self.observers.notify_all();
+            self.clock.blocked(|| self.cv.wait(&mut st));
+            st.waiting -= 1;
+            self.observers.notify_all();
         }
     }
 
     /// Is the gate currently closed? (diagnostics)
     pub fn is_frozen(&self) -> bool {
-        *self.frozen.lock()
+        self.state.lock().frozen
+    }
+
+    /// Threads currently parked in [`Freeze::gate`] (racy; diagnostics
+    /// and condition waits).
+    pub fn waiters(&self) -> usize {
+        self.state.lock().waiting
+    }
+
+    /// Block until at least `n` threads are parked in the gate, or the
+    /// (real-time) `timeout` expires. Returns whether the condition was
+    /// met — the event-driven replacement for "sleep 30 ms and assume
+    /// the other thread has blocked by now".
+    pub fn wait_for_waiters(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while st.waiting < n {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            if self.observers.wait_for(&mut st, left).timed_out() && st.waiting < n {
+                return false;
+            }
+        }
+        true
     }
 
     /// Build the throttle hook closure for [`nowmp_tmk::DsmConfig`].
@@ -58,18 +111,18 @@ impl Freeze {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::time::Duration;
 
     #[test]
     fn open_gate_passes() {
-        let f = Freeze::new();
+        let f = Freeze::new(Clock::real());
         f.gate(); // must not block
         assert!(!f.is_frozen());
+        assert_eq!(f.waiters(), 0);
     }
 
     #[test]
     fn closed_gate_blocks_until_thaw() {
-        let f = Freeze::new();
+        let f = Freeze::new(Clock::real());
         f.freeze();
         let passed = Arc::new(AtomicBool::new(false));
         let f2 = Arc::clone(&f);
@@ -78,16 +131,52 @@ mod tests {
             f2.gate();
             p2.store(true, Ordering::SeqCst);
         });
-        std::thread::sleep(Duration::from_millis(30));
+        // Condition wait: the thread is provably parked in the gate —
+        // no magic sleep, no race on "has it blocked yet".
+        assert!(
+            f.wait_for_waiters(1, Duration::from_secs(5)),
+            "gate thread never parked"
+        );
         assert!(!passed.load(Ordering::SeqCst), "gate must hold");
         f.thaw();
         t.join().unwrap();
         assert!(passed.load(Ordering::SeqCst));
+        assert_eq!(f.waiters(), 0);
+    }
+
+    #[test]
+    fn frozen_gate_is_quiescent_under_virtual_clock() {
+        // A thread parked in the gate is clock-visible: a sleeper can
+        // advance virtual time under it instantly (this is exactly the
+        // migration situation: everyone frozen, transfer time charged).
+        let clock = Clock::new_virtual();
+        let f = Freeze::new(clock.clone());
+        f.freeze();
+        let f2 = Arc::clone(&f);
+        let clock2 = clock.clone();
+        let t = std::thread::spawn(move || {
+            let _p = clock2.participant();
+            f2.gate();
+        });
+        assert!(f.wait_for_waiters(1, Duration::from_secs(5)));
+        let wall = Instant::now();
+        let t0 = clock.now();
+        clock.sleep(Duration::from_secs(7)); // modeled migration stream
+        assert_eq!(clock.elapsed_since(t0), Duration::from_secs(7));
+        assert!(wall.elapsed() < Duration::from_millis(300));
+        f.thaw();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_waiters_times_out_when_nobody_blocks() {
+        let f = Freeze::new(Clock::real());
+        assert!(!f.wait_for_waiters(1, Duration::from_millis(20)));
     }
 
     #[test]
     fn hook_is_callable() {
-        let f = Freeze::new();
+        let f = Freeze::new(Clock::real());
         let hook = f.hook();
         hook(); // open: returns immediately
     }

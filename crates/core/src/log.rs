@@ -2,8 +2,9 @@
 //! measurements behind Table 2.
 
 use nowmp_net::{Gpid, HostId};
+use nowmp_util::{Clock, Tick};
 use parking_lot::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One logged cluster event.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,18 +91,28 @@ pub struct LogEntry {
     pub kind: EventKind,
 }
 
-/// Append-only, thread-safe event log.
+/// Append-only, thread-safe event log. Timestamps come from the
+/// cluster's [`Clock`], so a virtual-clock run logs *simulated* times —
+/// the Figure 2 timeline keeps its shape with zero wall cost.
 #[derive(Debug)]
 pub struct EventLog {
-    start: Instant,
+    clock: Clock,
+    start: Tick,
     entries: Mutex<Vec<LogEntry>>,
 }
 
 impl EventLog {
-    /// New log starting now.
+    /// New log starting now, on the wall clock.
     pub fn new() -> Self {
+        Self::with_clock(Clock::real())
+    }
+
+    /// New log timestamped on `clock`, starting at its current time.
+    pub fn with_clock(clock: Clock) -> Self {
+        let start = clock.now();
         EventLog {
-            start: Instant::now(),
+            clock,
+            start,
             entries: Mutex::new(Vec::new()),
         }
     }
@@ -109,7 +120,7 @@ impl EventLog {
     /// Record an event.
     pub fn push(&self, kind: EventKind) {
         self.entries.lock().push(LogEntry {
-            at: self.start.elapsed(),
+            at: self.clock.elapsed_since(self.start),
             kind,
         });
     }

@@ -265,6 +265,48 @@ fn urgent_leave_via_grace_timer() {
 }
 
 #[test]
+fn virtual_clock_grace_timer_fires_in_simulated_time() {
+    // The paper-scale scenario the real clock can't afford in a unit
+    // test: a full 3 s grace period expires and triggers the urgent
+    // migration — in simulated time, at (near-)zero wall cost, with an
+    // exact timestamp.
+    let n = 200;
+    let mut cfg = ClusterConfig::test(4, 3);
+    cfg.clock = nowmp_util::Clock::new_virtual();
+    let mut c = Cluster::new(cfg, Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    c.parallel(R_FILL, &[]);
+    let wall = std::time::Instant::now();
+    let g = c
+        .request_leave_pid(2, Some(Duration::from_secs(3)))
+        .unwrap();
+    // Park the master on the simulation clock: the cluster is then
+    // quiescent and virtual time advances straight to the grace
+    // deadline. By the time this sleep returns (at t=4 s simulated),
+    // the timer thread has finished the migration.
+    c.clock().sleep(Duration::from_secs(4));
+    let entries = c.log().entries();
+    let start = entries
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::UrgentMigrationStart { gpid, .. } if gpid == g))
+        .expect("grace timer must trigger migration");
+    assert_eq!(
+        start.at,
+        Duration::from_secs(3),
+        "migration starts exactly at grace expiry on the virtual timeline"
+    );
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 2);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
+    assert!(
+        wall.elapsed() < Duration::from_secs(2),
+        "3 s grace must not cost wall time: {:?}",
+        wall.elapsed()
+    );
+    c.shutdown();
+}
+
+#[test]
 fn normal_leave_wins_grace_race_at_adaptation_point() {
     let n = 200;
     let mut c = cluster(4, 3, n);

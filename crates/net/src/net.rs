@@ -20,13 +20,13 @@ use crate::stats::{LinkStats, NetStats, StatsSnapshot};
 use crate::{Gpid, HostId};
 use bytes::Bytes;
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
-use nowmp_util::{precise_sleep, Semaphore};
+use nowmp_util::{Clock, Semaphore, Tick};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors surfaced by the transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,8 +60,8 @@ pub struct Packet {
     pub payload: Bytes,
     /// Present iff the sender awaits a reply.
     pub reply: Option<Sender<Packet>>,
-    /// Earliest delivery instant under emulation.
-    deliver_at: Option<Instant>,
+    /// Earliest delivery time on the network clock, under emulation.
+    deliver_at: Option<Tick>,
 }
 
 /// An incoming message plus the means to answer it.
@@ -118,6 +118,7 @@ struct EndpointRec {
 
 struct NetInner {
     model: NetModel,
+    clock: Clock,
     stats: NetStats,
     hosts: RwLock<Vec<Arc<HostRec>>>,
     endpoints: RwLock<HashMap<u32, EndpointRec>>,
@@ -142,14 +143,15 @@ impl NetInner {
 
         // Sender-side occupancy: hold the host link for the serialization
         // time so concurrent senders on the same host contend, as they
-        // would on one physical wire.
+        // would on one physical wire. The lock wait is clock-visible so
+        // a virtual simulation can advance under the contended sender.
         if self.model.emulate {
-            let _wire = src_host.link.lock();
-            precise_sleep(self.model.sender_time(payload.len()));
+            let _wire = self.clock.blocked(|| src_host.link.lock());
+            self.clock.sleep(self.model.sender_time(payload.len()));
         }
 
         let deliver_at = if self.model.emulate {
-            Some(Instant::now() + self.model.latency())
+            Some(self.clock.now() + self.model.latency())
         } else {
             None
         };
@@ -168,13 +170,26 @@ impl NetInner {
         self.host(dst_host).link_stats.record_in(bytes);
         self.stats.record_msg(bytes);
 
-        tx.send(Packet {
-            src,
-            payload,
-            reply,
-            deliver_at,
-        })
-        .is_ok()
+        self.send_accounted(
+            &tx,
+            Packet {
+                src,
+                payload,
+                reply,
+                deliver_at,
+            },
+        )
+    }
+
+    /// Hand a packet to a channel with in-flight clock accounting,
+    /// undoing the account if the receiver is gone.
+    fn send_accounted(&self, tx: &Sender<Packet>, pkt: Packet) -> bool {
+        self.clock.msg_sent();
+        let ok = tx.send(pkt).is_ok();
+        if !ok {
+            self.clock.msg_received();
+        }
+        ok
     }
 }
 
@@ -187,10 +202,21 @@ pub struct Network {
 impl Network {
     /// Create a network with `hosts` initial workstations, each with
     /// `cpu_slots` CPU slots (1 = the paper's one process per node).
+    /// The time backend comes from the environment
+    /// ([`Clock::from_env`]): real by default, virtual under
+    /// `NOWMP_CLOCK=virtual`.
     pub fn new(hosts: usize, cpu_slots: usize, model: NetModel) -> Self {
+        Self::with_clock(hosts, cpu_slots, model, Clock::from_env())
+    }
+
+    /// [`Network::new`] on an explicit time backend. Everything that
+    /// shares a simulation must share one clock — pass clones of the
+    /// same handle.
+    pub fn with_clock(hosts: usize, cpu_slots: usize, model: NetModel, clock: Clock) -> Self {
         let net = Network {
             inner: Arc::new(NetInner {
                 model,
+                clock,
                 stats: NetStats::new(),
                 hosts: RwLock::new(Vec::new()),
                 endpoints: RwLock::new(HashMap::new()),
@@ -201,6 +227,11 @@ impl Network {
             net.add_host(cpu_slots);
         }
         net
+    }
+
+    /// The clock every delay in this network is charged on.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
     }
 
     /// Add a workstation to the pool; returns its id.
@@ -238,7 +269,7 @@ impl Network {
     /// processes, one CPU.
     pub fn acquire_cpu(&self, host: HostId) -> nowmp_util::sem::Permit {
         let h = self.inner.host(host);
-        h.cpu.acquire()
+        self.inner.clock.blocked(|| h.cpu.acquire())
     }
 
     /// Register a new process endpoint on `host`.
@@ -308,8 +339,8 @@ impl Network {
         dst.link_stats.record_in(bytes as u64);
         self.inner.stats.record_msg(bytes as u64);
         if self.inner.model.emulate {
-            let _wire = src.link.lock();
-            precise_sleep(d);
+            let _wire = self.inner.clock.blocked(|| src.link.lock());
+            self.inner.clock.sleep(d);
         }
         d
     }
@@ -319,7 +350,7 @@ impl Network {
     pub fn charge_spawn(&self) -> Duration {
         let d = self.inner.model.spawn_time();
         if self.inner.model.emulate {
-            precise_sleep(d);
+            self.inner.clock.sleep(d);
         }
         d
     }
@@ -341,6 +372,11 @@ impl Endpoint {
     /// This endpoint's immutable process id.
     pub fn gpid(&self) -> Gpid {
         self.gpid
+    }
+
+    /// The network's clock (shared by all endpoints of one network).
+    pub fn clock(&self) -> &Clock {
+        &self.net.clock
     }
 
     /// The host this endpoint currently resides on.
@@ -383,29 +419,38 @@ impl Endpoint {
         {
             return Err(NetError::Unknown(dst));
         }
-        match rx.recv_timeout(timeout) {
+        // The reply wait is clock-visible; the timeout itself stays a
+        // *real-time* deadlock guard under both backends.
+        match self.net.clock.blocked(|| rx.recv_timeout(timeout)) {
             Ok(pkt) => {
+                self.net.clock.msg_received();
                 if let Some(at) = pkt.deliver_at {
-                    let now = Instant::now();
-                    if at > now {
-                        precise_sleep(at - now);
-                    }
+                    self.net.clock.sleep_until(at);
                 }
                 Ok(pkt.payload)
             }
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout(dst)),
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                Err(NetError::Disconnected(dst))
+            Err(e) => {
+                // A late reply racing this abandonment may already sit
+                // in the channel (accounted in-flight by the sender);
+                // drain it so the virtual clock's in-flight count does
+                // not leak for the rest of the run.
+                while rx.try_recv().is_ok() {
+                    self.net.clock.msg_received();
+                }
+                match e {
+                    crossbeam_channel::RecvTimeoutError::Timeout => Err(NetError::Timeout(dst)),
+                    crossbeam_channel::RecvTimeoutError::Disconnected => {
+                        Err(NetError::Disconnected(dst))
+                    }
+                }
             }
         }
     }
 
     fn unpack(&self, pkt: Packet) -> Incoming {
+        self.net.clock.msg_received();
         if let Some(at) = pkt.deliver_at {
-            let now = Instant::now();
-            if at > now {
-                precise_sleep(at - now);
-            }
+            self.net.clock.sleep_until(at);
         }
         let replier = pkt.reply.map(|tx| Replier {
             net: Arc::clone(&self.net),
@@ -426,15 +471,15 @@ impl Endpoint {
 
     /// Blocking receive; `Err` means the network shut down.
     pub fn recv(&self) -> Result<Incoming, NetError> {
-        match self.rx.recv() {
+        match self.net.clock.blocked(|| self.rx.recv()) {
             Ok(pkt) => Ok(self.unpack(pkt)),
             Err(_) => Err(NetError::Disconnected(self.gpid)),
         }
     }
 
-    /// Receive with a deadline.
+    /// Receive with a (real-time) deadline.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Incoming>, NetError> {
-        match self.rx.recv_timeout(timeout) {
+        match self.net.clock.blocked(|| self.rx.recv_timeout(timeout)) {
             Ok(pkt) => Ok(Some(self.unpack(pkt))),
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => Ok(None),
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
@@ -466,11 +511,11 @@ impl NetInner {
     ) -> bool {
         let bytes = (payload.len() + self.model.header_bytes) as u64;
         if self.model.emulate {
-            let _wire = src_host.link.lock();
-            precise_sleep(self.model.sender_time(payload.len()));
+            let _wire = self.clock.blocked(|| src_host.link.lock());
+            self.clock.sleep(self.model.sender_time(payload.len()));
         }
         let deliver_at = if self.model.emulate {
-            Some(Instant::now() + self.model.latency())
+            Some(self.clock.now() + self.model.latency())
         } else {
             None
         };
@@ -481,13 +526,15 @@ impl NetInner {
         }
         src_host.link_stats.record_out(bytes);
         self.stats.record_msg(bytes);
-        tx.send(Packet {
-            src,
-            payload,
-            reply: None,
-            deliver_at,
-        })
-        .is_ok()
+        self.send_accounted(
+            tx,
+            Packet {
+                src,
+                payload,
+                reply: None,
+                deliver_at,
+            },
+        )
     }
 }
 
@@ -618,9 +665,12 @@ mod tests {
             let inc = b.recv().unwrap();
             inc.replier.unwrap().reply(Bytes::from_static(b"x"));
         });
-        let t = Instant::now();
+        // Measure on the network clock so the bound holds under both
+        // backends (wall time when real, exact virtual time otherwise).
+        let clock = net.clock().clone();
+        let t = clock.now();
         a.call(b_gpid, Bytes::from_static(b"y")).unwrap();
-        let rtt = t.elapsed();
+        let rtt = clock.elapsed_since(t);
         server.join().unwrap();
         assert!(
             rtt >= Duration::from_micros(1000),
@@ -638,10 +688,10 @@ mod tests {
         model.emulate = true;
         model.migration_bandwidth = 10e6; // 10 MB/s
         let net = Network::new(2, 1, model);
-        let t = Instant::now();
+        let t = net.clock().now();
         let d = net.charge_migration(HostId(0), HostId(1), 1_000_000); // 0.1 s
         assert!((d.as_secs_f64() - 0.1).abs() < 1e-9);
-        assert!(t.elapsed() >= d);
+        assert!(net.clock().elapsed_since(t) >= d);
         let s = net.stats();
         assert_eq!(s.links[0].bytes_out, 1_000_000);
         assert_eq!(s.links[1].bytes_in, 1_000_000);
@@ -649,6 +699,7 @@ mod tests {
 
     #[test]
     fn cpu_slots_serialize_multiplexed_processes() {
+        use std::time::Instant;
         let net = Network::new(1, 1, NetModel::disabled());
         let p1 = net.acquire_cpu(HostId(0));
         let net2 = net.clone();

@@ -229,6 +229,12 @@ impl OmpSystem {
         self.cluster.log()
     }
 
+    /// The simulation's time source (real or virtual; see
+    /// [`nowmp_util::Clock`]).
+    pub fn clock(&self) -> &nowmp_util::Clock {
+        self.cluster.clock()
+    }
+
     /// DSM protocol counters.
     pub fn dsm_stats(&self) -> nowmp_tmk::DsmSnapshot {
         self.cluster.dsm_stats()

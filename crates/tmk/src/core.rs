@@ -674,6 +674,13 @@ impl ProcCore {
         }
     }
 
+    /// Queued waiters on a lock we manage (0 for unknown locks).
+    /// Diagnostics and condition waits: "the contending request has
+    /// arrived at the manager" is `lock_waiters(l) == 1`.
+    pub fn lock_waiters(&self, lock: u32) -> usize {
+        self.locks.get(&lock).map_or(0, |m| m.queue.len())
+    }
+
     /// Handle a release at the manager; may grant to the next waiter.
     pub fn lock_release(&mut self, lock: u32) -> Option<LockGrant> {
         let mgr = self.locks.entry(lock).or_default();

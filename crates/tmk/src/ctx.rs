@@ -24,29 +24,35 @@ use crate::stats::DsmStats;
 use crate::types::{Addr, Epoch, PageId, Pid, Seq, Team};
 use nowmp_net::{Endpoint, Gpid, NetError};
 use nowmp_util::wire::Wire;
+use nowmp_util::Clock;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Buffered control-message receiver: lets a thread wait for a specific
-/// kind of message while stashing others for later.
+/// kind of message while stashing others for later. Waits are visible
+/// on the simulation clock (see [`Clock::blocked`]), and queued control
+/// messages stay accounted as in-flight until taken off the channel.
 pub struct CtrlBuf {
     rx: crossbeam_channel::Receiver<Ctrl>,
     backlog: VecDeque<Ctrl>,
+    clock: Clock,
 }
 
 impl CtrlBuf {
-    /// Wrap a control channel.
-    pub fn new(rx: crossbeam_channel::Receiver<Ctrl>) -> Self {
+    /// Wrap a control channel; waits are reported to `clock`.
+    pub fn new(rx: crossbeam_channel::Receiver<Ctrl>, clock: Clock) -> Self {
         CtrlBuf {
             rx,
             backlog: VecDeque::new(),
+            clock,
         }
     }
 
     /// Receive the next control message matching `pred`, buffering
-    /// non-matching ones. `timeout` guards against protocol deadlock.
+    /// non-matching ones. `timeout` is a *real-time* guard against
+    /// protocol deadlock.
     pub fn recv_where(
         &mut self,
         timeout: Duration,
@@ -58,8 +64,9 @@ impl CtrlBuf {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.rx.recv_timeout(remaining) {
+            match self.clock.blocked(|| self.rx.recv_timeout(remaining)) {
                 Ok(c) => {
+                    self.clock.msg_received();
                     if pred(&c) {
                         return Ok(c);
                     }
@@ -78,6 +85,7 @@ impl CtrlBuf {
     /// Non-blocking: drain every already-delivered message matching `pred`.
     pub fn drain_where(&mut self, mut pred: impl FnMut(&Ctrl) -> bool) -> Vec<Ctrl> {
         while let Ok(c) = self.rx.try_recv() {
+            self.clock.msg_received();
             self.backlog.push_back(c);
         }
         let mut out = Vec::new();
@@ -464,13 +472,18 @@ impl TmkCtx {
         let prev: Option<Gpid> = if mgr_gpid == self.gpid() {
             // We manage this lock: local acquire (may still block while
             // a remote process holds it).
+            let clock = self.endpoint.clock();
             let (tx, rx) = crossbeam_channel::bounded(1);
             let grant = self
                 .core
                 .lock()
                 .lock_acquire(lock, self.gpid(), LockWaiter::Local(tx));
-            deliver_grant(grant);
-            rx.recv_timeout(self.call_timeout).expect("lock grant lost")
+            deliver_grant(grant, clock);
+            let prev = clock
+                .blocked(|| rx.recv_timeout(self.call_timeout))
+                .expect("lock grant lost");
+            clock.msg_received();
+            prev
         } else {
             match self.call(
                 mgr_gpid,
@@ -517,7 +530,7 @@ impl TmkCtx {
         let mgr_gpid = self.team.gpid(mgr_pid);
         if mgr_gpid == self.gpid() {
             let grant = self.core.lock().lock_release(lock);
-            deliver_grant(grant);
+            deliver_grant(grant, self.endpoint.clock());
         } else {
             self.endpoint
                 .send(

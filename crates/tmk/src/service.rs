@@ -34,6 +34,10 @@ pub fn service_loop(
     core: Arc<Mutex<ProcCore>>,
     ctrl_tx: crossbeam_channel::Sender<Ctrl>,
 ) {
+    // Long-lived simulation thread: register with the clock so virtual
+    // time holds still while a request is being served.
+    let clock = endpoint.clock().clone();
+    let _participant = clock.participant();
     while let Ok(inc) = endpoint.recv() {
         let msg = match Msg::from_wire(&inc.payload) {
             Ok(m) => m,
@@ -42,12 +46,19 @@ pub fn service_loop(
         if msg.is_control() {
             // Forward to the application thread; if it has exited (post
             // Terminate), drop silently — late control traffic is
-            // possible during teardown.
-            let _ = ctrl_tx.send(Ctrl {
-                msg,
-                src: inc.src,
-                replier: inc.replier,
-            });
+            // possible during teardown. The hop to the control channel
+            // keeps the message accounted as in-flight.
+            clock.msg_sent();
+            let sent = ctrl_tx
+                .send(Ctrl {
+                    msg,
+                    src: inc.src,
+                    replier: inc.replier,
+                })
+                .is_ok();
+            if !sent {
+                clock.msg_received();
+            }
             continue;
         }
         match msg {
@@ -93,7 +104,7 @@ pub fn service_loop(
                     debug_assert_eq!(epoch, c.epoch(), "LockReq from wrong epoch");
                     c.lock_acquire(lock, inc.src, LockWaiter::Remote(replier))
                 };
-                deliver_grant(grant);
+                deliver_grant(grant, &clock);
             }
             Msg::LockRelease { epoch, lock } => {
                 let grant = {
@@ -101,15 +112,17 @@ pub fn service_loop(
                     debug_assert_eq!(epoch, c.epoch(), "LockRelease from wrong epoch");
                     c.lock_release(lock)
                 };
-                deliver_grant(grant);
+                deliver_grant(grant, &clock);
             }
             other => panic!("service thread received non-request message {other:?}"),
         }
     }
 }
 
-/// Dispatch a lock grant decided by the manager state machine.
-pub fn deliver_grant(grant: Option<LockGrant>) {
+/// Dispatch a lock grant decided by the manager state machine. Local
+/// grants travel over a channel, so they are accounted as in-flight on
+/// `clock` until the waiting application thread picks them up.
+pub fn deliver_grant(grant: Option<LockGrant>, clock: &nowmp_util::Clock) {
     match grant {
         None => {}
         Some(LockGrant::Remote(replier, prev)) => {
@@ -117,7 +130,10 @@ pub fn deliver_grant(grant: Option<LockGrant>) {
         }
         Some(LockGrant::Local(tx, prev)) => {
             // The local application thread is blocked on this channel.
-            let _ = tx.send(prev);
+            clock.msg_sent();
+            if tx.send(prev).is_err() {
+                clock.msg_received();
+            }
         }
     }
 }
@@ -209,7 +225,7 @@ mod tests {
     #[test]
     fn remote_lock_protocol() {
         let net = Network::new(2, 1, NetModel::disabled());
-        let (_ep_mgr, _core_mgr, _rx, mgr_gpid) = spawn_proc(&net, 0);
+        let (_ep_mgr, core_mgr, _rx, mgr_gpid) = spawn_proc(&net, 0);
         let (ep_b, _core_b, _rx_b, _g) = spawn_proc(&net, 1);
 
         // First acquire: immediate grant, no previous holder.
@@ -227,7 +243,15 @@ mod tests {
                 .unwrap();
             Msg::from_wire(&rep).unwrap()
         });
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Condition wait: release only once the contending request is
+        // provably queued at the manager.
+        assert!(
+            nowmp_util::wait_for(std::time::Duration::from_secs(5), || core_mgr
+                .lock()
+                .lock_waiters(3)
+                == 1),
+            "contending LockReq never queued at the manager"
+        );
         ep_b.send(mgr_gpid, Msg::LockRelease { epoch: 0, lock: 3 }.to_bytes())
             .unwrap();
         let granted = waiter.join().unwrap();

@@ -127,13 +127,18 @@ impl DsmSystem {
                 .expect("spawn service thread");
             self.threads.lock().push(h);
         }
-        let ctrl = Arc::new(Mutex::new(CtrlBuf::new(ctrl_rx)));
+        let ctrl = Arc::new(Mutex::new(CtrlBuf::new(ctrl_rx, self.net.clock().clone())));
         let ctx = TmkCtx::new(
             Arc::clone(&core),
             Arc::clone(&endpoint),
             Some(Arc::clone(&ctrl)),
         );
         let spp = self.cfg.slots_per_page();
+        // The calling thread *is* the master process's application
+        // thread: register it so virtual time holds still while it
+        // computes between forks (otherwise a pending grace timer could
+        // fire "during" the master's zero-virtual-cost compute).
+        let clock_participant = self.net.clock().participant();
         MasterCtl {
             sys: Arc::clone(self),
             endpoint,
@@ -146,6 +151,7 @@ impl DsmSystem {
             sent_reg_ver: 0,
             dir: Vec::new(),
             call_timeout: self.cfg.call_timeout,
+            _clock_participant: clock_participant,
         }
     }
 
@@ -205,13 +211,15 @@ fn worker_main(
 ) {
     let gpid = endpoint.gpid();
     let timeout = sys.cfg.call_timeout;
+    // Long-lived simulation thread (see `service_loop`).
+    let _clock_participant = endpoint.clock().participant();
     // Connection setup: slaves first, master last (§4.1).
     for peer in &hello_to {
         let _ = endpoint.call_deadline(*peer, Msg::ConnHello { from: gpid }.to_bytes(), timeout);
     }
     let _ = endpoint.send(master, Msg::ReadyJoin { gpid }.to_bytes());
 
-    let mut ctrl = CtrlBuf::new(ctrl_rx);
+    let mut ctrl = CtrlBuf::new(ctrl_rx, endpoint.clock().clone());
     let mut ctx = TmkCtx::new(Arc::clone(&core), Arc::clone(&endpoint), None);
     let runner = Arc::clone(&sys.runner);
 
@@ -362,6 +370,9 @@ pub struct MasterCtl {
     /// Authoritative page directory (valid after each GC).
     dir: Vec<Gpid>,
     call_timeout: Duration,
+    /// Registers the master's application thread with the simulation
+    /// clock for the lifetime of this handle.
+    _clock_participant: nowmp_util::ParticipantGuard,
 }
 
 /// A checkpointable memory image (serialized by `nowmp-ckpt`).

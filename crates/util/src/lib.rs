@@ -16,21 +16,27 @@
 //! * [`sem`] — a counting semaphore (CPU-slot accounting on simulated
 //!   hosts, i.e. the multiplexing of an urgently-migrated process);
 //! * [`timing`] — precise sleeping for the network cost emulation and a
-//!   few stopwatch helpers.
+//!   few stopwatch helpers;
+//! * [`clock`] — the [`clock::Clock`] abstraction every layer tells
+//!   time by: a wall-clock backend and a deterministic discrete-event
+//!   [`clock::Clock::new_virtual`] backend under which emulated delays
+//!   cost zero wall time.
 //!
 //! Everything here is deterministic and fully unit/property tested.
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod crc;
 pub mod sem;
 pub mod timing;
 pub mod wire;
 pub mod zrle;
 
+pub use clock::{Alarm, Clock, ParticipantGuard, Tick};
 pub use crc::crc32;
 pub use sem::Semaphore;
-pub use timing::{precise_sleep, Stopwatch};
+pub use timing::{precise_sleep, wait_for, Stopwatch};
 pub use wire::{Dec, Enc, Wire, WireError};
 
 /// Compute the ceiling of `a / b` for positive integers.

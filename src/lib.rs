@@ -35,4 +35,5 @@ pub mod prelude {
     pub use nowmp_net::{Gpid, HostId, NetModel};
     pub use nowmp_omp::{OmpCtx, OmpProgram, OmpSystem, Params};
     pub use nowmp_tmk::{DsmConfig, ElemKind};
+    pub use nowmp_util::{Clock, Tick};
 }

@@ -27,11 +27,14 @@ fn scripted_driver_runs_events_against_live_cluster() {
         );
     let driver = Driver::spawn(sys.shared(), schedule);
 
+    let clock = sys.shared().clock().clone();
     for it in 0..20 {
         app.step(&mut sys, it);
-        // Adaptation points arrive every few ms; give the daemon's
-        // wall-clock schedule room to fire.
-        std::thread::sleep(Duration::from_millis(5));
+        // Adaptation points arrive every few ms; pace the loop on the
+        // cluster clock so the daemon's schedule (measured on the same
+        // clock) gets room to fire — under a virtual clock the whole
+        // dance replays in simulated time at zero wall cost.
+        clock.sleep(Duration::from_millis(5));
     }
     let outcomes = driver.join();
     assert_eq!(outcomes.len(), 2);
