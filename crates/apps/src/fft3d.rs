@@ -199,21 +199,22 @@ impl Kernel for Fft3d {
             let total = p.u64();
             let re = ctx.f64vec("fft_are");
             let im = ctx.f64vec("fft_aim");
-            let block = ctx.my_block(0..total);
-            let len = (block.end - block.start) as usize;
-            if len == 0 {
-                return;
-            }
-            let mut lr = vec![0.0; len];
-            let mut li = vec![0.0; len];
-            for (off, idx) in (block.start as usize..block.end as usize).enumerate() {
-                let (r, i) = Fft3d::init(idx);
-                lr[off] = r;
-                li[off] = i;
-            }
-            let d = ctx.dsm();
-            re.write_from(d, block.start as usize, &lr);
-            im.write_from(d, block.start as usize, &li);
+            ctx.for_static_block(0..total, |ctx, block| {
+                let len = (block.end - block.start) as usize;
+                if len == 0 {
+                    return;
+                }
+                let mut lr = vec![0.0; len];
+                let mut li = vec![0.0; len];
+                for (off, idx) in (block.start as usize..block.end as usize).enumerate() {
+                    let (r, i) = Fft3d::init(idx);
+                    lr[off] = r;
+                    li[off] = i;
+                }
+                let d = ctx.dsm();
+                re.write_from(d, block.start as usize, &lr);
+                im.write_from(d, block.start as usize, &li);
+            });
         })
         .region("fft_evolve", |ctx| {
             let mut p = ctx.params();
@@ -221,24 +222,25 @@ impl Kernel for Fft3d {
             let iter = p.u64() as usize;
             let re = ctx.f64vec("fft_are");
             let im = ctx.f64vec("fft_aim");
-            let block = ctx.my_block(0..total);
-            let d = ctx.dsm();
-            let len = (block.end - block.start) as usize;
-            if len == 0 {
-                return;
-            }
-            let mut lr = vec![0.0; len];
-            let mut li = vec![0.0; len];
-            re.read_into(d, block.start as usize, &mut lr);
-            im.read_into(d, block.start as usize, &mut li);
-            for (off, idx) in (block.start as usize..block.end as usize).enumerate() {
-                let (pr, pi) = Fft3d::phase(idx, iter);
-                let (r, i) = (lr[off], li[off]);
-                lr[off] = r * pr - i * pi;
-                li[off] = r * pi + i * pr;
-            }
-            re.write_from(d, block.start as usize, &lr);
-            im.write_from(d, block.start as usize, &li);
+            ctx.for_static_block(0..total, |ctx, block| {
+                let len = (block.end - block.start) as usize;
+                if len == 0 {
+                    return;
+                }
+                let d = ctx.dsm();
+                let mut lr = vec![0.0; len];
+                let mut li = vec![0.0; len];
+                re.read_into(d, block.start as usize, &mut lr);
+                im.read_into(d, block.start as usize, &mut li);
+                for (off, idx) in (block.start as usize..block.end as usize).enumerate() {
+                    let (pr, pi) = Fft3d::phase(idx, iter);
+                    let (r, i) = (lr[off], li[off]);
+                    lr[off] = r * pr - i * pi;
+                    li[off] = r * pi + i * pr;
+                }
+                re.write_from(d, block.start as usize, &lr);
+                im.write_from(d, block.start as usize, &li);
+            });
         })
         .region("fft_dim3", |ctx| {
             // params: which array (0=A,1=B), d1, d2, d3
@@ -252,10 +254,10 @@ impl Kernel for Fft3d {
             } else {
                 (ctx.f64vec("fft_bre"), ctx.f64vec("fft_bim"))
             };
-            let planes = ctx.my_block(0..d1 as u64);
             let mut lr = vec![0.0; d3];
             let mut li = vec![0.0; d3];
-            for i in planes {
+            let mut planes_done = 0u64;
+            ctx.for_static(0..d1 as u64, |ctx, i| {
                 for j in 0..d2 {
                     let off = i as usize * d2 * d3 + j * d3;
                     let d = ctx.dsm();
@@ -265,7 +267,13 @@ impl Kernel for Fft3d {
                     re.write_from(d, off, &lr);
                     im.write_from(d, off, &li);
                 }
-            }
+                planes_done += 1;
+            });
+            // Per-plane work depends on the orientation this call runs
+            // in (d2 × an FFT of length d3), so charge exact FLOPs:
+            // 5·n·log2(n) per complex radix-2 transform.
+            let fft_flops = 5.0 * d3 as f64 * (d3 as f64).log2().max(1.0);
+            ctx.charge_flops(planes_done as f64 * d2 as f64 * fft_flops);
         })
         .region("fft_dim2", |ctx| {
             let mut p = ctx.params();
@@ -274,10 +282,10 @@ impl Kernel for Fft3d {
             let d3 = p.u64() as usize;
             let re = ctx.f64vec("fft_are");
             let im = ctx.f64vec("fft_aim");
-            let planes = ctx.my_block(0..d1 as u64);
             let mut lr = vec![0.0; d2];
             let mut li = vec![0.0; d2];
-            for i in planes {
+            let mut planes_done = 0u64;
+            ctx.for_static(0..d1 as u64, |ctx, i| {
                 for k in 0..d3 {
                     let d = ctx.dsm();
                     for j in 0..d2 {
@@ -292,7 +300,12 @@ impl Kernel for Fft3d {
                         im.set(d, idx, li[j]);
                     }
                 }
-            }
+                planes_done += 1;
+            });
+            // d3 strided transforms of length d2 per plane, plus the
+            // gather/scatter (2 mem-equivalents per element).
+            let fft_flops = 5.0 * d2 as f64 * (d2 as f64).log2().max(1.0);
+            ctx.charge_flops(planes_done as f64 * d3 as f64 * (fft_flops + 2.0 * d2 as f64));
         })
         .region("fft_transpose", |ctx| {
             // params: dir (0: A(i,j,k)->B(k,j,i), 1: B(k,j,i)->A(i,j,k)), n1, n2, n3
@@ -307,10 +320,10 @@ impl Kernel for Fft3d {
             let bim = ctx.f64vec("fft_bim");
             if dir == 0 {
                 // Partition over OUTPUT planes of B (index k).
-                let ks = ctx.my_block(0..n3 as u64);
                 let mut lr = vec![0.0; n1];
                 let mut li = vec![0.0; n1];
-                for k in ks {
+                let mut planes_done = 0u64;
+                ctx.for_static(0..n3 as u64, |ctx, k| {
                     for j in 0..n2 {
                         let d = ctx.dsm();
                         for (i, (r, m)) in lr.iter_mut().zip(li.iter_mut()).enumerate() {
@@ -322,13 +335,17 @@ impl Kernel for Fft3d {
                         bre.write_from(d, off, &lr);
                         bim.write_from(d, off, &li);
                     }
-                }
+                    planes_done += 1;
+                });
+                // Pure data movement: 2 mem-equivalents per complex
+                // element of the output plane (n2 × n1 of them).
+                ctx.charge_flops(planes_done as f64 * (n2 * n1) as f64 * 2.0);
             } else {
                 // Partition over OUTPUT planes of A (index i).
-                let is = ctx.my_block(0..n1 as u64);
                 let mut lr = vec![0.0; n3];
                 let mut li = vec![0.0; n3];
-                for i in is {
+                let mut planes_done = 0u64;
+                ctx.for_static(0..n1 as u64, |ctx, i| {
                     for j in 0..n2 {
                         let d = ctx.dsm();
                         for (k, (r, m)) in lr.iter_mut().zip(li.iter_mut()).enumerate() {
@@ -340,7 +357,9 @@ impl Kernel for Fft3d {
                         are.write_from(d, off, &lr);
                         aim.write_from(d, off, &li);
                     }
-                }
+                    planes_done += 1;
+                });
+                ctx.charge_flops(planes_done as f64 * (n2 * n3) as f64 * 2.0);
             }
         })
     }
@@ -405,6 +424,15 @@ impl Kernel for Fft3d {
 
     fn shared_bytes(&self) -> u64 {
         4 * self.total() as u64 * 8
+    }
+
+    fn cost_profile(&self) -> Vec<(&'static str, f64)> {
+        // Uniform regions only: init (2 writes) and evolve (a complex
+        // multiply: 6 flops + 2 mem-equivalents) per flat element. The
+        // FFT passes and transposes charge exact FLOPs in-region
+        // because their per-plane work depends on the orientation the
+        // call runs in.
+        vec![("fft_init", 2.0), ("fft_evolve", 8.0)]
     }
 }
 

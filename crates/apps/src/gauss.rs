@@ -119,9 +119,8 @@ impl Kernel for Gauss {
             let n = p.u64() as usize;
             let stride = p.u64() as usize;
             let ab = ctx.f64vec("gauss_ab");
-            let rows = ctx.my_block(0..n as u64);
             let mut row = vec![0.0; n + 1];
-            for r in rows {
+            ctx.for_static(0..n as u64, |ctx, r| {
                 let r = r as usize;
                 for (c, v) in row.iter_mut().enumerate() {
                     *v = if c == n {
@@ -131,7 +130,7 @@ impl Kernel for Gauss {
                     };
                 }
                 ab.write_from(ctx.dsm(), r * stride, &row);
-            }
+            });
         })
         .region("gauss_elim", |ctx| {
             let mut p = ctx.params();
@@ -149,14 +148,14 @@ impl Kernel for Gauss {
             // Static block over ALL rows; each process updates the rows
             // of its block that lie below k (the paper's block layout —
             // what Figure 3's redistribution analysis assumes).
-            let rows = ctx.my_block(0..n as u64);
-            let d = ctx.dsm();
             let mut row = vec![0.0; w];
-            for r in rows {
+            let mut rows_eliminated = 0u64;
+            ctx.for_static(0..n as u64, |ctx, r| {
                 let r = r as usize;
                 if r <= k {
-                    continue;
+                    return;
                 }
+                let d = ctx.dsm();
                 let base = ab.addr + (r * stride + k) as u64;
                 d.read_f64s(base, &mut row);
                 let f = row[0] / akk;
@@ -164,7 +163,15 @@ impl Kernel for Gauss {
                     row[c] -= f * pivot[c];
                 }
                 d.write_f64s(base, &row);
-            }
+                rows_eliminated += 1;
+            });
+            // The per-row work shrinks as the pivot advances (and rows
+            // above k are skipped entirely), so charge exact FLOPs —
+            // one multiply-subtract pair per active element — rather
+            // than a uniform per-index cost. This is what exposes the
+            // block layout's growing tail-end load imbalance on the
+            // virtual timeline, exactly as on the real testbed.
+            ctx.charge_flops(rows_eliminated as f64 * w as f64 * 2.0);
         })
     }
 
@@ -217,6 +224,12 @@ impl Kernel for Gauss {
     fn shared_bytes(&self) -> u64 {
         // Unpadded logical size (padding is a layout artifact).
         (self.n * (self.n + 1)) as u64 * 8
+    }
+
+    fn cost_profile(&self) -> Vec<(&'static str, f64)> {
+        // Only the first-touch init is uniform per index (one row of
+        // n+1 writes); `gauss_elim` charges exact FLOPs in-region.
+        vec![("gauss_init", self.n as f64 + 1.0)]
     }
 }
 

@@ -88,15 +88,14 @@ impl Kernel for Jacobi {
             let grid = ctx.f64mat("jacobi_grid", n, n);
             let next = ctx.f64mat("jacobi_next", n, n);
             let mut row = vec![0.0; n as usize];
-            let rows = ctx.my_block(0..n);
-            for r in rows {
+            ctx.for_static(0..n, |ctx, r| {
                 for (c, v) in row.iter_mut().enumerate() {
                     *v = Jacobi::init_value(n as usize, r as usize, c);
                 }
                 let d = ctx.dsm();
                 grid.write_row(d, r as usize, &row);
                 next.write_row(d, r as usize, &row);
-            }
+            });
         })
         .region("jacobi_sweep", |ctx| {
             let mut p = ctx.params();
@@ -108,8 +107,7 @@ impl Kernel for Jacobi {
             let mut here = vec![0.0; n as usize];
             let mut below = vec![0.0; n as usize];
             let mut out = vec![0.0; n as usize];
-            let rows = ctx.my_block(1..n - 1);
-            for r in rows {
+            ctx.for_static(1..n - 1, |ctx, r| {
                 let d = ctx.dsm();
                 grid.read_row(d, (r - 1) as usize, &mut above);
                 grid.read_row(d, r as usize, &mut here);
@@ -120,7 +118,7 @@ impl Kernel for Jacobi {
                     out[c] = 0.25 * (above[c] + below[c] + here[c - 1] + here[c + 1]);
                 }
                 next.write_row(d, r as usize, &out);
-            }
+            });
         })
         .region("jacobi_copy", |ctx| {
             let mut p = ctx.params();
@@ -128,12 +126,11 @@ impl Kernel for Jacobi {
             let grid = ctx.f64mat("jacobi_grid", n, n);
             let next = ctx.f64mat("jacobi_next", n, n);
             let mut row = vec![0.0; n as usize];
-            let rows = ctx.my_block(1..n - 1);
-            for r in rows {
+            ctx.for_static(1..n - 1, |ctx, r| {
                 let d = ctx.dsm();
                 next.read_row(d, r as usize, &mut row);
                 grid.write_row(d, r as usize, &row);
-            }
+            });
         })
     }
 
@@ -173,6 +170,18 @@ impl Kernel for Jacobi {
 
     fn shared_bytes(&self) -> u64 {
         2 * (self.n * self.n) as u64 * 8
+    }
+
+    fn cost_profile(&self) -> Vec<(&'static str, f64)> {
+        // One iteration = one grid row. The sweep is the classic
+        // 4-flop stencil per point; the copy and the first-touch init
+        // are memory-bound at ~1 flop-equivalent per point.
+        let n = self.n as f64;
+        vec![
+            ("jacobi_init", n),
+            ("jacobi_sweep", 4.0 * n),
+            ("jacobi_copy", n),
+        ]
     }
 }
 

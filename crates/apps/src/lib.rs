@@ -24,6 +24,7 @@ pub mod gauss;
 pub mod jacobi;
 pub mod nbf;
 
+use nowmp_net::CostModel;
 use nowmp_omp::{OmpProgram, OmpSystem};
 
 /// A benchmark kernel: registers its regions, initializes shared data,
@@ -50,6 +51,34 @@ pub trait Kernel: Send + Sync {
 
     /// Shared memory the kernel allocates, in bytes.
     fn shared_bytes(&self) -> u64;
+
+    /// Calibrated per-iteration compute cost of each *uniform* region,
+    /// in FLOPs (one iteration = one index of the region's worksharing
+    /// loop). Converted to time through the cost model's
+    /// `flops_per_sec` by [`with_kernel_costs`], so profile-driven and
+    /// in-region (`charge_flops`) charges share one calibration.
+    /// Regions whose per-index work varies (e.g. the shrinking Gauss
+    /// elimination step) charge exact FLOPs in-region via
+    /// [`nowmp_omp::OmpCtx::charge_flops`] and are absent here.
+    fn cost_profile(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+/// Install `kernel`'s calibrated compute costs into `cost`, switching
+/// compute charging on — the virtual-clock what-if entry point. The
+/// profile's FLOP counts convert through `cost.flops_per_sec`, so a
+/// what-if model with a faster/slower CPU rescales every kernel
+/// consistently.
+pub fn with_kernel_costs(mut cost: CostModel, kernel: &dyn Kernel) -> CostModel {
+    for (region, flops) in kernel.cost_profile() {
+        let per_iter = cost.flops_time(flops);
+        cost = cost.with_region_cost(region, per_iter);
+    }
+    // Kernels that charge FLOPs in-region may have an empty profile;
+    // charging must still switch on for them.
+    cost.emulate_compute = true;
+    cost
 }
 
 /// Build the complete program for a set of kernels (regions of all four

@@ -149,15 +149,14 @@ impl Kernel for Nbf {
             let partners_per = p.u64() as usize;
             let pos = ctx.f64vec("nbf_pos");
             let plists = ctx.u64vec("nbf_partners");
-            let block = ctx.my_block(0..n);
-            for a in block {
+            ctx.for_static(0..n, |ctx, a| {
                 let a = a as usize;
                 let xyz = Nbf::atom_pos(n as usize, a);
                 let ps = Nbf::atom_partners(n as usize, partners_per, a);
                 let d = ctx.dsm();
                 pos.write_from(d, a * 3, &xyz);
                 plists.write_from(d, a * partners_per, &ps);
-            }
+            });
         })
         .region("nbf_forces", |ctx| {
             let mut p = ctx.params();
@@ -167,10 +166,9 @@ impl Kernel for Nbf {
             let force = ctx.f64vec("nbf_force");
             let partners = ctx.u64vec("nbf_partners");
             let out = ctx.f64vec("nbf_out");
-            let block = ctx.my_block(0..n);
             let mut local_energy = 0.0;
             let mut plist = vec![0u64; partners_per];
-            for a in block {
+            ctx.for_static(0..n, |ctx, a| {
                 let a = a as usize;
                 let d = ctx.dsm();
                 let ax = pos.get(d, a * 3);
@@ -192,7 +190,7 @@ impl Kernel for Nbf {
                 force.set(d, a * 3, fx);
                 force.set(d, a * 3 + 1, fy);
                 force.set(d, a * 3 + 2, fz);
-            }
+            });
             // reduction(+: energy)
             let total = ctx.reduce_sum_f64(local_energy);
             ctx.master(|c| {
@@ -205,8 +203,7 @@ impl Kernel for Nbf {
             let dt = p.f64();
             let pos = ctx.f64vec("nbf_pos");
             let force = ctx.f64vec("nbf_force");
-            let block = ctx.my_block(0..n);
-            for a in block {
+            ctx.for_static(0..n, |ctx, a| {
                 let a = a as usize;
                 let d = ctx.dsm();
                 for dim in 0..3 {
@@ -214,7 +211,7 @@ impl Kernel for Nbf {
                     let f = force.get(d, a * 3 + dim);
                     pos.set(d, a * 3 + dim, cur + dt * f);
                 }
-            }
+            });
         })
     }
 
@@ -268,6 +265,20 @@ impl Kernel for Nbf {
 
     fn shared_bytes(&self) -> u64 {
         (self.atoms * 3 * 2 + self.atoms * self.partners + 1) as u64 * 8
+    }
+
+    fn cost_profile(&self) -> Vec<(&'static str, f64)> {
+        // One iteration = one atom. The pair interaction is ~30 flops
+        // (distance, softened LJ force + energy, accumulation) per
+        // partner; the update is 2 flops per dimension; the init is
+        // dominated by the per-atom RNG draws (~5 equivalents per
+        // partner slot).
+        let p = self.partners as f64;
+        vec![
+            ("nbf_init", 5.0 * p + 10.0),
+            ("nbf_forces", 30.0 * p),
+            ("nbf_update", 6.0),
+        ]
     }
 }
 

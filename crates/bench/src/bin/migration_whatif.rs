@@ -14,7 +14,7 @@
 //! normal leave of the same process.
 
 use nowmp_apps::Kernel;
-use nowmp_bench::{bench_cfg, bench_net_model, measure, print_table, BenchApps};
+use nowmp_bench::{bench_cfg, bench_cost_model, measure, print_table, BenchApps};
 use nowmp_core::EventKind;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         (Box::new(BenchApps::fft()), BenchApps::fft_iters()),
         (Box::new(BenchApps::nbf()), BenchApps::nbf_iters()),
     ];
-    let model = bench_net_model();
+    let cost = bench_cost_model();
 
     let mut rows = Vec::new();
     for (app, iters) in &apps {
@@ -58,7 +58,7 @@ fn main() {
             }))
             .expect("urgent migration must be logged");
         let modeled =
-            model.spawn_time().as_secs_f64() + model.migration_time(mig_bytes).as_secs_f64();
+            cost.spawn_time().as_secs_f64() + cost.migration_time(mig_bytes).as_secs_f64();
 
         // Normal leave of the same pid for comparison.
         let normal = measure(

@@ -8,14 +8,21 @@
 //! runtime at that average from runs at n and n−1, and divide the
 //! excess by the number of adaptations. We report that, plus the
 //! directly measured per-adaptation latency from the event log.
+//!
+//! **Virtual mode** (`--virtual` or `NOWMP_CLOCK=virtual`): calibrated
+//! per-iteration compute costs are charged to the simulated clock, so
+//! the interpolation baselines and the excess-per-adaptation figures
+//! become quantitative predictions on the §5.1 testbed model instead of
+//! wall-time artifacts of the (compute-free) emulation.
 
 use nowmp_apps::Kernel;
-use nowmp_bench::{avg_nodes, bench_cfg, interpolate_runtime, measure, print_table, BenchApps};
+use nowmp_bench::{avg_nodes, bench_cfg_for, interpolate_runtime, measure, print_table, BenchApps};
 use nowmp_core::EventKind;
 use std::time::Duration;
 
 fn main() {
     nowmp_bench::smoke_from_args();
+    nowmp_bench::virtual_from_args();
     let apps: Vec<(Box<dyn Kernel>, usize)> = vec![
         (Box::new(BenchApps::jacobi()), BenchApps::jacobi_iters()),
         (Box::new(BenchApps::gauss()), BenchApps::gauss_iters()),
@@ -29,7 +36,7 @@ fn main() {
             // Non-adaptive baselines at n and n-1 for interpolation.
             let t_n = measure(
                 app.as_ref(),
-                bench_cfg(n, n),
+                bench_cfg_for(app.as_ref(), n, n),
                 *iters,
                 false,
                 |_, _| {},
@@ -38,7 +45,7 @@ fn main() {
             .secs;
             let t_n1 = measure(
                 app.as_ref(),
-                bench_cfg(n, n - 1),
+                bench_cfg_for(app.as_ref(), n, n - 1),
                 *iters,
                 false,
                 |_, _| {},
@@ -59,7 +66,7 @@ fn main() {
                 let mut pending = 0usize;
                 let run = measure(
                     app.as_ref(),
-                    bench_cfg(n + 1, n), // a spare host for re-joins
+                    bench_cfg_for(app.as_ref(), n + 1, n), // a spare host for re-joins
                     *iters,
                     true,
                     |sys, it| {

@@ -1,0 +1,161 @@
+//! **What-if scaling sweep** — scenarios no 1999 machine room could
+//! run.
+//!
+//! The paper's testbed was eight homogeneous 300 MHz Pentium IIs. With
+//! the `CostModel` charging calibrated compute to the virtual clock,
+//! the same application binaries can be "run" on NOWs that never
+//! existed, in seconds of wall time:
+//!
+//! * **scale-out** — 2..32 workstations (the paper stopped at 8);
+//! * **heterogeneous** — every odd-numbered workstation at half speed
+//!   (a mixed-generation machine room). Static schedules stretch to
+//!   the stragglers: the measured curve shows exactly the flattening
+//!   the paper's §7 future work anticipates;
+//! * **loaded host** — one workstation with a competing background
+//!   process (load 1.0 ⇒ effective speed ½): the classic "someone sat
+//!   down at their workstation" scenario from §1, *without* the owner
+//!   asking the process to leave.
+//!
+//! Every run uses the virtual clock regardless of `NOWMP_CLOCK`; the
+//! sweep completes in well under a minute of wall time (`--smoke` in
+//! CI).
+
+use nowmp_apps::{jacobi::Jacobi, with_kernel_costs, Kernel};
+use nowmp_bench::{bench_net_model, measure, print_table, quick};
+use nowmp_core::ClusterConfig;
+use nowmp_net::{CostModel, HostId};
+use nowmp_tmk::DsmConfig;
+use nowmp_util::Clock;
+use std::time::Instant;
+
+/// Scenario family: how the pool's hosts differ from the reference.
+#[derive(Clone, Copy)]
+enum Scenario {
+    Homogeneous,
+    /// Odd-numbered hosts run at half speed.
+    Heterogeneous,
+    /// Host 1 carries one competing background process.
+    LoadedHost,
+}
+
+impl Scenario {
+    fn name(&self) -> &'static str {
+        match self {
+            Scenario::Homogeneous => "homogeneous",
+            Scenario::Heterogeneous => "heterogeneous",
+            Scenario::LoadedHost => "loaded-host",
+        }
+    }
+
+    fn apply(&self, mut cost: CostModel, hosts: usize) -> CostModel {
+        match self {
+            Scenario::Homogeneous => {}
+            Scenario::Heterogeneous => {
+                for h in (1..hosts).step_by(2) {
+                    cost = cost.with_host_speed(HostId(h as u16), 0.5);
+                }
+            }
+            Scenario::LoadedHost => {
+                if hosts > 1 {
+                    cost = cost.with_host_load(HostId(1), 1.0);
+                }
+            }
+        }
+        cost
+    }
+}
+
+fn cfg(kernel: &dyn Kernel, scenario: Scenario, procs: usize) -> ClusterConfig {
+    let cost = scenario.apply(with_kernel_costs(CostModel::paper_1999(), kernel), procs);
+    ClusterConfig {
+        hosts: procs,
+        initial_procs: procs,
+        net_model: bench_net_model(),
+        cost_model: cost,
+        dsm: DsmConfig::default_4k(),
+        clock: Clock::new_virtual(),
+        ..ClusterConfig::test(procs, procs)
+    }
+}
+
+fn main() {
+    nowmp_bench::smoke_from_args();
+    let wall = Instant::now();
+    // Big enough that compute dominates at small node counts (the
+    // scaling story needs a compute-bound regime to roll over from),
+    // small enough that the real work behind the virtual charge stays
+    // cheap.
+    let (jacobi, iters) = if quick() {
+        (Jacobi::new(384), 2usize)
+    } else {
+        (Jacobi::new(1024), 4usize)
+    };
+    // Smoke keeps the 2–32 span but drops the 16-node column (the
+    // large-team runs dominate wall time via real condvar handoffs).
+    let scales: &[usize] = if quick() {
+        &[2, 4, 8, 32]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+
+    // Serial baseline on one reference workstation (scenarios only
+    // differ in hosts the serial run never touches).
+    let t1 = measure(
+        &jacobi,
+        cfg(&jacobi, Scenario::Homogeneous, 1),
+        iters,
+        false,
+        |_, _| {},
+        false,
+    )
+    .secs;
+
+    let mut rows = Vec::new();
+    for &scenario in &[
+        Scenario::Homogeneous,
+        Scenario::Heterogeneous,
+        Scenario::LoadedHost,
+    ] {
+        for &procs in scales {
+            let run = measure(
+                &jacobi,
+                cfg(&jacobi, scenario, procs),
+                iters,
+                false,
+                |_, _| {},
+                false,
+            );
+            let speedup = t1 / run.secs.max(1e-12);
+            rows.push(vec![
+                scenario.name().to_string(),
+                procs.to_string(),
+                format!("{:.3}", run.secs),
+                format!("{speedup:.2}"),
+                format!("{:.0}%", 100.0 * speedup / procs as f64),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!(
+            "What-if scaling sweep: Jacobi {n}x{n}, {iters} iters, virtual clock (T1 = {t1:.3}s)",
+            n = jacobi.n
+        ),
+        &["Scenario", "Nodes", "Sim(s)", "Speedup", "Efficiency"],
+        &rows,
+    );
+    println!(
+        "\nShape check: homogeneous speedup grows with nodes until the fixed\n\
+         per-fork communication dominates the shrinking block; heterogeneous\n\
+         flattens hard (static schedules stretch to the half-speed stragglers,\n\
+         so adding slow hosts barely helps); loaded-host tracks homogeneous\n\
+         minus one effective node — quantifying the paper's motivating\n\
+         scenario without the leave. Wall time: {:.1}s for {} virtual runs.",
+        wall.elapsed().as_secs_f64(),
+        rows.len() + 1
+    );
+    assert!(
+        wall.elapsed().as_secs_f64() < 60.0 || !quick(),
+        "smoke sweep must finish under a minute of wall time"
+    );
+}

@@ -25,7 +25,7 @@
 
 use nowmp_apps::{fft3d::Fft3d, gauss::Gauss, jacobi::Jacobi, nbf::Nbf, Kernel};
 use nowmp_core::{ClusterConfig, EventKind, LogEntry};
-use nowmp_net::NetModel;
+use nowmp_net::{CostModel, NetModel};
 use nowmp_omp::OmpSystem;
 use nowmp_tmk::DsmConfig;
 use std::time::Duration;
@@ -110,6 +110,24 @@ pub fn quick() -> bool {
         .unwrap_or(false)
 }
 
+/// Is the simulation clock virtual (`NOWMP_CLOCK=virtual`)?
+pub fn virtual_mode() -> bool {
+    std::env::var("NOWMP_CLOCK")
+        .map(|v| v == "virtual")
+        .unwrap_or(false)
+}
+
+/// Handle a `--virtual` command-line flag: force the virtual clock
+/// (equivalent to `NOWMP_CLOCK=virtual`), under which the reproducers
+/// charge calibrated per-iteration compute costs and report *simulated*
+/// seconds — the quantitative Table 1/2 mode. Call at the top of a
+/// bin's `main`, before any system is constructed.
+pub fn virtual_from_args() {
+    if std::env::args().any(|a| a == "--virtual") {
+        std::env::set_var("NOWMP_CLOCK", "virtual");
+    }
+}
+
 /// Handle a `--smoke` command-line flag: force quick mode (equivalent
 /// to `NOWMP_QUICK=1`) so CI can exercise a reproducer binary in a
 /// couple of seconds. Call at the top of every bin's `main`.
@@ -119,30 +137,112 @@ pub fn smoke_from_args() {
     }
 }
 
-/// The benchmark network model (paper constants, env-scaled).
-pub fn bench_net_model() -> NetModel {
-    if std::env::var("NOWMP_NO_EMULATE")
+/// `NOWMP_NO_EMULATE=1`? (counters only, no modeled delays)
+fn no_emulate() -> bool {
+    std::env::var("NOWMP_NO_EMULATE")
         .map(|v| v == "1")
         .unwrap_or(false)
-    {
-        return NetModel::disabled();
-    }
-    let scale = std::env::var("NOWMP_TIME_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    NetModel::paper_scaled(scale)
 }
 
-/// Cluster configuration for benches: paper network model, 4 KB pages.
+/// The `NOWMP_TIME_SCALE` knob (default 1.0 = paper speed).
+fn env_time_scale() -> f64 {
+    std::env::var("NOWMP_TIME_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// The benchmark network model (paper constants, env-scaled).
+pub fn bench_net_model() -> NetModel {
+    if no_emulate() {
+        return NetModel::disabled();
+    }
+    NetModel::paper_scaled(env_time_scale())
+}
+
+/// The benchmark host cost model (paper constants, env-scaled; no
+/// kernel compute profile yet — see [`bench_cfg_for`]).
+pub fn bench_cost_model() -> CostModel {
+    if no_emulate() {
+        return CostModel::disabled();
+    }
+    CostModel::paper_scaled(env_time_scale())
+}
+
+/// Cluster configuration for benches: paper network + host cost
+/// models, 4 KB pages.
 pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
     ClusterConfig {
         hosts,
         initial_procs: procs,
         net_model: bench_net_model(),
+        cost_model: bench_cost_model(),
         dsm: DsmConfig::default_4k(),
         ..ClusterConfig::test(hosts, procs)
     }
+}
+
+/// [`bench_cfg`] specialized to `kernel`: under the virtual clock
+/// ([`virtual_mode`]) the kernel's calibrated per-iteration compute
+/// costs are installed, so worksharing loops charge modeled compute to
+/// the simulated timeline and reported seconds become quantitative
+/// Table 1/2 predictions. On the real clock the profile is left out —
+/// charging modeled FLOPs as wall sleeps would only slow the bench.
+pub fn bench_cfg_for(kernel: &dyn Kernel, hosts: usize, procs: usize) -> ClusterConfig {
+    let mut cfg = bench_cfg(hosts, procs);
+    if virtual_mode() {
+        cfg.cost_model = nowmp_apps::with_kernel_costs(cfg.cost_model, kernel);
+    }
+    cfg
+}
+
+/// Serialize `(nprocs, secs)` samples per app into the machine-readable
+/// `BENCH_table1.json` artifact: speedup per nprocs, seeding the perf
+/// trajectory CI tracks across PRs. Hand-rolled JSON (no serde in the
+/// offline vendor set).
+pub fn table1_json(apps: &[(String, Vec<(usize, f64)>)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"clock\": \"{}\",\n  \"quick\": {},\n  \"apps\": [\n",
+        if virtual_mode() { "virtual" } else { "real" },
+        quick()
+    ));
+    for (ai, (name, samples)) in apps.iter().enumerate() {
+        let t1 = samples
+            .iter()
+            .find(|(p, _)| *p == 1)
+            .map(|&(_, s)| s)
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!("    {{\"name\": \"{name}\", \"secs\": {{"));
+        for (i, (p, s)) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{p}\": {s:.6}{}",
+                if i + 1 < samples.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("}, \"speedup\": {");
+        for (i, (p, s)) in samples.iter().enumerate() {
+            // Degenerate samples (zero-length runs, missing 1-proc
+            // baseline) must not leak a bare NaN into the artifact —
+            // that is not valid JSON.
+            let sp = if *s > 0.0 { t1 / s } else { f64::NAN };
+            let cell = if sp.is_finite() {
+                format!("{sp:.4}")
+            } else {
+                "null".to_owned()
+            };
+            out.push_str(&format!(
+                "\"{p}\": {cell}{}",
+                if i + 1 < samples.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "}}}}{}\n",
+            if ai + 1 < apps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Result of one measured run.

@@ -28,7 +28,7 @@ use crate::hostpool::HostPool;
 use crate::log::{EventKind, EventLog};
 use crate::reassign::{reassign, ReassignPolicy};
 use nowmp_ckpt::{migration_image_bytes, Checkpoint};
-use nowmp_net::{Gpid, HostId, NetModel, Network};
+use nowmp_net::{CostModel, Gpid, HostId, NetModel, Network};
 use nowmp_tmk::system::RegionRunner;
 use nowmp_tmk::{DsmConfig, DsmSystem, MasterCtl, TmkCtx};
 use nowmp_util::Clock;
@@ -55,8 +55,11 @@ pub struct ClusterConfig {
     pub hosts: usize,
     /// Initial team size (processes, master included).
     pub initial_procs: usize,
-    /// Network cost model.
+    /// Wire cost model (latency, bandwidth, per-message overhead).
     pub net_model: NetModel,
+    /// Host cost model (spawn delay, migration stream, per-host speed
+    /// and load factors, per-kernel compute costs).
+    pub cost_model: CostModel,
     /// DSM protocol configuration.
     pub dsm: DsmConfig,
     /// Pid reassignment policy.
@@ -85,6 +88,7 @@ impl ClusterConfig {
             hosts,
             initial_procs: procs,
             net_model: NetModel::disabled(),
+            cost_model: CostModel::disabled(),
             dsm: DsmConfig::test_small(),
             reassign: ReassignPolicy::CompactKeepOrder,
             leave_strategy: LeaveStrategy::ViaMaster,
@@ -103,6 +107,7 @@ impl ClusterConfig {
             hosts: 8,
             initial_procs: 8,
             net_model: NetModel::paper_1999(),
+            cost_model: CostModel::paper_1999(),
             dsm: DsmConfig::default_4k(),
             reassign: ReassignPolicy::CompactKeepOrder,
             leave_strategy: LeaveStrategy::ViaMaster,
@@ -399,7 +404,13 @@ impl Cluster {
             "one process per workstation"
         );
         let clock = cfg.clock.clone();
-        let net = Network::with_clock(cfg.hosts, 1, cfg.net_model.clone(), clock.clone());
+        let net = Network::with_clock(
+            cfg.hosts,
+            1,
+            cfg.net_model.clone(),
+            cfg.cost_model.clone(),
+            clock.clone(),
+        );
         let freeze = Freeze::new(clock.clone());
         let mut dsm = cfg.dsm.clone();
         dsm.throttle = Some(freeze.hook());
@@ -408,6 +419,10 @@ impl Cluster {
         let master_gpid = master.gpid();
 
         let mut hosts = HostPool::new(cfg.hosts);
+        for h in 0..cfg.hosts {
+            let h = HostId(h as u16);
+            hosts.set_speed(h, cfg.cost_model.effective_speed(h));
+        }
         hosts.occupy(HostId(0), master_gpid);
         let mut workers = Vec::new();
         for i in 1..cfg.initial_procs {
@@ -464,7 +479,13 @@ impl Cluster {
             let cfg2 = cfg.clone();
             assert!(cfg2.initial_procs >= 1);
             let clock = cfg2.clock.clone();
-            let net = Network::with_clock(cfg2.hosts, 1, cfg2.net_model.clone(), clock.clone());
+            let net = Network::with_clock(
+                cfg2.hosts,
+                1,
+                cfg2.net_model.clone(),
+                cfg2.cost_model.clone(),
+                clock.clone(),
+            );
             let freeze = Freeze::new(clock.clone());
             let mut dsm = cfg2.dsm.clone();
             dsm.throttle = Some(freeze.hook());
@@ -474,6 +495,10 @@ impl Cluster {
             master.import_image(&ckpt.image);
 
             let mut hosts = HostPool::new(cfg2.hosts);
+            for h in 0..cfg2.hosts {
+                let h = HostId(h as u16);
+                hosts.set_speed(h, cfg2.cost_model.effective_speed(h));
+            }
             hosts.occupy(HostId(0), master_gpid);
             let mut workers = Vec::new();
             for i in 1..cfg2.initial_procs {

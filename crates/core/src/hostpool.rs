@@ -1,9 +1,12 @@
-//! Workstation pool bookkeeping: which processes occupy which hosts.
+//! Workstation pool bookkeeping: which processes occupy which hosts,
+//! and how fast each host is.
 //!
 //! A NOW's nodes come and go; the pool tracks occupancy so the adaptive
 //! layer can place joiners on free workstations and pick multiplexing
 //! targets for urgent migrations (Figure 2c: the migrated process
-//! time-shares its new host).
+//! time-shares its new host). Since the [`nowmp_net::CostModel`] split,
+//! the pool also tracks each host's *effective speed* so target
+//! selection prefers fast hosts in heterogeneous what-if scenarios.
 
 use nowmp_net::{Gpid, HostId};
 
@@ -12,34 +15,52 @@ use nowmp_net::{Gpid, HostId};
 pub struct HostPool {
     occupants: Vec<Vec<Gpid>>,
     reserved: Vec<bool>,
+    /// Effective speed factor per host (1.0 = the reference
+    /// workstation); see [`nowmp_net::CostModel::effective_speed`].
+    speeds: Vec<f64>,
 }
 
 impl HostPool {
-    /// Pool over `hosts` workstations.
+    /// Pool over `hosts` workstations, all at the reference speed.
     pub fn new(hosts: usize) -> Self {
         HostPool {
             occupants: vec![Vec::new(); hosts],
             reserved: vec![false; hosts],
+            speeds: vec![1.0; hosts],
         }
     }
 
-    /// Register one more workstation; returns its id.
+    /// Register one more workstation (reference speed); returns its id.
     pub fn add_host(&mut self) -> HostId {
         self.occupants.push(Vec::new());
         self.reserved.push(false);
+        self.speeds.push(1.0);
         HostId(self.occupants.len() as u16 - 1)
     }
 
+    /// Record the effective speed of `host` (non-positive or non-finite
+    /// values are clamped to a small positive epsilon).
+    pub fn set_speed(&mut self, host: HostId, speed: f64) {
+        let s = if speed.is_finite() {
+            speed.max(1e-9)
+        } else {
+            1.0
+        };
+        self.speeds[host.0 as usize] = s;
+    }
+
+    /// Effective speed of `host`.
+    pub fn speed(&self, host: HostId) -> f64 {
+        self.speeds[host.0 as usize]
+    }
+
     /// Reserve a free workstation for a process being spawned; returns
-    /// `None` when every host is occupied or reserved.
+    /// `None` when every host is occupied or reserved. Among free
+    /// hosts, the *fastest* wins; ties break on the lowest host id.
     pub fn reserve_free(&mut self) -> Option<HostId> {
-        let i = self
-            .occupants
-            .iter()
-            .enumerate()
-            .position(|(i, o)| o.is_empty() && !self.reserved[i])?;
-        self.reserved[i] = true;
-        Some(HostId(i as u16))
+        let host = self.free_host()?;
+        self.reserved[host.0 as usize] = true;
+        Some(host)
     }
 
     /// Clear a reservation (after the process lands, or on failure).
@@ -82,22 +103,44 @@ impl HostPool {
             .map(|i| HostId(i as u16))
     }
 
-    /// An unoccupied, unreserved workstation, if any (lowest id first).
+    /// An unoccupied, unreserved workstation, if any. Among free hosts
+    /// the fastest wins; ties break on the lowest host id (the
+    /// strictly-greater comparison below keeps the first maximum, so
+    /// the choice is deterministic for equal speeds).
     pub fn free_host(&self) -> Option<HostId> {
-        self.occupants
-            .iter()
-            .enumerate()
-            .position(|(i, o)| o.is_empty() && !self.reserved[i])
-            .map(|i| HostId(i as u16))
+        let mut best: Option<usize> = None;
+        for (i, o) in self.occupants.iter().enumerate() {
+            if !o.is_empty() || self.reserved[i] {
+                continue;
+            }
+            match best {
+                Some(b) if self.speeds[i] <= self.speeds[b] => {}
+                _ => best = Some(i),
+            }
+        }
+        best.map(|i| HostId(i as u16))
     }
 
     /// The least-loaded workstation other than `exclude` (multiplexing
-    /// target when no free host exists).
+    /// target when no free host exists). "Load" is speed-aware:
+    /// `(occupants + 1) / speed` estimates the slowdown the migrated
+    /// process would see on each candidate, so a fast host with one
+    /// occupant can beat a slow empty one. Ties break
+    /// **deterministically on the lowest host id** (the strictly-less
+    /// comparison keeps the first minimum).
     pub fn least_loaded_excluding(&self, exclude: HostId) -> Option<HostId> {
-        (0..self.occupants.len())
-            .filter(|&i| i != exclude.0 as usize)
-            .min_by_key(|&i| self.occupants[i].len())
-            .map(|i| HostId(i as u16))
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.occupants.len() {
+            if i == exclude.0 as usize {
+                continue;
+            }
+            let cost = (self.occupants[i].len() + 1) as f64 / self.speeds[i];
+            match best {
+                Some((_, b)) if cost >= b => {}
+                _ => best = Some((i, cost)),
+            }
+        }
+        best.map(|(i, _)| HostId(i as u16))
     }
 
     /// Total processes placed.
@@ -148,11 +191,46 @@ mod tests {
     }
 
     #[test]
+    fn least_loaded_tie_break_is_lowest_id() {
+        // Four identical candidates: the documented tie-break picks the
+        // lowest id every time, independent of insertion order.
+        let p = HostPool::new(5);
+        for _ in 0..10 {
+            assert_eq!(p.least_loaded_excluding(HostId(0)), Some(HostId(1)));
+            assert_eq!(p.least_loaded_excluding(HostId(1)), Some(HostId(0)));
+        }
+    }
+
+    #[test]
+    fn least_loaded_is_speed_aware() {
+        let mut p = HostPool::new(3);
+        // Host 2 is 4x the reference speed: even with one occupant its
+        // estimated slowdown (2/4 = 0.5) beats the empty host 1 (1/1).
+        p.set_speed(HostId(2), 4.0);
+        p.occupy(HostId(2), Gpid(9));
+        assert_eq!(p.least_loaded_excluding(HostId(0)), Some(HostId(2)));
+        // Drop the speed edge and the empty host wins again.
+        p.set_speed(HostId(2), 1.0);
+        assert_eq!(p.least_loaded_excluding(HostId(0)), Some(HostId(1)));
+    }
+
+    #[test]
+    fn free_host_prefers_faster() {
+        let mut p = HostPool::new(3);
+        p.set_speed(HostId(1), 2.0);
+        assert_eq!(p.free_host(), Some(HostId(1)));
+        p.occupy(HostId(1), Gpid(1));
+        // Remaining free hosts tie at speed 1.0: lowest id wins.
+        assert_eq!(p.free_host(), Some(HostId(0)));
+    }
+
+    #[test]
     fn add_host_grows_pool() {
         let mut p = HostPool::new(1);
         let h = p.add_host();
         assert_eq!(h, HostId(1));
         assert_eq!(p.len(), 2);
+        assert_eq!(p.speed(h), 1.0);
     }
 }
 
@@ -171,5 +249,38 @@ mod reserve_tests {
         assert!(p.reserve_free().is_none());
         p.unreserve(h);
         assert_eq!(p.free_host(), Some(HostId(0)));
+    }
+
+    #[test]
+    fn reserve_free_exhausted_pool_edge_cases() {
+        // All hosts occupied: nothing to reserve, and the failed call
+        // must not leave a stray reservation behind.
+        let mut p = HostPool::new(2);
+        p.occupy(HostId(0), Gpid(1));
+        p.occupy(HostId(1), Gpid(2));
+        assert!(p.reserve_free().is_none());
+        p.vacate(HostId(1), Gpid(2));
+        assert_eq!(
+            p.reserve_free(),
+            Some(HostId(1)),
+            "vacated host is reservable again"
+        );
+
+        // All hosts reserved (none occupied): also exhausted.
+        let mut p = HostPool::new(2);
+        assert!(p.reserve_free().is_some());
+        assert!(p.reserve_free().is_some());
+        assert!(p.reserve_free().is_none());
+
+        // Mixed: one occupied, one reserved.
+        let mut p = HostPool::new(2);
+        p.occupy(HostId(0), Gpid(1));
+        assert_eq!(p.reserve_free(), Some(HostId(1)));
+        assert!(p.reserve_free().is_none());
+
+        // Empty pool: trivially exhausted.
+        let mut p = HostPool::new(0);
+        assert!(p.is_empty());
+        assert!(p.reserve_free().is_none());
     }
 }

@@ -17,13 +17,17 @@
 //! * [`Endpoint`] — a process's mailbox. Endpoints are created on a
 //!   host and can later be **re-labeled** onto another host (process
 //!   migration);
-//! * [`NetModel`] — the cost model: one-way latency, link bandwidth,
-//!   per-message overhead, migration stream bandwidth, process spawn
-//!   delay. With `emulate = true` the model is enforced in real time
-//!   (senders hold their host link for the serialization time;
-//!   receivers honor the propagation latency); with `emulate = false`
-//!   only statistics are recorded, keeping unit tests fast and
-//!   deterministic;
+//! * [`NetModel`] — the *wire* cost model: one-way latency, link
+//!   bandwidth, per-message overhead. With `emulate = true` the model
+//!   is enforced in real time (senders hold their host link for the
+//!   serialization time; receivers honor the propagation latency); with
+//!   `emulate = false` only statistics are recorded, keeping unit tests
+//!   fast and deterministic;
+//! * [`CostModel`] — the *host* cost model: process spawn delay,
+//!   migration stream bandwidth, per-host relative speed and
+//!   background-load factors, and per-kernel per-iteration compute
+//!   costs calibrated to the §5.1 testbed. Both models share one
+//!   canonical set of paper constants ([`cost::paper`]);
 //! * [`NetStats`] — message/byte counters per host link. The paper's
 //!   §5.4 key result ("the cost of adaptation is proportional to the
 //!   maximum network traffic per link") is measured directly from these
@@ -39,10 +43,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod model;
 pub mod net;
 pub mod stats;
 
+pub use cost::CostModel;
 pub use model::NetModel;
 pub use net::{Endpoint, Incoming, NetError, Network, Replier};
 pub use stats::{LinkSnapshot, NetStats, StatsSnapshot};

@@ -1,20 +1,23 @@
-//! The network/host cost model.
+//! The wire cost model — the network and nothing but the network.
 //!
-//! Defaults follow the paper's §5.1 measurements on the 1999 testbed:
+//! Host-side costs (process creation, the migration image stream,
+//! per-host compute speeds, per-kernel iteration costs) live in
+//! [`crate::CostModel`]; both models draw their paper defaults from the
+//! shared [`crate::cost::paper`] constants. Defaults follow the paper's
+//! §5.1 measurements on the 1999 testbed:
 //!
 //! | quantity | paper | model |
 //! |---|---|---|
 //! | 1-byte roundtrip | 126 µs | 2 × `one_way_latency` (63 µs) |
 //! | full 4 KB page transfer | 1308 µs | latency + (4 KB + headers)/bandwidth + overheads |
-//! | migration image stream | 8.1 MB/s | `migration_bandwidth` |
-//! | process creation | 0.6–0.8 s | `spawn_delay` (0.7 s) |
 //!
 //! `time_scale` shrinks every emulated delay uniformly so benchmark runs
 //! finish in minutes while preserving every *ratio* the paper reports.
 
+use crate::cost::paper;
 use std::time::Duration;
 
-/// Cost model for the simulated NOW.
+/// Wire cost model for the simulated NOW.
 #[derive(Debug, Clone)]
 pub struct NetModel {
     /// Enforce delays in real time (benches/examples). When `false`, the
@@ -30,11 +33,6 @@ pub struct NetModel {
     /// Per-message header bytes added to every payload (Ethernet + IP +
     /// UDP + protocol header).
     pub header_bytes: usize,
-    /// Bandwidth of the process-image migration stream (paper: 8.1 MB/s,
-    /// i.e. checkpoint-based migration through `libckpt`).
-    pub migration_bandwidth: f64,
-    /// Cost of creating a new process on a host (paper: 0.6–0.8 s).
-    pub spawn_delay: Duration,
     /// Multiply every emulated delay by this factor (1.0 = paper speed).
     pub time_scale: f64,
 }
@@ -48,24 +46,21 @@ impl NetModel {
             one_way_latency: Duration::ZERO,
             bandwidth_bps: f64::INFINITY,
             per_msg_overhead: Duration::ZERO,
-            header_bytes: 42,
-            migration_bandwidth: f64::INFINITY,
-            spawn_delay: Duration::ZERO,
+            header_bytes: paper::HEADER_BYTES,
             time_scale: 1.0,
         }
     }
 
     /// The paper's 1999 testbed: switched full-duplex 100 Mbps Ethernet,
-    /// 126 µs 1-byte roundtrip, 8.1 MB/s migration stream, 0.7 s spawn.
+    /// 126 µs 1-byte roundtrip (the host-side 8.1 MB/s migration stream
+    /// and 0.7 s spawn moved to [`crate::CostModel::paper_1999`]).
     pub fn paper_1999() -> Self {
         NetModel {
             emulate: true,
-            one_way_latency: Duration::from_micros(63),
-            bandwidth_bps: 100e6,
-            per_msg_overhead: Duration::from_micros(35),
-            header_bytes: 42,
-            migration_bandwidth: 8.1e6,
-            spawn_delay: Duration::from_millis(700),
+            one_way_latency: paper::ONE_WAY_LATENCY,
+            bandwidth_bps: paper::BANDWIDTH_BPS,
+            per_msg_overhead: paper::PER_MSG_OVERHEAD,
+            header_bytes: paper::HEADER_BYTES,
             time_scale: 1.0,
         }
     }
@@ -126,22 +121,6 @@ impl NetModel {
     pub fn latency(&self) -> Duration {
         self.scaled(self.one_way_latency)
     }
-
-    /// Time to stream a migration image of `bytes` (scaled), excluding
-    /// spawn cost.
-    pub fn migration_time(&self, bytes: usize) -> Duration {
-        if !self.migration_bandwidth.is_finite() {
-            return Duration::ZERO;
-        }
-        self.scaled(Duration::from_secs_f64(
-            bytes as f64 / self.migration_bandwidth,
-        ))
-    }
-
-    /// Process creation delay (scaled).
-    pub fn spawn_time(&self) -> Duration {
-        self.scaled(self.spawn_delay)
-    }
 }
 
 impl Default for NetModel {
@@ -159,8 +138,6 @@ mod tests {
         let m = NetModel::disabled();
         assert_eq!(m.sender_time(1 << 20), Duration::ZERO);
         assert_eq!(m.latency(), Duration::ZERO);
-        assert_eq!(m.migration_time(50 << 20), Duration::ZERO);
-        assert_eq!(m.spawn_time(), Duration::ZERO);
     }
 
     #[test]
@@ -182,17 +159,8 @@ mod tests {
     }
 
     #[test]
-    fn migration_rate_is_8_1_mbps() {
-        let m = NetModel::paper_1999();
-        // Paper: Jacobi image ≈ 6.7 s at 8.1 MB/s => ~54 MB.
-        let t = m.migration_time(54 * 1000 * 1000);
-        assert!((t.as_secs_f64() - 6.67).abs() < 0.1, "{t:?}");
-    }
-
-    #[test]
     fn time_scale_shrinks_everything() {
         let m = NetModel::paper_scaled(0.1);
         assert_eq!(m.latency(), Duration::from_micros(63).mul_f64(0.1));
-        assert_eq!(m.spawn_time(), Duration::from_millis(700).mul_f64(0.1));
     }
 }

@@ -15,6 +15,7 @@
 //!   two processes are multiplexed on one host) and the receiver honors
 //!   the propagation latency.
 
+use crate::cost::CostModel;
 use crate::model::NetModel;
 use crate::stats::{LinkStats, NetStats, StatsSnapshot};
 use crate::{Gpid, HostId};
@@ -118,6 +119,7 @@ struct EndpointRec {
 
 struct NetInner {
     model: NetModel,
+    cost: CostModel,
     clock: Clock,
     stats: NetStats,
     hosts: RwLock<Vec<Arc<HostRec>>>,
@@ -128,6 +130,41 @@ struct NetInner {
 impl NetInner {
     fn host(&self, id: HostId) -> Arc<HostRec> {
         Arc::clone(&self.hosts.read()[id.0 as usize])
+    }
+
+    /// Charge `d` of wire occupancy on `host`'s link: concurrent
+    /// senders on the same workstation serialize on one physical wire.
+    ///
+    /// On the virtual backend this deliberately avoids a deadline-less
+    /// blocked scope around the lock: at such an instant the whole
+    /// simulation can look quiescent and the clock would advance to the
+    /// earliest *unrelated* pending deadline — since compute charging
+    /// landed, that can be a peer's worksharing charge tens of
+    /// milliseconds out, time-warping a µs-scale wire transaction and
+    /// serializing compute that should overlap. Instead, a contended
+    /// sender polls in short *virtual* sleeps: there is then always a
+    /// nearby registered deadline, so the clock can neither overshoot
+    /// nor wedge, and the wait itself costs (quantized) wire time,
+    /// which is physically what link contention is.
+    fn occupy_link(&self, host: &HostRec, d: Duration) {
+        if !self.clock.is_virtual() {
+            let _wire = host.link.lock();
+            self.clock.sleep(d);
+            return;
+        }
+        let mut quantum = Duration::from_micros(5);
+        loop {
+            if let Some(_wire) = host.link.try_lock() {
+                self.clock.sleep(d);
+                return;
+            }
+            self.clock.sleep(quantum);
+            // Back off exponentially: a link can be held for whole
+            // simulated seconds (migration image streams), and a fixed
+            // µs quantum would turn that into millions of wall-time
+            // clock advances.
+            quantum = (quantum * 2).min(Duration::from_millis(10));
+        }
     }
 
     /// Core transmit path: accounting + optional real-time emulation.
@@ -143,11 +180,9 @@ impl NetInner {
 
         // Sender-side occupancy: hold the host link for the serialization
         // time so concurrent senders on the same host contend, as they
-        // would on one physical wire. The lock wait is clock-visible so
-        // a virtual simulation can advance under the contended sender.
+        // would on one physical wire.
         if self.model.emulate {
-            let _wire = self.clock.blocked(|| src_host.link.lock());
-            self.clock.sleep(self.model.sender_time(payload.len()));
+            self.occupy_link(src_host, self.model.sender_time(payload.len()));
         }
 
         let deliver_at = if self.model.emulate {
@@ -202,20 +237,33 @@ pub struct Network {
 impl Network {
     /// Create a network with `hosts` initial workstations, each with
     /// `cpu_slots` CPU slots (1 = the paper's one process per node).
-    /// The time backend comes from the environment
-    /// ([`Clock::from_env`]): real by default, virtual under
-    /// `NOWMP_CLOCK=virtual`.
+    /// Host-side costs default to [`CostModel::disabled`]; the time
+    /// backend comes from the environment ([`Clock::from_env`]): real
+    /// by default, virtual under `NOWMP_CLOCK=virtual`.
     pub fn new(hosts: usize, cpu_slots: usize, model: NetModel) -> Self {
-        Self::with_clock(hosts, cpu_slots, model, Clock::from_env())
+        Self::with_clock(
+            hosts,
+            cpu_slots,
+            model,
+            CostModel::disabled(),
+            Clock::from_env(),
+        )
     }
 
-    /// [`Network::new`] on an explicit time backend. Everything that
-    /// shares a simulation must share one clock — pass clones of the
-    /// same handle.
-    pub fn with_clock(hosts: usize, cpu_slots: usize, model: NetModel, clock: Clock) -> Self {
+    /// [`Network::new`] with an explicit host [`CostModel`] and time
+    /// backend. Everything that shares a simulation must share one
+    /// clock — pass clones of the same handle.
+    pub fn with_clock(
+        hosts: usize,
+        cpu_slots: usize,
+        model: NetModel,
+        cost: CostModel,
+        clock: Clock,
+    ) -> Self {
         let net = Network {
             inner: Arc::new(NetInner {
                 model,
+                cost,
                 clock,
                 stats: NetStats::new(),
                 hosts: RwLock::new(Vec::new()),
@@ -252,9 +300,14 @@ impl Network {
         self.inner.hosts.read().len()
     }
 
-    /// The cost model in force.
+    /// The wire cost model in force.
     pub fn model(&self) -> &NetModel {
         &self.inner.model
+    }
+
+    /// The host cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.cost
     }
 
     /// Snapshot all traffic counters.
@@ -329,27 +382,27 @@ impl Network {
     }
 
     /// Emulate streaming a migration image of `bytes` (paper: 8.1 MB/s)
-    /// from `src_host`, returning the charged duration. Traffic is
-    /// accounted on both hosts' links.
+    /// from `src_host`, returning the charged duration. The rate comes
+    /// from the host [`CostModel`]; traffic is accounted on both hosts'
+    /// links.
     pub fn charge_migration(&self, src_host: HostId, dst_host: HostId, bytes: usize) -> Duration {
-        let d = self.inner.model.migration_time(bytes);
+        let d = self.inner.cost.migration_time(bytes);
         let src = self.inner.host(src_host);
         let dst = self.inner.host(dst_host);
         src.link_stats.record_out(bytes as u64);
         dst.link_stats.record_in(bytes as u64);
         self.inner.stats.record_msg(bytes as u64);
-        if self.inner.model.emulate {
-            let _wire = self.inner.clock.blocked(|| src.link.lock());
-            self.inner.clock.sleep(d);
+        if self.inner.cost.emulate {
+            self.inner.occupy_link(&src, d);
         }
         d
     }
 
     /// Emulate process creation on a host (paper: 0.6–0.8 s), returning
-    /// the charged duration.
+    /// the charged duration (from the host [`CostModel`]).
     pub fn charge_spawn(&self) -> Duration {
-        let d = self.inner.model.spawn_time();
-        if self.inner.model.emulate {
+        let d = self.inner.cost.spawn_time();
+        if self.inner.cost.emulate {
             self.inner.clock.sleep(d);
         }
         d
@@ -377,6 +430,11 @@ impl Endpoint {
     /// The network's clock (shared by all endpoints of one network).
     pub fn clock(&self) -> &Clock {
         &self.net.clock
+    }
+
+    /// The host cost model (shared by all endpoints of one network).
+    pub fn cost(&self) -> &CostModel {
+        &self.net.cost
     }
 
     /// The host this endpoint currently resides on.
@@ -511,8 +569,7 @@ impl NetInner {
     ) -> bool {
         let bytes = (payload.len() + self.model.header_bytes) as u64;
         if self.model.emulate {
-            let _wire = self.clock.blocked(|| src_host.link.lock());
-            self.clock.sleep(self.model.sender_time(payload.len()));
+            self.occupy_link(src_host, self.model.sender_time(payload.len()));
         }
         let deliver_at = if self.model.emulate {
             Some(self.clock.now() + self.model.latency())
@@ -684,10 +741,10 @@ mod tests {
 
     #[test]
     fn migration_charge_accounts_and_times() {
-        let mut model = NetModel::disabled();
-        model.emulate = true;
-        model.migration_bandwidth = 10e6; // 10 MB/s
-        let net = Network::new(2, 1, model);
+        let mut cost = CostModel::disabled();
+        cost.emulate = true;
+        cost.migration_bandwidth = 10e6; // 10 MB/s
+        let net = Network::with_clock(2, 1, NetModel::disabled(), cost, Clock::from_env());
         let t = net.clock().now();
         let d = net.charge_migration(HostId(0), HostId(1), 1_000_000); // 0.1 s
         assert!((d.as_secs_f64() - 0.1).abs() < 1e-9);

@@ -1,4 +1,4 @@
-//! The `NetModel` delay paths under a virtual clock.
+//! The `NetModel`/`CostModel` delay paths under a virtual clock.
 //!
 //! These paths (`sender_time`, `latency`, migration streams, spawn
 //! delays) were previously untestable without burning real wall time —
@@ -8,12 +8,18 @@
 //! equalities, not load-sensitive bounds.
 
 use bytes::Bytes;
-use nowmp_net::{HostId, NetModel, Network};
+use nowmp_net::{CostModel, HostId, NetModel, Network};
 use nowmp_util::Clock;
 use std::time::{Duration, Instant};
 
 fn virtual_net(model: NetModel, hosts: usize) -> Network {
-    Network::with_clock(hosts, 1, model, Clock::new_virtual())
+    Network::with_clock(
+        hosts,
+        1,
+        model,
+        CostModel::paper_1999(),
+        Clock::new_virtual(),
+    )
 }
 
 #[test]
@@ -135,7 +141,7 @@ fn paper_scale_delays_cost_no_wall_time() {
         a.call(b_gpid, Bytes::from(vec![0u8; 1])).unwrap();
     }
     let modeled = clock.elapsed_since(t0);
-    let expect = model.spawn_time()
+    let expect = CostModel::paper_1999().spawn_time()
         + (model.sender_time(1) + model.latency() + model.sender_time(1) + model.latency())
             * rounds;
     assert_eq!(modeled, expect);

@@ -5,6 +5,15 @@
 //! `guided` schedules), `barrier`, `critical`, `master`/`single`, and
 //! reductions. Everything lowers onto the DSM context exactly the way
 //! the SUIF-generated TreadMarks code does.
+//!
+//! **Compute charging.** Every worksharing loop charges the modeled
+//! compute cost of the iterations it executed — `per-iteration region
+//! cost × iterations / effective host speed`, resolved through the
+//! [`nowmp_net::CostModel`] — to the cluster clock at each chunk
+//! boundary. With the cost model disabled (the default for
+//! correctness tests) the charge is a no-op; with a calibrated profile
+//! under a virtual clock, `sched.rs` partitions become *time-visible*
+//! and virtual runs reproduce Table 1/2 quantitatively.
 
 use crate::params::ParamsReader;
 use crate::sched;
@@ -78,14 +87,25 @@ impl<'a> OmpCtx<'a> {
             return;
         }
         let block = sched::static_block(sub, self.pid(), self.nprocs());
+        let iters = block.end.saturating_sub(block.start);
         for i in block {
             f(self, i);
         }
+        self.tmk.charge_compute(iters);
     }
 
     /// Escape hatch to the DSM layer (typed arrays take this).
     pub fn dsm(&mut self) -> &mut TmkCtx {
         self.tmk
+    }
+
+    /// Charge an explicit FLOP count to the cluster clock (see
+    /// [`TmkCtx::charge_flops`]) — for regions whose per-iteration work
+    /// varies, where the uniform per-index charge of the worksharing
+    /// loops would mis-shape the timeline. No-op unless the cost model
+    /// has compute charging enabled.
+    pub fn charge_flops(&mut self, flops: f64) {
+        self.tmk.charge_flops(flops);
     }
 
     /// Look up a shared `f64` vector by name.
@@ -112,14 +132,29 @@ impl<'a> OmpCtx<'a> {
     /// join provides one); call [`Self::barrier`] if needed earlier.
     pub fn for_static(&mut self, range: Range<u64>, mut f: impl FnMut(&mut Self, u64)) {
         let block = sched::static_block(range, self.pid(), self.nprocs());
+        let iters = block.end.saturating_sub(block.start);
         for i in block {
             f(self, i);
         }
+        self.tmk.charge_compute(iters);
     }
 
     /// The block of `range` this process owns under `schedule(static)`.
     pub fn my_block(&self, range: Range<u64>) -> Range<u64> {
         sched::static_block(range, self.pid(), self.nprocs())
+    }
+
+    /// `#pragma omp for schedule(static)` handing the whole contiguous
+    /// block to `f` at once — for kernels that bulk-process their block
+    /// (page-granular reads/writes) instead of iterating index by
+    /// index. Charges the region's per-iteration compute cost for
+    /// every index of the block at the chunk boundary, exactly like
+    /// [`Self::for_static`].
+    pub fn for_static_block(&mut self, range: Range<u64>, f: impl FnOnce(&mut Self, Range<u64>)) {
+        let block = sched::static_block(range, self.pid(), self.nprocs());
+        let iters = block.end.saturating_sub(block.start);
+        f(self, block);
+        self.tmk.charge_compute(iters);
     }
 
     /// `#pragma omp for schedule(static, chunk)`.
@@ -132,9 +167,11 @@ impl<'a> OmpCtx<'a> {
         let chunks: Vec<_> =
             sched::static_chunks(range, chunk, self.pid(), self.nprocs()).collect();
         for c in chunks {
+            let iters = c.end.saturating_sub(c.start);
             for i in c {
                 f(self, i);
             }
+            self.tmk.charge_compute(iters);
         }
     }
 
@@ -170,6 +207,7 @@ impl<'a> OmpCtx<'a> {
             for i in lo..hi {
                 f(self, i);
             }
+            self.tmk.charge_compute(hi - lo);
         }
         self.barrier();
     }
@@ -208,6 +246,7 @@ impl<'a> OmpCtx<'a> {
             for i in lo..hi {
                 f(self, i);
             }
+            self.tmk.charge_compute(hi - lo);
         }
         self.barrier();
     }

@@ -65,10 +65,15 @@ impl OmpProgram {
     }
 
     pub(crate) fn run(&self, region: u32, tmk: &mut TmkCtx) {
-        let (_, f) = self
+        let (name, f) = self
             .regions
             .get(region as usize)
             .unwrap_or_else(|| panic!("unknown region id {region}"));
+        // Resolve this region's modeled per-iteration compute cost so
+        // the worksharing loops can charge it at chunk boundaries
+        // (zero when the cost model is disabled or unprofiled).
+        let per_iter = tmk.cost_model().region_cost(name);
+        tmk.set_iter_cost(per_iter);
         let mut ctx = OmpCtx::new(tmk);
         f(&mut ctx);
     }

@@ -97,6 +97,44 @@ mod tests {
     }
 
     #[test]
+    fn empty_range_yields_nothing() {
+        for pid in 0..4 {
+            let b = static_block(10..10, pid, 4);
+            assert!(b.is_empty(), "static_block on empty range: {b:?}");
+            assert_eq!(static_chunks(10..10, 3, pid, 4).count(), 0);
+        }
+        assert!(guided_chunk_sizes(0, 5, 4).is_empty());
+    }
+
+    #[test]
+    fn chunk_larger_than_range() {
+        // chunk > n: pid 0 takes everything in one chunk, others none.
+        let c: Vec<_> = static_chunks(0..5, 10, 0, 3).collect();
+        assert_eq!(c, vec![0..5]);
+        assert_eq!(static_chunks(0..5, 10, 1, 3).count(), 0);
+        assert_eq!(static_chunks(0..5, 10, 2, 3).count(), 0);
+        // guided: min_chunk > n clamps to the remainder.
+        assert_eq!(guided_chunk_sizes(5, 10, 3), vec![5]);
+    }
+
+    #[test]
+    fn more_procs_than_iterations() {
+        // nprocs > n: the first n pids get one iteration each.
+        let n = 3u64;
+        let mut got = Vec::new();
+        for pid in 0..8 {
+            for r in static_chunks(0..n, 1, pid, 8) {
+                got.extend(r);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        let sizes = guided_chunk_sizes(3, 1, 8);
+        assert_eq!(sizes.iter().sum::<u64>(), 3);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
     fn guided_sizes_decrease() {
         let sizes = guided_chunk_sizes(100, 4, 4);
         assert_eq!(sizes.iter().sum::<u64>(), 100);
@@ -141,6 +179,25 @@ mod tests {
             let sizes = guided_chunk_sizes(n, min, nprocs);
             prop_assert_eq!(sizes.iter().sum::<u64>(), n);
             prop_assert!(sizes.iter().all(|&s| s > 0));
+        }
+
+        /// Guided chunks handed out in sequence (the way `for_guided`
+        /// claims them) assign every iteration exactly once — the
+        /// chunk *sizes* laid end to end tile the range with no gap
+        /// and no overlap, whichever process grabs each chunk.
+        #[test]
+        fn prop_guided_assignment_is_exact_cover(n in 0u64..5_000, min in 1u64..64, nprocs in 1usize..9) {
+            let mut seen = vec![false; n as usize];
+            let mut next = 0u64;
+            for c in guided_chunk_sizes(n, min, nprocs) {
+                for i in next..next + c {
+                    prop_assert!(!seen[i as usize], "iteration {i} assigned twice");
+                    seen[i as usize] = true;
+                }
+                next += c;
+            }
+            prop_assert_eq!(next, n, "chunks tile the range exactly");
+            prop_assert!(seen.iter().all(|&s| s), "every iteration assigned");
         }
     }
 }

@@ -98,6 +98,11 @@ impl OmpSystem {
     /// replay-safe (deterministic, not self-mutating through shared
     /// state) or the application should use the master-state blob.
     pub fn seq<R>(&mut self, f: impl FnOnce(&mut OmpCtx<'_>) -> R) -> R {
+        // Sequential code is not a profiled region: clear the
+        // per-iteration cost left behind by the last parallel region so
+        // a worksharing call inside `f` cannot charge that region's
+        // compute to the clock.
+        self.cluster.ctx().set_iter_cost(std::time::Duration::ZERO);
         let mut ctx = OmpCtx::new(self.cluster.ctx());
         f(&mut ctx)
     }

@@ -328,3 +328,65 @@ fn recovery_replays_forks() {
     s2.shutdown();
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn compute_charge_is_time_visible_on_virtual_clock() {
+    use nowmp_net::CostModel;
+    use nowmp_util::Clock;
+    use std::time::Duration;
+
+    let n = 100u64;
+    let per_iter = Duration::from_millis(1);
+    let mut cfg = ClusterConfig::test(3, 2);
+    cfg.clock = Clock::new_virtual();
+    cfg.cost_model = CostModel::disabled().with_region_cost("axpy", per_iter);
+    let mut s = OmpSystem::new(cfg, axpy_program());
+    s.alloc_f64("x", n);
+    s.alloc_f64("y", n);
+    s.alloc_f64("out", 8);
+    s.parallel("fill", &Params::new().u64(n).build()); // unprofiled: free
+    let clock = s.clock().clone();
+    let t0 = clock.now();
+    s.parallel("axpy", &Params::new().u64(n).f64(2.0).build());
+    let took = clock.elapsed_since(t0);
+    // Two procs × 50 iterations × 1 ms each, charged in parallel: the
+    // construct takes (at least) one proc's 50 ms share of virtual
+    // time, and nowhere near the serial 100 ms (communication is free
+    // under the disabled wire model).
+    assert!(took >= Duration::from_millis(50), "took {took:?}");
+    assert!(took < Duration::from_millis(100), "took {took:?}");
+    s.shutdown();
+}
+
+#[test]
+fn slow_host_gates_the_join_under_heterogeneous_speeds() {
+    use nowmp_net::{CostModel, HostId};
+    use nowmp_util::Clock;
+    use std::time::Duration;
+
+    let n = 100u64;
+    let per_iter = Duration::from_millis(1);
+    let mut cfg = ClusterConfig::test(3, 2);
+    cfg.clock = Clock::new_virtual();
+    // Worker host h1 runs at half speed: its 50-iteration block costs
+    // 100 ms while the master's costs 50 ms, so the fork/join round
+    // stretches to the straggler.
+    cfg.cost_model = CostModel::disabled()
+        .with_region_cost("axpy", per_iter)
+        .with_host_speed(HostId(1), 0.5);
+    let mut s = OmpSystem::new(cfg, axpy_program());
+    s.alloc_f64("x", n);
+    s.alloc_f64("y", n);
+    s.alloc_f64("out", 8);
+    s.parallel("fill", &Params::new().u64(n).build());
+    let clock = s.clock().clone();
+    let t0 = clock.now();
+    s.parallel("axpy", &Params::new().u64(n).f64(2.0).build());
+    let took = clock.elapsed_since(t0);
+    assert!(
+        took >= Duration::from_millis(100),
+        "join must wait for the half-speed host: {took:?}"
+    );
+    assert!(took < Duration::from_millis(200), "took {took:?}");
+    s.shutdown();
+}

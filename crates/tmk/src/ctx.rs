@@ -132,6 +132,10 @@ pub struct TmkCtx {
     master_ctrl: Option<Arc<Mutex<CtrlBuf>>>,
     /// Current region parameters (set by the fork dispatcher).
     params: Vec<u8>,
+    /// Modeled compute cost of one iteration of the current region at
+    /// reference speed (set by the fork dispatcher from the
+    /// [`nowmp_net::CostModel`]; zero = compute is free).
+    iter_cost: Duration,
 }
 
 impl TmkCtx {
@@ -166,6 +170,7 @@ impl TmkCtx {
             throttle: cfg.throttle.clone(),
             master_ctrl,
             params: Vec::new(),
+            iter_cost: Duration::ZERO,
         }
     }
 
@@ -197,6 +202,63 @@ impl TmkCtx {
     /// Install region parameters (runtime use).
     pub fn set_params(&mut self, params: Vec<u8>) {
         self.params = params;
+    }
+
+    /// Install the per-iteration compute cost of the region about to
+    /// run (runtime use; the fork dispatcher resolves it from the
+    /// [`nowmp_net::CostModel`] by region name).
+    pub fn set_iter_cost(&mut self, per_iter: Duration) {
+        self.iter_cost = per_iter;
+    }
+
+    /// The host this process currently runs on.
+    pub fn host(&self) -> nowmp_net::HostId {
+        self.endpoint.host()
+    }
+
+    /// The simulation's host cost model.
+    pub fn cost_model(&self) -> &nowmp_net::CostModel {
+        self.endpoint.cost()
+    }
+
+    /// Charge `iters` iterations of the current region's modeled
+    /// compute cost to the simulation clock, speed-adjusted for this
+    /// process's host. The worksharing loops call this at every chunk
+    /// boundary — under a virtual clock this is what makes compute
+    /// *time-visible*, turning event orderings into quantitative
+    /// timelines (ROADMAP: "charge it through
+    /// `ClusterShared::clock().sleep(...)` at chunk boundaries").
+    /// Free (an early return) when no cost model is installed.
+    pub fn charge_compute(&mut self, iters: u64) {
+        if self.iter_cost.is_zero() || iters == 0 {
+            return;
+        }
+        let d = self
+            .endpoint
+            .cost()
+            .compute_time(self.iter_cost, iters, self.endpoint.host());
+        if !d.is_zero() {
+            self.endpoint.clock().sleep(d);
+        }
+    }
+
+    /// Charge an explicit FLOP count to the simulation clock (for
+    /// regions whose per-iteration work varies — e.g. Gauss elimination
+    /// steps shrink as the pivot advances — where a fixed per-index
+    /// cost would mis-shape the timeline). No-op unless the cost model
+    /// has compute charging enabled.
+    pub fn charge_flops(&mut self, flops: f64) {
+        let cost = self.endpoint.cost();
+        if !cost.emulate_compute || flops <= 0.0 {
+            return;
+        }
+        let d = cost.scaled(
+            cost.flops_time(flops)
+                .div_f64(cost.effective_speed(self.endpoint.host())),
+        );
+        if !d.is_zero() {
+            self.endpoint.clock().sleep(d);
+        }
     }
 
     /// Shared event counters.

@@ -689,9 +689,9 @@ mod tests {
     }
 
     /// The single-shot oversleep budget that wall time could never
-    /// guarantee (see the retired `#[ignore]`d
-    /// `precise_sleep_single_shot_strict`): on the virtual backend the
-    /// 2 ms budget holds by construction — a virtual sleep is *exact*.
+    /// guarantee (see the note in `crate::timing`'s tests): on the
+    /// virtual backend the 2 ms budget holds by construction — a
+    /// virtual sleep is *exact*.
     #[test]
     fn virtual_sleep_single_shot_strict() {
         let c = Clock::new_virtual();

@@ -129,11 +129,10 @@ mod tests {
         }
     }
 
-    // The old `precise_sleep_single_shot_strict` test (a 2 ms
-    // single-shot oversleep budget, `#[ignore]`d because any scheduler
-    // stall on a loaded box failed it) now lives in `crate::clock` as
-    // `virtual_sleep_single_shot_strict`, where the budget is exact by
-    // construction and the test always runs.
+    // The strict 2 ms single-shot oversleep budget cannot be
+    // guaranteed under wall time (any scheduler stall on a loaded box
+    // breaks it). It runs as `clock::tests::virtual_sleep_single_shot_strict`
+    // on the virtual backend, where a sleep is exact by construction.
 
     #[test]
     fn stopwatch_lap_resets() {

@@ -16,7 +16,7 @@
 
 use nowmp_apps::{build_program, jacobi::Jacobi, Kernel};
 use nowmp_core::{ClusterConfig, EventKind};
-use nowmp_net::NetModel;
+use nowmp_net::{CostModel, NetModel};
 use nowmp_omp::OmpSystem;
 use std::time::Duration;
 
@@ -24,6 +24,7 @@ fn main() {
     let app = Jacobi::new(96);
     let mut cfg = ClusterConfig::test(4, 4);
     cfg.net_model = NetModel::paper_scaled(0.25); // paper constants, 4x fast-forward
+    cfg.cost_model = CostModel::paper_scaled(0.25); // host side: 0.7 s spawn, 8.1 MB/s stream
     cfg.dsm = nowmp_tmk::DsmConfig::default_4k();
     let mut sys = OmpSystem::new(cfg, build_program(&[&app]));
     app.setup(&mut sys);
