@@ -16,20 +16,32 @@
 //!   down at their workstation" scenario from §1, *without* the owner
 //!   asking the process to leave.
 //!
+//! **`--broadcast {flat,tree}`** A/Bs the fork dissemination: `flat` is
+//! the 1999 system (master-serialized fork sends, flat write-notice
+//! payloads — the broadcast ceiling this sweep exposed), `tree` is the
+//! redesign (binomial relay tree + interval-run notice encoding, see
+//! `docs/BROADCAST.md`). The default runs both and emits the A/B into
+//! `BENCH_whatif.json`.
+//!
+//! The run doubles as the **CI scaling gate**: it fails if the tree
+//! 16-host homogeneous speedup drops below the floor pinned in
+//! `crates/bench/baselines.toml`, or if the tree's advantage over flat
+//! at 32 homogeneous hosts falls under the pinned ratio.
+//!
 //! Every run uses the virtual clock regardless of `NOWMP_CLOCK`; the
-//! sweep completes in well under a minute of wall time (`--smoke` in
-//! CI).
+//! sweep completes in well under two minutes of wall time (`--smoke`
+//! in CI).
 
 use nowmp_apps::{jacobi::Jacobi, with_kernel_costs, Kernel};
-use nowmp_bench::{bench_net_model, measure, print_table, quick};
+use nowmp_bench::{bench_net_model, load_baselines, measure, print_table, quick, whatif_json};
 use nowmp_core::ClusterConfig;
 use nowmp_net::{CostModel, HostId};
-use nowmp_tmk::DsmConfig;
+use nowmp_tmk::{Broadcast, DsmConfig};
 use nowmp_util::Clock;
 use std::time::Instant;
 
 /// Scenario family: how the pool's hosts differ from the reference.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq)]
 enum Scenario {
     Homogeneous,
     /// Odd-numbered hosts run at half speed.
@@ -65,21 +77,72 @@ impl Scenario {
     }
 }
 
-fn cfg(kernel: &dyn Kernel, scenario: Scenario, procs: usize) -> ClusterConfig {
+fn bname(b: Broadcast) -> &'static str {
+    match b {
+        Broadcast::Flat => "flat",
+        Broadcast::Tree => "tree",
+    }
+}
+
+fn cfg(
+    kernel: &dyn Kernel,
+    scenario: Scenario,
+    procs: usize,
+    broadcast: Broadcast,
+) -> ClusterConfig {
     let cost = scenario.apply(with_kernel_costs(CostModel::paper_1999(), kernel), procs);
     ClusterConfig {
         hosts: procs,
         initial_procs: procs,
         net_model: bench_net_model(),
         cost_model: cost,
-        dsm: DsmConfig::default_4k(),
+        dsm: DsmConfig {
+            fork_broadcast: broadcast,
+            ..DsmConfig::default_4k()
+        },
         clock: Clock::new_virtual(),
         ..ClusterConfig::test(procs, procs)
     }
 }
 
+/// `--broadcast flat|tree` restricts the sweep to one dissemination
+/// mode; the default A/Bs both.
+fn broadcast_from_args() -> Vec<Broadcast> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--broadcast" {
+            return match args.get(i + 1).map(String::as_str) {
+                Some("flat") => vec![Broadcast::Flat],
+                Some("tree") => vec![Broadcast::Tree],
+                other => panic!("--broadcast expects flat|tree, got {other:?}"),
+            };
+        }
+    }
+    vec![Broadcast::Tree, Broadcast::Flat]
+}
+
+/// Node counts for one (scenario, broadcast) lane. Smoke trims the
+/// off-diagonal lanes so the sweep stays CI-sized while keeping every
+/// column the scaling gate and the A/B ratio need.
+fn scales(scenario: Scenario, broadcast: Broadcast) -> &'static [usize] {
+    if !quick() {
+        return &[2, 4, 8, 16, 32];
+    }
+    match (scenario, broadcast) {
+        // The gate lane: tree homogeneous needs the full curve
+        // (16-host floor + the 32-host A/B numerator).
+        (Scenario::Homogeneous, Broadcast::Tree) => &[2, 4, 8, 16, 32],
+        // The A/B baseline: flat homogeneous at the ceiling end.
+        (Scenario::Homogeneous, Broadcast::Flat) => &[8, 16, 32],
+        // What-if color: both ends plus the paper scale.
+        (_, Broadcast::Tree) => &[2, 8, 32],
+        (_, Broadcast::Flat) => &[8, 32],
+    }
+}
+
 fn main() {
     nowmp_bench::smoke_from_args();
+    let broadcasts = broadcast_from_args();
     let wall = Instant::now();
     // Big enough that compute dominates at small node counts (the
     // scaling story needs a compute-bound regime to roll over from),
@@ -90,19 +153,13 @@ fn main() {
     } else {
         (Jacobi::new(1024), 4usize)
     };
-    // Smoke keeps the 2–32 span but drops the 16-node column (the
-    // large-team runs dominate wall time via real condvar handoffs).
-    let scales: &[usize] = if quick() {
-        &[2, 4, 8, 32]
-    } else {
-        &[2, 4, 8, 16, 32]
-    };
 
     // Serial baseline on one reference workstation (scenarios only
-    // differ in hosts the serial run never touches).
+    // differ in hosts the serial run never touches; a 1-process run
+    // broadcasts nothing, so the mode is irrelevant too).
     let t1 = measure(
         &jacobi,
-        cfg(&jacobi, Scenario::Homogeneous, 1),
+        cfg(&jacobi, Scenario::Homogeneous, 1, Broadcast::Tree),
         iters,
         false,
         |_, _| {},
@@ -110,29 +167,51 @@ fn main() {
     )
     .secs;
 
-    let mut rows = Vec::new();
+    // One measurement per (scenario, broadcast, nprocs); the table,
+    // the JSON, and the gate all derive from this single collection so
+    // they can never disagree.
+    let mut results: Vec<(Scenario, Broadcast, usize, f64)> = Vec::new();
     for &scenario in &[
         Scenario::Homogeneous,
         Scenario::Heterogeneous,
         Scenario::LoadedHost,
     ] {
-        for &procs in scales {
-            let run = measure(
-                &jacobi,
-                cfg(&jacobi, scenario, procs),
-                iters,
-                false,
-                |_, _| {},
-                false,
-            );
-            let speedup = t1 / run.secs.max(1e-12);
-            rows.push(vec![
+        for &broadcast in &broadcasts {
+            for &procs in scales(scenario, broadcast) {
+                let run = measure(
+                    &jacobi,
+                    cfg(&jacobi, scenario, procs, broadcast),
+                    iters,
+                    false,
+                    |_, _| {},
+                    false,
+                );
+                results.push((scenario, broadcast, procs, run.secs));
+            }
+        }
+    }
+    let speedup = |secs: f64| t1 / secs.max(1e-12);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(scenario, broadcast, procs, secs)| {
+            vec![
                 scenario.name().to_string(),
+                bname(broadcast).to_string(),
                 procs.to_string(),
-                format!("{:.3}", run.secs),
-                format!("{speedup:.2}"),
-                format!("{:.0}%", 100.0 * speedup / procs as f64),
-            ]);
+                format!("{secs:.3}"),
+                format!("{:.2}", speedup(secs)),
+                format!("{:.0}%", 100.0 * speedup(secs) / procs as f64),
+            ]
+        })
+        .collect();
+
+    let mut groups: Vec<(String, String, Vec<(usize, f64)>)> = Vec::new();
+    for &(scenario, broadcast, procs, secs) in &results {
+        let key = (scenario.name().to_string(), bname(broadcast).to_string());
+        match groups.last_mut() {
+            Some((s, b, samples)) if (*s == key.0) && (*b == key.1) => samples.push((procs, secs)),
+            _ => groups.push((key.0, key.1, vec![(procs, secs)])),
         }
     }
 
@@ -141,21 +220,84 @@ fn main() {
             "What-if scaling sweep: Jacobi {n}x{n}, {iters} iters, virtual clock (T1 = {t1:.3}s)",
             n = jacobi.n
         ),
-        &["Scenario", "Nodes", "Sim(s)", "Speedup", "Efficiency"],
+        &[
+            "Scenario",
+            "Broadcast",
+            "Nodes",
+            "Sim(s)",
+            "Speedup",
+            "Efficiency",
+        ],
         &rows,
     );
+
+    let json = whatif_json(t1, &groups);
+    std::fs::write("BENCH_whatif.json", &json).expect("write BENCH_whatif.json");
+    println!("\nwrote BENCH_whatif.json ({} bytes)", json.len());
+
+    let speedup_of = |s: Scenario, b: Broadcast, procs: usize| {
+        results
+            .iter()
+            .find(|&&(ls, lb, lp, _)| ls == s && lb == b && lp == procs)
+            .map(|&(_, _, _, secs)| speedup(secs))
+    };
+
+    // The A/B headline: how much virtual-timeline speedup the tree
+    // broadcast buys where the flat broadcast ceiling bit hardest.
+    if let (Some(tree32), Some(flat32)) = (
+        speedup_of(Scenario::Homogeneous, Broadcast::Tree, 32),
+        speedup_of(Scenario::Homogeneous, Broadcast::Flat, 32),
+    ) {
+        println!(
+            "\nBroadcast A/B at 32 homogeneous hosts: tree {tree32:.2}x vs flat {flat32:.2}x \
+             ({:.2}x improvement)",
+            tree32 / flat32
+        );
+    }
+
+    // --- CI scaling gate -------------------------------------------------
+    // Floors live in crates/bench/baselines.toml; a regression in the
+    // broadcast path fails the build here instead of silently flattening
+    // the curve.
+    let floors = load_baselines();
+    if quick() {
+        if let Some(s16) = speedup_of(Scenario::Homogeneous, Broadcast::Tree, 16) {
+            let floor = floors["tree_homogeneous_16_min_speedup"];
+            println!("gate: tree homogeneous S(16) = {s16:.2} (floor {floor:.2})");
+            assert!(
+                s16 >= floor,
+                "CI scaling gate: 16-host homogeneous speedup {s16:.2} fell below \
+                 the pinned floor {floor:.2} (crates/bench/baselines.toml)"
+            );
+        }
+        if let (Some(tree32), Some(flat32)) = (
+            speedup_of(Scenario::Homogeneous, Broadcast::Tree, 32),
+            speedup_of(Scenario::Homogeneous, Broadcast::Flat, 32),
+        ) {
+            let ratio = tree32 / flat32;
+            let floor = floors["tree_over_flat_32_min_ratio"];
+            println!("gate: tree/flat ratio at 32 hosts = {ratio:.2} (floor {floor:.2})");
+            assert!(
+                ratio >= floor,
+                "CI scaling gate: tree broadcast is only {ratio:.2}x flat at 32 \
+                 homogeneous hosts, below the pinned {floor:.2}x floor"
+            );
+        }
+    }
+
     println!(
         "\nShape check: homogeneous speedup grows with nodes until the fixed\n\
-         per-fork communication dominates the shrinking block; heterogeneous\n\
-         flattens hard (static schedules stretch to the half-speed stragglers,\n\
-         so adding slow hosts barely helps); loaded-host tracks homogeneous\n\
-         minus one effective node — quantifying the paper's motivating\n\
-         scenario without the leave. Wall time: {:.1}s for {} virtual runs.",
+         per-fork communication dominates the shrinking block — under the flat\n\
+         broadcast that rollover is the master's serialized fork sends; the\n\
+         tree broadcast pushes it past 32 nodes. Heterogeneous flattens hard\n\
+         (static schedules stretch to the half-speed stragglers); loaded-host\n\
+         tracks homogeneous minus one effective node. Wall time: {:.1}s for {}\n\
+         virtual runs.",
         wall.elapsed().as_secs_f64(),
         rows.len() + 1
     );
     assert!(
-        wall.elapsed().as_secs_f64() < 60.0 || !quick(),
-        "smoke sweep must finish under a minute of wall time"
+        wall.elapsed().as_secs_f64() < 120.0 || !quick(),
+        "smoke sweep must finish under two minutes of wall time"
     );
 }

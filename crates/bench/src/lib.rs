@@ -27,7 +27,7 @@ use nowmp_apps::{fft3d::Fft3d, gauss::Gauss, jacobi::Jacobi, nbf::Nbf, Kernel};
 use nowmp_core::{ClusterConfig, EventKind, LogEntry};
 use nowmp_net::{CostModel, NetModel};
 use nowmp_omp::OmpSystem;
-use nowmp_tmk::DsmConfig;
+use nowmp_tmk::{Broadcast, DsmConfig};
 use std::time::Duration;
 
 /// Scaled-down benchmark instances of the four kernels.
@@ -171,13 +171,22 @@ pub fn bench_cost_model() -> CostModel {
 
 /// Cluster configuration for benches: paper network + host cost
 /// models, 4 KB pages.
+///
+/// The paper reproducers model the *1999 system*, so the fork broadcast
+/// stays [`Broadcast::Flat`] here (flat fan-out, flat write-notice
+/// payloads — what the Table 1/2 calibration pins assume). The
+/// tree/RLE broadcast redesign is A/B'd explicitly by `whatif_scale
+/// --broadcast` against this baseline.
 pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
     ClusterConfig {
         hosts,
         initial_procs: procs,
         net_model: bench_net_model(),
         cost_model: bench_cost_model(),
-        dsm: DsmConfig::default_4k(),
+        dsm: DsmConfig {
+            fork_broadcast: Broadcast::Flat,
+            ..DsmConfig::default_4k()
+        },
         ..ClusterConfig::test(hosts, procs)
     }
 }
@@ -243,6 +252,86 @@ pub fn table1_json(apps: &[(String, Vec<(usize, f64)>)]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Serialize the `whatif_scale` sweep into the machine-readable
+/// `BENCH_whatif.json` artifact: simulated seconds and speedup per
+/// `scenario × broadcast × nprocs`, plus the serial baseline. The CI
+/// scaling gate reads the same numbers in-process (see
+/// [`load_baselines`]); the artifact preserves them across PRs.
+pub fn whatif_json(t1: f64, groups: &[(String, String, Vec<(usize, f64)>)]) -> String {
+    let cell = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "null".to_owned()
+        }
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"clock\": \"virtual\",\n  \"quick\": {},\n  \"t1_secs\": {},\n  \"results\": [\n",
+        quick(),
+        cell(t1)
+    ));
+    for (gi, (scenario, broadcast, samples)) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{scenario}\", \"broadcast\": \"{broadcast}\", \"secs\": {{"
+        ));
+        for (i, (p, s)) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{p}\": {}{}",
+                cell(*s),
+                if i + 1 < samples.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("}, \"speedup\": {");
+        for (i, (p, s)) in samples.iter().enumerate() {
+            let sp = if *s > 0.0 { t1 / s } else { f64::NAN };
+            out.push_str(&format!(
+                "\"{p}\": {}{}",
+                cell(sp),
+                if i + 1 < samples.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "}}}}{}\n",
+            if gi + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse the miniature `key = number` dialect of
+/// `crates/bench/baselines.toml` (no TOML crate in the offline vendor
+/// set): `#` comments and `[section]` headers are skipped; everything
+/// else must be `name = <f64>`.
+pub fn parse_baselines(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut out = std::collections::HashMap::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('[') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            if let Ok(v) = v.trim().parse::<f64>() {
+                out.insert(k.trim().to_owned(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Load the checked-in CI gate floors from `crates/bench/baselines.toml`.
+/// The default path is baked at compile time (`CARGO_MANIFEST_DIR`),
+/// which covers CI and any unmoved checkout; a relocated binary can
+/// point elsewhere with `NOWMP_BASELINES=/path/to/baselines.toml`.
+pub fn load_baselines() -> std::collections::HashMap<String, f64> {
+    let path = std::env::var("NOWMP_BASELINES")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/baselines.toml").to_owned());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read CI baselines at {path}: {e}"));
+    parse_baselines(&text)
 }
 
 /// Result of one measured run.
@@ -400,6 +489,38 @@ mod tests {
         // 8 procs for 5 s, then 7 procs for 5 s -> 7.5 average.
         let avg = avg_nodes(&log, 8, Duration::from_secs(10));
         assert!((avg - 7.5).abs() < 1e-9, "avg={avg}");
+    }
+
+    #[test]
+    fn baselines_parser_and_checked_in_file() {
+        let parsed =
+            parse_baselines("# comment\n[whatif_scale]\nfoo = 1.5 # trailing\n\nbar=2\njunk\n");
+        assert_eq!(parsed["foo"], 1.5);
+        assert_eq!(parsed["bar"], 2.0);
+        assert_eq!(parsed.len(), 2);
+        // The checked-in floors the CI gate depends on must exist.
+        let floors = load_baselines();
+        assert!(floors.contains_key("tree_homogeneous_16_min_speedup"));
+        assert!(floors.contains_key("tree_over_flat_32_min_ratio"));
+    }
+
+    #[test]
+    fn whatif_json_is_well_formed() {
+        let j = whatif_json(
+            2.0,
+            &[
+                (
+                    "homogeneous".into(),
+                    "tree".into(),
+                    vec![(2, 1.0), (32, 0.1)],
+                ),
+                ("homogeneous".into(), "flat".into(), vec![(32, 0.4)]),
+            ],
+        );
+        assert!(j.contains("\"broadcast\": \"tree\""));
+        assert!(j.contains("\"32\": 20.0000"));
+        assert!(j.contains("\"32\": 5.0000"));
+        assert!(!j.contains("NaN"));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Flat-vs-tree broadcast parity and win checks under `VirtualClock`.
+//!
+//! The ISSUE 5 acceptance bar for the tree/RLE fork broadcast: it must
+//! be *semantically invisible* — identical results and identical
+//! adaptation event orderings against the flat 1999 baseline — while
+//! measurably unloading the master's link. The flat side runs the
+//! legacy wire (flat fan-out + flat notices); the tree side runs the
+//! redesign; both on the unscaled paper network model at zero wall
+//! cost.
+
+use nowmp_apps::jacobi::Jacobi;
+use nowmp_bench::{measure, RunResult};
+use nowmp_core::{ClusterConfig, EventKind, LogEntry};
+use nowmp_net::NetModel;
+use nowmp_omp::OmpSystem;
+use nowmp_tmk::{Broadcast, DsmConfig};
+use nowmp_util::Clock;
+use std::time::Duration;
+
+fn cfg(hosts: usize, procs: usize, broadcast: Broadcast) -> ClusterConfig {
+    ClusterConfig {
+        net_model: NetModel::paper_1999(),
+        dsm: DsmConfig {
+            fork_broadcast: broadcast,
+            ..DsmConfig::default_4k()
+        },
+        clock: Clock::new_virtual(),
+        ..ClusterConfig::test(hosts, procs)
+    }
+}
+
+/// The ordering-relevant fingerprint of a log: event kinds plus the
+/// team-shape fields, with all durations/timestamps dropped (those
+/// legitimately differ between the two broadcast shapes).
+fn shape(log: &[LogEntry]) -> Vec<String> {
+    log.iter()
+        .map(|e| match &e.kind {
+            EventKind::JoinRequested { host } => format!("join_requested@{host}"),
+            EventKind::JoinReady { .. } => "join_ready".into(),
+            EventKind::JoinCommitted { pid, .. } => format!("join_committed:pid{pid}"),
+            EventKind::LeaveRequested { .. } => "leave_requested".into(),
+            EventKind::NormalLeave { .. } => "normal_leave".into(),
+            EventKind::UrgentMigrationStart { from, to, .. } => {
+                format!("urgent_start:{from}->{to}")
+            }
+            EventKind::UrgentMigrationDone { .. } => "urgent_done".into(),
+            EventKind::Adaptation {
+                joins,
+                leaves,
+                nprocs,
+                ..
+            } => format!("adapt:+{joins}-{leaves}->{nprocs}"),
+            EventKind::Checkpoint { .. } => "checkpoint".into(),
+        })
+        .collect()
+}
+
+/// One adaptive run (join mid-flight, then a normal leave) under the
+/// given broadcast mode, with verification on.
+fn adaptive_run(broadcast: Broadcast) -> RunResult {
+    let app = Jacobi::new(48);
+    let events = |sys: &mut OmpSystem, it: usize| {
+        if it == 2 {
+            sys.request_join_ready().expect("free host available");
+        }
+        if it == 5 {
+            sys.request_leave_pid(3, Some(Duration::from_secs(30)))
+                .expect("slave can leave");
+        }
+    };
+    measure(&app, cfg(6, 4, broadcast), 8, true, events, true)
+}
+
+#[test]
+fn flat_and_tree_broadcasts_order_events_identically() {
+    let flat = adaptive_run(Broadcast::Flat);
+    let tree = adaptive_run(Broadcast::Tree);
+    assert_eq!(flat.err, 0.0, "flat run must verify bit-exact");
+    assert_eq!(tree.err, 0.0, "tree run must verify bit-exact");
+    assert_eq!(
+        shape(&flat.log),
+        shape(&tree.log),
+        "broadcast shape must not change adaptation event ordering"
+    );
+    assert!(
+        !shape(&tree.log).is_empty(),
+        "the schedule must actually adapt"
+    );
+}
+
+#[test]
+fn tree_broadcast_unloads_the_master_link() {
+    // Steady state (no adaptation), 8 processes: the flat fork
+    // broadcast serializes n-1 notice-bearing sends on the master's
+    // link every region; the tree sends O(log n) and the interval-run
+    // notices shrink each payload.
+    let app = Jacobi::new(128);
+    let flat = measure(&app, cfg(8, 8, Broadcast::Flat), 4, false, |_, _| {}, false);
+    let tree = measure(&app, cfg(8, 8, Broadcast::Tree), 4, false, |_, _| {}, false);
+
+    let master_out = |r: &RunResult| r.net.links[0].bytes_out;
+    let master_msgs = |r: &RunResult| r.net.links[0].msgs_out;
+    assert!(
+        master_out(&tree) < master_out(&flat),
+        "tree master link {} bytes must undercut flat {} bytes",
+        master_out(&tree),
+        master_out(&flat)
+    );
+    assert!(
+        master_msgs(&tree) < master_msgs(&flat),
+        "tree master link {} msgs must undercut flat {} msgs",
+        master_msgs(&tree),
+        master_msgs(&flat)
+    );
+    // And the virtual timeline must not get slower for it (the relay
+    // hops cost, but off the master's serialized link they overlap).
+    assert!(
+        tree.secs <= flat.secs * 1.02,
+        "tree {:.6}s vs flat {:.6}s",
+        tree.secs,
+        flat.secs
+    );
+}

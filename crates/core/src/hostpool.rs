@@ -7,6 +7,13 @@
 //! time-shares its new host). Since the [`nowmp_net::CostModel`] split,
 //! the pool also tracks each host's *effective speed* so target
 //! selection prefers fast hosts in heterogeneous what-if scenarios.
+//!
+//! The pool's spawn order is also the team's rank order, which the
+//! binomial **fork tree** (`nowmp_tmk::tree`) is built over. Rank order
+//! must stay stable across reassignment and host loss —
+//! [`crate::ReassignPolicy::CompactKeepOrder`] keeps survivors'
+//! relative order, so a leave only *compacts* the relay tree instead
+//! of reshuffling interior edges (see `reassign::tests` for the pin).
 
 use nowmp_net::{Gpid, HostId};
 

@@ -139,6 +139,57 @@ mod tests {
         assert_eq!(members, vec![G(1), G(2), G(8), G(9)]);
     }
 
+    /// ISSUE 5 pin: the binomial fork tree (`nowmp_tmk::tree`) is
+    /// defined over team rank order. `CompactKeepOrder` must preserve
+    /// the survivors' relative order across any leave — including an
+    /// interior relay's — so the tree only compacts and every rank is
+    /// still covered by the broadcast after reassignment.
+    #[test]
+    fn fork_tree_order_stable_under_reassignment_and_host_loss() {
+        let old: Vec<Gpid> = (1..=8).map(G).collect();
+        for leaver in 2..=8u32 {
+            let members = reassign(ReassignPolicy::CompactKeepOrder, &old, &[G(leaver)], &[]);
+            // Relative order of every surviving pair is preserved.
+            let pos = |g: Gpid| members.iter().position(|&m| m == g);
+            for a in 1..=8u32 {
+                for b in (a + 1)..=8u32 {
+                    if a == leaver || b == leaver {
+                        continue;
+                    }
+                    assert!(
+                        pos(G(a)).unwrap() < pos(G(b)).unwrap(),
+                        "leaver {leaver}: {a} and {b} swapped ranks"
+                    );
+                }
+            }
+            // And the compacted tree still reaches every rank exactly
+            // once from the root.
+            let n = members.len();
+            let mut seen = vec![false; n];
+            seen[0] = true;
+            let mut frontier = vec![0usize];
+            while let Some(p) = frontier.pop() {
+                for c in nowmp_tmk::tree::children(p, n) {
+                    assert!(!seen[c], "rank {c} delivered twice after leave {leaver}");
+                    seen[c] = true;
+                    frontier.push(c);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "compacted tree covers all ranks");
+        }
+    }
+
+    /// Joiners append at the tail under `CompactKeepOrder`, so a join
+    /// grows the fork tree without moving any existing interior edge's
+    /// relative order either.
+    #[test]
+    fn fork_tree_order_stable_under_join() {
+        let old: Vec<Gpid> = (1..=6).map(G).collect();
+        let members = reassign(ReassignPolicy::CompactKeepOrder, &old, &[], &[G(9), G(10)]);
+        assert_eq!(&members[..6], &old[..], "existing ranks untouched");
+        assert_eq!(&members[6..], &[G(9), G(10)]);
+    }
+
     #[test]
     fn figure3_end_leave_is_half() {
         // Node 7 of 8 leaves: paper says "up to 50% of the data space".

@@ -307,6 +307,73 @@ fn virtual_clock_grace_timer_fires_in_simulated_time() {
 }
 
 #[test]
+fn interior_tree_relay_killed_mid_fork_still_completes() {
+    // ISSUE 5 regression: with the binomial fork tree, pid 4 of an
+    // 8-process team is an *interior relay* (it forwards forks to
+    // ranks 5 and 6). Kill it mid-fork through the grace-timer path: a
+    // grace so short it can only expire while the next parallel region
+    // is in flight. The urgent migration freezes the computation
+    // mid-region and moves the relay's process — the fork must still
+    // complete and verify, the leave must commit at the next
+    // adaptation point, and the compacted 7-rank tree must keep
+    // delivering forks (survivor order is stable, so interior edges
+    // only shrink).
+    // 64 Ki slots = 128 × 4 KB pages: under the paper wire model the
+    // fill region spans tens of simulated milliseconds, so a leave
+    // requested at t = 2 ms with a 100 µs grace *provably* expires
+    // while the fork is in flight.
+    let n = 64 * 1024;
+    let mut cfg = ClusterConfig::test(9, 8);
+    cfg.net_model = nowmp_net::NetModel::paper_1999();
+    cfg.clock = nowmp_util::Clock::new_virtual();
+    assert_eq!(
+        cfg.dsm.fork_broadcast,
+        nowmp_tmk::Broadcast::Tree,
+        "tree broadcast is the default under test"
+    );
+    let mut c = Cluster::new(cfg, Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    let g = c.team()[4];
+    let shared = c.shared();
+    let killer = std::thread::spawn(move || {
+        let _participant = shared.clock().participant();
+        // Lands mid-region on the virtual timeline (the fill fork has
+        // barely started moving its first pages by t = 2 ms).
+        shared.clock().sleep(Duration::from_millis(2));
+        shared
+            .request_leave(g, Some(Duration::from_micros(100)))
+            .expect("interior relay can leave");
+    });
+    c.parallel(R_FILL, &[]); // the kill and its grace expiry happen in here
+    killer.join().unwrap();
+    // If the region somehow outran the timer, parking the master makes
+    // the simulation idle and the alarm fires now.
+    c.clock().sleep(Duration::from_millis(1));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+        if kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::UrgentMigrationDone { gpid, .. } if *gpid == g))
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "grace timer never migrated the interior relay"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Next adaptation point commits the leave; the fork tree compacts
+    // to 7 ranks and further forks must still reach everyone.
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 7);
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 2));
+    c.shutdown();
+}
+
+#[test]
 fn normal_leave_wins_grace_race_at_adaptation_point() {
     let n = 200;
     let mut c = cluster(4, 3, n);

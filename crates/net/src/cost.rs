@@ -42,6 +42,11 @@ pub mod paper {
     pub const MIGRATION_BANDWIDTH: f64 = 8.1e6;
     /// Process creation on a workstation (paper: 0.6–0.8 s).
     pub const SPAWN_DELAY: Duration = Duration::from_millis(700);
+    /// CPU cost of receiving-and-forwarding one broadcast message at an
+    /// interior fork-tree relay: one inbound stack traversal, mirroring
+    /// the sender-side [`PER_MSG_OVERHEAD`] (the outbound forward
+    /// additionally pays normal sender occupancy on the relay's link).
+    pub const RELAY_OVERHEAD: Duration = PER_MSG_OVERHEAD;
     /// Calibrated sustained FLOP rate of one 300 MHz Pentium II on the
     /// paper's dense-loop kernels — roughly 10% of the 300 MFLOPS peak,
     /// the classic sustained fraction for memory-bound stencils on 1999
@@ -65,6 +70,12 @@ pub struct CostModel {
     pub spawn_delay: Duration,
     /// Bandwidth of the process-image migration stream (paper: 8.1 MB/s).
     pub migration_bandwidth: f64,
+    /// Per-message CPU cost of forwarding a broadcast at an interior
+    /// fork-tree relay (paper: [`paper::RELAY_OVERHEAD`]). Charged by
+    /// the relaying worker on top of its normal sender-side link
+    /// occupancy, so the virtual clock prices the tree's extra hops
+    /// honestly instead of making relaying free.
+    pub relay_overhead: Duration,
     /// Sustained FLOP rate of a speed-1.0 host (paper: [`paper::FLOPS`]).
     pub flops_per_sec: f64,
     /// Relative speed factor per host id (missing ⇒ 1.0). 2.0 = twice
@@ -89,6 +100,7 @@ impl CostModel {
             emulate_compute: false,
             spawn_delay: Duration::ZERO,
             migration_bandwidth: f64::INFINITY,
+            relay_overhead: Duration::ZERO,
             flops_per_sec: f64::INFINITY,
             host_speeds: Vec::new(),
             host_loads: Vec::new(),
@@ -107,6 +119,7 @@ impl CostModel {
             emulate_compute: false,
             spawn_delay: paper::SPAWN_DELAY,
             migration_bandwidth: paper::MIGRATION_BANDWIDTH,
+            relay_overhead: paper::RELAY_OVERHEAD,
             flops_per_sec: paper::FLOPS,
             host_speeds: Vec::new(),
             host_loads: Vec::new(),
@@ -237,6 +250,15 @@ impl CostModel {
     /// Process creation delay (scaled).
     pub fn spawn_time(&self) -> Duration {
         self.scaled(self.spawn_delay)
+    }
+
+    /// CPU cost of forwarding one broadcast message at a fork-tree
+    /// relay (scaled; zero when host emulation is off).
+    pub fn relay_time(&self) -> Duration {
+        if !self.emulate {
+            return Duration::ZERO;
+        }
+        self.scaled(self.relay_overhead)
     }
 
     /// Time to stream a migration image of `bytes` (scaled), excluding

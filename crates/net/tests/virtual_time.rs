@@ -157,3 +157,64 @@ fn paper_scale_delays_cost_no_wall_time() {
     a.send(b_gpid, Bytes::new()).unwrap();
     server.join().unwrap();
 }
+
+/// ISSUE 5: relay hops occupy *their own* host links, so a fanned-out
+/// broadcast overlaps wire time that a flat broadcast serializes on the
+/// origin's link. Four ranks, binomial shape (0 → {2, 1}, 2 → {3}): the
+/// makespan is two serialized sends plus two latencies — strictly less
+/// than the three serialized sends the flat broadcast would cost —
+/// and the per-link counters show the forwarding charged to the relay.
+#[test]
+fn relay_hops_occupy_their_own_links_and_overlap() {
+    let model = NetModel::paper_1999();
+    let st = model.sender_time(4096);
+    let lat = model.latency();
+    let net = virtual_net(model, 4);
+    let clock = net.clock().clone();
+    let e0 = net.register(HostId(0));
+    let e1 = net.register(HostId(1));
+    let e2 = net.register(HostId(2));
+    let e3 = net.register(HostId(3));
+    let (g1, g2, g3) = (e1.gpid(), e2.gpid(), e3.gpid());
+    let payload = Bytes::from(vec![0u8; 4096]);
+
+    // Relay thread: rank 2 forwards to rank 3 on host 2's link, in
+    // parallel with the origin's second send.
+    let p = payload.clone();
+    let relay = std::thread::spawn(move || {
+        let _participant = e2.clock().participant();
+        let inc = e2.recv().unwrap();
+        assert_eq!(inc.payload.len(), 4096);
+        e2.send(g3, p).unwrap();
+    });
+
+    let _participant = clock.participant();
+    let t0 = clock.now();
+    e0.send(g2, payload.clone()).unwrap(); // relay first: critical path
+    e0.send(g1, payload).unwrap();
+    e1.recv().unwrap();
+    e3.recv().unwrap();
+    let makespan = clock.elapsed_since(t0);
+    relay.join().unwrap();
+
+    assert!(
+        makespan < st * 3,
+        "tree makespan {makespan:?} must beat 3 serialized sends ({:?})",
+        st * 3
+    );
+    assert!(
+        makespan >= st * 2,
+        "two sends serialize on the origin's link: {makespan:?}"
+    );
+    assert!(
+        makespan <= st * 2 + lat * 3,
+        "makespan {makespan:?} should be ~2 sends + 2 latencies"
+    );
+
+    let s = net.stats();
+    let wire = (4096 + 42) as u64;
+    assert_eq!(s.links[0].bytes_out, 2 * wire, "origin sends twice");
+    assert_eq!(s.links[2].bytes_out, wire, "the relay hop bills host 2");
+    assert_eq!(s.links[2].bytes_in, wire);
+    assert_eq!(s.links[3].bytes_in, wire);
+}

@@ -3,6 +3,21 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How the master disseminates the fork-time broadcasts (`Fork`, and
+/// `JoinInit` at team formation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Broadcast {
+    /// Master sends to every slave itself: `n - 1` sends serialized on
+    /// the master's link (the original TreadMarks shape — kept as the
+    /// A/B baseline for `whatif_scale --broadcast flat`).
+    Flat,
+    /// Binomial tree over team rank order: the master sends to
+    /// O(log n) children who relay onward on their own links (see
+    /// [`crate::tree`]).
+    #[default]
+    Tree,
+}
+
 /// Tunable parameters of the DSM protocol.
 #[derive(Clone)]
 pub struct DsmConfig {
@@ -24,6 +39,8 @@ pub struct DsmConfig {
     /// gate here ("all processes wait for the completion of the
     /// migration").
     pub throttle: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Fork/JoinInit dissemination shape (default: binomial tree).
+    pub fork_broadcast: Broadcast,
 }
 
 impl std::fmt::Debug for DsmConfig {
@@ -34,6 +51,7 @@ impl std::fmt::Debug for DsmConfig {
             .field("lazy_diffs", &self.lazy_diffs)
             .field("call_timeout", &self.call_timeout)
             .field("throttle", &self.throttle.as_ref().map(|_| "<hook>"))
+            .field("fork_broadcast", &self.fork_broadcast)
             .finish()
     }
 }
@@ -47,6 +65,7 @@ impl DsmConfig {
             lazy_diffs: false,
             call_timeout: Duration::from_secs(120),
             throttle: None,
+            fork_broadcast: Broadcast::default(),
         }
     }
 

@@ -483,6 +483,10 @@ impl ProcCore {
         if rec_pages.is_empty() {
             return None;
         }
+        // Canonical ascending order: worksharing loops dirty contiguous
+        // page blocks, so sorted notices interval-encode to a handful of
+        // runs on the wire (see `records::enc_pages`).
+        rec_pages.sort_unstable();
         self.vc.set(me, seq);
         let rec = Record {
             pid: me,

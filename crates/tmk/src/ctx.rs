@@ -127,6 +127,9 @@ pub struct TmkCtx {
     slots_per_page: usize,
     page_shift: u32,
     call_timeout: Duration,
+    /// Emit the pre-compaction flat notice encoding (the faithful-1999
+    /// [`crate::config::Broadcast::Flat`] wire; see `Msg::to_bytes_compat`).
+    legacy_wire: bool,
     throttle: Option<Arc<dyn Fn() + Send + Sync>>,
     /// Present on the master: lets `barrier()` play manager.
     master_ctrl: Option<Arc<Mutex<CtrlBuf>>>,
@@ -167,6 +170,7 @@ impl TmkCtx {
             slots_per_page: spp,
             page_shift: spp.trailing_zeros(),
             call_timeout: cfg.call_timeout,
+            legacy_wire: cfg.fork_broadcast == crate::config::Broadcast::Flat,
             throttle: cfg.throttle.clone(),
             master_ctrl,
             params: Vec::new(),
@@ -304,7 +308,11 @@ impl TmkCtx {
     fn call(&self, dst: Gpid, msg: &Msg) -> Msg {
         let rep = self
             .endpoint
-            .call_deadline(dst, msg.to_bytes(), self.call_timeout)
+            .call_deadline(
+                dst,
+                msg.to_bytes_compat(self.legacy_wire),
+                self.call_timeout,
+            )
             .unwrap_or_else(|e| panic!("{}: call to {dst} failed: {e}", self.gpid()));
         Msg::from_wire(&rep).expect("malformed reply")
     }
@@ -705,7 +713,7 @@ impl TmkCtx {
                     vc: merged_vc.clone(),
                     records,
                 }
-                .to_bytes(),
+                .to_bytes_compat(self.legacy_wire),
             );
         }
     }

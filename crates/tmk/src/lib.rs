@@ -49,9 +49,10 @@ pub mod shared;
 pub mod shm;
 pub mod stats;
 pub mod system;
+pub mod tree;
 pub mod types;
 
-pub use config::DsmConfig;
+pub use config::{Broadcast, DsmConfig};
 pub use ctx::TmkCtx;
 pub use msg::ElemKind;
 pub use shared::{SharedF64Mat, SharedF64Vec, SharedU64Vec};

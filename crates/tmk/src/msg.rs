@@ -15,7 +15,7 @@
 
 use crate::diff::Diff;
 use crate::page::Wn;
-use crate::records::Record;
+use crate::records::{Record, RecordSet};
 use crate::types::{Addr, Epoch, PageId, Pid, Seq, Vc};
 use nowmp_net::Gpid;
 use nowmp_util::wire::{Dec, Enc, Wire, WireError};
@@ -290,6 +290,11 @@ pub enum Msg {
         registry_delta: Vec<RegEntry>,
         /// Slots allocated so far (keeps the slave's page table sized).
         alloc_slots: Addr,
+        /// Tree dissemination: the receiver must forward this fork to
+        /// its binomial-tree children (see [`crate::tree`]) before
+        /// running the region. The payload is receiver-independent, so
+        /// relays forward it verbatim.
+        relay: bool,
     },
     /// Slave → master: finished the region (the `Tmk_join`), one-way.
     JoinArrive {
@@ -355,20 +360,23 @@ pub enum Msg {
         drop_pages: Vec<PageId>,
     },
     /// Master → embryo: full state for a process joining the
-    /// computation (or initial team formation); reply `Ack`.
+    /// computation (or initial team formation); reply `Ack`. The
+    /// receiver derives its pid from `team` (its own gpid's rank), so
+    /// the payload is receiver-independent and tree-relayable.
     JoinInit {
         /// Epoch the joiner enters at.
         epoch: Epoch,
         /// The team.
         team: crate::types::Team,
-        /// Joiner's pid.
-        my_pid: Pid,
         /// Full page directory.
         dir: DirRle,
         /// Complete handle registry.
         registry: Vec<RegEntry>,
         /// Slots allocated so far.
         alloc_slots: Addr,
+        /// Tree dissemination (initial team formation): relay to our
+        /// binomial-tree children and ack only once they have acked.
+        relay: bool,
     },
     /// Embryo → master: connections set up, ready to join (one-way).
     /// "When the master receives this connection request, it knows that
@@ -470,7 +478,7 @@ impl Wire for Msg {
             }
             Msg::RecordsRep { records } => {
                 e.put_u8(RECORDS_REP);
-                e.put_seq(records);
+                RecordSet::enc_slice(records, e);
             }
             Msg::LockRep { prev } => {
                 e.put_u8(LOCK_REP);
@@ -485,6 +493,7 @@ impl Wire for Msg {
                 records,
                 registry_delta,
                 alloc_slots,
+                relay,
             } => {
                 e.put_u8(FORK);
                 e.put_u32(*epoch);
@@ -492,9 +501,10 @@ impl Wire for Msg {
                 e.put_u32(*region);
                 e.put_bytes(params);
                 vc.enc(e);
-                e.put_seq(records);
+                RecordSet::enc_slice(records, e);
                 e.put_seq(registry_delta);
                 e.put_u64(*alloc_slots);
+                e.put_bool(*relay);
             }
             Msg::JoinArrive {
                 epoch,
@@ -506,7 +516,7 @@ impl Wire for Msg {
                 e.put_u32(*epoch);
                 e.put_u16(*pid);
                 vc.enc(e);
-                e.put_seq(records);
+                RecordSet::enc_slice(records, e);
             }
             Msg::BarrierArrive {
                 epoch,
@@ -518,12 +528,12 @@ impl Wire for Msg {
                 e.put_u32(*epoch);
                 e.put_u16(*pid);
                 vc.enc(e);
-                e.put_seq(records);
+                RecordSet::enc_slice(records, e);
             }
             Msg::BarrierRep { vc, records } => {
                 e.put_u8(BARRIER_REP);
                 vc.enc(e);
-                e.put_seq(records);
+                RecordSet::enc_slice(records, e);
             }
             Msg::GcQuery { epoch } => {
                 e.put_u8(GC_QUERY);
@@ -561,18 +571,18 @@ impl Wire for Msg {
             Msg::JoinInit {
                 epoch,
                 team,
-                my_pid,
                 dir,
                 registry,
                 alloc_slots,
+                relay,
             } => {
                 e.put_u8(JOIN_INIT);
                 e.put_u32(*epoch);
                 team.enc(e);
-                e.put_u16(*my_pid);
                 dir.enc(e);
                 e.put_seq(registry);
                 e.put_u64(*alloc_slots);
+                e.put_bool(*relay);
             }
             Msg::ReadyJoin { gpid } => {
                 e.put_u8(READY_JOIN);
@@ -656,7 +666,7 @@ impl Wire for Msg {
                 Msg::DiffRep { diffs }
             }
             RECORDS_REP => Msg::RecordsRep {
-                records: d.get_seq()?,
+                records: RecordSet::dec_vec(d)?,
             },
             LOCK_REP => Msg::LockRep {
                 prev: Option::<Gpid>::dec(d)?,
@@ -667,25 +677,26 @@ impl Wire for Msg {
                 region: d.get_u32()?,
                 params: d.get_bytes()?.to_vec(),
                 vc: Vc::dec(d)?,
-                records: d.get_seq()?,
+                records: RecordSet::dec_vec(d)?,
                 registry_delta: d.get_seq()?,
                 alloc_slots: d.get_u64()?,
+                relay: d.get_bool()?,
             },
             JOIN_ARRIVE => Msg::JoinArrive {
                 epoch: d.get_u32()?,
                 pid: d.get_u16()?,
                 vc: Vc::dec(d)?,
-                records: d.get_seq()?,
+                records: RecordSet::dec_vec(d)?,
             },
             BARRIER_ARRIVE => Msg::BarrierArrive {
                 epoch: d.get_u32()?,
                 pid: d.get_u16()?,
                 vc: Vc::dec(d)?,
-                records: d.get_seq()?,
+                records: RecordSet::dec_vec(d)?,
             },
             BARRIER_REP => Msg::BarrierRep {
                 vc: Vc::dec(d)?,
-                records: d.get_seq()?,
+                records: RecordSet::dec_vec(d)?,
             },
             GC_QUERY => Msg::GcQuery {
                 epoch: d.get_u32()?,
@@ -721,10 +732,10 @@ impl Wire for Msg {
             JOIN_INIT => Msg::JoinInit {
                 epoch: d.get_u32()?,
                 team: crate::types::Team::dec(d)?,
-                my_pid: d.get_u16()?,
                 dir: DirRle::dec(d)?,
                 registry: d.get_seq()?,
                 alloc_slots: d.get_u64()?,
+                relay: d.get_bool()?,
             },
             READY_JOIN => Msg::ReadyJoin {
                 gpid: Gpid::dec(d)?,
@@ -741,9 +752,19 @@ impl Wire for Msg {
 }
 
 impl Msg {
-    /// Encode to bytes ready for the transport.
+    /// Encode to bytes ready for the transport (compact wire forms).
     pub fn to_bytes(&self) -> bytes::Bytes {
+        self.to_bytes_compat(false)
+    }
+
+    /// Encode with an explicit wire-compatibility mode: `legacy = true`
+    /// emits the pre-compaction flat page-set notices (what
+    /// [`crate::config::Broadcast::Flat`] systems put on the wire, so
+    /// the 1999-faithful reproduction keeps its calibrated payload
+    /// sizes). Decoders accept both forms.
+    pub fn to_bytes_compat(&self, legacy: bool) -> bytes::Bytes {
         let mut e = Enc::with_capacity(64);
+        e.set_legacy(legacy);
         self.enc(&mut e);
         e.finish_bytes()
     }
@@ -847,6 +868,7 @@ mod tests {
                     ver: 1,
                 }],
                 alloc_slots: 1024,
+                relay: true,
             },
             Msg::JoinArrive {
                 epoch: 1,
@@ -893,10 +915,10 @@ mod tests {
             Msg::JoinInit {
                 epoch: 2,
                 team,
-                my_pid: 1,
                 dir,
                 registry: vec![],
                 alloc_slots: 2048,
+                relay: true,
             },
             Msg::ReadyJoin { gpid: Gpid(7) },
             Msg::Terminate,

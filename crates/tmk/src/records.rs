@@ -15,6 +15,137 @@
 use crate::types::{PageId, Pid, Seq, Vc};
 use nowmp_util::wire::{Dec, Enc, Wire, WireError};
 
+/// Hard ceiling on pages carried by one encoded page set (decode-side
+/// sanity bound, same order as the `DirRle` guard).
+const MAX_PAGES: usize = 1 << 24;
+
+/// A write-notice page set as contiguous interval runs: `(start, len)`
+/// pairs. Worksharing loops dirty contiguous page blocks, so a join's
+/// notice payload in run form scales with dirty *regions* rather than
+/// dirty pages — the compact encoding that lifts the fork-broadcast
+/// payload off the master's link.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PageRuns {
+    /// `(first_page, run_length)` pairs, ascending and non-overlapping.
+    pub runs: Vec<(PageId, u32)>,
+}
+
+impl PageRuns {
+    /// Interval-encode `pages`. Returns `None` unless the list is
+    /// strictly ascending (the canonical order [`Record`]s are built
+    /// with) — arbitrary orders fall back to the flat wire form so
+    /// encode→decode stays byte-identical for any input.
+    pub fn from_pages(pages: &[PageId]) -> Option<Self> {
+        let mut runs: Vec<(PageId, u32)> = Vec::new();
+        for &p in pages {
+            // Widen before adding: a run ending at `u32::MAX` must not
+            // overflow the comparison (debug panic / release wrap).
+            match runs.last_mut() {
+                Some((start, len)) if p as u64 == *start as u64 + *len as u64 => *len += 1,
+                Some((start, len)) if (p as u64) > *start as u64 + *len as u64 => runs.push((p, 1)),
+                None => runs.push((p, 1)),
+                _ => return None, // not strictly ascending
+            }
+        }
+        Some(PageRuns { runs })
+    }
+
+    /// Expand back to the page list (ascending).
+    pub fn to_pages(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.total());
+        for &(start, len) in &self.runs {
+            // u64 iteration: a run ending at `u32::MAX` must not
+            // overflow the range bound.
+            out.extend((start as u64..start as u64 + len as u64).map(|p| p as PageId));
+        }
+        out
+    }
+
+    /// Total pages covered.
+    pub fn total(&self) -> usize {
+        self.runs.iter().map(|&(_, n)| n as usize).sum()
+    }
+}
+
+/// Wire size of the *flat* page-set encoding (count prefix + one `u32`
+/// per page) — the baseline the hybrid encoder never exceeds.
+pub fn flat_pages_wire_bytes(pages: &[PageId]) -> usize {
+    4 + 4 * pages.len()
+}
+
+/// Encode a page set, choosing per-set between the flat form and the
+/// interval-run form — whichever is smaller. The mode rides in the low
+/// bit of the count word, so the hybrid is never larger than flat.
+/// Under [`Enc::legacy`] the flat form is always emitted (the faithful
+/// 1999 payload sizes the Table 1/2 calibration pins assume).
+pub fn enc_pages(pages: &[PageId], e: &mut Enc) {
+    let flat = |e: &mut Enc| {
+        e.put_u32((pages.len() as u32) << 1);
+        for &p in pages {
+            e.put_u32(p);
+        }
+    };
+    if !e.legacy() {
+        if let Some(r) = PageRuns::from_pages(pages) {
+            // Runs cost 8 bytes each vs 4 per flat page: only worth it
+            // when the set is at least half contiguous.
+            if 8 * r.runs.len() < 4 * pages.len() {
+                e.put_u32(((r.runs.len() as u32) << 1) | 1);
+                for &(start, len) in &r.runs {
+                    e.put_u32(start);
+                    e.put_u32(len);
+                }
+                return;
+            }
+        }
+    }
+    flat(e);
+}
+
+/// Decode a page set written by [`enc_pages`].
+pub fn dec_pages(d: &mut Dec<'_>) -> Result<Vec<PageId>, WireError> {
+    let head = d.get_u32()?;
+    let n = (head >> 1) as usize;
+    if head & 1 == 0 {
+        if n > MAX_PAGES || n.saturating_mul(4) > d.remaining() {
+            return Err(WireError::BadLength {
+                what: "page set (flat)",
+                len: n,
+            });
+        }
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(d.get_u32()?);
+        }
+        Ok(pages)
+    } else {
+        if n.saturating_mul(8) > d.remaining() {
+            return Err(WireError::BadLength {
+                what: "page set (runs)",
+                len: n,
+            });
+        }
+        let mut pages = Vec::new();
+        for _ in 0..n {
+            let start = d.get_u32()?;
+            let len = d.get_u32()?;
+            if len == 0
+                || pages.len() + len as usize > MAX_PAGES
+                || (start as u64 + len as u64 - 1) > u32::MAX as u64
+            {
+                return Err(WireError::BadLength {
+                    what: "page run",
+                    len: len as usize,
+                });
+            }
+            // Iterate in u64: a run ending exactly at `u32::MAX` passes
+            // the guard but `start + len` itself would overflow.
+            pages.extend((start as u64..start as u64 + len as u64).map(|p| p as PageId));
+        }
+        Ok(pages)
+    }
+}
+
 /// One closed interval's consistency record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
@@ -25,7 +156,7 @@ pub struct Record {
     /// Creator's vector clock at interval close (captures
     /// happens-before; its sum is the diff application sort key).
     pub vc: Vc,
-    /// Pages written during the interval (write notices).
+    /// Pages written during the interval (write notices), ascending.
     pub pages: Vec<PageId>,
 }
 
@@ -34,6 +165,12 @@ impl Record {
     pub fn vcsum(&self) -> u64 {
         self.vc.sum()
     }
+
+    /// Wire size this record would have with the pre-RLE flat page
+    /// encoding (diagnostics / size-bound tests).
+    pub fn flat_wire_bytes(&self) -> usize {
+        2 + 4 + (4 + 4 * self.vc.len()) + flat_pages_wire_bytes(&self.pages)
+    }
 }
 
 impl Wire for Record {
@@ -41,15 +178,54 @@ impl Wire for Record {
         e.put_u16(self.pid);
         e.put_u32(self.seq);
         self.vc.enc(e);
-        e.put_u32_slice(&self.pages);
+        enc_pages(&self.pages, e);
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
         Ok(Record {
             pid: d.get_u16()?,
             seq: d.get_u32()?,
             vc: Vc::dec(d)?,
-            pages: d.get_u32_vec()?,
+            pages: dec_pages(d)?,
         })
+    }
+}
+
+/// A batch of records as shipped at forks, joins, barriers and lock
+/// transfers: the count-prefixed sequence of [`Record`]s whose page
+/// notices use the hybrid interval encoding. This is the canonical wire
+/// form for every `records` field of [`crate::msg::Msg`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordSet(pub Vec<Record>);
+
+impl RecordSet {
+    /// Encode a borrowed record slice in the `RecordSet` wire form
+    /// (what [`crate::msg::Msg`] uses, avoiding an owning clone).
+    pub fn enc_slice(records: &[Record], e: &mut Enc) {
+        e.put_seq(records);
+    }
+
+    /// Decode a `RecordSet` wire form into its inner vector.
+    pub fn dec_vec(d: &mut Dec<'_>) -> Result<Vec<Record>, WireError> {
+        Ok(Self::dec(d)?.0)
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.to_wire().len()
+    }
+
+    /// Encoded size with the pre-RLE flat page encoding.
+    pub fn flat_wire_bytes(&self) -> usize {
+        4 + self.0.iter().map(Record::flat_wire_bytes).sum::<usize>()
+    }
+}
+
+impl Wire for RecordSet {
+    fn enc(&self, e: &mut Enc) {
+        e.put_seq(&self.0);
+    }
+    fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        Ok(RecordSet(d.get_seq()?))
     }
 }
 
@@ -196,5 +372,193 @@ mod tests {
     fn vcsum_reflects_clock() {
         let r = rec(1, 5, &[]);
         assert_eq!(r.vcsum(), 5);
+    }
+
+    #[test]
+    fn page_runs_compress_contiguous_blocks() {
+        let pages: Vec<PageId> = (100..612).collect();
+        let runs = PageRuns::from_pages(&pages).unwrap();
+        assert_eq!(runs.runs, vec![(100, 512)]);
+        assert_eq!(runs.to_pages(), pages);
+        assert_eq!(runs.total(), 512);
+        // One 512-page run encodes in 12 bytes instead of 2052.
+        let mut e = Enc::new();
+        enc_pages(&pages, &mut e);
+        assert_eq!(e.len(), 12);
+        assert!(e.len() <= flat_pages_wire_bytes(&pages));
+    }
+
+    #[test]
+    fn unsorted_pages_fall_back_to_flat() {
+        let pages = vec![9, 3, 7];
+        assert!(PageRuns::from_pages(&pages).is_none());
+        let mut e = Enc::new();
+        enc_pages(&pages, &mut e);
+        assert_eq!(e.len(), flat_pages_wire_bytes(&pages));
+        let back = dec_pages(&mut Dec::new(&e.finish())).unwrap();
+        assert_eq!(back, pages);
+    }
+
+    #[test]
+    fn duplicate_pages_fall_back_to_flat() {
+        let pages = vec![4, 4, 5];
+        assert!(PageRuns::from_pages(&pages).is_none());
+        let mut e = Enc::new();
+        enc_pages(&pages, &mut e);
+        let back = dec_pages(&mut Dec::new(&e.finish())).unwrap();
+        assert_eq!(back, pages);
+    }
+
+    #[test]
+    fn sparse_ascending_pages_stay_flat() {
+        // Strictly ascending but nowhere contiguous: runs would cost
+        // 8 bytes per page, so the hybrid must pick the flat form.
+        let pages: Vec<PageId> = (0..64).map(|i| i * 10).collect();
+        let mut e = Enc::new();
+        enc_pages(&pages, &mut e);
+        assert_eq!(e.len(), flat_pages_wire_bytes(&pages));
+    }
+
+    #[test]
+    fn page_ids_at_u32_max_roundtrip() {
+        // A run ending exactly at u32::MAX must neither overflow the
+        // encoder's run grouping nor the decoder's expansion.
+        let top: Vec<PageId> = (u32::MAX - 511..=u32::MAX).collect();
+        let runs = PageRuns::from_pages(&top).unwrap();
+        assert_eq!(runs.runs, vec![(u32::MAX - 511, 512)]);
+        assert_eq!(runs.to_pages(), top);
+        let mut e = Enc::new();
+        enc_pages(&top, &mut e);
+        let back = dec_pages(&mut Dec::new(&e.finish())).unwrap();
+        assert_eq!(back, top);
+        // Wrap-around input (MAX then 0) is simply "not ascending":
+        // flat fallback, exact round-trip, no panic.
+        let wrap = vec![u32::MAX, 0];
+        assert!(PageRuns::from_pages(&wrap).is_none());
+        let mut e = Enc::new();
+        enc_pages(&wrap, &mut e);
+        assert_eq!(dec_pages(&mut Dec::new(&e.finish())).unwrap(), wrap);
+        // A hand-built single run (u32::MAX, 1) decodes to [u32::MAX].
+        let mut e = Enc::new();
+        e.put_u32((1 << 1) | 1);
+        e.put_u32(u32::MAX);
+        e.put_u32(1);
+        assert_eq!(
+            dec_pages(&mut Dec::new(&e.finish())).unwrap(),
+            vec![u32::MAX]
+        );
+    }
+
+    #[test]
+    fn zero_length_run_rejected_on_decode() {
+        let mut e = Enc::new();
+        e.put_u32((1 << 1) | 1); // one run, run mode
+        e.put_u32(5);
+        e.put_u32(0); // len 0: never produced by the encoder
+        assert!(dec_pages(&mut Dec::new(&e.finish())).is_err());
+    }
+
+    #[test]
+    fn record_set_roundtrips_and_never_beats_flat() {
+        let set = RecordSet(vec![
+            rec(0, 1, &(0..300).collect::<Vec<_>>()),
+            rec(1, 2, &[7, 9, 1000]),
+            rec(2, 3, &[]),
+        ]);
+        let back = RecordSet::from_wire(&set.to_wire()).unwrap();
+        assert_eq!(set, back);
+        assert!(
+            set.wire_bytes() <= set.flat_wire_bytes(),
+            "hybrid {} > flat {}",
+            set.wire_bytes(),
+            set.flat_wire_bytes()
+        );
+        // The contiguous 300-page notice dominates the flat size; runs
+        // should cut the batch by an order of magnitude.
+        assert!(set.wire_bytes() * 10 < set.flat_wire_bytes());
+    }
+}
+
+#[cfg(test)]
+mod rle_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec_with(pages: Vec<PageId>, pid: Pid, seq: Seq) -> Record {
+        let mut vc = Vc::new(4);
+        vc.set(pid, seq.max(1));
+        Record {
+            pid,
+            seq: seq.max(1),
+            vc,
+            pages,
+        }
+    }
+
+    proptest! {
+        /// Arbitrary page lists (any order, duplicates allowed): decode
+        /// reproduces the exact sequence and the hybrid never exceeds
+        /// the flat size.
+        #[test]
+        fn prop_page_set_roundtrip_any_order(
+            pages in proptest::collection::vec(any::<u32>(), 0..300)
+        ) {
+            let mut e = Enc::new();
+            enc_pages(&pages, &mut e);
+            let buf = e.finish();
+            prop_assert!(buf.len() <= flat_pages_wire_bytes(&pages));
+            let mut d = Dec::new(&buf);
+            let back = dec_pages(&mut d).unwrap();
+            prop_assert_eq!(back, pages);
+            prop_assert!(d.is_done());
+        }
+
+        /// Sorted-deduped sets (the canonical record shape): same
+        /// round-trip and size bound, exercising the run path.
+        #[test]
+        fn prop_sorted_page_set_roundtrip(
+            raw in proptest::collection::vec(0u32..5000, 0..300)
+        ) {
+            let mut pages = raw;
+            pages.sort_unstable();
+            pages.dedup();
+            let mut e = Enc::new();
+            enc_pages(&pages, &mut e);
+            let buf = e.finish();
+            prop_assert!(buf.len() <= flat_pages_wire_bytes(&pages));
+            let back = dec_pages(&mut Dec::new(&buf)).unwrap();
+            prop_assert_eq!(back, pages);
+        }
+
+        /// Whole RecordSets round-trip through the wire and respect the
+        /// flat-size ceiling (the satellite's RLE wire-format pin).
+        #[test]
+        fn prop_record_set_roundtrip(
+            specs in proptest::collection::vec(
+                (0u16..4, 1u32..100, proptest::collection::vec(0u32..4096, 0..64)),
+                0..8
+            )
+        ) {
+            let set = RecordSet(
+                specs
+                    .into_iter()
+                    .map(|(pid, seq, mut pages)| {
+                        pages.sort_unstable();
+                        pages.dedup();
+                        rec_with(pages, pid, seq)
+                    })
+                    .collect(),
+            );
+            let back = RecordSet::from_wire(&set.to_wire()).unwrap();
+            prop_assert_eq!(&back, &set);
+            prop_assert!(set.wire_bytes() <= set.flat_wire_bytes());
+        }
+
+        /// Garbage never panics the page-set decoder.
+        #[test]
+        fn prop_dec_pages_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = dec_pages(&mut Dec::new(&buf));
+            let _ = RecordSet::from_wire(&buf);
+        }
     }
 }

@@ -19,6 +19,10 @@ use std::sync::Arc;
 pub struct Ctrl {
     /// The decoded message.
     pub msg: Msg,
+    /// The encoded payload exactly as received. Tree relays forward
+    /// this verbatim (`Fork`/`JoinInit` payloads are
+    /// receiver-independent), avoiding a re-encode per hop.
+    pub raw: bytes::Bytes,
     /// The sender.
     pub src: Gpid,
     /// Reply handle when the sender awaits an acknowledgement.
@@ -52,6 +56,7 @@ pub fn service_loop(
             let sent = ctrl_tx
                 .send(Ctrl {
                     msg,
+                    raw: inc.payload,
                     src: inc.src,
                     replier: inc.replier,
                 })
@@ -88,14 +93,17 @@ pub fn service_loop(
                     .reply(rep.to_bytes());
             }
             Msg::RecordsReq { epoch, vc } => {
-                let rep = {
+                let (rep, legacy) = {
                     let c = core.lock();
                     debug_assert_eq!(epoch, c.epoch(), "RecordsReq from wrong epoch");
-                    c.serve_records(&vc)
+                    (
+                        c.serve_records(&vc),
+                        c.cfg.fork_broadcast == crate::config::Broadcast::Flat,
+                    )
                 };
                 inc.replier
                     .expect("RecordsReq is a request")
-                    .reply(rep.to_bytes());
+                    .reply(rep.to_bytes_compat(legacy));
             }
             Msg::LockReq { epoch, lock } => {
                 let replier = inc.replier.expect("LockReq is a request");

@@ -62,6 +62,9 @@ counters! {
     barrier_arrivals,
     /// Fork events (master-side count).
     forks,
+    /// `Fork`/`JoinInit` broadcast messages forwarded by interior
+    /// binomial-tree relays (zero under the flat broadcast).
+    bcast_relays,
     /// Garbage collections run.
     gcs,
     /// Pages fetched specifically during GC completion (step 2).

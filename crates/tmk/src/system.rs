@@ -12,7 +12,7 @@
 //! * [`RegionRunner`] is the compiled application: region id → outlined
 //!   procedure (what SUIF emits from each OpenMP parallel construct).
 
-use crate::config::DsmConfig;
+use crate::config::{Broadcast, DsmConfig};
 use crate::core::ProcCore;
 use crate::ctx::{CtrlBuf, TmkCtx};
 use crate::gc::{compute_gc_plan, page_writes, GcPlan, LeaveSink};
@@ -22,8 +22,9 @@ use crate::records::Record;
 use crate::service::{service_loop, Ctrl};
 use crate::shm::{Allocator, Registry};
 use crate::stats::DsmStats;
+use crate::tree;
 use crate::types::{Addr, Epoch, PageId, Pid, Team, Vc};
-use nowmp_net::{Endpoint, Gpid, HostId, Network};
+use nowmp_net::{Endpoint, Gpid, HostId, NetError, Network};
 use nowmp_util::wire::Wire;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -200,6 +201,103 @@ impl DsmSystem {
     }
 }
 
+/// Forward an encoded one-way broadcast (`Fork`) to every binomial-tree
+/// child of rank `pid` (see [`crate::tree`]), largest subtree first.
+/// A child whose endpoint is gone — a relay being dropped or reassigned
+/// mid-flight — is *adopted*: the sender takes over that child's own
+/// children so the subtree still hears the broadcast (the fork then
+/// completes through the ordinary grace-timer/adaptation path for the
+/// vanished member). Returns the number of messages actually sent.
+pub fn relay_tree_send(endpoint: &Endpoint, team: &Team, pid: Pid, bytes: &bytes::Bytes) -> usize {
+    let n = team.nprocs();
+    let mut targets = tree::children(pid as usize, n);
+    let mut sent = 0;
+    let mut i = 0;
+    while i < targets.len() {
+        let child = targets[i];
+        i += 1;
+        if endpoint
+            .send(team.gpid(child as Pid), bytes.clone())
+            .is_ok()
+        {
+            sent += 1;
+        } else {
+            // Loud by design: no team member is ever legitimately
+            // unregistered mid-fork (leaves commit at adaptation
+            // points), so an adoption in the wild is either the
+            // dropped-relay race this guards or a protocol bug worth
+            // seeing — the flat path would have panicked here.
+            eprintln!(
+                "[nowmp] fork relay: rank {child} ({}) unreachable; adopting its subtree",
+                team.gpid(child as Pid)
+            );
+            let mut adopted = tree::children(child, n);
+            targets.append(&mut adopted);
+        }
+    }
+    sent
+}
+
+/// Like [`relay_tree_send`] but request/reply: call every tree child and
+/// require an `Ack`, adopting vanished children. Used for the `JoinInit`
+/// dissemination at team formation, where each relay acks only after its
+/// whole subtree has acked.
+fn relay_tree_call(
+    endpoint: &Endpoint,
+    team: &Team,
+    pid: Pid,
+    bytes: &bytes::Bytes,
+    timeout: Duration,
+) -> usize {
+    let n = team.nprocs();
+    let mut targets = tree::children(pid as usize, n);
+    let mut sent = 0;
+    let mut i = 0;
+    while i < targets.len() {
+        let child = targets[i];
+        i += 1;
+        match endpoint.call_deadline(team.gpid(child as Pid), bytes.clone(), timeout) {
+            Ok(rep) => {
+                assert_eq!(
+                    Msg::from_wire(&rep).expect("malformed JoinInit ack"),
+                    Msg::Ack
+                );
+                sent += 1;
+            }
+            Err(NetError::Unknown(_)) => {
+                let mut adopted = tree::children(child, n);
+                targets.append(&mut adopted);
+            }
+            Err(e) => panic!("JoinInit relay to rank {child} failed: {e}"),
+        }
+    }
+    sent
+}
+
+/// Worker-side tree relay for an incoming `Fork`: charge the relay CPU
+/// overhead to the clock, forward the received payload verbatim to our
+/// subtree, and count the hops.
+fn worker_relay_fork(
+    sys: &DsmSystem,
+    endpoint: &Endpoint,
+    core: &Mutex<ProcCore>,
+    raw: &bytes::Bytes,
+) {
+    let (team, my_pid) = {
+        let pc = core.lock();
+        (pc.team.clone(), pc.my_pid)
+    };
+    if tree::children(my_pid as usize, team.nprocs()).is_empty() {
+        return; // leaf rank: nothing to forward
+    }
+    let d = endpoint.cost().relay_time();
+    if !d.is_zero() {
+        endpoint.clock().sleep(d);
+    }
+    let sent = relay_tree_send(endpoint, &team, my_pid, raw);
+    DsmStats::add(&sys.stats.bcast_relays, sent as u64);
+}
+
 /// Worker application thread: connection setup, then the Tmk wait loop.
 fn worker_main(
     sys: Arc<DsmSystem>,
@@ -211,6 +309,7 @@ fn worker_main(
 ) {
     let gpid = endpoint.gpid();
     let timeout = sys.cfg.call_timeout;
+    let legacy_wire = sys.cfg.fork_broadcast == Broadcast::Flat;
     // Long-lived simulation thread (see `service_loop`).
     let _clock_participant = endpoint.clock().participant();
     // Connection setup: slaves first, master last (§4.1).
@@ -228,15 +327,24 @@ fn worker_main(
             Ok(c) => c,
             Err(_) => break, // system torn down
         };
+        // Tree dissemination: forward a relayable fork to our subtree
+        // *before* touching our own state — the subtree's latency is
+        // the broadcast's critical path, our record merge is not.
+        if let Msg::Fork { relay: true, .. } = &c.msg {
+            worker_relay_fork(&sys, &endpoint, &core, &c.raw);
+        }
         match c.msg {
             Msg::JoinInit {
                 epoch,
                 team,
-                my_pid,
                 dir,
                 registry,
                 alloc_slots,
+                relay,
             } => {
+                let my_pid = team
+                    .pid_of(gpid)
+                    .expect("JoinInit delivered to a non-member");
                 {
                     let mut pc = core.lock();
                     pc.registry = Registry::new();
@@ -251,7 +359,7 @@ fn worker_main(
                     assert_eq!(team.epoch, epoch, "JoinInit team/epoch mismatch");
                     pc.vc = Vc::new(n);
                     pc.my_pid = my_pid;
-                    pc.team = team;
+                    pc.team = team.clone();
                     for (i, owner) in dirv.iter().enumerate() {
                         let meta = &mut pc.pages[i];
                         meta.owner = *owner;
@@ -259,6 +367,18 @@ fn worker_main(
                     }
                 }
                 ctx.sync_reset();
+                // Tree team formation: install first, then bring our
+                // whole subtree up; our own ack means "subtree ready".
+                if relay && !tree::children(my_pid as usize, team.nprocs()).is_empty() {
+                    let d = endpoint.cost().relay_time();
+                    if !d.is_zero() {
+                        endpoint.clock().sleep(d);
+                    }
+                    // Forward the payload exactly as received — it is
+                    // receiver-independent, so no re-encode per hop.
+                    let sent = relay_tree_call(&endpoint, &team, my_pid, &c.raw, timeout);
+                    DsmStats::add(&sys.stats.bcast_relays, sent as u64);
+                }
                 if let Some(r) = c.replier {
                     r.reply(Msg::Ack.to_bytes());
                 }
@@ -299,7 +419,7 @@ fn worker_main(
                         vc,
                         records,
                     }
-                    .to_bytes(),
+                    .to_bytes_compat(legacy_wire),
                 );
                 ctx.sync_reset();
             }
@@ -466,20 +586,27 @@ impl MasterCtl {
             )
         };
         self.sent_reg_ver = registry.iter().map(|e| e.ver).max().unwrap_or(0);
-        for (i, &w) in workers.iter().enumerate() {
-            let msg = Msg::JoinInit {
-                epoch: 0,
-                team: team.clone(),
-                my_pid: (i + 1) as Pid,
-                dir: DirRle::from_vec(&self.dir),
-                registry: registry.clone(),
-                alloc_slots,
-            };
-            let rep = self
-                .endpoint
-                .call_deadline(w, msg.to_bytes(), self.call_timeout)
-                .expect("JoinInit failed");
-            assert_eq!(Msg::from_wire(&rep).unwrap(), Msg::Ack);
+        let tree_mode = self.sys.cfg.fork_broadcast == Broadcast::Tree;
+        let msg = Msg::JoinInit {
+            epoch: 0,
+            team: team.clone(),
+            dir: DirRle::from_vec(&self.dir),
+            registry,
+            alloc_slots,
+            relay: tree_mode,
+        };
+        let bytes = msg.to_bytes();
+        if tree_mode {
+            // O(log n) calls; each child acks once its subtree is up.
+            relay_tree_call(&self.endpoint, &team, 0, &bytes, self.call_timeout);
+        } else {
+            for &w in workers {
+                let rep = self
+                    .endpoint
+                    .call_deadline(w, bytes.clone(), self.call_timeout)
+                    .expect("JoinInit failed");
+                assert_eq!(Msg::from_wire(&rep).unwrap(), Msg::Ack);
+            }
         }
         self.last_fork_vc = Vc::new(team.nprocs());
         self.ctx.sync_reset();
@@ -505,20 +632,30 @@ impl MasterCtl {
                 self.allocator.allocated_slots(),
             )
         };
-        for pid in 1..n {
-            let msg = Msg::Fork {
-                epoch,
-                fork_no: self.fork_no,
-                region,
-                params: params.to_vec(),
-                vc: vc.clone(),
-                records: records.clone(),
-                registry_delta: reg_delta.clone(),
-                alloc_slots,
-            };
-            self.endpoint
-                .send(team.gpid(pid as Pid), msg.to_bytes())
-                .expect("slave vanished at fork");
+        let tree_mode = self.sys.cfg.fork_broadcast == Broadcast::Tree;
+        let msg = Msg::Fork {
+            epoch,
+            fork_no: self.fork_no,
+            region,
+            params: params.to_vec(),
+            vc: vc.clone(),
+            records,
+            registry_delta: reg_delta.clone(),
+            alloc_slots,
+            relay: tree_mode,
+        };
+        // The payload is receiver-independent: encode once for all
+        // slaves instead of re-serializing per destination. Flat mode
+        // keeps the 1999 flat-notice payload sizes (see `Broadcast`).
+        let bytes = msg.to_bytes_compat(!tree_mode);
+        if tree_mode {
+            relay_tree_send(&self.endpoint, &team, 0, &bytes);
+        } else {
+            for pid in 1..n {
+                self.endpoint
+                    .send(team.gpid(pid as Pid), bytes.clone())
+                    .expect("slave vanished at fork");
+            }
         }
         self.sent_reg_ver = self
             .sent_reg_ver
@@ -718,14 +855,17 @@ impl MasterCtl {
             if g == self.gpid() || old_set.contains(&g) {
                 continue;
             }
-            let my_pid = team.pid_of(g).expect("joiner is in new team");
+            debug_assert!(team.pid_of(g).is_some(), "joiner is in new team");
+            // Joiners are few and scattered among survivors (who get
+            // `Commit`, not `JoinInit`), so this stays a direct send:
+            // a tree relay over the mixed team would misdeliver.
             let msg = Msg::JoinInit {
                 epoch: new_epoch,
                 team: team.clone(),
-                my_pid,
                 dir: dir_rle.clone(),
                 registry: registry.clone(),
                 alloc_slots,
+                relay: false,
             };
             match self.call_msg(g, &msg) {
                 Msg::Ack => {}

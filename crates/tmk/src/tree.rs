@@ -1,0 +1,123 @@
+//! The binomial fork tree: who relays `Fork`/`JoinInit` to whom.
+//!
+//! The flat broadcast serializes `n - 1` sends on the master's link, so
+//! fork latency grows linearly with the team and caps virtual-timeline
+//! speedups past ~8–16 nodes (the ceiling `whatif_scale` exposed). The
+//! binomial tree rooted at pid 0 sends to O(log n) children; each child
+//! relays onward on *its own* host link, so the per-link occupancy — and
+//! with it the fork's critical path — drops to O(log n) serializations.
+//!
+//! The tree is defined over team *ranks*, which the adaptive layer keeps
+//! stable across reassignment (`ReassignPolicy::CompactKeepOrder`
+//! preserves survivors' relative order, so a leave only compacts the
+//! tree rather than reshuffling it). A relay that vanished between team
+//! formation and a fork is handled by the sender *adopting* the missing
+//! child's subtree (see [`crate::system`]).
+
+/// Children of rank `pid` in the binomial broadcast tree over ranks
+/// `0..n`, largest subtree first (so the deepest relay chain starts
+/// earliest — the classic latency-optimal send order).
+///
+/// The shape is the standard binomial construction: rank `p` relays to
+/// `p | mask` for every `mask = 1, 2, 4, …` below `p`'s lowest set bit
+/// (the root scans all masks). Every rank in `0..n` is covered exactly
+/// once and the depth is `⌈log₂ n⌉`.
+pub fn children(pid: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut mask = 1usize;
+    while mask < n && pid & mask == 0 {
+        let child = pid | mask;
+        if child < n {
+            out.push(child);
+        }
+        mask <<= 1;
+    }
+    out.reverse(); // largest subtree first
+    out
+}
+
+/// Depth of the binomial tree over `n` ranks. Rank `r` sits
+/// `popcount(r)` hops from the root, so the depth is the maximum
+/// popcount among ranks `0..n` — at most `⌈log₂ n⌉`.
+pub fn depth(n: usize) -> usize {
+    (0..n).map(|r| r.count_ones() as usize).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walk the tree from the root and return each rank's hop distance,
+    /// panicking on double delivery.
+    fn hops(n: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; n];
+        dist[0] = 0;
+        let mut frontier = vec![0usize];
+        while let Some(p) = frontier.pop() {
+            for c in children(p, n) {
+                assert_eq!(dist[c], usize::MAX, "rank {c} delivered twice (n={n})");
+                dist[c] = dist[p] + 1;
+                frontier.push(c);
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn every_rank_covered_exactly_once() {
+        for n in 1..=40 {
+            let dist = hops(n);
+            assert!(
+                dist.iter().all(|&d| d != usize::MAX),
+                "n={n}: some rank never receives the fork"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_log_n() {
+        for n in 1..=40 {
+            let dist = hops(n);
+            let max = dist.into_iter().max().unwrap_or(0);
+            assert_eq!(max, depth(n), "n={n}");
+        }
+        assert_eq!(depth(1), 0);
+        assert_eq!(depth(2), 1);
+        assert_eq!(depth(6), 2, "truncated teams can beat ⌈log₂ n⌉");
+        assert_eq!(depth(8), 3);
+        assert_eq!(depth(9), 3);
+        assert_eq!(depth(32), 5);
+        // Never deeper than ⌈log₂ n⌉.
+        for n in 1..=64usize {
+            let ceil_log = (usize::BITS - n.next_power_of_two().leading_zeros() - 1) as usize;
+            assert!(depth(n) <= ceil_log.max(1) || n == 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn root_fanout_is_logarithmic() {
+        assert_eq!(children(0, 32).len(), 5);
+        assert_eq!(children(0, 2), vec![1]);
+        assert!(children(0, 1).is_empty());
+        // Largest subtree first: the rank-16 child roots 16 further
+        // ranks and must be released before the rank-1 leaf.
+        assert_eq!(children(0, 32), vec![16, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn interior_node_children() {
+        // Rank 4 in an 8-team relays to 6 then 5; rank 6 relays to 7.
+        assert_eq!(children(4, 8), vec![6, 5]);
+        assert_eq!(children(6, 8), vec![7]);
+        assert!(children(7, 8).is_empty());
+        assert!(children(1, 8).is_empty(), "odd ranks are leaves");
+    }
+
+    #[test]
+    fn truncated_teams_skip_out_of_range_children() {
+        // n = 6: rank 4's nominal child 6 does not exist.
+        assert_eq!(children(4, 6), vec![5]);
+        let dist = hops(6);
+        assert_eq!(dist.len(), 6);
+    }
+}

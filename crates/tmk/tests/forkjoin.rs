@@ -384,3 +384,89 @@ fn traffic_is_near_identical_across_runs() {
     assert!(close(a.0, b.0), "pages {a:?} vs {b:?}");
     assert!(close(a.1, b.1), "diffs {a:?} vs {b:?}");
 }
+
+// --- ISSUE 5: tree broadcast -------------------------------------------
+
+/// `relay_tree_send` must adopt a vanished child's subtree: when an
+/// interior relay's endpoint is gone (its host was dropped/reassigned
+/// between team formation and the fork), the sender takes over that
+/// child's own children so the whole subtree still hears the fork.
+#[test]
+fn tree_relay_adopts_vanished_childs_subtree() {
+    use nowmp_tmk::system::relay_tree_send;
+    use nowmp_tmk::Team;
+
+    let net = Network::new(8, 1, NetModel::disabled());
+    let eps: Vec<_> = (0..8u16).map(|h| net.register(HostId(h))).collect();
+    let team = Team::new(0, eps.iter().map(|e| e.gpid()).collect());
+    // Rank 4 is an interior relay (children 6 and 5). Kill it.
+    net.unregister(eps[4].gpid());
+
+    let payload = bytes::Bytes::from_static(b"fork");
+    let sent = relay_tree_send(&eps[0], &team, 0, &payload);
+    // Root's children are [4, 2, 1]; 4 is gone, so its children [6, 5]
+    // are adopted: 2, 1, 6, 5 all hear the message directly.
+    assert_eq!(sent, 4);
+    for r in [1usize, 2, 5, 6] {
+        assert!(
+            eps[r].try_recv().is_some(),
+            "rank {r} must receive the adopted broadcast"
+        );
+    }
+    // Ranks 3 and 7 are served by relays 2 and 6 respectively — not by
+    // the root — so nothing arrived for them here.
+    for r in [3usize, 7] {
+        assert!(eps[r].try_recv().is_none(), "rank {r} is a relay's job");
+    }
+}
+
+/// Under the tree broadcast, interior workers forward forks (the
+/// `bcast_relays` counter moves); under the flat broadcast the master
+/// sends everything itself and the counter stays zero. Results are
+/// identical either way.
+#[test]
+fn tree_and_flat_forks_compute_identically() {
+    use nowmp_tmk::Broadcast;
+
+    let n = 500;
+    let mut results = Vec::new();
+    for broadcast in [Broadcast::Flat, Broadcast::Tree] {
+        let net = Network::new(5, 1, NetModel::disabled());
+        let sys = DsmSystem::new(
+            net,
+            DsmConfig {
+                page_size: 256,
+                fork_broadcast: broadcast,
+                ..DsmConfig::test_small()
+            },
+            Arc::new(TestApp { n }),
+        );
+        let mut master = sys.start_master(HostId(0));
+        let mut workers = Vec::new();
+        for i in 1..5 {
+            let hello: Vec<Gpid> = workers.clone();
+            workers.push(sys.spawn_worker(HostId(i as u16), master.gpid(), hello));
+        }
+        master.alloc("v", n as u64, ElemKind::F64);
+        master.alloc("acc", 1, ElemKind::F64);
+        master.alloc("a", n as u64, ElemKind::F64);
+        master.alloc("b", n as u64, ElemKind::F64);
+        master.init_team(&workers);
+        master.parallel(R_FILL, &[]);
+        master.parallel(R_SCALE, &[]);
+        let got = read_all(&mut master, "v", n);
+        let relays = sys.stats().snapshot().bcast_relays;
+        match broadcast {
+            Broadcast::Flat => assert_eq!(relays, 0, "flat mode never relays"),
+            // 5 ranks: rank 2 relays rank 3's fork, rank 4 relays none
+            // (children(4,5) is empty)... the JoinInit tree also counts.
+            Broadcast::Tree => assert!(relays > 0, "tree mode must relay"),
+        }
+        results.push(got);
+        master.shutdown();
+    }
+    assert_eq!(
+        results[0], results[1],
+        "broadcast shape is invisible to data"
+    );
+}

@@ -265,6 +265,7 @@ proptest! {
             records: vec![],
             registry_delta: vec![],
             alloc_slots: alloc,
+            relay: false,
         };
         let b = m.to_bytes();
         prop_assert_eq!(Msg::from_wire(&b).unwrap(), m);

@@ -66,19 +66,36 @@ impl std::error::Error for WireError {}
 #[derive(Default, Debug)]
 pub struct Enc {
     buf: Vec<u8>,
+    legacy: bool,
 }
 
 impl Enc {
     /// New empty encoder.
     pub fn new() -> Self {
-        Enc { buf: Vec::new() }
+        Enc::default()
     }
 
     /// New encoder with a capacity hint (avoids reallocation on hot paths).
     pub fn with_capacity(cap: usize) -> Self {
         Enc {
             buf: Vec::with_capacity(cap),
+            legacy: false,
         }
+    }
+
+    /// Select the *legacy* wire forms for types that support both a
+    /// compact and a pre-compaction encoding (e.g. interval-run page
+    /// sets fall back to flat page lists). Decoders accept either form
+    /// unconditionally; this flag only pins what a producer emits —
+    /// used by faithful-1999 reproduction modes whose calibrated cost
+    /// pins depend on the original payload sizes.
+    pub fn set_legacy(&mut self, legacy: bool) {
+        self.legacy = legacy;
+    }
+
+    /// Is the legacy-encoding mode selected?
+    pub fn legacy(&self) -> bool {
+        self.legacy
     }
 
     /// Number of bytes encoded so far.
