@@ -16,17 +16,23 @@
 //!   down at their workstation" scenario from §1, *without* the owner
 //!   asking the process to leave.
 //!
-//! **`--broadcast {flat,tree}`** A/Bs the fork dissemination: `flat` is
-//! the 1999 system (master-serialized fork sends, flat write-notice
-//! payloads — the broadcast ceiling this sweep exposed), `tree` is the
-//! redesign (binomial relay tree + interval-run notice encoding, see
-//! `docs/BROADCAST.md`). The default runs both and emits the A/B into
-//! `BENCH_whatif.json`.
+//! **`--broadcast {flat,tree}`** A/Bs the fork *dissemination*:
+//! `flat` is the 1999 system (master-serialized fork sends, flat
+//! write-notice payloads), `tree` is the binomial relay redesign.
+//! **`--reduce {flat,tree}`** A/Bs the *collection* side: `flat` has
+//! every slave send its `JoinArrive` (and barrier arrival) straight to
+//! the master — n−1 converging streams serializing on the master's
+//! inbound wire — while `tree` aggregates join records up the same
+//! binomial tree and relays barrier releases down it (see
+//! `docs/BROADCAST.md`). The default sweeps the three system
+//! generations: `flat/flat` (1999), `tree/flat` (dissemination
+//! redesign), `tree/tree` (both sides treed); passing both flags pins
+//! a single lane.
 //!
-//! The run doubles as the **CI scaling gate**: it fails if the tree
-//! 16-host homogeneous speedup drops below the floor pinned in
-//! `crates/bench/baselines.toml`, or if the tree's advantage over flat
-//! at 32 homogeneous hosts falls under the pinned ratio.
+//! The run doubles as the **CI scaling gate**: it fails if the
+//! tree/tree 16-host homogeneous speedup, the tree/tree-over-flat/flat
+//! advantage at 32 hosts, or the tree/tree 32-host speedup drops below
+//! the floors pinned in `crates/bench/baselines.toml`.
 //!
 //! Every run uses the virtual clock regardless of `NOWMP_CLOCK`; the
 //! sweep completes in well under two minutes of wall time (`--smoke`
@@ -36,7 +42,7 @@ use nowmp_apps::{jacobi::Jacobi, with_kernel_costs, Kernel};
 use nowmp_bench::{bench_net_model, load_baselines, measure, print_table, quick, whatif_json};
 use nowmp_core::ClusterConfig;
 use nowmp_net::{CostModel, HostId};
-use nowmp_tmk::{Broadcast, DsmConfig};
+use nowmp_tmk::{Broadcast, CollectiveConfig, DsmConfig};
 use nowmp_util::Clock;
 use std::time::Instant;
 
@@ -77,6 +83,23 @@ impl Scenario {
     }
 }
 
+/// One collective lane of the sweep: fork dissemination × join/barrier
+/// collection.
+#[derive(Clone, Copy, PartialEq)]
+struct Mode {
+    fork: Broadcast,
+    reduce: Broadcast,
+}
+
+impl Mode {
+    fn collectives(&self) -> CollectiveConfig {
+        CollectiveConfig::default()
+            .with_fork(self.fork)
+            .with_join_reduce(self.reduce)
+            .with_barrier_release(self.reduce)
+    }
+}
+
 fn bname(b: Broadcast) -> &'static str {
     match b {
         Broadcast::Flat => "flat",
@@ -84,12 +107,7 @@ fn bname(b: Broadcast) -> &'static str {
     }
 }
 
-fn cfg(
-    kernel: &dyn Kernel,
-    scenario: Scenario,
-    procs: usize,
-    broadcast: Broadcast,
-) -> ClusterConfig {
+fn cfg(kernel: &dyn Kernel, scenario: Scenario, procs: usize, mode: Mode) -> ClusterConfig {
     let cost = scenario.apply(with_kernel_costs(CostModel::paper_1999(), kernel), procs);
     ClusterConfig {
         hosts: procs,
@@ -97,7 +115,7 @@ fn cfg(
         net_model: bench_net_model(),
         cost_model: cost,
         dsm: DsmConfig {
-            fork_broadcast: broadcast,
+            collectives: mode.collectives(),
             ..DsmConfig::default_4k()
         },
         clock: Clock::new_virtual(),
@@ -105,44 +123,81 @@ fn cfg(
     }
 }
 
-/// `--broadcast flat|tree` restricts the sweep to one dissemination
-/// mode; the default A/Bs both.
-fn broadcast_from_args() -> Vec<Broadcast> {
+fn axis_from_args(flag: &str) -> Option<Broadcast> {
     let args: Vec<String> = std::env::args().collect();
     for (i, a) in args.iter().enumerate() {
-        if a == "--broadcast" {
+        if a == flag {
             return match args.get(i + 1).map(String::as_str) {
-                Some("flat") => vec![Broadcast::Flat],
-                Some("tree") => vec![Broadcast::Tree],
-                other => panic!("--broadcast expects flat|tree, got {other:?}"),
+                Some("flat") => Some(Broadcast::Flat),
+                Some("tree") => Some(Broadcast::Tree),
+                other => panic!("{flag} expects flat|tree, got {other:?}"),
             };
         }
     }
-    vec![Broadcast::Tree, Broadcast::Flat]
+    None
 }
 
-/// Node counts for one (scenario, broadcast) lane. Smoke trims the
+/// `--broadcast` / `--reduce` pin one lane each; with neither given
+/// the sweep A/Bs the three system generations.
+fn modes_from_args() -> Vec<Mode> {
+    let fork = axis_from_args("--broadcast");
+    let reduce = axis_from_args("--reduce");
+    match (fork, reduce) {
+        (Some(f), Some(r)) => vec![Mode { fork: f, reduce: r }],
+        (Some(f), None) => vec![
+            Mode {
+                fork: f,
+                reduce: Broadcast::Tree,
+            },
+            Mode {
+                fork: f,
+                reduce: Broadcast::Flat,
+            },
+        ],
+        (None, Some(r)) => vec![Mode {
+            fork: Broadcast::Tree,
+            reduce: r,
+        }],
+        (None, None) => vec![
+            Mode {
+                fork: Broadcast::Tree,
+                reduce: Broadcast::Tree,
+            },
+            Mode {
+                fork: Broadcast::Tree,
+                reduce: Broadcast::Flat,
+            },
+            Mode {
+                fork: Broadcast::Flat,
+                reduce: Broadcast::Flat,
+            },
+        ],
+    }
+}
+
+/// Node counts for one (scenario, mode) lane. Smoke trims the
 /// off-diagonal lanes so the sweep stays CI-sized while keeping every
-/// column the scaling gate and the A/B ratio need.
-fn scales(scenario: Scenario, broadcast: Broadcast) -> &'static [usize] {
+/// column the scaling gates and the A/B ratios need.
+fn scales(scenario: Scenario, mode: Mode) -> &'static [usize] {
     if !quick() {
         return &[2, 4, 8, 16, 32];
     }
-    match (scenario, broadcast) {
-        // The gate lane: tree homogeneous needs the full curve
-        // (16-host floor + the 32-host A/B numerator).
-        (Scenario::Homogeneous, Broadcast::Tree) => &[2, 4, 8, 16, 32],
-        // The A/B baseline: flat homogeneous at the ceiling end.
-        (Scenario::Homogeneous, Broadcast::Flat) => &[8, 16, 32],
+    match (scenario, bname(mode.fork), bname(mode.reduce)) {
+        // The gate lane: tree/tree homogeneous needs the full curve
+        // (16-host floor, the 32-host floor, both A/B numerators).
+        (Scenario::Homogeneous, "tree", "tree") => &[2, 4, 8, 16, 32],
+        // A/B baselines at the ceiling end: tree/flat isolates the
+        // collection side, flat/flat is the 1999 system.
+        (Scenario::Homogeneous, _, _) => &[8, 16, 32],
         // What-if color: both ends plus the paper scale.
-        (_, Broadcast::Tree) => &[2, 8, 32],
-        (_, Broadcast::Flat) => &[8, 32],
+        (_, _, "tree") => &[2, 8, 32],
+        (_, _, _) => &[8, 32],
     }
 }
 
 fn main() {
     nowmp_bench::smoke_from_args();
-    let broadcasts = broadcast_from_args();
+    let modes = modes_from_args();
     let wall = Instant::now();
     // Big enough that compute dominates at small node counts (the
     // scaling story needs a compute-bound regime to roll over from),
@@ -156,10 +211,18 @@ fn main() {
 
     // Serial baseline on one reference workstation (scenarios only
     // differ in hosts the serial run never touches; a 1-process run
-    // broadcasts nothing, so the mode is irrelevant too).
+    // exchanges nothing, so the mode is irrelevant too).
     let t1 = measure(
         &jacobi,
-        cfg(&jacobi, Scenario::Homogeneous, 1, Broadcast::Tree),
+        cfg(
+            &jacobi,
+            Scenario::Homogeneous,
+            1,
+            Mode {
+                fork: Broadcast::Tree,
+                reduce: Broadcast::Tree,
+            },
+        ),
         iters,
         false,
         |_, _| {},
@@ -167,26 +230,26 @@ fn main() {
     )
     .secs;
 
-    // One measurement per (scenario, broadcast, nprocs); the table,
-    // the JSON, and the gate all derive from this single collection so
+    // One measurement per (scenario, mode, nprocs); the table, the
+    // JSON, and the gates all derive from this single collection so
     // they can never disagree.
-    let mut results: Vec<(Scenario, Broadcast, usize, f64)> = Vec::new();
+    let mut results: Vec<(Scenario, Mode, usize, f64)> = Vec::new();
     for &scenario in &[
         Scenario::Homogeneous,
         Scenario::Heterogeneous,
         Scenario::LoadedHost,
     ] {
-        for &broadcast in &broadcasts {
-            for &procs in scales(scenario, broadcast) {
+        for &mode in &modes {
+            for &procs in scales(scenario, mode) {
                 let run = measure(
                     &jacobi,
-                    cfg(&jacobi, scenario, procs, broadcast),
+                    cfg(&jacobi, scenario, procs, mode),
                     iters,
                     false,
                     |_, _| {},
                     false,
                 );
-                results.push((scenario, broadcast, procs, run.secs));
+                results.push((scenario, mode, procs, run.secs));
             }
         }
     }
@@ -194,10 +257,11 @@ fn main() {
 
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|&(scenario, broadcast, procs, secs)| {
+        .map(|&(scenario, mode, procs, secs)| {
             vec![
                 scenario.name().to_string(),
-                bname(broadcast).to_string(),
+                bname(mode.fork).to_string(),
+                bname(mode.reduce).to_string(),
                 procs.to_string(),
                 format!("{secs:.3}"),
                 format!("{:.2}", speedup(secs)),
@@ -206,12 +270,18 @@ fn main() {
         })
         .collect();
 
-    let mut groups: Vec<(String, String, Vec<(usize, f64)>)> = Vec::new();
-    for &(scenario, broadcast, procs, secs) in &results {
-        let key = (scenario.name().to_string(), bname(broadcast).to_string());
+    let mut groups: Vec<(String, String, String, Vec<(usize, f64)>)> = Vec::new();
+    for &(scenario, mode, procs, secs) in &results {
+        let key = (
+            scenario.name().to_string(),
+            bname(mode.fork).to_string(),
+            bname(mode.reduce).to_string(),
+        );
         match groups.last_mut() {
-            Some((s, b, samples)) if (*s == key.0) && (*b == key.1) => samples.push((procs, secs)),
-            _ => groups.push((key.0, key.1, vec![(procs, secs)])),
+            Some((s, b, r, samples)) if (*s == key.0) && (*b == key.1) && (*r == key.2) => {
+                samples.push((procs, secs))
+            }
+            _ => groups.push((key.0, key.1, key.2, vec![(procs, secs)])),
         }
     }
 
@@ -223,6 +293,7 @@ fn main() {
         &[
             "Scenario",
             "Broadcast",
+            "Reduce",
             "Nodes",
             "Sim(s)",
             "Speedup",
@@ -235,64 +306,97 @@ fn main() {
     std::fs::write("BENCH_whatif.json", &json).expect("write BENCH_whatif.json");
     println!("\nwrote BENCH_whatif.json ({} bytes)", json.len());
 
-    let speedup_of = |s: Scenario, b: Broadcast, procs: usize| {
+    let speedup_of = |s: Scenario, m: Mode, procs: usize| {
         results
             .iter()
-            .find(|&&(ls, lb, lp, _)| ls == s && lb == b && lp == procs)
+            .find(|&&(ls, lm, lp, _)| ls == s && lm == m && lp == procs)
             .map(|&(_, _, _, secs)| speedup(secs))
     };
+    let tt = Mode {
+        fork: Broadcast::Tree,
+        reduce: Broadcast::Tree,
+    };
+    let tf = Mode {
+        fork: Broadcast::Tree,
+        reduce: Broadcast::Flat,
+    };
+    let ff = Mode {
+        fork: Broadcast::Flat,
+        reduce: Broadcast::Flat,
+    };
 
-    // The A/B headline: how much virtual-timeline speedup the tree
-    // broadcast buys where the flat broadcast ceiling bit hardest.
+    // The A/B headlines at the ceiling end: what the fork tree bought
+    // (ISSUE 5), and what treeing the collection side buys on top
+    // (ISSUE 6).
     if let (Some(tree32), Some(flat32)) = (
-        speedup_of(Scenario::Homogeneous, Broadcast::Tree, 32),
-        speedup_of(Scenario::Homogeneous, Broadcast::Flat, 32),
+        speedup_of(Scenario::Homogeneous, tt, 32),
+        speedup_of(Scenario::Homogeneous, ff, 32),
     ) {
         println!(
-            "\nBroadcast A/B at 32 homogeneous hosts: tree {tree32:.2}x vs flat {flat32:.2}x \
-             ({:.2}x improvement)",
+            "\nCollective A/B at 32 homogeneous hosts: tree/tree {tree32:.2}x vs \
+             flat/flat {flat32:.2}x ({:.2}x improvement)",
             tree32 / flat32
+        );
+    }
+    if let (Some(tt32), Some(tf32)) = (
+        speedup_of(Scenario::Homogeneous, tt, 32),
+        speedup_of(Scenario::Homogeneous, tf, 32),
+    ) {
+        println!(
+            "Reduce A/B at 32 homogeneous hosts (tree fork both): tree reduce {tt32:.2}x vs \
+             flat reduce {tf32:.2}x ({:.2}x improvement)",
+            tt32 / tf32
         );
     }
 
     // --- CI scaling gate -------------------------------------------------
     // Floors live in crates/bench/baselines.toml; a regression in the
-    // broadcast path fails the build here instead of silently flattening
-    // the curve.
+    // broadcast or collection path fails the build here instead of
+    // silently flattening the curve.
     let floors = load_baselines();
     if quick() {
-        if let Some(s16) = speedup_of(Scenario::Homogeneous, Broadcast::Tree, 16) {
+        if let Some(s16) = speedup_of(Scenario::Homogeneous, tt, 16) {
             let floor = floors["tree_homogeneous_16_min_speedup"];
-            println!("gate: tree homogeneous S(16) = {s16:.2} (floor {floor:.2})");
+            println!("gate: tree/tree homogeneous S(16) = {s16:.2} (floor {floor:.2})");
             assert!(
                 s16 >= floor,
                 "CI scaling gate: 16-host homogeneous speedup {s16:.2} fell below \
                  the pinned floor {floor:.2} (crates/bench/baselines.toml)"
             );
         }
+        if let Some(s32) = speedup_of(Scenario::Homogeneous, tt, 32) {
+            let floor = floors["tree_reduce_homogeneous_32_min_speedup"];
+            println!("gate: tree/tree homogeneous S(32) = {s32:.2} (floor {floor:.2})");
+            assert!(
+                s32 >= floor,
+                "CI scaling gate: 32-host tree-reduce speedup {s32:.2} fell below \
+                 the pinned floor {floor:.2} (crates/bench/baselines.toml)"
+            );
+        }
         if let (Some(tree32), Some(flat32)) = (
-            speedup_of(Scenario::Homogeneous, Broadcast::Tree, 32),
-            speedup_of(Scenario::Homogeneous, Broadcast::Flat, 32),
+            speedup_of(Scenario::Homogeneous, tt, 32),
+            speedup_of(Scenario::Homogeneous, ff, 32),
         ) {
             let ratio = tree32 / flat32;
             let floor = floors["tree_over_flat_32_min_ratio"];
             println!("gate: tree/flat ratio at 32 hosts = {ratio:.2} (floor {floor:.2})");
             assert!(
                 ratio >= floor,
-                "CI scaling gate: tree broadcast is only {ratio:.2}x flat at 32 \
-                 homogeneous hosts, below the pinned {floor:.2}x floor"
+                "CI scaling gate: treed collectives are only {ratio:.2}x the 1999 flat \
+                 system at 32 homogeneous hosts, below the pinned {floor:.2}x floor"
             );
         }
     }
 
     println!(
         "\nShape check: homogeneous speedup grows with nodes until the fixed\n\
-         per-fork communication dominates the shrinking block — under the flat\n\
-         broadcast that rollover is the master's serialized fork sends; the\n\
-         tree broadcast pushes it past 32 nodes. Heterogeneous flattens hard\n\
-         (static schedules stretch to the half-speed stragglers); loaded-host\n\
-         tracks homogeneous minus one effective node. Wall time: {:.1}s for {}\n\
-         virtual runs.",
+         per-fork communication dominates the shrinking block — under flat\n\
+         collectives that rollover is the master's serialized fork sends plus\n\
+         the n-1 join streams converging on its inbound wire; the binomial\n\
+         tree on both sides pushes it past 32 nodes. Heterogeneous flattens\n\
+         hard (static schedules stretch to the half-speed stragglers);\n\
+         loaded-host tracks homogeneous minus one effective node. Wall time:\n\
+         {:.1}s for {} virtual runs.",
         wall.elapsed().as_secs_f64(),
         rows.len() + 1
     );

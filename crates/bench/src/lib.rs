@@ -27,7 +27,7 @@ use nowmp_apps::{fft3d::Fft3d, gauss::Gauss, jacobi::Jacobi, nbf::Nbf, Kernel};
 use nowmp_core::{ClusterConfig, EventKind, LogEntry};
 use nowmp_net::{CostModel, NetModel};
 use nowmp_omp::OmpSystem;
-use nowmp_tmk::{Broadcast, DsmConfig};
+use nowmp_tmk::{CollectiveConfig, DsmConfig};
 use std::time::Duration;
 
 /// Scaled-down benchmark instances of the four kernels.
@@ -173,7 +173,7 @@ pub fn bench_cost_model() -> CostModel {
 /// models, 4 KB pages.
 ///
 /// The paper reproducers model the *1999 system*, so the fork broadcast
-/// stays [`Broadcast::Flat`] here (flat fan-out, flat write-notice
+/// pins [`CollectiveConfig::all_flat`] here (flat fan-out, flat write-notice
 /// payloads — what the Table 1/2 calibration pins assume). The
 /// tree/RLE broadcast redesign is A/B'd explicitly by `whatif_scale
 /// --broadcast` against this baseline.
@@ -184,7 +184,7 @@ pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
         net_model: bench_net_model(),
         cost_model: bench_cost_model(),
         dsm: DsmConfig {
-            fork_broadcast: Broadcast::Flat,
+            collectives: CollectiveConfig::all_flat(),
             ..DsmConfig::default_4k()
         },
         ..ClusterConfig::test(hosts, procs)
@@ -256,10 +256,10 @@ pub fn table1_json(apps: &[(String, Vec<(usize, f64)>)]) -> String {
 
 /// Serialize the `whatif_scale` sweep into the machine-readable
 /// `BENCH_whatif.json` artifact: simulated seconds and speedup per
-/// `scenario × broadcast × nprocs`, plus the serial baseline. The CI
-/// scaling gate reads the same numbers in-process (see
-/// [`load_baselines`]); the artifact preserves them across PRs.
-pub fn whatif_json(t1: f64, groups: &[(String, String, Vec<(usize, f64)>)]) -> String {
+/// `scenario × broadcast × reduce × nprocs`, plus the serial
+/// baseline. The CI scaling gate reads the same numbers in-process
+/// (see [`load_baselines`]); the artifact preserves them across PRs.
+pub fn whatif_json(t1: f64, groups: &[(String, String, String, Vec<(usize, f64)>)]) -> String {
     let cell = |v: f64| {
         if v.is_finite() {
             format!("{v:.4}")
@@ -273,9 +273,9 @@ pub fn whatif_json(t1: f64, groups: &[(String, String, Vec<(usize, f64)>)]) -> S
         quick(),
         cell(t1)
     ));
-    for (gi, (scenario, broadcast, samples)) in groups.iter().enumerate() {
+    for (gi, (scenario, broadcast, reduce, samples)) in groups.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"scenario\": \"{scenario}\", \"broadcast\": \"{broadcast}\", \"secs\": {{"
+            "    {{\"scenario\": \"{scenario}\", \"broadcast\": \"{broadcast}\",              \"reduce\": \"{reduce}\", \"secs\": {{"
         ));
         for (i, (p, s)) in samples.iter().enumerate() {
             out.push_str(&format!(
@@ -363,8 +363,7 @@ pub fn measure(
     verify: bool,
 ) -> RunResult {
     let program = nowmp_apps::build_program(&[kernel]);
-    let mut sys = OmpSystem::new(cfg, program);
-    sys.set_adaptive(adaptive);
+    let mut sys = OmpSystem::new(cfg.with_adaptive(adaptive), program);
     kernel.setup(&mut sys);
     let dsm0 = sys.dsm_stats();
     let net0 = sys.net_stats();
@@ -502,6 +501,7 @@ mod tests {
         let floors = load_baselines();
         assert!(floors.contains_key("tree_homogeneous_16_min_speedup"));
         assert!(floors.contains_key("tree_over_flat_32_min_ratio"));
+        assert!(floors.contains_key("tree_reduce_homogeneous_32_min_speedup"));
     }
 
     #[test]
@@ -512,12 +512,20 @@ mod tests {
                 (
                     "homogeneous".into(),
                     "tree".into(),
+                    "tree".into(),
                     vec![(2, 1.0), (32, 0.1)],
                 ),
-                ("homogeneous".into(), "flat".into(), vec![(32, 0.4)]),
+                (
+                    "homogeneous".into(),
+                    "flat".into(),
+                    "flat".into(),
+                    vec![(32, 0.4)],
+                ),
             ],
         );
         assert!(j.contains("\"broadcast\": \"tree\""));
+        assert!(j.contains("\"reduce\": \"tree\""));
+        assert!(j.contains("\"reduce\": \"flat\""));
         assert!(j.contains("\"32\": 20.0000"));
         assert!(j.contains("\"32\": 5.0000"));
         assert!(!j.contains("NaN"));

@@ -1,27 +1,29 @@
-//! Flat-vs-tree broadcast parity and win checks under `VirtualClock`.
+//! Flat-vs-tree collective parity and win checks under `VirtualClock`.
 //!
-//! The ISSUE 5 acceptance bar for the tree/RLE fork broadcast: it must
-//! be *semantically invisible* — identical results and identical
-//! adaptation event orderings against the flat 1999 baseline — while
-//! measurably unloading the master's link. The flat side runs the
-//! legacy wire (flat fan-out + flat notices); the tree side runs the
-//! redesign; both on the unscaled paper network model at zero wall
-//! cost.
+//! The acceptance bar for the treed collectives — the ISSUE 5 fork
+//! broadcast *and* the ISSUE 6 join reduce / barrier release — is that
+//! they must be *semantically invisible*: identical results and
+//! identical adaptation event orderings against the flat 1999
+//! baseline, while measurably unloading the master's link (outbound
+//! for the fork tree, inbound for the reduce tree). The flat side runs
+//! the legacy wire (flat fan-out, flat collection, flat notices); the
+//! tree side runs the redesign; both on the unscaled paper network
+//! model at zero wall cost.
 
 use nowmp_apps::jacobi::Jacobi;
 use nowmp_bench::{measure, RunResult};
 use nowmp_core::{ClusterConfig, EventKind, LogEntry};
 use nowmp_net::NetModel;
 use nowmp_omp::OmpSystem;
-use nowmp_tmk::{Broadcast, DsmConfig};
+use nowmp_tmk::{Broadcast, CollectiveConfig, DsmConfig};
 use nowmp_util::Clock;
 use std::time::Duration;
 
-fn cfg(hosts: usize, procs: usize, broadcast: Broadcast) -> ClusterConfig {
+fn cfg(hosts: usize, procs: usize, collectives: CollectiveConfig) -> ClusterConfig {
     ClusterConfig {
         net_model: NetModel::paper_1999(),
         dsm: DsmConfig {
-            fork_broadcast: broadcast,
+            collectives,
             ..DsmConfig::default_4k()
         },
         clock: Clock::new_virtual(),
@@ -56,8 +58,8 @@ fn shape(log: &[LogEntry]) -> Vec<String> {
 }
 
 /// One adaptive run (join mid-flight, then a normal leave) under the
-/// given broadcast mode, with verification on.
-fn adaptive_run(broadcast: Broadcast) -> RunResult {
+/// given collective configuration, with verification on.
+fn adaptive_run(collectives: CollectiveConfig) -> RunResult {
     let app = Jacobi::new(48);
     let events = |sys: &mut OmpSystem, it: usize| {
         if it == 2 {
@@ -68,19 +70,47 @@ fn adaptive_run(broadcast: Broadcast) -> RunResult {
                 .expect("slave can leave");
         }
     };
-    measure(&app, cfg(6, 4, broadcast), 8, true, events, true)
+    measure(&app, cfg(6, 4, collectives), 8, true, events, true)
 }
 
 #[test]
 fn flat_and_tree_broadcasts_order_events_identically() {
-    let flat = adaptive_run(Broadcast::Flat);
-    let tree = adaptive_run(Broadcast::Tree);
+    let flat = adaptive_run(CollectiveConfig::all_flat());
+    let tree = adaptive_run(CollectiveConfig::all_tree());
     assert_eq!(flat.err, 0.0, "flat run must verify bit-exact");
     assert_eq!(tree.err, 0.0, "tree run must verify bit-exact");
     assert_eq!(
         shape(&flat.log),
         shape(&tree.log),
-        "broadcast shape must not change adaptation event ordering"
+        "collective shape must not change adaptation event ordering"
+    );
+    assert!(
+        !shape(&tree.log).is_empty(),
+        "the schedule must actually adapt"
+    );
+}
+
+#[test]
+fn flat_and_tree_reduce_order_events_identically() {
+    // The ISSUE 6 collection-side parity: with the fork tree held
+    // fixed, flat collection (every slave straight to the master) and
+    // the binomial join reduce + tree barrier release must produce
+    // bit-exact results and the same adaptation event ordering.
+    let base = CollectiveConfig::default().with_fork(Broadcast::Tree);
+    let flat = adaptive_run(
+        base.with_join_reduce(Broadcast::Flat)
+            .with_barrier_release(Broadcast::Flat),
+    );
+    let tree = adaptive_run(
+        base.with_join_reduce(Broadcast::Tree)
+            .with_barrier_release(Broadcast::Tree),
+    );
+    assert_eq!(flat.err, 0.0, "flat-reduce run must verify bit-exact");
+    assert_eq!(tree.err, 0.0, "tree-reduce run must verify bit-exact");
+    assert_eq!(
+        shape(&flat.log),
+        shape(&tree.log),
+        "reduce shape must not change adaptation event ordering"
     );
     assert!(
         !shape(&tree.log).is_empty(),
@@ -95,8 +125,16 @@ fn tree_broadcast_unloads_the_master_link() {
     // link every region; the tree sends O(log n) and the interval-run
     // notices shrink each payload.
     let app = Jacobi::new(128);
-    let flat = measure(&app, cfg(8, 8, Broadcast::Flat), 4, false, |_, _| {}, false);
-    let tree = measure(&app, cfg(8, 8, Broadcast::Tree), 4, false, |_, _| {}, false);
+    let reduce_flat = CollectiveConfig::all_flat();
+    let flat = measure(&app, cfg(8, 8, reduce_flat), 4, false, |_, _| {}, false);
+    let tree = measure(
+        &app,
+        cfg(8, 8, reduce_flat.with_fork(Broadcast::Tree)),
+        4,
+        false,
+        |_, _| {},
+        false,
+    );
 
     let master_out = |r: &RunResult| r.net.links[0].bytes_out;
     let master_msgs = |r: &RunResult| r.net.links[0].msgs_out;
@@ -116,6 +154,60 @@ fn tree_broadcast_unloads_the_master_link() {
     // hops cost, but off the master's serialized link they overlap).
     assert!(
         tree.secs <= flat.secs * 1.02,
+        "tree {:.6}s vs flat {:.6}s",
+        tree.secs,
+        flat.secs
+    );
+}
+
+#[test]
+fn tree_reduce_unloads_the_master_inbound() {
+    // Steady state, 8 processes, fork tree on both sides: flat
+    // collection converges n-1 JoinArrive/BarrierArrive streams on the
+    // master's inbound wire every region; the reduce tree delivers the
+    // same records in O(log n) aggregates.
+    let app = Jacobi::new(128);
+    let base = CollectiveConfig::default().with_fork(Broadcast::Tree);
+    let flat = measure(
+        &app,
+        cfg(
+            8,
+            8,
+            base.with_join_reduce(Broadcast::Flat)
+                .with_barrier_release(Broadcast::Flat),
+        ),
+        4,
+        false,
+        |_, _| {},
+        false,
+    );
+    let tree = measure(
+        &app,
+        cfg(
+            8,
+            8,
+            base.with_join_reduce(Broadcast::Tree)
+                .with_barrier_release(Broadcast::Tree),
+        ),
+        4,
+        false,
+        |_, _| {},
+        false,
+    );
+
+    let master_in = |r: &RunResult| r.net.links[0].msgs_in;
+    assert!(
+        master_in(&tree) < master_in(&flat),
+        "tree reduce master inbound {} msgs must undercut flat {} msgs",
+        master_in(&tree),
+        master_in(&flat)
+    );
+    // At the paper's 8-host scale the aggregation hops cost a couple
+    // percent of virtual timeline (depth x latency is not yet
+    // amortized); the reduce tree must stay within that band here —
+    // its win is at scale-out, gated at 32 hosts in `whatif_scale`.
+    assert!(
+        tree.secs <= flat.secs * 1.05,
         "tree {:.6}s vs flat {:.6}s",
         tree.secs,
         flat.secs

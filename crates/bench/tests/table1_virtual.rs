@@ -18,7 +18,7 @@ use nowmp_apps::{jacobi::Jacobi, nbf::Nbf, with_kernel_costs, Kernel};
 use nowmp_bench::measure;
 use nowmp_core::ClusterConfig;
 use nowmp_net::{CostModel, NetModel};
-use nowmp_tmk::{Broadcast, DsmConfig};
+use nowmp_tmk::{CollectiveConfig, DsmConfig};
 use nowmp_util::Clock;
 
 /// Tolerance on speedup values, as stated in the acceptance criteria.
@@ -35,7 +35,7 @@ fn simulated_secs(kernel: &dyn Kernel, procs: usize, iters: usize) -> f64 {
         // calibrate against exactly those wire sizes. The tree/RLE
         // redesign is measured separately (whatif_scale --broadcast).
         dsm: DsmConfig {
-            fork_broadcast: Broadcast::Flat,
+            collectives: CollectiveConfig::all_flat(),
             ..DsmConfig::default_4k()
         },
         clock: Clock::new_virtual(),

@@ -79,6 +79,35 @@ pub struct ClusterConfig {
     /// (wall time unless `NOWMP_CLOCK=virtual`); tests pass
     /// [`Clock::new_virtual`] for deterministic, wall-free runs.
     pub clock: Clock,
+    /// Initial state of the OpenMP dynamic-adjustment switch (§4.4):
+    /// whether adapt events take effect at adaptation points. Still
+    /// toggleable at runtime through [`Cluster::set_adaptive`]
+    /// (`omp_set_dynamic` semantics); this field only picks the state
+    /// the cluster is *constructed* with.
+    pub adaptive: bool,
+    /// Master-private state provider for checkpoints: called at every
+    /// checkpoint write, its bytes are handed back by
+    /// [`Cluster::recover`]. Configure before construction instead of
+    /// mutating the built cluster.
+    pub master_state_provider: Option<Arc<dyn Fn() -> Vec<u8> + Send + Sync>>,
+}
+
+impl ClusterConfig {
+    /// Builder: set the initial adaptivity switch.
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Builder: install the master-private state provider for
+    /// checkpoints.
+    pub fn with_master_state_provider(
+        mut self,
+        f: impl Fn() -> Vec<u8> + Send + Sync + 'static,
+    ) -> Self {
+        self.master_state_provider = Some(Arc::new(f));
+        self
+    }
 }
 
 impl ClusterConfig {
@@ -97,6 +126,8 @@ impl ClusterConfig {
             ckpt_path: None,
             migrate_prefer_free: false,
             clock: Clock::from_env(),
+            adaptive: true,
+            master_state_provider: None,
         }
     }
 
@@ -116,6 +147,8 @@ impl ClusterConfig {
             ckpt_path: None,
             migrate_prefer_free: false,
             clock: Clock::from_env(),
+            adaptive: true,
+            master_state_provider: None,
         }
     }
 }
@@ -389,7 +422,7 @@ pub struct Cluster {
     master: MasterCtl,
     cfg: ClusterConfig,
     last_ckpt_fork: u64,
-    blob_provider: Option<Box<dyn Fn() -> Vec<u8> + Send>>,
+    blob_provider: Option<Arc<dyn Fn() -> Vec<u8> + Send + Sync>>,
     /// The OpenMP "dynamic adjustment" switch (§4.4): when off, adapt
     /// events stay queued and the team never changes.
     adaptive: bool,
@@ -452,13 +485,15 @@ impl Cluster {
             migrate_prefer_free: cfg.migrate_prefer_free,
             page_size,
         });
+        let blob_provider = cfg.master_state_provider.clone();
+        let adaptive = cfg.adaptive;
         Cluster {
             shared,
             master,
             cfg,
             last_ckpt_fork: 0,
-            blob_provider: None,
-            adaptive: true,
+            blob_provider,
+            adaptive,
         }
     }
 
@@ -527,13 +562,15 @@ impl Cluster {
                 migrate_prefer_free: cfg2.migrate_prefer_free,
                 page_size,
             });
+            let blob_provider = cfg2.master_state_provider.clone();
+            let adaptive = cfg2.adaptive;
             Cluster {
                 shared,
                 master,
                 cfg: cfg2,
                 last_ckpt_fork: ckpt.image.fork_no,
-                blob_provider: None,
-                adaptive: true,
+                blob_provider,
+                adaptive,
             }
         };
         cluster.last_ckpt_fork = ckpt.image.fork_no;
@@ -596,8 +633,12 @@ impl Cluster {
     }
 
     /// Install the master-private state provider for checkpoints.
-    pub fn set_master_state_provider(&mut self, f: impl Fn() -> Vec<u8> + Send + 'static) {
-        self.blob_provider = Some(Box::new(f));
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure `ClusterConfig::with_master_state_provider` before construction"
+    )]
+    pub fn set_master_state_provider(&mut self, f: impl Fn() -> Vec<u8> + Send + Sync + 'static) {
+        self.blob_provider = Some(Arc::new(f));
     }
 
     /// Request a join (see [`ClusterShared::request_join`]).

@@ -16,6 +16,15 @@ use nowmp_net::Gpid;
 pub enum ReassignPolicy {
     /// Survivors keep their relative order and compact down; joiners
     /// append at the end (the paper's scheme, per Figure 3b).
+    ///
+    /// Order stability is also what keeps the binomial *collective*
+    /// trees well-behaved across adaptations: both the fork broadcast
+    /// and the join reduce / barrier release (`nowmp_tmk::tree`) are
+    /// pure functions of `(rank, nprocs)`, so a compacted team
+    /// re-derives a valid tree with every survivor's neighbors still
+    /// in the same relative position — interior aggregators keep
+    /// covering contiguous rank ranges and no collective state needs
+    /// renumbering beyond the compaction itself.
     CompactKeepOrder,
     /// Joiners adopt the slots of leavers when possible (an ablation:
     /// pairs a simultaneous join+leave so nobody else's block moves).
@@ -112,6 +121,44 @@ mod tests {
         let old = vec![G(1), G(2), G(3), G(4)];
         let members = reassign(ReassignPolicy::CompactKeepOrder, &old, &[G(3)], &[G(9)]);
         assert_eq!(members, vec![G(1), G(2), G(4), G(9)]);
+    }
+
+    #[test]
+    fn compact_keeps_collective_tree_order_stable() {
+        // The reduce/broadcast trees are derived from (rank, nprocs):
+        // after any single leave under CompactKeepOrder, survivors
+        // appear in the same relative order, and the re-derived
+        // binomial tree still covers exactly the compacted ranks with
+        // contiguous subtrees (`nowmp_tmk::tree::subtree_size`).
+        for n in 2..=12usize {
+            let old: Vec<Gpid> = (0..n as u32).map(G).collect();
+            for leaver in 1..n {
+                let members = reassign(
+                    ReassignPolicy::CompactKeepOrder,
+                    &old,
+                    &[G(leaver as u32)],
+                    &[],
+                );
+                let expect: Vec<Gpid> = old
+                    .iter()
+                    .copied()
+                    .filter(|g| g.0 != leaver as u32)
+                    .collect();
+                assert_eq!(members, expect, "survivor order must be preserved");
+                let m = members.len();
+                for rank in 0..m {
+                    let lo = rank;
+                    let hi = rank + nowmp_tmk::tree::subtree_size(rank, m);
+                    assert!(hi <= m, "subtree of rank {rank} overruns the {m}-team");
+                    for child in nowmp_tmk::tree::children(rank, m) {
+                        assert!(
+                            (lo..hi).contains(&child) || rank == 0,
+                            "child {child} outside rank {rank}'s contiguous range"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -327,7 +327,7 @@ fn interior_tree_relay_killed_mid_fork_still_completes() {
     cfg.net_model = nowmp_net::NetModel::paper_1999();
     cfg.clock = nowmp_util::Clock::new_virtual();
     assert_eq!(
-        cfg.dsm.fork_broadcast,
+        cfg.dsm.collectives.fork,
         nowmp_tmk::Broadcast::Tree,
         "tree broadcast is the default under test"
     );
@@ -366,6 +366,69 @@ fn interior_tree_relay_killed_mid_fork_still_completes() {
     }
     // Next adaptation point commits the leave; the fork tree compacts
     // to 7 ranks and further forks must still reach everyone.
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(c.nprocs(), 7);
+    c.parallel(R_SCALE, &[]);
+    assert_eq!(read_v(&mut c, n), expect_scaled(n, 2));
+    c.shutdown();
+}
+
+#[test]
+fn interior_tree_aggregator_killed_mid_join_still_completes() {
+    // ISSUE 6 regression, the collection-side mirror of
+    // `interior_tree_relay_killed_mid_fork_still_completes`: with the
+    // binomial join reduce, pid 4 of an 8-process team *aggregates*
+    // the JoinArrives of ranks 5 and 6 before forwarding one merged
+    // message to rank 0. Kill it at the tail of the region: the fill
+    // spans ~3.2 ms -> ~110.8 ms on the paper-model virtual timeline,
+    // so a leave requested at t = 109 ms with a 100 us grace expires
+    // in the join/collection window. The join must still complete
+    // (escalation past the frozen aggregator, or its migrated
+    // incarnation finishing the reduce), the leave must commit at the
+    // next adaptation point, and the compacted 7-rank reduce tree must
+    // keep collecting joins.
+    let n = 64 * 1024;
+    let mut cfg = ClusterConfig::test(9, 8);
+    cfg.net_model = nowmp_net::NetModel::paper_1999();
+    cfg.clock = nowmp_util::Clock::new_virtual();
+    assert_eq!(
+        cfg.dsm.collectives.join_reduce,
+        nowmp_tmk::Broadcast::Tree,
+        "tree join reduce is the default under test"
+    );
+    let mut c = Cluster::new(cfg, Arc::new(App { n }));
+    c.alloc("v", n as u64, ElemKind::F64);
+    let g = c.team()[4];
+    let shared = c.shared();
+    let killer = std::thread::spawn(move || {
+        let _participant = shared.clock().participant();
+        // Lands in the last ~2 ms of the region, where workers drain
+        // their intervals and the reduce tree collects upward.
+        shared.clock().sleep(Duration::from_millis(109));
+        shared
+            .request_leave(g, Some(Duration::from_micros(100)))
+            .expect("interior aggregator can leave");
+    });
+    c.parallel(R_FILL, &[]); // the kill and its grace expiry happen in here
+    killer.join().unwrap();
+    c.clock().sleep(Duration::from_millis(1));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let kinds: Vec<_> = c.log().entries().into_iter().map(|e| e.kind).collect();
+        if kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::UrgentMigrationDone { gpid, .. } if *gpid == g))
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "grace timer never migrated the interior aggregator"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Next adaptation point commits the leave; the reduce tree
+    // compacts to 7 ranks and further joins must still reach rank 0.
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 7);
     c.parallel(R_SCALE, &[]);
@@ -416,11 +479,10 @@ fn checkpoint_and_recover() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("adaptive.ckpt");
 
-    let mut cfg = ClusterConfig::test(3, 3);
+    let mut cfg = ClusterConfig::test(3, 3).with_master_state_provider(|| b"iteration=2".to_vec());
     cfg.ckpt_path = Some(path.clone());
     let mut c = Cluster::new(cfg.clone(), Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
-    c.set_master_state_provider(|| b"iteration=2".to_vec());
     c.parallel(R_FILL, &[]);
     c.parallel(R_SCALE, &[]);
     c.request_checkpoint();

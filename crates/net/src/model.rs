@@ -117,6 +117,16 @@ impl NetModel {
         self.scaled(self.serialize_time(payload) + self.per_msg_overhead)
     }
 
+    /// Total receiver-side inbound occupancy for a message: the wire
+    /// drains it for its serialization time and the receiving CPU pays
+    /// the fixed per-message overhead (interrupt + dispatch) before
+    /// the next converging message can be admitted (scaled). See
+    /// `HostRec::receive_at` in `net.rs` for how this composes with
+    /// cut-through delivery.
+    pub fn receive_time(&self, payload: usize) -> Duration {
+        self.scaled(self.serialize_time(payload) + self.per_msg_overhead)
+    }
+
     /// Propagation latency (scaled).
     pub fn latency(&self) -> Duration {
         self.scaled(self.one_way_latency)

@@ -106,10 +106,45 @@ struct HostRec {
     /// Serializes outbound transmissions when emulation is on: two
     /// processes multiplexed on one workstation share one wire.
     link: Mutex<()>,
+    /// Next-free time of the host's *inbound* wire. A single stream
+    /// already pays its serialization at the sender, so an uncontended
+    /// message is delivered at `send_finish + latency` exactly as
+    /// before; but messages *converging* from different senders must
+    /// drain one at a time through the receiver's port — the physical
+    /// ceiling a flat `n - 1` collection hits at the master. See
+    /// [`HostRec::receive_at`].
+    inbound: Mutex<Tick>,
     link_stats: Arc<LinkStats>,
     /// CPU slots; the OpenMP layer acquires one per iteration chunk so
     /// multiplexed processes time-share the processor.
     cpu: Semaphore,
+}
+
+impl HostRec {
+    /// FIFO inbound admission: each message occupies the receiving
+    /// host's inbound path for `occ` — its serialization time plus the
+    /// per-message receive overhead (interrupt + dispatch, the paper's
+    /// PER_MSG_OVERHEAD) — ending at delivery. Uncontended (`inbound`
+    /// free before `candidate - occ`, i.e. the bits flowed cut-through
+    /// and the handler overlapped the tail of the transfer) this
+    /// returns `candidate` unchanged, so single-stream timings — and
+    /// the calibrated Table 1/2 pins — are untouched; under
+    /// convergence it returns the earliest slot after the queue
+    /// drains. The overhead term is what a binomial reduce amortizes:
+    /// `n - 1` small messages converging on the master each pay it in
+    /// turn, `log n` aggregates carrying the same bytes pay it `log n`
+    /// times.
+    fn receive_at(&self, candidate: Tick, occ: Duration) -> Tick {
+        let mut free = self.inbound.lock();
+        let start = (*free).max(Tick::from_nanos(
+            candidate
+                .as_nanos()
+                .saturating_sub(occ.as_nanos().min(u64::MAX as u128) as u64),
+        ));
+        let done = start + occ;
+        *free = done;
+        done
+    }
 }
 
 struct EndpointRec {
@@ -185,12 +220,6 @@ impl NetInner {
             self.occupy_link(src_host, self.model.sender_time(payload.len()));
         }
 
-        let deliver_at = if self.model.emulate {
-            Some(self.clock.now() + self.model.latency())
-        } else {
-            None
-        };
-
         // Resolve destination *after* serialization (a migrating peer may
         // have re-labeled meanwhile; the switch forwards to its port).
         let (tx, dst_host) = {
@@ -200,9 +229,17 @@ impl NetInner {
                 None => return false,
             }
         };
+        let dst_rec = self.host(dst_host);
+
+        let deliver_at = if self.model.emulate {
+            let candidate = self.clock.now() + self.model.latency();
+            Some(dst_rec.receive_at(candidate, self.model.receive_time(payload.len())))
+        } else {
+            None
+        };
 
         src_host.link_stats.record_out(bytes);
-        self.host(dst_host).link_stats.record_in(bytes);
+        dst_rec.link_stats.record_in(bytes);
         self.stats.record_msg(bytes);
 
         self.send_accounted(
@@ -289,6 +326,7 @@ impl Network {
         hosts.push(Arc::new(HostRec {
             id,
             link: Mutex::new(()),
+            inbound: Mutex::new(Tick::ZERO),
             link_stats: self.inner.stats.add_link(),
             cpu: Semaphore::new(cpu_slots),
         }));
@@ -571,15 +609,24 @@ impl NetInner {
         if self.model.emulate {
             self.occupy_link(src_host, self.model.sender_time(payload.len()));
         }
+        // Account (and queue on the inbound wire) at the requester's
+        // current host if it still exists.
+        let dst_rec = self
+            .endpoints
+            .read()
+            .get(&dst.0)
+            .map(|rec| self.host(HostId(rec.host.load(Ordering::Acquire))));
         let deliver_at = if self.model.emulate {
-            Some(self.clock.now() + self.model.latency())
+            let candidate = self.clock.now() + self.model.latency();
+            Some(match &dst_rec {
+                Some(h) => h.receive_at(candidate, self.model.receive_time(payload.len())),
+                None => candidate,
+            })
         } else {
             None
         };
-        // Account on the requester's current link if it still exists.
-        if let Some(rec) = self.endpoints.read().get(&dst.0) {
-            let h = HostId(rec.host.load(Ordering::Acquire));
-            self.host(h).link_stats.record_in(bytes);
+        if let Some(h) = &dst_rec {
+            h.link_stats.record_in(bytes);
         }
         src_host.link_stats.record_out(bytes);
         self.stats.record_msg(bytes);

@@ -193,17 +193,6 @@ impl OmpSystem {
         self.cluster.checkpoint_now();
     }
 
-    /// The OpenMP dynamic-adjustment switch (§4.4): disabling makes the
-    /// program run non-adaptively.
-    pub fn set_adaptive(&mut self, on: bool) {
-        self.cluster.set_adaptive(on);
-    }
-
-    /// Provide the master-private state for checkpoints.
-    pub fn set_master_state_provider(&mut self, f: impl Fn() -> Vec<u8> + Send + 'static) {
-        self.cluster.set_master_state_provider(f);
-    }
-
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------

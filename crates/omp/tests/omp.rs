@@ -265,11 +265,11 @@ fn adaptivity_switch_defers_events() {
     let n = 100u64;
     let mut s = sys(3, n);
     s.parallel("fill", &Params::new().u64(n).build());
-    s.set_adaptive(false);
+    s.cluster().set_adaptive(false);
     s.request_leave_pid(2, None).unwrap();
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build());
     assert_eq!(s.nprocs(), 3, "switch off: nobody leaves");
-    s.set_adaptive(true);
+    s.cluster().set_adaptive(true);
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build());
     assert_eq!(s.nprocs(), 2, "switch on: the queued leave takes effect");
     s.shutdown();

@@ -3,19 +3,84 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How the master disseminates the fork-time broadcasts (`Fork`, and
-/// `JoinInit` at team formation).
+/// Shape of one cluster-wide collective: how a root-anchored message
+/// wave traverses the team (fork dissemination, join reduction, or
+/// barrier release).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Broadcast {
-    /// Master sends to every slave itself: `n - 1` sends serialized on
-    /// the master's link (the original TreadMarks shape — kept as the
-    /// A/B baseline for `whatif_scale --broadcast flat`).
+    /// Master exchanges with every slave itself: `n - 1` messages
+    /// serialized at the master (the original TreadMarks shape — kept
+    /// as the A/B baseline for `whatif_scale --broadcast flat`).
     Flat,
-    /// Binomial tree over team rank order: the master sends to
-    /// O(log n) children who relay onward on their own links (see
-    /// [`crate::tree`]).
+    /// Binomial tree over team rank order: the master exchanges with
+    /// O(log n) children who relay/aggregate onward on their own links
+    /// (see [`crate::tree`]).
     #[default]
     Tree,
+}
+
+/// The shape of every cluster-wide collective, configured in one
+/// place. Each direction of the fork/join/barrier protocol is an
+/// independent flat-vs-tree choice:
+///
+/// * `fork` — downstream `Fork`/`JoinInit` dissemination (PR 4);
+/// * `join_reduce` — upstream `JoinArrive` collection: children
+///   aggregate their subtree's records + vector clocks before
+///   forwarding one merged arrival;
+/// * `barrier_release` — downstream barrier release fan-out after the
+///   master merged all `BarrierArrive`s.
+///
+/// `fork` doubles as the wire-compatibility switch: `Broadcast::Flat`
+/// there keeps every payload byte-identical to the 1999 flat encoding
+/// (the Table 1/2 calibration assumption), which is why the paper
+/// reproducers pin [`CollectiveConfig::all_flat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectiveConfig {
+    /// `Fork`/`JoinInit` dissemination shape.
+    pub fork: Broadcast,
+    /// `JoinArrive` collection shape.
+    pub join_reduce: Broadcast,
+    /// Barrier release fan-out shape.
+    pub barrier_release: Broadcast,
+}
+
+impl CollectiveConfig {
+    /// Every collective flat: the 1999 system's shape, byte-identical
+    /// wire payloads — what the Table 1/2 pins assume.
+    pub fn all_flat() -> Self {
+        CollectiveConfig {
+            fork: Broadcast::Flat,
+            join_reduce: Broadcast::Flat,
+            barrier_release: Broadcast::Flat,
+        }
+    }
+
+    /// Every collective over the binomial tree (the default).
+    pub fn all_tree() -> Self {
+        CollectiveConfig {
+            fork: Broadcast::Tree,
+            join_reduce: Broadcast::Tree,
+            barrier_release: Broadcast::Tree,
+        }
+    }
+
+    /// Builder: set the fork dissemination shape.
+    pub fn with_fork(mut self, b: Broadcast) -> Self {
+        self.fork = b;
+        self
+    }
+
+    /// Builder: set the join-reduce collection shape.
+    pub fn with_join_reduce(mut self, b: Broadcast) -> Self {
+        self.join_reduce = b;
+        self
+    }
+
+    /// Builder: set the barrier release fan-out shape.
+    pub fn with_barrier_release(mut self, b: Broadcast) -> Self {
+        self.barrier_release = b;
+        self
+    }
 }
 
 /// Tunable parameters of the DSM protocol.
@@ -39,8 +104,9 @@ pub struct DsmConfig {
     /// gate here ("all processes wait for the completion of the
     /// migration").
     pub throttle: Option<Arc<dyn Fn() + Send + Sync>>,
-    /// Fork/JoinInit dissemination shape (default: binomial tree).
-    pub fork_broadcast: Broadcast,
+    /// Shape of every cluster-wide collective (fork dissemination,
+    /// join reduction, barrier release). Default: all tree.
+    pub collectives: CollectiveConfig,
 }
 
 impl std::fmt::Debug for DsmConfig {
@@ -51,7 +117,7 @@ impl std::fmt::Debug for DsmConfig {
             .field("lazy_diffs", &self.lazy_diffs)
             .field("call_timeout", &self.call_timeout)
             .field("throttle", &self.throttle.as_ref().map(|_| "<hook>"))
-            .field("fork_broadcast", &self.fork_broadcast)
+            .field("collectives", &self.collectives)
             .finish()
     }
 }
@@ -65,8 +131,22 @@ impl DsmConfig {
             lazy_diffs: false,
             call_timeout: Duration::from_secs(120),
             throttle: None,
-            fork_broadcast: Broadcast::default(),
+            collectives: CollectiveConfig::default(),
         }
+    }
+
+    /// Builder: set the collective shapes, mirroring the
+    /// `CostModel::with_*` idiom — paper reproducers pin
+    /// `with_collectives(CollectiveConfig::all_flat())` in one place.
+    pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
+        self.collectives = collectives;
+        self
+    }
+
+    /// Builder: set only the fork dissemination shape.
+    pub fn with_fork_broadcast(mut self, b: Broadcast) -> Self {
+        self.collectives.fork = b;
+        self
     }
 
     /// Small pages for tests: exercises multi-page logic with tiny data.
@@ -112,6 +192,23 @@ mod tests {
     fn defaults_validate() {
         DsmConfig::default_4k().validate();
         DsmConfig::test_small().validate();
+    }
+
+    #[test]
+    fn collective_builders() {
+        let c = DsmConfig::default_4k();
+        assert_eq!(c.collectives, CollectiveConfig::all_tree());
+        let flat = DsmConfig::default_4k().with_collectives(CollectiveConfig::all_flat());
+        assert_eq!(flat.collectives.fork, Broadcast::Flat);
+        assert_eq!(flat.collectives.join_reduce, Broadcast::Flat);
+        assert_eq!(flat.collectives.barrier_release, Broadcast::Flat);
+        let mixed = DsmConfig::default_4k()
+            .with_collectives(CollectiveConfig::all_tree().with_join_reduce(Broadcast::Flat));
+        assert_eq!(mixed.collectives.fork, Broadcast::Tree);
+        assert_eq!(mixed.collectives.join_reduce, Broadcast::Flat);
+        let forked = DsmConfig::default_4k().with_fork_broadcast(Broadcast::Flat);
+        assert_eq!(forked.collectives.fork, Broadcast::Flat);
+        assert_eq!(forked.collectives.barrier_release, Broadcast::Tree);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::service::{deliver_grant, Ctrl};
 use crate::stats::DsmStats;
 use crate::types::{Addr, Epoch, PageId, Pid, Seq, Team};
 use nowmp_net::{Endpoint, Gpid, NetError};
-use nowmp_util::wire::Wire;
+use nowmp_util::wire::{Encoding, Wire};
 use nowmp_util::Clock;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -127,12 +127,18 @@ pub struct TmkCtx {
     slots_per_page: usize,
     page_shift: u32,
     call_timeout: Duration,
-    /// Emit the pre-compaction flat notice encoding (the faithful-1999
-    /// [`crate::config::Broadcast::Flat`] wire; see `Msg::to_bytes_compat`).
-    legacy_wire: bool,
+    /// Wire encoding for every message we produce ([`Encoding::Flat`]
+    /// reproduces the faithful-1999 [`crate::config::Broadcast::Flat`]
+    /// payload sizes; see `Msg::to_bytes_compat`).
+    wire_enc: Encoding,
+    /// Shape of each cluster-wide collective.
+    collectives: crate::config::CollectiveConfig,
     throttle: Option<Arc<dyn Fn() + Send + Sync>>,
-    /// Present on the master: lets `barrier()` play manager.
-    master_ctrl: Option<Arc<Mutex<CtrlBuf>>>,
+    /// Shared control buffer: the master's `barrier()` plays manager
+    /// through it; worker ranks receive tree-relayed barrier releases
+    /// (and, in the system layer, join-reduce aggregates) through the
+    /// same buffer. `None` only in single-process test contexts.
+    ctrl: Option<Arc<Mutex<CtrlBuf>>>,
     /// Current region parameters (set by the fork dispatcher).
     params: Vec<u8>,
     /// Modeled compute cost of one iteration of the current region at
@@ -146,7 +152,7 @@ impl TmkCtx {
     pub fn new(
         core: Arc<Mutex<ProcCore>>,
         endpoint: Arc<Endpoint>,
-        master_ctrl: Option<Arc<Mutex<CtrlBuf>>>,
+        ctrl: Option<Arc<Mutex<CtrlBuf>>>,
     ) -> Self {
         let (stats, cfg, epoch, team, my_pid): (Arc<DsmStats>, DsmConfig, Epoch, Team, Pid) = {
             let c = core.lock();
@@ -170,9 +176,14 @@ impl TmkCtx {
             slots_per_page: spp,
             page_shift: spp.trailing_zeros(),
             call_timeout: cfg.call_timeout,
-            legacy_wire: cfg.fork_broadcast == crate::config::Broadcast::Flat,
+            wire_enc: if cfg.collectives.fork == crate::config::Broadcast::Flat {
+                Encoding::Flat
+            } else {
+                Encoding::Runs
+            },
+            collectives: cfg.collectives,
             throttle: cfg.throttle.clone(),
-            master_ctrl,
+            ctrl,
             params: Vec::new(),
             iter_cost: Duration::ZERO,
         }
@@ -308,11 +319,7 @@ impl TmkCtx {
     fn call(&self, dst: Gpid, msg: &Msg) -> Msg {
         let rep = self
             .endpoint
-            .call_deadline(
-                dst,
-                msg.to_bytes_compat(self.legacy_wire),
-                self.call_timeout,
-            )
+            .call_deadline(dst, msg.to_bytes_compat(self.wire_enc), self.call_timeout)
             .unwrap_or_else(|e| panic!("{}: call to {dst} failed: {e}", self.gpid()));
         Msg::from_wire(&rep).expect("malformed reply")
     }
@@ -624,7 +631,10 @@ impl TmkCtx {
     }
 
     /// In-region barrier. The master (pid 0) is the manager; slaves send
-    /// their new interval records and receive everyone else's.
+    /// their new interval records and receive everyone else's. The
+    /// release direction follows `collectives.barrier_release`: flat
+    /// replies per arrival, or one receiver-independent
+    /// `BarrierRelease` relayed down the binomial tree.
     pub fn barrier(&mut self) {
         self.throttle();
         DsmStats::bump(&self.stats.barrier_arrivals);
@@ -633,7 +643,12 @@ impl TmkCtx {
             self.sync_reset();
             return;
         }
-        if let Some(ctrl) = self.master_ctrl.clone() {
+        if self.my_pid == 0 {
+            let ctrl = Arc::clone(
+                self.ctrl
+                    .as_ref()
+                    .expect("the barrier manager has a ctrl buffer"),
+            );
             self.barrier_master(&ctrl);
         } else {
             self.barrier_slave();
@@ -648,22 +663,53 @@ impl TmkCtx {
             (c.vc.clone(), c.drain_unsent(), c.my_pid)
         };
         let master = self.team.master();
-        let rep = self.call(
-            master,
-            &Msg::BarrierArrive {
-                epoch: self.epoch,
-                pid,
-                vc,
-                records,
-            },
-        );
-        match rep {
-            Msg::BarrierRep { vc, records } => {
-                let mut c = self.core.lock();
-                c.apply_records(&records);
-                c.vc.merge(&vc);
+        let arrive = Msg::BarrierArrive {
+            epoch: self.epoch,
+            pid,
+            vc,
+            records,
+        };
+        if self.collectives.barrier_release != crate::config::Broadcast::Tree {
+            match self.call(master, &arrive) {
+                Msg::BarrierRep { vc, records } => {
+                    let mut c = self.core.lock();
+                    c.apply_records(&records);
+                    c.vc.merge(&vc);
+                }
+                other => panic!("unexpected reply to BarrierArrive: {other:?}"),
             }
-            other => panic!("unexpected reply to BarrierArrive: {other:?}"),
+            return;
+        }
+        // Tree release: the arrival is one-way; the release reaches us
+        // relayed down the binomial tree through our parent.
+        self.endpoint
+            .send(master, arrive.to_bytes_compat(self.wire_enc))
+            .unwrap_or_else(|e| panic!("{}: barrier arrival failed: {e}", self.gpid()));
+        let ctrl = Arc::clone(self.ctrl.as_ref().expect("worker has a ctrl buffer"));
+        let c = ctrl
+            .lock()
+            .recv_where(self.call_timeout, |c| {
+                matches!(&c.msg, Msg::BarrierRelease { .. })
+            })
+            .expect("barrier release lost");
+        // Relay the verbatim payload to our subtree *before* applying:
+        // the subtree's release latency is the critical path.
+        let n = self.team.nprocs();
+        if !crate::tree::children(pid as usize, n).is_empty() {
+            let d = self.endpoint.cost().relay_time();
+            if !d.is_zero() {
+                self.endpoint.clock().sleep(d);
+            }
+            let sent = crate::system::relay_tree_send(&self.endpoint, &self.team, pid, &c.raw);
+            DsmStats::add(&self.stats.release_relays, sent as u64);
+        }
+        match c.msg {
+            Msg::BarrierRelease { vc, records } => {
+                let mut core = self.core.lock();
+                core.apply_records(&records);
+                core.vc.merge(&vc);
+            }
+            _ => unreachable!(),
         }
     }
 
@@ -694,7 +740,31 @@ impl TmkCtx {
             self.core.lock().vc.merge(&vc);
             arrivals.push((c, vc));
         }
-        // Release: send each arrival the records it lacks and the merged clock.
+        if self.collectives.barrier_release == crate::config::Broadcast::Tree {
+            // Receiver-independent release: everything newer than the
+            // pointwise-min arrival clock covers what every slave lacks
+            // (over-delivery is fine — record application dedups), so
+            // one payload can be relayed verbatim down the tree.
+            let mut min_vc = arrivals[0].1.clone();
+            for (_, vc) in arrivals.iter().skip(1) {
+                for i in 0..min_vc.len() {
+                    min_vc.set(i as Pid, min_vc.get(i as Pid).min(vc.get(i as Pid)));
+                }
+            }
+            let (merged_vc, records) = {
+                let c = self.core.lock();
+                (c.vc.clone(), c.records.newer_than(&min_vc))
+            };
+            let bytes = Msg::BarrierRelease {
+                vc: merged_vc,
+                records,
+            }
+            .to_bytes_compat(self.wire_enc);
+            crate::system::relay_tree_send(&self.endpoint, &self.team, 0, &bytes);
+            return;
+        }
+        // Flat release: send each arrival the records it lacks and the
+        // merged clock.
         let (merged_vc, replies): (crate::types::Vc, Vec<(Ctrl, Vec<crate::records::Record>)>) = {
             let c = self.core.lock();
             let merged = c.vc.clone();
@@ -713,7 +783,7 @@ impl TmkCtx {
                     vc: merged_vc.clone(),
                     records,
                 }
-                .to_bytes_compat(self.legacy_wire),
+                .to_bytes_compat(self.wire_enc),
             );
         }
     }

@@ -10,7 +10,8 @@
 //! `LockReq`, `LockRelease`.
 //!
 //! *Control* messages are forwarded by the service thread to the
-//! application thread: `Fork`, `JoinArrive`, `BarrierArrive`, the GC
+//! application thread: `Fork`, `JoinArrive`, `BarrierArrive`,
+//! `BarrierRelease`, the GC
 //! sequence, `Commit`/`JoinInit`, `ReadyJoin`, `Terminate`.
 
 use crate::diff::Diff;
@@ -18,7 +19,7 @@ use crate::page::Wn;
 use crate::records::{Record, RecordSet};
 use crate::types::{Addr, Epoch, PageId, Pid, Seq, Vc};
 use nowmp_net::Gpid;
-use nowmp_util::wire::{Dec, Enc, Wire, WireError};
+use nowmp_util::wire::{Dec, Enc, Encoding, Wire, WireError};
 
 /// Shared-array element kinds carried in the handle registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,11 +319,22 @@ pub enum Msg {
         /// Records created since the last sync with the manager.
         records: Vec<Record>,
     },
-    /// Barrier release.
+    /// Barrier release (flat mode: the reply to `BarrierArrive`).
     BarrierRep {
         /// Merged global clock.
         vc: Vc,
         /// Records the receiver had not seen.
+        records: Vec<Record>,
+    },
+    /// Receiver-independent barrier release, relayed down the binomial
+    /// tree by interior ranks (one-way control message; the flat mode
+    /// keeps the per-receiver `BarrierRep` reply instead). Carries
+    /// everything any arrival might lack — record application dedups
+    /// over-delivery.
+    BarrierRelease {
+        /// Merged global clock.
+        vc: Vc,
+        /// Records newer than the pointwise-min arrival clock.
         records: Vec<Record>,
     },
     /// Master → slave: report per-page applied clocks (GC step 1).
@@ -413,6 +425,7 @@ mod tags {
     pub const JOIN_INIT: u8 = 20;
     pub const READY_JOIN: u8 = 21;
     pub const TERMINATE: u8 = 22;
+    pub const BARRIER_RELEASE: u8 = 23;
 }
 
 impl Wire for Msg {
@@ -532,6 +545,11 @@ impl Wire for Msg {
             }
             Msg::BarrierRep { vc, records } => {
                 e.put_u8(BARRIER_REP);
+                vc.enc(e);
+                RecordSet::enc_slice(records, e);
+            }
+            Msg::BarrierRelease { vc, records } => {
+                e.put_u8(BARRIER_RELEASE);
                 vc.enc(e);
                 RecordSet::enc_slice(records, e);
             }
@@ -698,6 +716,10 @@ impl Wire for Msg {
                 vc: Vc::dec(d)?,
                 records: RecordSet::dec_vec(d)?,
             },
+            BARRIER_RELEASE => Msg::BarrierRelease {
+                vc: Vc::dec(d)?,
+                records: RecordSet::dec_vec(d)?,
+            },
             GC_QUERY => Msg::GcQuery {
                 epoch: d.get_u32()?,
             },
@@ -754,17 +776,16 @@ impl Wire for Msg {
 impl Msg {
     /// Encode to bytes ready for the transport (compact wire forms).
     pub fn to_bytes(&self) -> bytes::Bytes {
-        self.to_bytes_compat(false)
+        self.to_bytes_compat(Encoding::Runs)
     }
 
-    /// Encode with an explicit wire-compatibility mode: `legacy = true`
+    /// Encode with an explicit wire [`Encoding`]: [`Encoding::Flat`]
     /// emits the pre-compaction flat page-set notices (what
     /// [`crate::config::Broadcast::Flat`] systems put on the wire, so
     /// the 1999-faithful reproduction keeps its calibrated payload
     /// sizes). Decoders accept both forms.
-    pub fn to_bytes_compat(&self, legacy: bool) -> bytes::Bytes {
-        let mut e = Enc::with_capacity(64);
-        e.set_legacy(legacy);
+    pub fn to_bytes_compat(&self, encoding: Encoding) -> bytes::Bytes {
+        let mut e = Enc::with_encoding(64, encoding);
         self.enc(&mut e);
         e.finish_bytes()
     }
@@ -777,6 +798,7 @@ impl Msg {
             Msg::Fork { .. }
                 | Msg::JoinArrive { .. }
                 | Msg::BarrierArrive { .. }
+                | Msg::BarrierRelease { .. }
                 | Msg::GcQuery { .. }
                 | Msg::GcFetch { .. }
                 | Msg::Commit { .. }
@@ -886,6 +908,10 @@ mod tests {
                 vc: vc.clone(),
                 records: vec![rec.clone()],
             },
+            Msg::BarrierRelease {
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+            },
             Msg::GcQuery { epoch: 1 },
             Msg::GcReport {
                 pages: vec![PageApplied {
@@ -932,6 +958,11 @@ mod tests {
     fn control_classification() {
         assert!(Msg::Terminate.is_control());
         assert!(Msg::GcQuery { epoch: 0 }.is_control());
+        assert!(Msg::BarrierRelease {
+            vc: Vc::new(1),
+            records: vec![],
+        }
+        .is_control());
         assert!(!Msg::PageReq { epoch: 0, page: 0 }.is_control());
         assert!(!Msg::LockReq { epoch: 0, lock: 0 }.is_control());
     }

@@ -13,7 +13,7 @@
 //!   complete copy must contain.
 
 use crate::types::{PageId, Pid, Seq, Vc};
-use nowmp_util::wire::{Dec, Enc, Wire, WireError};
+use nowmp_util::wire::{Dec, Enc, Encoding, Wire, WireError};
 
 /// Hard ceiling on pages carried by one encoded page set (decode-side
 /// sanity bound, same order as the `DirRle` guard).
@@ -76,7 +76,7 @@ pub fn flat_pages_wire_bytes(pages: &[PageId]) -> usize {
 /// Encode a page set, choosing per-set between the flat form and the
 /// interval-run form — whichever is smaller. The mode rides in the low
 /// bit of the count word, so the hybrid is never larger than flat.
-/// Under [`Enc::legacy`] the flat form is always emitted (the faithful
+/// Under [`Encoding::Flat`] the flat form is always emitted (the faithful
 /// 1999 payload sizes the Table 1/2 calibration pins assume).
 pub fn enc_pages(pages: &[PageId], e: &mut Enc) {
     let flat = |e: &mut Enc| {
@@ -85,7 +85,7 @@ pub fn enc_pages(pages: &[PageId], e: &mut Enc) {
             e.put_u32(p);
         }
     };
-    if !e.legacy() {
+    if e.encoding() == Encoding::Runs {
         if let Some(r) = PageRuns::from_pages(pages) {
             // Runs cost 8 bytes each vs 4 per flat page: only worth it
             // when the set is at least half contiguous.

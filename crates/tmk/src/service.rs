@@ -11,7 +11,7 @@
 use crate::core::{LockGrant, LockWaiter, ProcCore};
 use crate::msg::Msg;
 use nowmp_net::{Endpoint, Gpid, Replier};
-use nowmp_util::wire::Wire;
+use nowmp_util::wire::{Encoding, Wire};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -93,17 +93,19 @@ pub fn service_loop(
                     .reply(rep.to_bytes());
             }
             Msg::RecordsReq { epoch, vc } => {
-                let (rep, legacy) = {
+                let (rep, enc) = {
                     let c = core.lock();
                     debug_assert_eq!(epoch, c.epoch(), "RecordsReq from wrong epoch");
-                    (
-                        c.serve_records(&vc),
-                        c.cfg.fork_broadcast == crate::config::Broadcast::Flat,
-                    )
+                    let enc = if c.cfg.collectives.fork == crate::config::Broadcast::Flat {
+                        Encoding::Flat
+                    } else {
+                        Encoding::Runs
+                    };
+                    (c.serve_records(&vc), enc)
                 };
                 inc.replier
                     .expect("RecordsReq is a request")
-                    .reply(rep.to_bytes_compat(legacy));
+                    .reply(rep.to_bytes_compat(enc));
             }
             Msg::LockReq { epoch, lock } => {
                 let replier = inc.replier.expect("LockReq is a request");

@@ -65,6 +65,12 @@ counters! {
     /// `Fork`/`JoinInit` broadcast messages forwarded by interior
     /// binomial-tree relays (zero under the flat broadcast).
     bcast_relays,
+    /// `JoinArrive` aggregates forwarded upward by interior
+    /// binomial-tree ranks (zero under the flat join reduce).
+    reduce_relays,
+    /// `BarrierRelease` messages forwarded downward by interior
+    /// binomial-tree ranks (zero under the flat barrier release).
+    release_relays,
     /// Garbage collections run.
     gcs,
     /// Pages fetched specifically during GC completion (step 2).

@@ -25,7 +25,7 @@ use crate::stats::DsmStats;
 use crate::tree;
 use crate::types::{Addr, Epoch, PageId, Pid, Team, Vc};
 use nowmp_net::{Endpoint, Gpid, HostId, NetError, Network};
-use nowmp_util::wire::Wire;
+use nowmp_util::wire::{Encoding, Wire};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -298,6 +298,119 @@ fn worker_relay_fork(
     DsmStats::add(&sys.stats.bcast_relays, sent as u64);
 }
 
+/// Tree join reduce, worker side: collect the `JoinArrive` aggregates
+/// of our whole binomial subtree, merge them into our own arrival
+/// (vector-clock merge + record union, deduped by `(pid, seq)`), and
+/// forward **one** aggregate to our tree parent. The sender pid of an
+/// aggregate identifies the contiguous rank range it covers
+/// ([`tree::subtree_size`]), so coverage needs no extra wire fields.
+///
+/// Child data is buffered here only — never applied to our own core —
+/// so per-process DSM state stays byte-identical to the flat collection
+/// (the next fork's receiver-independent notice set brings everyone to
+/// par exactly as today).
+///
+/// Vanished-aggregator adoption mirrors [`relay_tree_send`] in both
+/// directions: upward, a sender whose parent endpoint is gone escalates
+/// to the grandparent (terminating at the master, which is always
+/// alive); downward, receiving an aggregate that *skipped* dead
+/// intermediate ranks tells us to adopt — we stop waiting for those
+/// ranks and re-collect from their escalated orphans (the vanished
+/// members themselves resolve through the ordinary grace-timer /
+/// urgent-migration path, as on the fork side).
+#[allow(clippy::too_many_arguments)]
+fn worker_join_reduce(
+    sys: &DsmSystem,
+    endpoint: &Endpoint,
+    ctrl: &Mutex<CtrlBuf>,
+    team: &Team,
+    epoch: Epoch,
+    pid: Pid,
+    mut vc: Vc,
+    mut records: Vec<Record>,
+    wire_enc: Encoding,
+    timeout: Duration,
+) {
+    let n = team.nprocs();
+    let my = pid as usize;
+    let sub = tree::subtree_size(my, n);
+    if sub > 1 {
+        // Interior aggregator: wait for our subtree (minus ourselves).
+        // `drain_unsent` can hand us records authored by *other* pids
+        // (lock transfers), so dedup child aggregates against them.
+        let mut seen: HashSet<(Pid, u32)> = records.iter().map(|r| (r.pid, r.seq)).collect();
+        let mut remaining: HashSet<usize> = (my + 1..my + sub).collect();
+        while !remaining.is_empty() {
+            let c = ctrl
+                .lock()
+                .recv_where(
+                    timeout,
+                    |c| matches!(&c.msg, Msg::JoinArrive { epoch: e, .. } if *e == epoch),
+                )
+                .expect("join aggregate lost");
+            let Msg::JoinArrive {
+                pid: from,
+                vc: child_vc,
+                records: child_recs,
+                ..
+            } = c.msg
+            else {
+                unreachable!()
+            };
+            let from = from as usize;
+            for r in from..from + tree::subtree_size(from, n) {
+                remaining.remove(&r);
+            }
+            // Escalation implies adoption: every tree ancestor of
+            // `from` strictly below us was unreachable when it sent
+            // (the sender tried each in turn) — stop waiting for them.
+            let mut a = tree::parent(from);
+            while a != my && a != 0 {
+                if remaining.remove(&a) {
+                    eprintln!(
+                        "[nowmp] join reduce: rank {my} adopts subtree of vanished aggregator {a}"
+                    );
+                }
+                a = tree::parent(a);
+            }
+            vc.merge(&child_vc);
+            for r in child_recs {
+                if seen.insert((r.pid, r.seq)) {
+                    records.push(r);
+                }
+            }
+            // One inbound stack traversal per absorbed aggregate.
+            let d = endpoint.cost().relay_time();
+            if !d.is_zero() {
+                endpoint.clock().sleep(d);
+            }
+        }
+    }
+    let bytes = Msg::JoinArrive {
+        epoch,
+        pid,
+        vc,
+        records,
+    }
+    .to_bytes_compat(wire_enc);
+    let mut target = tree::parent(my);
+    loop {
+        match endpoint.send(team.gpid(target as Pid), bytes.clone()) {
+            Ok(()) => break,
+            Err(_) if target != 0 => {
+                eprintln!(
+                    "[nowmp] join reduce: rank {my}'s parent {target} unreachable; escalating"
+                );
+                target = tree::parent(target);
+            }
+            Err(e) => panic!("join aggregate from rank {my} to master failed: {e}"),
+        }
+    }
+    if sub > 1 {
+        DsmStats::bump(&sys.stats.reduce_relays);
+    }
+}
+
 /// Worker application thread: connection setup, then the Tmk wait loop.
 fn worker_main(
     sys: Arc<DsmSystem>,
@@ -309,7 +422,11 @@ fn worker_main(
 ) {
     let gpid = endpoint.gpid();
     let timeout = sys.cfg.call_timeout;
-    let legacy_wire = sys.cfg.fork_broadcast == Broadcast::Flat;
+    let wire_enc = if sys.cfg.collectives.fork == Broadcast::Flat {
+        Encoding::Flat
+    } else {
+        Encoding::Runs
+    };
     // Long-lived simulation thread (see `service_loop`).
     let _clock_participant = endpoint.clock().participant();
     // Connection setup: slaves first, master last (§4.1).
@@ -318,12 +435,19 @@ fn worker_main(
     }
     let _ = endpoint.send(master, Msg::ReadyJoin { gpid }.to_bytes());
 
-    let mut ctrl = CtrlBuf::new(ctrl_rx, endpoint.clock().clone());
-    let mut ctx = TmkCtx::new(Arc::clone(&core), Arc::clone(&endpoint), None);
+    // Shared with our `TmkCtx`: tree-mode barrier releases (and the
+    // join-reduce collection below) are received off the same buffer
+    // the wait loop drains.
+    let ctrl = Arc::new(Mutex::new(CtrlBuf::new(ctrl_rx, endpoint.clock().clone())));
+    let mut ctx = TmkCtx::new(
+        Arc::clone(&core),
+        Arc::clone(&endpoint),
+        Some(Arc::clone(&ctrl)),
+    );
     let runner = Arc::clone(&sys.runner);
 
     loop {
-        let c = match ctrl.recv_where(Duration::from_secs(3600), |_| true) {
+        let c = match ctrl.lock().recv_where(Duration::from_secs(3600), |_| true) {
             Ok(c) => c,
             Err(_) => break, // system torn down
         };
@@ -411,16 +535,31 @@ fn worker_main(
                     pc.close_interval();
                     (pc.my_pid, pc.vc.clone(), pc.drain_unsent())
                 };
-                let _ = endpoint.send(
-                    ctx.team().master(),
-                    Msg::JoinArrive {
+                if sys.cfg.collectives.join_reduce == Broadcast::Tree {
+                    worker_join_reduce(
+                        &sys,
+                        &endpoint,
+                        &ctrl,
+                        ctx.team(),
                         epoch,
                         pid,
                         vc,
                         records,
-                    }
-                    .to_bytes_compat(legacy_wire),
-                );
+                        wire_enc,
+                        timeout,
+                    );
+                } else {
+                    let _ = endpoint.send(
+                        ctx.team().master(),
+                        Msg::JoinArrive {
+                            epoch,
+                            pid,
+                            vc,
+                            records,
+                        }
+                        .to_bytes_compat(wire_enc),
+                    );
+                }
                 ctx.sync_reset();
             }
             Msg::GcQuery { epoch } => {
@@ -586,7 +725,7 @@ impl MasterCtl {
             )
         };
         self.sent_reg_ver = registry.iter().map(|e| e.ver).max().unwrap_or(0);
-        let tree_mode = self.sys.cfg.fork_broadcast == Broadcast::Tree;
+        let tree_mode = self.sys.cfg.collectives.fork == Broadcast::Tree;
         let msg = Msg::JoinInit {
             epoch: 0,
             team: team.clone(),
@@ -632,7 +771,7 @@ impl MasterCtl {
                 self.allocator.allocated_slots(),
             )
         };
-        let tree_mode = self.sys.cfg.fork_broadcast == Broadcast::Tree;
+        let tree_mode = self.sys.cfg.collectives.fork == Broadcast::Tree;
         let msg = Msg::Fork {
             epoch,
             fork_no: self.fork_no,
@@ -647,7 +786,11 @@ impl MasterCtl {
         // The payload is receiver-independent: encode once for all
         // slaves instead of re-serializing per destination. Flat mode
         // keeps the 1999 flat-notice payload sizes (see `Broadcast`).
-        let bytes = msg.to_bytes_compat(!tree_mode);
+        let bytes = msg.to_bytes_compat(if tree_mode {
+            Encoding::Runs
+        } else {
+            Encoding::Flat
+        });
         if tree_mode {
             relay_tree_send(&self.endpoint, &team, 0, &bytes);
         } else {
@@ -669,13 +812,19 @@ impl MasterCtl {
         let runner = Arc::clone(&self.sys.runner);
         runner.run(region, &mut self.ctx);
 
-        // Join: close our interval, then collect all slaves.
+        // Join: close our interval, then collect all slaves. Under the
+        // tree join reduce each arrival is an *aggregate* covering the
+        // sender's whole binomial subtree (plus any orphans that
+        // escalated past a vanished aggregator), so collection is by
+        // rank coverage rather than by count.
         {
             let mut c = self.core.lock();
             c.close_interval();
             c.drain_unsent();
         }
-        for _ in 1..n {
+        let reduce_tree = self.sys.cfg.collectives.join_reduce == Broadcast::Tree;
+        let mut remaining: HashSet<usize> = (1..n).collect();
+        while !remaining.is_empty() {
             let c = self
                 .ctrl
                 .lock()
@@ -684,7 +833,25 @@ impl MasterCtl {
                     |c| matches!(&c.msg, Msg::JoinArrive { epoch: e, .. } if *e == epoch),
                 )
                 .expect("join arrival lost");
-            if let Msg::JoinArrive { vc, records, .. } = c.msg {
+            if let Msg::JoinArrive {
+                pid, vc, records, ..
+            } = c.msg
+            {
+                let from = pid as usize;
+                if reduce_tree {
+                    for r in from..from + tree::subtree_size(from, n) {
+                        remaining.remove(&r);
+                    }
+                    // Adoption at the root: an aggregate that skipped
+                    // dead intermediate ranks ends their wait too.
+                    let mut a = tree::parent(from);
+                    while a != 0 {
+                        remaining.remove(&a);
+                        a = tree::parent(a);
+                    }
+                } else {
+                    remaining.remove(&from);
+                }
                 let mut pc = self.core.lock();
                 pc.apply_records(&records);
                 pc.vc.merge(&vc);

@@ -43,6 +43,30 @@ pub fn depth(n: usize) -> usize {
     (0..n).map(|r| r.count_ones() as usize).max().unwrap_or(0)
 }
 
+/// Parent of rank `pid` in the binomial tree: clear the lowest set bit.
+/// The root (rank 0) is its own parent. This is the exact inverse of
+/// [`children`]: `p`'s children are `p | mask` for masks below `p`'s
+/// lowest set bit, so removing a child's lowest set bit recovers `p`.
+pub fn parent(pid: usize) -> usize {
+    pid & pid.wrapping_sub(1)
+}
+
+/// Number of ranks in the subtree rooted at `pid` (inclusive) in the
+/// binomial tree over `0..n`. For `pid > 0` the subtree is exactly the
+/// contiguous rank range `[pid, pid + lowbit(pid))` clipped to `n`
+/// (every descendant only sets bits *below* `pid`'s lowest set bit);
+/// the root's subtree is the whole team.
+pub fn subtree_size(pid: usize, n: usize) -> usize {
+    if pid == 0 {
+        return n;
+    }
+    if pid >= n {
+        return 0;
+    }
+    let span = pid & pid.wrapping_neg(); // lowest set bit
+    (pid + span).min(n) - pid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +143,54 @@ mod tests {
         assert_eq!(children(4, 6), vec![5]);
         let dist = hops(6);
         assert_eq!(dist.len(), 6);
+    }
+
+    #[test]
+    fn parent_inverts_children() {
+        for n in 1..=40 {
+            for p in 0..n {
+                for c in children(p, n) {
+                    assert_eq!(parent(c), p, "n={n} child {c} of {p}");
+                }
+            }
+        }
+        assert_eq!(parent(0), 0, "the root is its own parent");
+        assert_eq!(parent(4), 0);
+        assert_eq!(parent(6), 4);
+        assert_eq!(parent(7), 6);
+    }
+
+    /// Collect the subtree rooted at `p` by walking `children`.
+    fn subtree(p: usize, n: usize) -> Vec<usize> {
+        let mut out = vec![p];
+        let mut frontier = vec![p];
+        while let Some(q) = frontier.pop() {
+            for c in children(q, n) {
+                out.push(c);
+                frontier.push(c);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn subtree_is_contiguous_rank_range() {
+        // The reduce path relies on this: a single sender pid identifies
+        // its whole aggregated subtree as [pid, pid + subtree_size).
+        for n in 1..=40 {
+            for p in 0..n {
+                let s = subtree(p, n);
+                let size = subtree_size(p, n);
+                assert_eq!(s.len(), size, "n={n} p={p}");
+                let expect: Vec<usize> = (p..p + size).collect();
+                assert_eq!(s, expect, "n={n} p={p}: subtree not contiguous");
+            }
+        }
+        assert_eq!(subtree_size(0, 32), 32);
+        assert_eq!(subtree_size(4, 8), 4); // {4,5,6,7}
+        assert_eq!(subtree_size(4, 6), 2); // clipped: {4,5}
+        assert_eq!(subtree_size(16, 32), 16);
+        assert_eq!(subtree_size(7, 8), 1, "odd ranks are leaves");
     }
 }

@@ -14,7 +14,7 @@
 //!   epoch; GC resets it, which is what makes adaptation cheap.
 
 use nowmp_net::Gpid;
-use nowmp_util::wire::{Dec, Enc, Wire, WireError};
+use nowmp_util::wire::{Dec, Enc, Encoding, Wire, WireError};
 
 /// Logical process rank within the current team.
 pub type Pid = u16;
@@ -120,12 +120,57 @@ impl Vc {
     }
 }
 
+/// Marker bit distinguishing the packed vector-clock form from the
+/// flat one in the leading count word. Team sizes never approach
+/// 2^31, so a flat encoder can't produce it by accident.
+const VC_PACKED: u32 = 0x8000_0000;
+
 impl Wire for Vc {
+    /// Under [`Encoding::Flat`] a vector clock is a count-prefixed
+    /// `u32` slice — 4 bytes per entry, the 1999 layout the calibrated
+    /// cost pins depend on. Under [`Encoding::Runs`] the count word
+    /// carries [`VC_PACKED`] and each entry follows as an LEB128
+    /// varint: interval sequence numbers are small (they reset every
+    /// GC epoch), so a dense n-entry clock shrinks from `4n` to about
+    /// `n` bytes — the dominant term in a [`crate::records::Record`],
+    /// and therefore in fork payloads and join aggregates, once teams
+    /// grow past a handful of ranks. Decoders accept both forms
+    /// unconditionally (same contract as the page-run encoding).
     fn enc(&self, e: &mut Enc) {
-        e.put_u32_slice(&self.0);
+        if e.encoding() == Encoding::Runs {
+            e.put_u32(VC_PACKED | self.0.len() as u32);
+            for &x in &self.0 {
+                e.put_varu32(x);
+            }
+        } else {
+            e.put_u32_slice(&self.0);
+        }
     }
     fn dec(d: &mut Dec<'_>) -> Result<Self, WireError> {
-        Ok(Vc(d.get_u32_vec()?))
+        let head = d.get_u32()?;
+        if head & VC_PACKED == 0 {
+            // Flat: `head` is the count, entries are fixed-width.
+            let n = head as usize;
+            if n.saturating_mul(4) > d.remaining() {
+                return Err(WireError::BadLength { what: "vc", len: n });
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(d.get_u32()?);
+            }
+            Ok(Vc(v))
+        } else {
+            let n = (head & !VC_PACKED) as usize;
+            if n > d.remaining() {
+                // Each varint is at least one byte.
+                return Err(WireError::BadLength { what: "vc", len: n });
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(d.get_varu32()?);
+            }
+            Ok(Vc(v))
+        }
     }
 }
 

@@ -436,7 +436,7 @@ fn tree_and_flat_forks_compute_identically() {
             net,
             DsmConfig {
                 page_size: 256,
-                fork_broadcast: broadcast,
+                collectives: nowmp_tmk::CollectiveConfig::default().with_fork(broadcast),
                 ..DsmConfig::test_small()
             },
             Arc::new(TestApp { n }),

@@ -37,7 +37,7 @@ pub use clock::{Alarm, Clock, ParticipantGuard, Tick};
 pub use crc::crc32;
 pub use sem::Semaphore;
 pub use timing::{precise_sleep, wait_for, Stopwatch};
-pub use wire::{Dec, Enc, Wire, WireError};
+pub use wire::{Dec, Enc, Encoding, Wire, WireError};
 
 /// Compute the ceiling of `a / b` for positive integers.
 ///

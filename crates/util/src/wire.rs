@@ -62,11 +62,26 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Which wire form an encoder emits for types that support both a
+/// compact and a pre-compaction encoding (e.g. interval-run page sets
+/// fall back to flat page lists). Decoders accept either form
+/// unconditionally; the choice only pins what a producer emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// The pre-compaction 1999 forms (flat page lists) — used by
+    /// faithful-reproduction modes whose calibrated cost pins depend
+    /// on the original payload sizes.
+    Flat,
+    /// The compact forms (interval runs where smaller). The default.
+    #[default]
+    Runs,
+}
+
 /// Encoder: append-only byte buffer with typed `put_*` methods.
 #[derive(Default, Debug)]
 pub struct Enc {
     buf: Vec<u8>,
-    legacy: bool,
+    encoding: Encoding,
 }
 
 impl Enc {
@@ -79,23 +94,37 @@ impl Enc {
     pub fn with_capacity(cap: usize) -> Self {
         Enc {
             buf: Vec::with_capacity(cap),
-            legacy: false,
+            encoding: Encoding::default(),
         }
     }
 
-    /// Select the *legacy* wire forms for types that support both a
-    /// compact and a pre-compaction encoding (e.g. interval-run page
-    /// sets fall back to flat page lists). Decoders accept either form
-    /// unconditionally; this flag only pins what a producer emits —
-    /// used by faithful-1999 reproduction modes whose calibrated cost
-    /// pins depend on the original payload sizes.
-    pub fn set_legacy(&mut self, legacy: bool) {
-        self.legacy = legacy;
+    /// New encoder with a capacity hint and an explicit [`Encoding`].
+    pub fn with_encoding(cap: usize, encoding: Encoding) -> Self {
+        Enc {
+            buf: Vec::with_capacity(cap),
+            encoding,
+        }
     }
 
-    /// Is the legacy-encoding mode selected?
+    /// The selected [`Encoding`].
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Deprecated mutator: select [`Encoding::Flat`] with `true`.
+    #[deprecated(since = "0.2.0", note = "construct with `Enc::with_encoding` instead")]
+    pub fn set_legacy(&mut self, legacy: bool) {
+        self.encoding = if legacy {
+            Encoding::Flat
+        } else {
+            Encoding::Runs
+        };
+    }
+
+    /// Deprecated accessor: is the legacy (flat) encoding selected?
+    #[deprecated(since = "0.2.0", note = "use `Enc::encoding` instead")]
     pub fn legacy(&self) -> bool {
-        self.legacy
+        self.encoding == Encoding::Flat
     }
 
     /// Number of bytes encoded so far.
@@ -171,6 +200,15 @@ impl Enc {
     /// Append a UTF-8 string with a `u32` length prefix.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
+    }
+
+    /// Append a `u32` as an LEB128 varint (1 byte below 128, up to 5).
+    pub fn put_varu32(&mut self, mut v: u32) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7f) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
     }
 
     /// Append a slice of `u32` with a count prefix.
@@ -308,6 +346,26 @@ impl<'a> Dec<'a> {
     #[inline]
     pub fn get_usize(&mut self) -> Result<usize, WireError> {
         Ok(self.get_u64()? as usize)
+    }
+
+    /// Read an LEB128 varint `u32` (see [`Enc::put_varu32`]).
+    pub fn get_varu32(&mut self) -> Result<u32, WireError> {
+        let mut v: u32 = 0;
+        for shift in (0..35).step_by(7) {
+            let b = self.get_u8()?;
+            let bits = (b & 0x7f) as u32;
+            if shift == 28 && b > 0x0f {
+                return Err(WireError::BadLength {
+                    what: "varu32",
+                    len: b as usize,
+                });
+            }
+            v |= bits << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!("varu32 loop covers all 5 bytes")
     }
 
     /// Read `n` raw bytes (no prefix).
@@ -573,7 +631,44 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn varu32_width_and_edges() {
+        // One byte below 128, then one extra byte per 7 bits.
+        for (v, width) in [
+            (0u32, 1usize),
+            (0x7f, 1),
+            (0x80, 2),
+            (0x3fff, 2),
+            (0x4000, 3),
+            (u32::MAX, 5),
+        ] {
+            let mut e = Enc::new();
+            e.put_varu32(v);
+            let buf = e.finish();
+            assert_eq!(buf.len(), width, "width of {v:#x}");
+            let mut d = Dec::new(&buf);
+            assert_eq!(d.get_varu32().unwrap(), v);
+            assert!(d.is_done());
+        }
+        // Overlong / overflowing fifth byte is rejected.
+        let mut d = Dec::new(&[0xff, 0xff, 0xff, 0xff, 0x10]);
+        assert!(d.get_varu32().is_err());
+        // Truncated varint is an error, not a panic.
+        let mut d = Dec::new(&[0x80]);
+        assert!(d.get_varu32().is_err());
+    }
+
     proptest! {
+        #[test]
+        fn prop_varu32_roundtrip(v in any::<u32>()) {
+            let mut e = Enc::new();
+            e.put_varu32(v);
+            let buf = e.finish();
+            let mut d = Dec::new(&buf);
+            prop_assert_eq!(d.get_varu32().unwrap(), v);
+            prop_assert!(d.is_done());
+        }
+
         #[test]
         fn prop_u64_slice_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..200)) {
             let mut e = Enc::new();

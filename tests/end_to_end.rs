@@ -195,8 +195,8 @@ fn paper_claim_no_overhead_without_adaptation() {
     // produces the same protocol traffic as the non-adaptive system.
     let app = Jacobi::new(32);
     let run = |adaptive: bool| {
-        let mut sys = OmpSystem::new(ClusterConfig::test(4, 4), build_program(&[&app]));
-        sys.set_adaptive(adaptive);
+        let cfg = ClusterConfig::test(4, 4).with_adaptive(adaptive);
+        let mut sys = OmpSystem::new(cfg, build_program(&[&app]));
         app.setup(&mut sys);
         for it in 0..6 {
             app.step(&mut sys, it);
