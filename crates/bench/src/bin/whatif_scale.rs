@@ -21,28 +21,45 @@
 //! write-notice payloads), `tree` is the binomial relay redesign.
 //! **`--reduce {flat,tree}`** A/Bs the *collection* side: `flat` has
 //! every slave send its `JoinArrive` (and barrier arrival) straight to
-//! the master — n−1 converging streams serializing on the master's
-//! inbound wire — while `tree` aggregates join records up the same
-//! binomial tree and relays barrier releases down it (see
-//! `docs/BROADCAST.md`). The default sweeps the three system
-//! generations: `flat/flat` (1999), `tree/flat` (dissemination
-//! redesign), `tree/tree` (both sides treed); passing both flags pins
-//! a single lane.
+//! the master while `tree` aggregates up / relays down the same
+//! binomial tree (see `docs/BROADCAST.md`).
+//! **`--dataplane {demand,overlap}`** A/Bs the *data plane*: `demand`
+//! is faithful 1999 demand paging (every fault a blocking sequential
+//! round-trip), `overlap` turns on pipelined multi-creator faults,
+//! release-phase prefetch, and piggybacked hot diffs (see
+//! `docs/DATAPLANE.md`). The default sweeps the four system
+//! generations: `flat/flat/demand` (1999), `tree/flat/demand` (fork
+//! redesign), `tree/tree/demand` (both collectives treed),
+//! `tree/tree/overlap` (the full overlapped system); passing flags
+//! pins lanes.
+//!
+//! The data plane binds on *irregular* access patterns, so after the
+//! Jacobi generation sweep the run A/Bs demand vs overlap on **NBF**
+//! (the paper's irregular kernel: every atom reads 80 scattered
+//! partner positions, so its pages are multi-writer and every rank
+//! re-faults the whole position array each iteration). On regular
+//! nearest-neighbour Jacobi the collectives dominate at this scale and
+//! overlap is ≈ neutral; on NBF it is the headline win this sweep
+//! gates.
 //!
 //! The run doubles as the **CI scaling gate**: it fails if the
 //! tree/tree 16-host homogeneous speedup, the tree/tree-over-flat/flat
-//! advantage at 32 hosts, or the tree/tree 32-host speedup drops below
-//! the floors pinned in `crates/bench/baselines.toml`.
+//! advantage at 32 hosts, the tree/tree 32-host speedup, the NBF
+//! overlapped-data-plane 32-host speedup, or the NBF overlap-over-
+//! demand ratio at 32 hosts drops below the floors pinned in
+//! `crates/bench/baselines.toml`.
 //!
 //! Every run uses the virtual clock regardless of `NOWMP_CLOCK`; the
 //! sweep completes in well under two minutes of wall time (`--smoke`
 //! in CI).
 
-use nowmp_apps::{jacobi::Jacobi, with_kernel_costs, Kernel};
-use nowmp_bench::{bench_net_model, load_baselines, measure, print_table, quick, whatif_json};
+use nowmp_apps::{jacobi::Jacobi, nbf::Nbf, with_kernel_costs, Kernel};
+use nowmp_bench::{
+    bench_net_model, load_baselines, measure, print_table, quick, whatif_json, WhatifLane,
+};
 use nowmp_core::ClusterConfig;
 use nowmp_net::{CostModel, HostId};
-use nowmp_tmk::{Broadcast, CollectiveConfig, DsmConfig};
+use nowmp_tmk::{Broadcast, CollectiveConfig, DataPlaneConfig, DsmConfig};
 use nowmp_util::Clock;
 use std::time::Instant;
 
@@ -83,12 +100,38 @@ impl Scenario {
     }
 }
 
-/// One collective lane of the sweep: fork dissemination × join/barrier
-/// collection.
+/// The data-plane lane of the sweep.
+#[derive(Clone, Copy, PartialEq)]
+enum DataPlane {
+    /// Faithful 1999 demand paging.
+    Demand,
+    /// Pipelined faults + release-phase prefetch + piggybacked diffs.
+    Overlap,
+}
+
+impl DataPlane {
+    fn config(&self) -> DataPlaneConfig {
+        match self {
+            DataPlane::Demand => DataPlaneConfig::demand(),
+            DataPlane::Overlap => DataPlaneConfig::overlap(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            DataPlane::Demand => "demand",
+            DataPlane::Overlap => "overlap",
+        }
+    }
+}
+
+/// One lane of the sweep: fork dissemination × join/barrier collection
+/// × data plane.
 #[derive(Clone, Copy, PartialEq)]
 struct Mode {
     fork: Broadcast,
     reduce: Broadcast,
+    dataplane: DataPlane,
 }
 
 impl Mode {
@@ -116,6 +159,7 @@ fn cfg(kernel: &dyn Kernel, scenario: Scenario, procs: usize, mode: Mode) -> Clu
         cost_model: cost,
         dsm: DsmConfig {
             collectives: mode.collectives(),
+            dataplane: mode.dataplane.config(),
             ..DsmConfig::default_4k()
         },
         clock: Clock::new_virtual(),
@@ -137,42 +181,73 @@ fn axis_from_args(flag: &str) -> Option<Broadcast> {
     None
 }
 
-/// `--broadcast` / `--reduce` pin one lane each; with neither given
-/// the sweep A/Bs the three system generations.
+fn dataplane_from_args() -> Option<DataPlane> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--dataplane" {
+            return match args.get(i + 1).map(String::as_str) {
+                Some("demand") => Some(DataPlane::Demand),
+                Some("overlap") => Some(DataPlane::Overlap),
+                other => panic!("--dataplane expects demand|overlap, got {other:?}"),
+            };
+        }
+    }
+    None
+}
+
+/// `--broadcast` / `--reduce` / `--dataplane` pin one lane each; with
+/// none given the sweep A/Bs the four system generations.
 fn modes_from_args() -> Vec<Mode> {
     let fork = axis_from_args("--broadcast");
     let reduce = axis_from_args("--reduce");
-    match (fork, reduce) {
-        (Some(f), Some(r)) => vec![Mode { fork: f, reduce: r }],
-        (Some(f), None) => vec![
-            Mode {
-                fork: f,
-                reduce: Broadcast::Tree,
-            },
-            Mode {
-                fork: f,
-                reduce: Broadcast::Flat,
-            },
-        ],
-        (None, Some(r)) => vec![Mode {
-            fork: Broadcast::Tree,
-            reduce: r,
-        }],
-        (None, None) => vec![
+    let dataplane = dataplane_from_args();
+    if fork.is_none() && reduce.is_none() && dataplane.is_none() {
+        // The four generations, newest first.
+        return vec![
             Mode {
                 fork: Broadcast::Tree,
                 reduce: Broadcast::Tree,
+                dataplane: DataPlane::Overlap,
+            },
+            Mode {
+                fork: Broadcast::Tree,
+                reduce: Broadcast::Tree,
+                dataplane: DataPlane::Demand,
             },
             Mode {
                 fork: Broadcast::Tree,
                 reduce: Broadcast::Flat,
+                dataplane: DataPlane::Demand,
             },
             Mode {
                 fork: Broadcast::Flat,
                 reduce: Broadcast::Flat,
+                dataplane: DataPlane::Demand,
             },
-        ],
+        ];
     }
+    // Any pinned flag narrows its axis; unpinned collective axes keep
+    // their A/B pairs so the pinned lane still has a comparison.
+    let forks = fork.map(|f| vec![f]).unwrap_or(vec![Broadcast::Tree]);
+    let reduces = reduce
+        .map(|r| vec![r])
+        .unwrap_or(vec![Broadcast::Tree, Broadcast::Flat]);
+    let dataplanes = dataplane
+        .map(|d| vec![d])
+        .unwrap_or(vec![DataPlane::Overlap, DataPlane::Demand]);
+    let mut out = Vec::new();
+    for &f in &forks {
+        for &r in &reduces {
+            for &d in &dataplanes {
+                out.push(Mode {
+                    fork: f,
+                    reduce: r,
+                    dataplane: d,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Node counts for one (scenario, mode) lane. Smoke trims the
@@ -182,16 +257,19 @@ fn scales(scenario: Scenario, mode: Mode) -> &'static [usize] {
     if !quick() {
         return &[2, 4, 8, 16, 32];
     }
-    match (scenario, bname(mode.fork), bname(mode.reduce)) {
-        // The gate lane: tree/tree homogeneous needs the full curve
-        // (16-host floor, the 32-host floor, both A/B numerators).
-        (Scenario::Homogeneous, "tree", "tree") => &[2, 4, 8, 16, 32],
+    match (scenario, mode.fork, mode.reduce, mode.dataplane) {
+        // The gate lanes: tree/tree homogeneous needs the full curve
+        // for both data planes (16-host floor, 32-host floors, every
+        // A/B numerator and denominator).
+        (Scenario::Homogeneous, Broadcast::Tree, Broadcast::Tree, _) => &[2, 4, 8, 16, 32],
         // A/B baselines at the ceiling end: tree/flat isolates the
         // collection side, flat/flat is the 1999 system.
-        (Scenario::Homogeneous, _, _) => &[8, 16, 32],
-        // What-if color: both ends plus the paper scale.
-        (_, _, "tree") => &[2, 8, 32],
-        (_, _, _) => &[8, 32],
+        (Scenario::Homogeneous, _, _, _) => &[8, 16, 32],
+        // What-if color rides the newest lane only; the demand lanes
+        // exist for the gates and A/Bs above.
+        (_, _, Broadcast::Tree, DataPlane::Overlap) => &[2, 8, 32],
+        (_, _, Broadcast::Tree, DataPlane::Demand) => &[32],
+        (_, _, _, _) => &[8, 32],
     }
 }
 
@@ -221,6 +299,7 @@ fn main() {
             Mode {
                 fork: Broadcast::Tree,
                 reduce: Broadcast::Tree,
+                dataplane: DataPlane::Demand,
             },
         ),
         iters,
@@ -234,6 +313,7 @@ fn main() {
     // JSON, and the gates all derive from this single collection so
     // they can never disagree.
     let mut results: Vec<(Scenario, Mode, usize, f64)> = Vec::new();
+    let mut overlap32: Option<nowmp_tmk::DsmSnapshot> = None;
     for &scenario in &[
         Scenario::Homogeneous,
         Scenario::Heterogeneous,
@@ -249,6 +329,12 @@ fn main() {
                     |_, _| {},
                     false,
                 );
+                if scenario == Scenario::Homogeneous
+                    && mode.dataplane == DataPlane::Overlap
+                    && procs == 32
+                {
+                    overlap32 = Some(run.dsm);
+                }
                 results.push((scenario, mode, procs, run.secs));
             }
         }
@@ -262,6 +348,7 @@ fn main() {
                 scenario.name().to_string(),
                 bname(mode.fork).to_string(),
                 bname(mode.reduce).to_string(),
+                mode.dataplane.name().to_string(),
                 procs.to_string(),
                 format!("{secs:.3}"),
                 format!("{:.2}", speedup(secs)),
@@ -270,18 +357,31 @@ fn main() {
         })
         .collect();
 
-    let mut groups: Vec<(String, String, String, Vec<(usize, f64)>)> = Vec::new();
+    let mut lanes: Vec<WhatifLane> = Vec::new();
     for &(scenario, mode, procs, secs) in &results {
         let key = (
             scenario.name().to_string(),
             bname(mode.fork).to_string(),
             bname(mode.reduce).to_string(),
+            mode.dataplane.name().to_string(),
         );
-        match groups.last_mut() {
-            Some((s, b, r, samples)) if (*s == key.0) && (*b == key.1) && (*r == key.2) => {
-                samples.push((procs, secs))
+        match lanes.last_mut() {
+            Some(lane)
+                if (lane.scenario == key.0)
+                    && (lane.broadcast == key.1)
+                    && (lane.reduce == key.2)
+                    && (lane.dataplane == key.3) =>
+            {
+                lane.samples.push((procs, secs))
             }
-            _ => groups.push((key.0, key.1, key.2, vec![(procs, secs)])),
+            _ => lanes.push(WhatifLane {
+                scenario: key.0,
+                broadcast: key.1,
+                reduce: key.2,
+                dataplane: key.3,
+                t1,
+                samples: vec![(procs, secs)],
+            }),
         }
     }
 
@@ -294,6 +394,7 @@ fn main() {
             "Scenario",
             "Broadcast",
             "Reduce",
+            "Dataplane",
             "Nodes",
             "Sim(s)",
             "Speedup",
@@ -302,7 +403,147 @@ fn main() {
         &rows,
     );
 
-    let json = whatif_json(t1, &groups);
+    // Data-plane counters at the Jacobi headline point (32 homogeneous
+    // hosts, overlap lane): how much the prefetcher moved and how much
+    // of it was actually claimed by a fault.
+    if let Some(d) = &overlap32 {
+        println!(
+            "\nData plane, Jacobi at 32 homogeneous hosts (overlap): prefetch issued {} \
+             pages, hit {} ({:.0}%), wasted {}; piggybacked {} diff bytes",
+            d.prefetch_issued,
+            d.prefetch_hits,
+            100.0 * d.prefetch_hits as f64 / (d.prefetch_issued.max(1)) as f64,
+            d.prefetch_wasted,
+            d.piggyback_bytes,
+        );
+        assert!(
+            d.prefetch_wasted <= d.prefetch_issued,
+            "no silent waste: every wasted prefetch page must have been issued \
+             (wasted {} > issued {})",
+            d.prefetch_wasted,
+            d.prefetch_issued
+        );
+    }
+
+    // --- Data-plane A/B on the irregular kernel --------------------------
+    // Jacobi's nearest-neighbour faults are few, single-creator, and
+    // dwarfed by the collectives at this scale, so the sweep above
+    // shows overlap ≈ demand. NBF is where the data plane binds: the
+    // position array is read scattered by every rank and multi-written
+    // every iteration, so demand paging pays thousands of sequential
+    // round-trips that pipeline + prefetch take off the critical path.
+    // This section always runs both planes — it *is* the A/B the gate
+    // below pins (the lane flags only narrow the Jacobi sweep).
+    let (nbf, nbf_iters) = if quick() {
+        (Nbf::new(2048, 16), 4usize)
+    } else {
+        (Nbf::new(4096, 64), 6usize)
+    };
+    let ttd = Mode {
+        fork: Broadcast::Tree,
+        reduce: Broadcast::Tree,
+        dataplane: DataPlane::Demand,
+    };
+    let tto = Mode {
+        fork: Broadcast::Tree,
+        reduce: Broadcast::Tree,
+        dataplane: DataPlane::Overlap,
+    };
+    let nbf_t1 = measure(
+        &nbf,
+        cfg(&nbf, Scenario::Homogeneous, 1, ttd),
+        nbf_iters,
+        false,
+        |_, _| {},
+        false,
+    )
+    .secs;
+    let nbf_scales: &[usize] = if quick() { &[8, 32] } else { &[2, 8, 32] };
+    let mut nbf_results: Vec<(DataPlane, usize, f64)> = Vec::new();
+    let mut nbf_overlap32: Option<nowmp_tmk::DsmSnapshot> = None;
+    for &mode in &[ttd, tto] {
+        let mut samples = Vec::new();
+        for &procs in nbf_scales {
+            let run = measure(
+                &nbf,
+                cfg(&nbf, Scenario::Homogeneous, procs, mode),
+                nbf_iters,
+                false,
+                |_, _| {},
+                false,
+            );
+            if mode.dataplane == DataPlane::Overlap && procs == 32 {
+                nbf_overlap32 = Some(run.dsm);
+            }
+            nbf_results.push((mode.dataplane, procs, run.secs));
+            samples.push((procs, run.secs));
+        }
+        lanes.push(WhatifLane {
+            scenario: "nbf-homogeneous".into(),
+            broadcast: "tree".into(),
+            reduce: "tree".into(),
+            dataplane: mode.dataplane.name().into(),
+            t1: nbf_t1,
+            samples,
+        });
+    }
+    let nbf_speedup = |dp: DataPlane, procs: usize| {
+        nbf_results
+            .iter()
+            .find(|&&(d, p, _)| d == dp && p == procs)
+            .map(|&(_, _, secs)| nbf_t1 / secs.max(1e-12))
+    };
+    let nbf_rows: Vec<Vec<String>> = nbf_results
+        .iter()
+        .map(|&(dp, procs, secs)| {
+            vec![
+                dp.name().to_string(),
+                procs.to_string(),
+                format!("{secs:.3}"),
+                format!("{:.2}", nbf_t1 / secs.max(1e-12)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Data-plane A/B: NBF {a} atoms x {p} partners, {nbf_iters} iters, tree \
+             collectives, homogeneous (T1 = {nbf_t1:.3}s)",
+            a = nbf.atoms,
+            p = nbf.partners
+        ),
+        &["Dataplane", "Nodes", "Sim(s)", "Speedup"],
+        &nbf_rows,
+    );
+    if let Some(d) = &nbf_overlap32 {
+        println!(
+            "\nData plane, NBF at 32 homogeneous hosts (overlap): prefetch issued {} \
+             pages, hit {} ({:.0}%), wasted {}; piggybacked {} diff bytes",
+            d.prefetch_issued,
+            d.prefetch_hits,
+            100.0 * d.prefetch_hits as f64 / (d.prefetch_issued.max(1)) as f64,
+            d.prefetch_wasted,
+            d.piggyback_bytes,
+        );
+        assert!(
+            d.prefetch_wasted <= d.prefetch_issued,
+            "no silent waste: every wasted prefetch page must have been issued \
+             (wasted {} > issued {})",
+            d.prefetch_wasted,
+            d.prefetch_issued
+        );
+    }
+    if let (Some(ov32), Some(dm32)) = (
+        nbf_speedup(DataPlane::Overlap, 32),
+        nbf_speedup(DataPlane::Demand, 32),
+    ) {
+        println!(
+            "Dataplane A/B, NBF at 32 homogeneous hosts: overlap {ov32:.2}x vs demand \
+             {dm32:.2}x ({:.2}x improvement)",
+            ov32 / dm32
+        );
+    }
+
+    let json = whatif_json(t1, &lanes);
     std::fs::write("BENCH_whatif.json", &json).expect("write BENCH_whatif.json");
     println!("\nwrote BENCH_whatif.json ({} bytes)", json.len());
 
@@ -312,25 +553,24 @@ fn main() {
             .find(|&&(ls, lm, lp, _)| ls == s && lm == m && lp == procs)
             .map(|&(_, _, _, secs)| speedup(secs))
     };
-    let tt = Mode {
-        fork: Broadcast::Tree,
-        reduce: Broadcast::Tree,
-    };
-    let tf = Mode {
+    let tfd = Mode {
         fork: Broadcast::Tree,
         reduce: Broadcast::Flat,
+        dataplane: DataPlane::Demand,
     };
-    let ff = Mode {
+    let ffd = Mode {
         fork: Broadcast::Flat,
         reduce: Broadcast::Flat,
+        dataplane: DataPlane::Demand,
     };
 
     // The A/B headlines at the ceiling end: what the fork tree bought
-    // (ISSUE 5), and what treeing the collection side buys on top
-    // (ISSUE 6).
+    // (ISSUE 5), what treeing the collection side buys on top (ISSUE
+    // 6), and what overlapping the data plane buys on top of both
+    // (ISSUE 7).
     if let (Some(tree32), Some(flat32)) = (
-        speedup_of(Scenario::Homogeneous, tt, 32),
-        speedup_of(Scenario::Homogeneous, ff, 32),
+        speedup_of(Scenario::Homogeneous, ttd, 32),
+        speedup_of(Scenario::Homogeneous, ffd, 32),
     ) {
         println!(
             "\nCollective A/B at 32 homogeneous hosts: tree/tree {tree32:.2}x vs \
@@ -339,8 +579,8 @@ fn main() {
         );
     }
     if let (Some(tt32), Some(tf32)) = (
-        speedup_of(Scenario::Homogeneous, tt, 32),
-        speedup_of(Scenario::Homogeneous, tf, 32),
+        speedup_of(Scenario::Homogeneous, ttd, 32),
+        speedup_of(Scenario::Homogeneous, tfd, 32),
     ) {
         println!(
             "Reduce A/B at 32 homogeneous hosts (tree fork both): tree reduce {tt32:.2}x vs \
@@ -348,14 +588,26 @@ fn main() {
             tt32 / tf32
         );
     }
+    if let (Some(ov32), Some(dm32)) = (
+        speedup_of(Scenario::Homogeneous, tto, 32),
+        speedup_of(Scenario::Homogeneous, ttd, 32),
+    ) {
+        println!(
+            "Dataplane A/B, Jacobi at 32 homogeneous hosts (tree collectives both): \
+             overlap {ov32:.2}x vs demand {dm32:.2}x ({:.2}x) — regular nearest-neighbour \
+             faults are collective-bound at this scale; see the NBF table for where the \
+             data plane binds",
+            ov32 / dm32
+        );
+    }
 
     // --- CI scaling gate -------------------------------------------------
     // Floors live in crates/bench/baselines.toml; a regression in the
-    // broadcast or collection path fails the build here instead of
-    // silently flattening the curve.
+    // broadcast, collection, or data-plane path fails the build here
+    // instead of silently flattening the curve.
     let floors = load_baselines();
     if quick() {
-        if let Some(s16) = speedup_of(Scenario::Homogeneous, tt, 16) {
+        if let Some(s16) = speedup_of(Scenario::Homogeneous, ttd, 16) {
             let floor = floors["tree_homogeneous_16_min_speedup"];
             println!("gate: tree/tree homogeneous S(16) = {s16:.2} (floor {floor:.2})");
             assert!(
@@ -364,7 +616,7 @@ fn main() {
                  the pinned floor {floor:.2} (crates/bench/baselines.toml)"
             );
         }
-        if let Some(s32) = speedup_of(Scenario::Homogeneous, tt, 32) {
+        if let Some(s32) = speedup_of(Scenario::Homogeneous, ttd, 32) {
             let floor = floors["tree_reduce_homogeneous_32_min_speedup"];
             println!("gate: tree/tree homogeneous S(32) = {s32:.2} (floor {floor:.2})");
             assert!(
@@ -374,8 +626,8 @@ fn main() {
             );
         }
         if let (Some(tree32), Some(flat32)) = (
-            speedup_of(Scenario::Homogeneous, tt, 32),
-            speedup_of(Scenario::Homogeneous, ff, 32),
+            speedup_of(Scenario::Homogeneous, ttd, 32),
+            speedup_of(Scenario::Homogeneous, ffd, 32),
         ) {
             let ratio = tree32 / flat32;
             let floor = floors["tree_over_flat_32_min_ratio"];
@@ -386,6 +638,28 @@ fn main() {
                  system at 32 homogeneous hosts, below the pinned {floor:.2}x floor"
             );
         }
+        if let Some(ov32) = nbf_speedup(DataPlane::Overlap, 32) {
+            let floor = floors["overlap_homogeneous_32_min_speedup"];
+            println!("gate: NBF overlap homogeneous S(32) = {ov32:.2} (floor {floor:.2})");
+            assert!(
+                ov32 >= floor,
+                "CI scaling gate: NBF 32-host overlapped-data-plane speedup {ov32:.2} \
+                 fell below the pinned floor {floor:.2} (crates/bench/baselines.toml)"
+            );
+        }
+        if let (Some(ov32), Some(dm32)) = (
+            nbf_speedup(DataPlane::Overlap, 32),
+            nbf_speedup(DataPlane::Demand, 32),
+        ) {
+            let ratio = ov32 / dm32;
+            let floor = floors["overlap_over_demand_32_min_ratio"];
+            println!("gate: NBF overlap/demand ratio at 32 hosts = {ratio:.2} (floor {floor:.2})");
+            assert!(
+                ratio >= floor,
+                "CI scaling gate: the overlapped data plane is only {ratio:.2}x demand \
+                 paging on NBF at 32 homogeneous hosts, below the pinned {floor:.2}x floor"
+            );
+        }
     }
 
     println!(
@@ -393,12 +667,15 @@ fn main() {
          per-fork communication dominates the shrinking block — under flat\n\
          collectives that rollover is the master's serialized fork sends plus\n\
          the n-1 join streams converging on its inbound wire; the binomial\n\
-         tree on both sides pushes it past 32 nodes. Heterogeneous flattens\n\
-         hard (static schedules stretch to the half-speed stragglers);\n\
-         loaded-host tracks homogeneous minus one effective node. Wall time:\n\
-         {:.1}s for {} virtual runs.",
+         tree on both sides pushes it past 32 nodes, and overlapping the\n\
+         data plane (pipelined faults, release-phase prefetch, piggybacked\n\
+         hot diffs) takes the remaining per-fault round-trips off the\n\
+         critical path. Heterogeneous flattens hard (static schedules\n\
+         stretch to the half-speed stragglers); loaded-host tracks\n\
+         homogeneous minus one effective node. Wall time: {:.1}s for {}\n\
+         virtual runs.",
         wall.elapsed().as_secs_f64(),
-        rows.len() + 1
+        rows.len() + nbf_rows.len() + 2
     );
     assert!(
         wall.elapsed().as_secs_f64() < 120.0 || !quick(),

@@ -27,7 +27,7 @@ use nowmp_apps::{fft3d::Fft3d, gauss::Gauss, jacobi::Jacobi, nbf::Nbf, Kernel};
 use nowmp_core::{ClusterConfig, EventKind, LogEntry};
 use nowmp_net::{CostModel, NetModel};
 use nowmp_omp::OmpSystem;
-use nowmp_tmk::{CollectiveConfig, DsmConfig};
+use nowmp_tmk::{CollectiveConfig, DataPlaneConfig, DsmConfig};
 use std::time::Duration;
 
 /// Scaled-down benchmark instances of the four kernels.
@@ -174,9 +174,11 @@ pub fn bench_cost_model() -> CostModel {
 ///
 /// The paper reproducers model the *1999 system*, so the fork broadcast
 /// pins [`CollectiveConfig::all_flat`] here (flat fan-out, flat write-notice
-/// payloads — what the Table 1/2 calibration pins assume). The
-/// tree/RLE broadcast redesign is A/B'd explicitly by `whatif_scale
-/// --broadcast` against this baseline.
+/// payloads — what the Table 1/2 calibration pins assume), and the data
+/// plane pins [`DataPlaneConfig::demand`] (sequential demand paging,
+/// no prefetch or piggybacking). The tree/RLE broadcast redesign and
+/// the overlapped data plane are A/B'd explicitly by `whatif_scale
+/// --broadcast` / `--dataplane` against this baseline.
 pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
     ClusterConfig {
         hosts,
@@ -185,6 +187,7 @@ pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
         cost_model: bench_cost_model(),
         dsm: DsmConfig {
             collectives: CollectiveConfig::all_flat(),
+            dataplane: DataPlaneConfig::demand(),
             ..DsmConfig::default_4k()
         },
         ..ClusterConfig::test(hosts, procs)
@@ -254,12 +257,34 @@ pub fn table1_json(apps: &[(String, Vec<(usize, f64)>)]) -> String {
     out
 }
 
+/// One lane of the `whatif_scale` sweep: a scenario × collective ×
+/// data-plane combination with its serial baseline and the
+/// `(nprocs, simulated seconds)` samples measured along it. Lanes from
+/// different kernels (the Jacobi generation sweep, the NBF data-plane
+/// A/B) carry their own `t1`, so every speedup in the artifact is
+/// against the right serial run.
+pub struct WhatifLane {
+    /// Scenario label (e.g. `homogeneous`, `nbf-homogeneous`).
+    pub scenario: String,
+    /// Fork dissemination (`flat` / `tree`).
+    pub broadcast: String,
+    /// Join/barrier collection (`flat` / `tree`).
+    pub reduce: String,
+    /// Data plane (`demand` / `overlap`).
+    pub dataplane: String,
+    /// Serial baseline for this lane's kernel, simulated seconds.
+    pub t1: f64,
+    /// `(nprocs, simulated seconds)` along the lane.
+    pub samples: Vec<(usize, f64)>,
+}
+
 /// Serialize the `whatif_scale` sweep into the machine-readable
 /// `BENCH_whatif.json` artifact: simulated seconds and speedup per
-/// `scenario × broadcast × reduce × nprocs`, plus the serial
-/// baseline. The CI scaling gate reads the same numbers in-process
-/// (see [`load_baselines`]); the artifact preserves them across PRs.
-pub fn whatif_json(t1: f64, groups: &[(String, String, String, Vec<(usize, f64)>)]) -> String {
+/// `scenario × broadcast × reduce × dataplane × nprocs`, plus each
+/// lane's serial baseline. The CI scaling gate reads the same numbers
+/// in-process (see [`load_baselines`]); the artifact preserves them
+/// across PRs.
+pub fn whatif_json(t1: f64, lanes: &[WhatifLane]) -> String {
     let cell = |v: f64| {
         if v.is_finite() {
             format!("{v:.4}")
@@ -273,29 +298,34 @@ pub fn whatif_json(t1: f64, groups: &[(String, String, String, Vec<(usize, f64)>
         quick(),
         cell(t1)
     ));
-    for (gi, (scenario, broadcast, reduce, samples)) in groups.iter().enumerate() {
+    for (gi, lane) in lanes.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"scenario\": \"{scenario}\", \"broadcast\": \"{broadcast}\",              \"reduce\": \"{reduce}\", \"secs\": {{"
+            "    {{\"scenario\": \"{}\", \"broadcast\": \"{}\", \"reduce\": \"{}\", \"dataplane\": \"{}\", \"t1_secs\": {}, \"secs\": {{",
+            lane.scenario,
+            lane.broadcast,
+            lane.reduce,
+            lane.dataplane,
+            cell(lane.t1)
         ));
-        for (i, (p, s)) in samples.iter().enumerate() {
+        for (i, (p, s)) in lane.samples.iter().enumerate() {
             out.push_str(&format!(
                 "\"{p}\": {}{}",
                 cell(*s),
-                if i + 1 < samples.len() { ", " } else { "" }
+                if i + 1 < lane.samples.len() { ", " } else { "" }
             ));
         }
         out.push_str("}, \"speedup\": {");
-        for (i, (p, s)) in samples.iter().enumerate() {
-            let sp = if *s > 0.0 { t1 / s } else { f64::NAN };
+        for (i, (p, s)) in lane.samples.iter().enumerate() {
+            let sp = if *s > 0.0 { lane.t1 / s } else { f64::NAN };
             out.push_str(&format!(
                 "\"{p}\": {}{}",
                 cell(sp),
-                if i + 1 < samples.len() { ", " } else { "" }
+                if i + 1 < lane.samples.len() { ", " } else { "" }
             ));
         }
         out.push_str(&format!(
             "}}}}{}\n",
-            if gi + 1 < groups.len() { "," } else { "" }
+            if gi + 1 < lanes.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -502,6 +532,8 @@ mod tests {
         assert!(floors.contains_key("tree_homogeneous_16_min_speedup"));
         assert!(floors.contains_key("tree_over_flat_32_min_ratio"));
         assert!(floors.contains_key("tree_reduce_homogeneous_32_min_speedup"));
+        assert!(floors.contains_key("overlap_homogeneous_32_min_speedup"));
+        assert!(floors.contains_key("overlap_over_demand_32_min_ratio"));
     }
 
     #[test]
@@ -509,25 +541,36 @@ mod tests {
         let j = whatif_json(
             2.0,
             &[
-                (
-                    "homogeneous".into(),
-                    "tree".into(),
-                    "tree".into(),
-                    vec![(2, 1.0), (32, 0.1)],
-                ),
-                (
-                    "homogeneous".into(),
-                    "flat".into(),
-                    "flat".into(),
-                    vec![(32, 0.4)],
-                ),
+                WhatifLane {
+                    scenario: "homogeneous".into(),
+                    broadcast: "tree".into(),
+                    reduce: "tree".into(),
+                    dataplane: "overlap".into(),
+                    t1: 2.0,
+                    samples: vec![(2, 1.0), (32, 0.1)],
+                },
+                WhatifLane {
+                    scenario: "nbf-homogeneous".into(),
+                    broadcast: "flat".into(),
+                    reduce: "flat".into(),
+                    dataplane: "demand".into(),
+                    t1: 6.0,
+                    samples: vec![(32, 0.4)],
+                },
             ],
         );
         assert!(j.contains("\"broadcast\": \"tree\""));
         assert!(j.contains("\"reduce\": \"tree\""));
         assert!(j.contains("\"reduce\": \"flat\""));
+        assert!(j.contains("\"dataplane\": \"overlap\""));
+        assert!(j.contains("\"dataplane\": \"demand\""));
+        assert!(j.contains("\"scenario\": \"nbf-homogeneous\""));
+        // Speedups come from each lane's own baseline: 2.0/0.1 for the
+        // first lane, 6.0/0.4 — not 2.0/0.4 — for the second.
         assert!(j.contains("\"32\": 20.0000"));
-        assert!(j.contains("\"32\": 5.0000"));
+        assert!(j.contains("\"32\": 15.0000"));
+        assert!(!j.contains("\"32\": 5.0000"));
+        assert!(j.contains("\"t1_secs\": 6.0000"));
         assert!(!j.contains("NaN"));
     }
 

@@ -18,7 +18,7 @@ use nowmp_apps::{jacobi::Jacobi, nbf::Nbf, with_kernel_costs, Kernel};
 use nowmp_bench::measure;
 use nowmp_core::ClusterConfig;
 use nowmp_net::{CostModel, NetModel};
-use nowmp_tmk::{CollectiveConfig, DsmConfig};
+use nowmp_tmk::{CollectiveConfig, DataPlaneConfig, DsmConfig};
 use nowmp_util::Clock;
 
 /// Tolerance on speedup values, as stated in the acceptance criteria.
@@ -31,11 +31,14 @@ fn simulated_secs(kernel: &dyn Kernel, procs: usize, iters: usize) -> f64 {
         net_model: NetModel::paper_1999(),
         cost_model: with_kernel_costs(CostModel::paper_1999(), kernel),
         // The 1999 system under reproduction used the flat fork
-        // broadcast with flat write-notice payloads; the targets below
-        // calibrate against exactly those wire sizes. The tree/RLE
-        // redesign is measured separately (whatif_scale --broadcast).
+        // broadcast with flat write-notice payloads and strict demand
+        // paging; the targets below calibrate against exactly those
+        // wire sizes and fault round-trips. The tree/RLE and overlap
+        // redesigns are measured separately (whatif_scale --broadcast /
+        // --dataplane).
         dsm: DsmConfig {
             collectives: CollectiveConfig::all_flat(),
+            dataplane: DataPlaneConfig::demand(),
             ..DsmConfig::default_4k()
         },
         clock: Clock::new_virtual(),

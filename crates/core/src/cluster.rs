@@ -632,15 +632,6 @@ impl Cluster {
         self.shared.clock()
     }
 
-    /// Install the master-private state provider for checkpoints.
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure `ClusterConfig::with_master_state_provider` before construction"
-    )]
-    pub fn set_master_state_provider(&mut self, f: impl Fn() -> Vec<u8> + Send + Sync + 'static) {
-        self.blob_provider = Some(Arc::new(f));
-    }
-
     /// Request a join (see [`ClusterShared::request_join`]).
     pub fn request_join(&self) -> Result<HostId, AdaptError> {
         self.shared.request_join()

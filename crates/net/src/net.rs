@@ -543,6 +543,28 @@ impl Endpoint {
         }
     }
 
+    /// Issue a request without blocking for the answer: the scatter
+    /// half of a scatter-gather exchange. Returns a [`PendingCall`]
+    /// whose [`PendingCall::wait`] is exactly the gather half of
+    /// [`Self::call_deadline`]; issuing several before waiting on any
+    /// makes a multi-peer fault pay the max of the peers' latencies
+    /// instead of the sum.
+    pub fn call_begin(&self, dst: Gpid, payload: Bytes) -> Result<PendingCall, NetError> {
+        let (tx, rx) = bounded(1);
+        if !self
+            .net
+            .transmit(self.gpid, &self.host_rec(), dst, payload, Some(tx))
+        {
+            return Err(NetError::Unknown(dst));
+        }
+        Ok(PendingCall {
+            net: Arc::clone(&self.net),
+            dst,
+            rx,
+            got: None,
+        })
+    }
+
     fn unpack(&self, pkt: Packet) -> Incoming {
         self.net.clock.msg_received();
         if let Some(at) = pkt.deliver_at {
@@ -587,6 +609,93 @@ impl Endpoint {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Incoming> {
         self.rx.try_recv().ok().map(|p| self.unpack(p))
+    }
+}
+
+/// A request in flight, created by [`Endpoint::call_begin`]. Callers
+/// must [`PendingCall::wait`] on it before any synchronization point:
+/// under the virtual clock an unwaited reply is in-flight state, and
+/// while `Drop` drains a reply that already arrived, one still on the
+/// wire when the handle is dropped would stall the simulation.
+pub struct PendingCall {
+    net: Arc<NetInner>,
+    dst: Gpid,
+    rx: Receiver<Packet>,
+    /// Reply taken off the channel by [`Self::ready`] but not yet
+    /// claimed by [`Self::wait`] (already `msg_received`-accounted).
+    got: Option<Packet>,
+}
+
+impl std::fmt::Debug for PendingCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingCall")
+            .field("dst", &self.dst)
+            .field("got", &self.got.is_some())
+            .finish()
+    }
+}
+
+impl PendingCall {
+    /// Whom this request was sent to.
+    pub fn dst(&self) -> Gpid {
+        self.dst
+    }
+
+    /// Non-blocking: has the reply been *delivered* (arrived on the
+    /// wire at or before the clock's current time)? A reply that is
+    /// queued but whose modeled delivery time is still in the future
+    /// reports `false` — waiting on it would block — but is taken off
+    /// the channel immediately so it stops pinning the virtual clock's
+    /// in-flight account while the caller computes.
+    pub fn ready(&mut self) -> bool {
+        if self.got.is_none() {
+            if let Ok(pkt) = self.rx.try_recv() {
+                self.net.clock.msg_received();
+                self.got = Some(pkt);
+            }
+        }
+        match &self.got {
+            Some(pkt) => pkt.deliver_at.is_none_or(|at| self.net.clock.now() >= at),
+            None => false,
+        }
+    }
+
+    /// Block for the reply — the gather half of
+    /// [`Endpoint::call_deadline`], with identical clock semantics:
+    /// the wait is clock-visible, the timeout is a real-time deadlock
+    /// guard, and wire delivery time is slept to on arrival.
+    pub fn wait(mut self, timeout: Duration) -> Result<Bytes, NetError> {
+        if let Some(pkt) = self.got.take() {
+            if let Some(at) = pkt.deliver_at {
+                self.net.clock.sleep_until(at);
+            }
+            return Ok(pkt.payload);
+        }
+        match self.net.clock.blocked(|| self.rx.recv_timeout(timeout)) {
+            Ok(pkt) => {
+                self.net.clock.msg_received();
+                if let Some(at) = pkt.deliver_at {
+                    self.net.clock.sleep_until(at);
+                }
+                Ok(pkt.payload)
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout(self.dst)),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                Err(NetError::Disconnected(self.dst))
+            }
+        }
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        // A reply already sitting in the channel was accounted
+        // in-flight by its sender; receive it here so the virtual
+        // clock's in-flight count does not leak (same drain as the
+        // `call_deadline` timeout path).
+        while self.rx.try_recv().is_ok() {
+            self.net.clock.msg_received();
+        }
     }
 }
 
@@ -684,6 +793,50 @@ mod tests {
         let reply = a.call(b_gpid, Bytes::from_static(b"ping")).unwrap();
         assert_eq!(&reply[..], b"pong");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn scatter_gather_call_begin() {
+        let net = Network::new(3, 1, NetModel::disabled());
+        let a = net.register(HostId(0));
+        let b = net.register(HostId(1));
+        let c = net.register(HostId(2));
+        let serve = |ep: Endpoint, tag: &'static [u8]| {
+            std::thread::spawn(move || {
+                let inc = ep.recv().unwrap();
+                inc.replier.unwrap().reply(Bytes::from_static(tag));
+            })
+        };
+        let (bg, cg) = (b.gpid(), c.gpid());
+        let sb = serve(b, b"from-b");
+        let sc = serve(c, b"from-c");
+        // Scatter both requests before gathering either reply.
+        let pb = a.call_begin(bg, Bytes::from_static(b"ping")).unwrap();
+        let pc = a.call_begin(cg, Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(pb.dst(), bg);
+        assert_eq!(&pb.wait(CALL_TIMEOUT).unwrap()[..], b"from-b");
+        assert_eq!(&pc.wait(CALL_TIMEOUT).unwrap()[..], b"from-c");
+        sb.join().unwrap();
+        sc.join().unwrap();
+    }
+
+    #[test]
+    fn call_begin_unknown_destination() {
+        let (_net, a, _b) = net2();
+        let err = a.call_begin(Gpid(999), Bytes::new()).unwrap_err();
+        assert_eq!(err, NetError::Unknown(Gpid(999)));
+    }
+
+    #[test]
+    fn dropped_pending_call_drains_delivered_reply() {
+        let (_net, a, b) = net2();
+        let b_gpid = b.gpid();
+        let p = a.call_begin(b_gpid, Bytes::from_static(b"ping")).unwrap();
+        let inc = b.recv().unwrap();
+        inc.replier.unwrap().reply(Bytes::from_static(b"pong"));
+        // Dropping without waiting must consume the delivered reply so
+        // in-flight clock accounting stays balanced.
+        drop(p);
     }
 
     #[test]

@@ -83,6 +83,97 @@ impl CollectiveConfig {
     }
 }
 
+/// Data-plane overlap configuration: how aggressively the DSM hides
+/// demand-paging latency behind computation (ISSUE 7).
+///
+/// Three independent levers, all off in [`DataPlaneConfig::demand`]
+/// (the faithful 1999 system: every fault blocks on sequential
+/// round-trips, nothing moves ahead of demand):
+///
+/// * `pipeline` — scatter-gather faults: a multi-creator diff fault
+///   sends every `DiffReq` before collecting any reply, paying the
+///   max of the creators' latencies instead of the sum;
+/// * `prefetch` — release-phase prefetch: after a `Fork` or
+///   `BarrierRelease` lands, asynchronously re-request up to this
+///   many of the pages this rank faulted on last epoch, so the diffs
+///   are in flight while the worker computes its interior (0 = off);
+/// * `piggyback_budget` — hot-diff piggybacking: `Fork` /
+///   `BarrierRelease` payloads carry up to this many bytes of the
+///   sender's own hottest diffs alongside the write notices, saving
+///   the receivers a round-trip entirely (0 = off).
+///
+/// Prefetch traffic pays the same wire and admission costs as demand
+/// traffic ([`NetModel::receive_time`] et al.) — overlap hides
+/// latency, it never un-charges it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPlaneConfig {
+    /// Scatter-gather multi-creator faults (send all, then collect).
+    pub pipeline: bool,
+    /// Max pages re-requested asynchronously after each release
+    /// (0 disables release-phase prefetch).
+    pub prefetch: usize,
+    /// Max bytes of hot diffs piggybacked on each `Fork` /
+    /// `BarrierRelease` payload (0 disables piggybacking).
+    pub piggyback_budget: usize,
+}
+
+impl DataPlaneConfig {
+    /// The faithful 1999 demand-paging data plane: sequential blocking
+    /// fetches, no prefetch, no piggyback — byte-identical wire
+    /// payloads, what the Table 1/2 pins assume.
+    pub fn demand() -> Self {
+        DataPlaneConfig {
+            pipeline: false,
+            prefetch: 0,
+            piggyback_budget: 0,
+        }
+    }
+
+    /// Fully overlapped data plane (the default): pipelined faults,
+    /// 32-page release prefetch, 1 KB piggyback budget. The piggyback
+    /// budget is deliberately small: every piggybacked byte rides
+    /// *every* edge of the broadcast tree, so only diffs small and hot
+    /// enough to beat `n - 1` redundant copies (reduction scratch,
+    /// straddled boundary words) earn their wire cost — bulk diffs are
+    /// exactly what prefetch already moves point-to-point.
+    pub fn overlap() -> Self {
+        DataPlaneConfig {
+            pipeline: true,
+            prefetch: 32,
+            piggyback_budget: 1 << 10,
+        }
+    }
+
+    /// Builder: toggle scatter-gather fault pipelining.
+    pub fn with_pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Builder: set the per-release prefetch page budget.
+    pub fn with_prefetch(mut self, pages: usize) -> Self {
+        self.prefetch = pages;
+        self
+    }
+
+    /// Builder: set the per-collective piggyback byte budget.
+    pub fn with_piggyback_budget(mut self, bytes: usize) -> Self {
+        self.piggyback_budget = bytes;
+        self
+    }
+
+    /// True if any piggyback budget is configured.
+    pub fn piggybacks(&self) -> bool {
+        self.piggyback_budget > 0
+    }
+}
+
+impl Default for DataPlaneConfig {
+    fn default() -> Self {
+        Self::overlap()
+    }
+}
+
 /// Tunable parameters of the DSM protocol.
 #[derive(Clone)]
 pub struct DsmConfig {
@@ -107,6 +198,9 @@ pub struct DsmConfig {
     /// Shape of every cluster-wide collective (fork dissemination,
     /// join reduction, barrier release). Default: all tree.
     pub collectives: CollectiveConfig,
+    /// Data-plane overlap levers (pipelined faults, release-phase
+    /// prefetch, piggybacked hot diffs). Default: fully overlapped.
+    pub dataplane: DataPlaneConfig,
 }
 
 impl std::fmt::Debug for DsmConfig {
@@ -118,6 +212,7 @@ impl std::fmt::Debug for DsmConfig {
             .field("call_timeout", &self.call_timeout)
             .field("throttle", &self.throttle.as_ref().map(|_| "<hook>"))
             .field("collectives", &self.collectives)
+            .field("dataplane", &self.dataplane)
             .finish()
     }
 }
@@ -132,7 +227,16 @@ impl DsmConfig {
             call_timeout: Duration::from_secs(120),
             throttle: None,
             collectives: CollectiveConfig::default(),
+            dataplane: DataPlaneConfig::default(),
         }
+    }
+
+    /// Builder: set the data-plane overlap levers — paper reproducers
+    /// pin `with_dataplane(DataPlaneConfig::demand())` alongside
+    /// `all_flat()` collectives.
+    pub fn with_dataplane(mut self, dataplane: DataPlaneConfig) -> Self {
+        self.dataplane = dataplane;
+        self
     }
 
     /// Builder: set the collective shapes, mirroring the
@@ -209,6 +313,27 @@ mod tests {
         let forked = DsmConfig::default_4k().with_fork_broadcast(Broadcast::Flat);
         assert_eq!(forked.collectives.fork, Broadcast::Flat);
         assert_eq!(forked.collectives.barrier_release, Broadcast::Tree);
+    }
+
+    #[test]
+    fn dataplane_builders() {
+        assert_eq!(
+            DsmConfig::default_4k().dataplane,
+            DataPlaneConfig::overlap()
+        );
+        let demand = DataPlaneConfig::demand();
+        assert!(!demand.pipeline);
+        assert_eq!(demand.prefetch, 0);
+        assert!(!demand.piggybacks());
+        let tuned = DataPlaneConfig::demand()
+            .with_pipeline(true)
+            .with_prefetch(4)
+            .with_piggyback_budget(1024);
+        assert!(tuned.pipeline);
+        assert_eq!(tuned.prefetch, 4);
+        assert!(tuned.piggybacks());
+        let pinned = DsmConfig::default_4k().with_dataplane(DataPlaneConfig::demand());
+        assert_eq!(pinned.dataplane, DataPlaneConfig::demand());
     }
 
     #[test]

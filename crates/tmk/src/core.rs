@@ -72,6 +72,20 @@ pub enum AccessPlan {
     },
 }
 
+/// What a release-phase prefetch should request, derived read-only
+/// from last window's fault set by [`ProcCore::plan_prefetch`]:
+/// full-page fetches plus diff requests batched per creator (one
+/// `DiffReq` per creator covers every planned page).
+#[derive(Debug, Default)]
+pub struct PrefetchPlan {
+    /// Pages with no local copy: `(page, holder to ask)`.
+    pub fulls: Vec<(PageId, Gpid)>,
+    /// Stale pages: per-creator `(page, seq)` wants, in page order.
+    pub diffs: Vec<(Gpid, Vec<(PageId, Seq)>)>,
+    /// Pages covered by this plan (budget accounting).
+    pub pages: usize,
+}
+
 /// A queued lock waiter.
 pub enum LockWaiter {
     /// Remote requester (reply through the transport).
@@ -131,6 +145,21 @@ pub struct ProcCore {
     pub registry: Registry,
     /// Default directory owner for untouched pages (the master).
     pub default_owner: Gpid,
+    /// Pages faulted on since the last release point (insertion order,
+    /// deduplicated). Only tracked when `cfg.dataplane.prefetch > 0`.
+    pub fault_window: Vec<PageId>,
+    /// The last few rotated fault windows, newest first. The prefetch
+    /// candidate set is their union: a page's *invalidating* write
+    /// notices can trail the fault by more than one release point
+    /// (e.g. two alternating worksharing regions put a full epoch
+    /// between a region's faults and the records that invalidate its
+    /// pages again), so candidates must outlive one rotation.
+    /// [`Self::plan_prefetch`] skips still-valid pages, so a stale
+    /// candidate costs nothing.
+    pub window_history: std::collections::VecDeque<Vec<PageId>>,
+    /// How often each page's diffs have been served to peers — the
+    /// "heat" ranking behind piggyback selection.
+    pub diff_heat: HashMap<PageId, u32>,
 }
 
 impl ProcCore {
@@ -155,6 +184,9 @@ impl ProcCore {
             stats,
             registry: Registry::new(),
             default_owner,
+            fault_window: Vec::new(),
+            window_history: std::collections::VecDeque::new(),
+            diff_heat: HashMap::new(),
         }
     }
 
@@ -185,7 +217,20 @@ impl ProcCore {
 
     /// Decide how to obtain access to `page`; performs the local-only
     /// transitions (twin creation, exclusive materialization) inline.
+    /// Faults that need the network are noted in the per-release fault
+    /// window when release-phase prefetch is configured.
     pub fn plan_access(&mut self, page: PageId, want_write: bool) -> AccessPlan {
+        let plan = self.plan_access_inner(page, want_write);
+        if self.cfg.dataplane.prefetch > 0
+            && !matches!(plan, AccessPlan::Ready { .. })
+            && !self.fault_window.contains(&page)
+        {
+            self.fault_window.push(page);
+        }
+        plan
+    }
+
+    fn plan_access_inner(&mut self, page: PageId, want_write: bool) -> AccessPlan {
         self.ensure_pages(page as usize + 1);
         let spp = self.slots_per_page();
         let me = self.gpid;
@@ -396,6 +441,188 @@ impl ProcCore {
         if meta.unapplied().is_empty() && meta.state == PageState::Invalid {
             meta.state = PageState::Read;
         }
+    }
+
+    /// How many rotated fault windows stay live as prefetch candidates.
+    /// A page's invalidating notices arrive a full *iteration* after
+    /// the fault that recorded it (the writer region runs in between),
+    /// and one iteration can rotate the window several times — e.g.
+    /// NBF's fork → reduce-barrier ×2 → fork cadence is 4 rotations, so
+    /// a candidate must survive at least that many to still be in the
+    /// union when its page finally turns `Invalid`. Stale candidates
+    /// cost nothing ([`Self::plan_prefetch`] skips valid pages), so err
+    /// on the deep side; a page that truly stopped faulting ages out.
+    const WINDOW_HISTORY: usize = 6;
+
+    /// Record a fault for the prefetch window directly — the path for
+    /// faults satisfied by a prefetch, which never reach
+    /// [`Self::plan_access`] but are demand the next window must still
+    /// predict.
+    pub fn note_fault(&mut self, page: PageId) {
+        if self.cfg.dataplane.prefetch > 0 && !self.fault_window.contains(&page) {
+            self.fault_window.push(page);
+        }
+    }
+
+    /// Rotate the per-release fault window and return the prefetch
+    /// candidate set: the union of the last few windows, newest first,
+    /// deduplicated. See `window_history` for why candidates must
+    /// survive more than one rotation.
+    pub fn rotate_fault_window(&mut self) -> Vec<PageId> {
+        let window = std::mem::take(&mut self.fault_window);
+        self.window_history.push_front(window);
+        self.window_history.truncate(Self::WINDOW_HISTORY);
+        let mut union: Vec<PageId> = Vec::new();
+        for w in &self.window_history {
+            for &p in w {
+                if !union.contains(&p) {
+                    union.push(p);
+                }
+            }
+        }
+        union
+    }
+
+    /// Derive, without mutating any page state, what a release-phase
+    /// prefetch over `candidates` should request: at most `budget`
+    /// pages, preferring the order they faulted last window. Pages
+    /// already valid, pages we would serve ourselves, and pages whose
+    /// fetch would chase a redirect from ourselves are skipped — the
+    /// plan only covers requests a demand fault would also have made.
+    pub fn plan_prefetch(&self, candidates: &[PageId], budget: usize) -> PrefetchPlan {
+        let mut plan = PrefetchPlan::default();
+        for &page in candidates {
+            if plan.pages >= budget {
+                break;
+            }
+            let Some(meta) = self.pages.get(page as usize) else {
+                continue;
+            };
+            if meta.state != PageState::Invalid {
+                continue;
+            }
+            if meta.data.is_some() {
+                let unapplied = meta.unapplied();
+                if unapplied.is_empty()
+                    || unapplied
+                        .iter()
+                        .any(|wn| self.team.gpid(wn.pid) == self.gpid)
+                {
+                    continue;
+                }
+                for wn in unapplied {
+                    let creator = self.team.gpid(wn.pid);
+                    match plan.diffs.iter_mut().find(|(g, _)| *g == creator) {
+                        Some((_, wants)) => wants.push((page, wn.seq)),
+                        None => plan.diffs.push((creator, vec![(page, wn.seq)])),
+                    }
+                }
+                plan.pages += 1;
+            } else if !(meta.owner == self.gpid && meta.pending.is_empty()) {
+                let target = meta
+                    .pending
+                    .iter()
+                    .max_by_key(|w| w.vcsum)
+                    .map(|w| self.team.gpid(w.pid))
+                    .unwrap_or(meta.owner);
+                if target != self.gpid {
+                    plan.fulls.push((page, target));
+                    plan.pages += 1;
+                }
+            }
+        }
+        plan
+    }
+
+    /// Select up to `budget` wire bytes of our own hottest diffs to
+    /// piggyback on an outgoing `Fork`/`BarrierRelease`. Per page only
+    /// the newest diff rides (receivers lacking more than one of our
+    /// intervals fall back to demand fetch — see
+    /// [`Self::apply_piggyback`]); pages rank by diff-serve heat, ties
+    /// by page id, so the selection is deterministic.
+    pub fn piggyback_diffs(&self, budget: usize) -> Vec<(PageId, Seq, Diff)> {
+        if budget == 0 || self.diffs.is_empty() {
+            return Vec::new();
+        }
+        let mut newest: HashMap<PageId, Seq> = HashMap::new();
+        for k in self.diffs.keys() {
+            let e = newest.entry(k.page).or_insert(k.seq);
+            if k.seq > *e {
+                *e = k.seq;
+            }
+        }
+        let mut ranked: Vec<(PageId, Seq)> = newest.into_iter().collect();
+        ranked.sort_by_key(|(page, _)| {
+            (
+                std::cmp::Reverse(self.diff_heat.get(page).copied().unwrap_or(0)),
+                *page,
+            )
+        });
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        for (page, seq) in ranked {
+            let d = &self.diffs[&DiffKey { page, seq }];
+            let wb = d.wire_bytes();
+            if bytes + wb > budget {
+                continue; // a smaller diff may still fit
+            }
+            bytes += wb;
+            out.push((page, seq, d.as_ref().clone()));
+        }
+        out
+    }
+
+    /// Apply diffs piggybacked on a received `Fork`/`BarrierRelease`
+    /// (created by team rank `from` — the collective's root). Guarded:
+    /// a page's entries apply only when we hold a stale copy whose
+    /// *entire* unapplied-notice set is covered by the offer — partial
+    /// application would replay the sender's intervals out of causal
+    /// order once the demand path fetched the rest. Unusable entries
+    /// are dropped (the demand path still works). Apply the message's
+    /// records *before* calling this. Returns the pages applied.
+    pub fn apply_piggyback(&mut self, from: Pid, entries: &[(PageId, Seq, Diff)]) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        let mut by_page: Vec<(PageId, Vec<(Seq, &Diff)>)> = Vec::new();
+        for (page, seq, d) in entries {
+            match by_page.iter_mut().find(|(p, _)| p == page) {
+                Some((_, offers)) => offers.push((*seq, d)),
+                None => by_page.push((*page, vec![(*seq, d)])),
+            }
+        }
+        let mut applied_pages = 0;
+        for (page, offers) in by_page {
+            let batch: Vec<(Pid, Seq, Diff)> = {
+                let Some(meta) = self.pages.get(page as usize) else {
+                    continue;
+                };
+                if meta.data.is_none() {
+                    continue;
+                }
+                let unapplied = meta.unapplied();
+                if unapplied.is_empty()
+                    || !unapplied
+                        .iter()
+                        .all(|wn| wn.pid == from && offers.iter().any(|(s, _)| *s == wn.seq))
+                {
+                    continue;
+                }
+                unapplied
+                    .iter()
+                    .map(|wn| {
+                        let d = offers
+                            .iter()
+                            .find(|(s, _)| *s == wn.seq)
+                            .expect("coverage checked above");
+                        (from, wn.seq, d.1.clone())
+                    })
+                    .collect()
+            };
+            self.apply_diffs(page, batch);
+            applied_pages += 1;
+        }
+        applied_pages
     }
 
     // ------------------------------------------------------------------
@@ -621,6 +848,7 @@ impl ProcCore {
     pub fn serve_diffs(&mut self, wants: &[(PageId, Seq)]) -> crate::msg::Msg {
         let mut out = Vec::with_capacity(wants.len());
         for &(page, seq) in wants {
+            *self.diff_heat.entry(page).or_insert(0) += 1;
             let key = DiffKey { page, seq };
             if !self.diffs.contains_key(&key) {
                 // Lazy mode: materialize on demand.
@@ -776,6 +1004,11 @@ impl ProcCore {
         self.vc = Vc::new(team.members.len());
         self.team = team;
         self.my_pid = my_pid;
+        // Fault-window candidates reference per-epoch protocol state
+        // (pending notices, creators by pid) that the commit just
+        // wiped; the heat ranking only orders pages, so it survives.
+        self.fault_window.clear();
+        self.window_history.clear();
         DsmStats::bump(&self.stats.gcs);
     }
 

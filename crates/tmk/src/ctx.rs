@@ -15,14 +15,14 @@
 //! act as the barrier manager while it executes its own share of a
 //! parallel region.
 
-use crate::config::DsmConfig;
+use crate::config::{DataPlaneConfig, DsmConfig};
 use crate::core::{AccessPlan, LockWaiter, ProcCore};
 use crate::msg::Msg;
 use crate::page::PageBuf;
 use crate::service::{deliver_grant, Ctrl};
 use crate::stats::DsmStats;
 use crate::types::{Addr, Epoch, PageId, Pid, Seq, Team};
-use nowmp_net::{Endpoint, Gpid, NetError};
+use nowmp_net::{Endpoint, Gpid, NetError, PendingCall};
 use nowmp_util::wire::{Encoding, Wire};
 use nowmp_util::Clock;
 use parking_lot::Mutex;
@@ -113,6 +113,27 @@ pub struct CacheEnt {
 /// Maximum redirect hops when chasing a page's owner.
 const MAX_REDIRECTS: usize = 6;
 
+/// What one in-flight release-phase prefetch request expects back.
+enum PrefetchKind {
+    /// A `PageReq` for a single page (redirect replies are dropped —
+    /// prefetch never chases ownership chains).
+    Full,
+    /// A `DiffReq` whose diffs were created by this team rank.
+    Diffs {
+        /// Creator's rank (diff application attributes by pid).
+        creator: Pid,
+    },
+}
+
+/// One release-phase prefetch in flight.
+struct Prefetch {
+    /// Pages this request covers (one for `Full`, one or more for
+    /// `Diffs`).
+    pages: Vec<PageId>,
+    kind: PrefetchKind,
+    call: PendingCall,
+}
+
 /// The application thread's DSM context.
 pub struct TmkCtx {
     core: Arc<Mutex<ProcCore>>,
@@ -145,6 +166,25 @@ pub struct TmkCtx {
     /// reference speed (set by the fork dispatcher from the
     /// [`nowmp_net::CostModel`]; zero = compute is free).
     iter_cost: Duration,
+    /// Data-plane overlap levers (pipelined faults, release-phase
+    /// prefetch, piggybacked hot diffs).
+    dataplane: DataPlaneConfig,
+    /// In-flight release-phase prefetches. Must be empty at every
+    /// synchronization point (see [`Self::drain_prefetch`]).
+    inflight: Vec<Prefetch>,
+    /// Pages a completed prefetch already applied but no fault has
+    /// claimed yet: hits when faulted, waste at the next rotation.
+    prefetched_ready: Vec<PageId>,
+    /// Prefetched diff replies buffered per page until the page's
+    /// *whole* unapplied-notice set has arrived
+    /// ([`Self::settle_buffered_diffs`]): diffs from different creators
+    /// must be applied in one causally-sorted batch, never in call
+    /// completion order.
+    diff_buf: Vec<(PageId, Vec<(Pid, Seq, crate::diff::Diff)>)>,
+    /// Pages the current window planned via diff prefetch but has not
+    /// applied yet: moved to `prefetched_ready` when their diff set
+    /// completes, counted wasted at the next drain otherwise.
+    diff_planned: Vec<PageId>,
 }
 
 impl TmkCtx {
@@ -186,6 +226,11 @@ impl TmkCtx {
             ctrl,
             params: Vec::new(),
             iter_cost: Duration::ZERO,
+            dataplane: cfg.dataplane,
+            inflight: Vec::new(),
+            prefetched_ready: Vec::new(),
+            diff_buf: Vec::new(),
+            diff_planned: Vec::new(),
         }
     }
 
@@ -245,6 +290,7 @@ impl TmkCtx {
     /// `ClusterShared::clock().sleep(...)` at chunk boundaries").
     /// Free (an early return) when no cost model is installed.
     pub fn charge_compute(&mut self, iters: u64) {
+        self.poll_prefetch();
         if self.iter_cost.is_zero() || iters == 0 {
             return;
         }
@@ -263,6 +309,7 @@ impl TmkCtx {
     /// cost would mis-shape the timeline). No-op unless the cost model
     /// has compute charging enabled.
     pub fn charge_flops(&mut self, flops: f64) {
+        self.poll_prefetch();
         let cost = self.endpoint.cost();
         if !cost.emulate_compute || flops <= 0.0 {
             return;
@@ -347,6 +394,30 @@ impl TmkCtx {
         } else {
             DsmStats::bump(&self.stats.read_faults);
         }
+        // A fault that hits an in-flight prefetch waits on *that
+        // page's* requests instead of re-issuing them. Only those: the
+        // other prefetches keep overlapping the compute that follows —
+        // waiting for all of them here would put the whole window's
+        // replies back on the critical path.
+        if !self.inflight.is_empty() {
+            let mut i = 0;
+            while i < self.inflight.len() {
+                if self.inflight[i].pages.contains(&page) {
+                    let p = self.inflight.swap_remove(i);
+                    self.finish_prefetch(p);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if let Some(pos) = self.prefetched_ready.iter().position(|&p| p == page) {
+            self.prefetched_ready.swap_remove(pos);
+            DsmStats::bump(&self.stats.prefetch_hits);
+            // A hit resolves to `Ready` below, so `plan_access` won't
+            // record it — but it is real demand the next prefetch
+            // window must still predict.
+            self.core.lock().note_fault(page);
+        }
         loop {
             let plan = self.core.lock().plan_access(page, write);
             match plan {
@@ -396,32 +467,307 @@ impl TmkCtx {
         panic!("page {page}: too many ownership redirects");
     }
 
-    /// Fetch and apply diffs from each creator.
+    /// Fetch and apply diffs from each creator. Under
+    /// `dataplane.pipeline` the per-creator requests are
+    /// scatter-gathered: every `DiffReq` goes on the wire before any
+    /// reply is collected, so a multi-creator fault pays the slowest
+    /// creator's latency instead of the sum of all of them. Replies
+    /// are gathered in issue order (application sorts causally by
+    /// vcsum regardless).
     fn fetch_diffs(&mut self, page: PageId, groups: Vec<(Gpid, Vec<(PageId, Seq)>)>) {
         let mut batch: Vec<(Pid, Seq, crate::diff::Diff)> = Vec::new();
-        for (creator, wants) in groups {
-            let pid = self
-                .team
-                .pid_of(creator)
-                .unwrap_or_else(|| panic!("diff creator {creator} not in team"));
-            let rep = self.call(
-                creator,
-                &Msg::DiffReq {
-                    epoch: self.epoch,
-                    wants,
-                },
-            );
-            match rep {
-                Msg::DiffRep { diffs } => {
-                    for (p, s, d) in diffs {
-                        debug_assert_eq!(p, page);
-                        batch.push((pid, s, d));
+        if self.dataplane.pipeline && groups.len() > 1 {
+            let pending: Vec<(Pid, PendingCall)> = groups
+                .into_iter()
+                .map(|(creator, wants)| {
+                    let pid = self
+                        .team
+                        .pid_of(creator)
+                        .unwrap_or_else(|| panic!("diff creator {creator} not in team"));
+                    let msg = Msg::DiffReq {
+                        epoch: self.epoch,
+                        wants,
+                    };
+                    let call = self
+                        .endpoint
+                        .call_begin(creator, msg.to_bytes_compat(self.wire_enc))
+                        .unwrap_or_else(|e| {
+                            panic!("{}: call to {creator} failed: {e}", self.gpid())
+                        });
+                    (pid, call)
+                })
+                .collect();
+            for (pid, call) in pending {
+                let dst = call.dst();
+                let rep = call
+                    .wait(self.call_timeout)
+                    .unwrap_or_else(|e| panic!("{}: call to {dst} failed: {e}", self.gpid()));
+                match Msg::from_wire(&rep).expect("malformed reply") {
+                    Msg::DiffRep { diffs } => {
+                        for (p, s, d) in diffs {
+                            debug_assert_eq!(p, page);
+                            batch.push((pid, s, d));
+                        }
                     }
+                    other => panic!("unexpected reply to DiffReq: {other:?}"),
                 }
-                other => panic!("unexpected reply to DiffReq: {other:?}"),
+            }
+        } else {
+            for (creator, wants) in groups {
+                let pid = self
+                    .team
+                    .pid_of(creator)
+                    .unwrap_or_else(|| panic!("diff creator {creator} not in team"));
+                let rep = self.call(
+                    creator,
+                    &Msg::DiffReq {
+                        epoch: self.epoch,
+                        wants,
+                    },
+                );
+                match rep {
+                    Msg::DiffRep { diffs } => {
+                        for (p, s, d) in diffs {
+                            debug_assert_eq!(p, page);
+                            batch.push((pid, s, d));
+                        }
+                    }
+                    other => panic!("unexpected reply to DiffReq: {other:?}"),
+                }
             }
         }
         self.core.lock().apply_diffs(page, batch);
+    }
+
+    // ------------------------------------------------------------------
+    // Release-phase prefetch
+    // ------------------------------------------------------------------
+
+    /// Issue asynchronous prefetches for last window's faulted pages.
+    /// Called immediately after a `Fork`/`BarrierRelease` lands (and
+    /// after [`Self::sync_reset`]), so the requests overlap the
+    /// region/epoch compute that follows. No-op under the demand data
+    /// plane.
+    pub fn prefetch_after_release(&mut self) {
+        let budget = self.dataplane.prefetch;
+        if budget == 0 || self.nprocs() == 1 {
+            return;
+        }
+        debug_assert!(
+            self.inflight.is_empty(),
+            "prefetches must be drained before a release point"
+        );
+        debug_assert!(
+            self.diff_buf.is_empty() && self.diff_planned.is_empty(),
+            "buffered diffs must be settled or flushed before a release point"
+        );
+        // Pages prefetched last window that no fault ever claimed were
+        // wire bytes for nothing: own up to them.
+        let stale = std::mem::take(&mut self.prefetched_ready);
+        DsmStats::add(&self.stats.prefetch_wasted, stale.len() as u64);
+        let plan = {
+            let mut c = self.core.lock();
+            let window = c.rotate_fault_window();
+            c.plan_prefetch(&window, budget)
+        };
+        if plan.pages == 0 {
+            return;
+        }
+        DsmStats::add(&self.stats.prefetch_issued, plan.pages as u64);
+        for (page, target) in plan.fulls {
+            let msg = Msg::PageReq {
+                epoch: self.epoch,
+                page,
+            };
+            match self
+                .endpoint
+                .call_begin(target, msg.to_bytes_compat(self.wire_enc))
+            {
+                Ok(call) => self.inflight.push(Prefetch {
+                    pages: vec![page],
+                    kind: PrefetchKind::Full,
+                    call,
+                }),
+                Err(_) => DsmStats::bump(&self.stats.prefetch_wasted),
+            }
+        }
+        for (creator, wants) in plan.diffs {
+            let Some(pid) = self.team.pid_of(creator) else {
+                continue; // left the team; the demand path re-plans
+            };
+            let mut pages: Vec<PageId> = wants.iter().map(|&(p, _)| p).collect();
+            pages.dedup();
+            for &p in &pages {
+                if !self.diff_planned.contains(&p) {
+                    self.diff_planned.push(p);
+                }
+            }
+            let msg = Msg::DiffReq {
+                epoch: self.epoch,
+                wants,
+            };
+            // On send failure the pages stay in `diff_planned`: their
+            // set can never complete, so the next drain counts them
+            // wasted.
+            if let Ok(call) = self
+                .endpoint
+                .call_begin(creator, msg.to_bytes_compat(self.wire_enc))
+            {
+                self.inflight.push(Prefetch {
+                    pages,
+                    kind: PrefetchKind::Diffs { creator: pid },
+                    call,
+                });
+            }
+        }
+    }
+
+    /// Non-blocking: consume any prefetch replies whose modeled
+    /// delivery time has passed. Called from compute chunk boundaries
+    /// ([`Self::charge_compute`]) so replies are folded in while the
+    /// region runs — and so parked replies stop pinning the virtual
+    /// clock's in-flight account.
+    pub fn poll_prefetch(&mut self) {
+        if self.inflight.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].call.ready() {
+                let p = self.inflight.swap_remove(i);
+                self.finish_prefetch(p);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Block until every in-flight prefetch is applied (or discarded).
+    /// Must run before anything that changes the protocol state the
+    /// requests were planned against: barriers, lock transfers,
+    /// interval closes, joins, GC.
+    pub fn drain_prefetch(&mut self) {
+        while let Some(p) = self.inflight.pop() {
+            self.finish_prefetch(p);
+        }
+        // Pages whose diff set never completed (a creator call failed,
+        // or demand got there first): applying a partial set could
+        // clobber causally-newer words, so the buffers are dropped and
+        // the demand path refetches the whole set totally ordered.
+        DsmStats::add(&self.stats.prefetch_wasted, self.diff_planned.len() as u64);
+        self.diff_planned.clear();
+        self.diff_buf.clear();
+    }
+
+    /// Fold one completed prefetch into the core. Replies that no
+    /// longer match the local plan (ownership redirects, pages that
+    /// changed state) are dropped as waste — the demand path still
+    /// covers them.
+    fn finish_prefetch(&mut self, p: Prefetch) {
+        let Prefetch { pages, kind, call } = p;
+        let from = call.dst();
+        let rep = match call.wait(self.call_timeout) {
+            Ok(b) => b,
+            Err(_) => {
+                DsmStats::add(&self.stats.prefetch_wasted, pages.len() as u64);
+                return;
+            }
+        };
+        match (
+            kind,
+            Msg::from_wire(&rep).expect("malformed prefetch reply"),
+        ) {
+            (
+                PrefetchKind::Full,
+                Msg::PageRep {
+                    redirect: Some(_), ..
+                },
+            ) => {
+                DsmStats::bump(&self.stats.prefetch_wasted);
+            }
+            (
+                PrefetchKind::Full,
+                Msg::PageRep {
+                    applied,
+                    words,
+                    redirect: None,
+                },
+            ) => {
+                let page = pages[0];
+                let mut c = self.core.lock();
+                let still_wanted = c
+                    .pages
+                    .get(page as usize)
+                    .map(|m| m.data.is_none() && m.state == crate::page::PageState::Invalid)
+                    .unwrap_or(false);
+                if still_wanted {
+                    c.install_page(page, &applied, words, from);
+                    drop(c);
+                    if !self.prefetched_ready.contains(&page) {
+                        self.prefetched_ready.push(page);
+                    }
+                } else {
+                    DsmStats::bump(&self.stats.prefetch_wasted);
+                }
+            }
+            (PrefetchKind::Diffs { creator }, Msg::DiffRep { diffs }) => {
+                let mut touched: Vec<PageId> = Vec::new();
+                for (p, s, d) in diffs {
+                    match self.diff_buf.iter_mut().find(|(page, _)| *page == p) {
+                        Some((_, batch)) => batch.push((creator, s, d)),
+                        None => self.diff_buf.push((p, vec![(creator, s, d)])),
+                    }
+                    if !touched.contains(&p) {
+                        touched.push(p);
+                    }
+                }
+                for page in touched {
+                    self.settle_buffered_diffs(page);
+                }
+            }
+            (_, other) => panic!("unexpected prefetch reply: {other:?}"),
+        }
+    }
+
+    /// Apply a page's buffered prefetch diffs once — and only once —
+    /// the page's *entire* unapplied-notice set has arrived. The demand
+    /// path gathers every creator's diffs and applies them in one batch
+    /// sorted by interval vcsum; replies arriving per creator call must
+    /// not be applied in completion order, or a causally-older interval
+    /// landing late would clobber a newer writer's words (lost updates
+    /// on lock-protected slots shared with barrier-phase writers).
+    /// Incomplete sets stay buffered; [`Self::drain_prefetch`] drops
+    /// them as waste and the demand path refetches totally ordered.
+    fn settle_buffered_diffs(&mut self, page: PageId) {
+        let Some(idx) = self.diff_buf.iter().position(|(p, _)| *p == page) else {
+            return;
+        };
+        let mut c = self.core.lock();
+        let complete = match c.pages.get(page as usize) {
+            Some(meta) if meta.state == crate::page::PageState::Invalid && meta.data.is_some() => {
+                let unapplied = meta.unapplied();
+                !unapplied.is_empty()
+                    && unapplied.iter().all(|wn| {
+                        self.diff_buf[idx]
+                            .1
+                            .iter()
+                            .any(|&(pid, seq, _)| pid == wn.pid && seq == wn.seq)
+                    })
+            }
+            _ => false,
+        };
+        if !complete {
+            return;
+        }
+        let (_, batch) = self.diff_buf.swap_remove(idx);
+        c.apply_diffs(page, batch);
+        drop(c);
+        if let Some(pos) = self.diff_planned.iter().position(|&p| p == page) {
+            self.diff_planned.swap_remove(pos);
+        }
+        if !self.prefetched_ready.contains(&page) {
+            self.prefetched_ready.push(page);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -544,6 +890,9 @@ impl TmkCtx {
     /// interval records we lack from it and invalidate accordingly.
     pub fn lock(&mut self, lock: u32) {
         self.throttle();
+        // Lock transfers apply remote interval records; the prefetch
+        // plan was made against the pre-acquire unapplied sets.
+        self.drain_prefetch();
         let mgr_pid = self.team.lock_manager(lock);
         let mgr_gpid = self.team.gpid(mgr_pid);
         let prev: Option<Gpid> = if mgr_gpid == self.gpid() {
@@ -597,6 +946,7 @@ impl TmkCtx {
     /// Release distributed lock `lock`: close our interval (making our
     /// writes forwardable) and notify the manager.
     pub fn unlock(&mut self, lock: u32) {
+        self.drain_prefetch();
         {
             let mut c = self.core.lock();
             c.close_interval();
@@ -637,6 +987,7 @@ impl TmkCtx {
     /// `BarrierRelease` relayed down the binomial tree.
     pub fn barrier(&mut self) {
         self.throttle();
+        self.drain_prefetch();
         DsmStats::bump(&self.stats.barrier_arrivals);
         if self.nprocs() == 1 {
             self.core.lock().close_interval();
@@ -654,6 +1005,9 @@ impl TmkCtx {
             self.barrier_slave();
         }
         self.sync_reset();
+        // Overlap the next epoch's faults with its compute: refetch
+        // what we faulted on last epoch, asynchronously.
+        self.prefetch_after_release();
     }
 
     fn barrier_slave(&mut self) {
@@ -704,10 +1058,18 @@ impl TmkCtx {
             DsmStats::add(&self.stats.release_relays, sent as u64);
         }
         match c.msg {
-            Msg::BarrierRelease { vc, records } => {
+            Msg::BarrierRelease {
+                vc,
+                records,
+                piggyback,
+            } => {
                 let mut core = self.core.lock();
                 core.apply_records(&records);
                 core.vc.merge(&vc);
+                // Hot diffs ride the release; whatever they fully cover
+                // never needs a demand fetch this epoch. Master's own
+                // diffs only, so attribution is pid 0.
+                core.apply_piggyback(0, &piggyback);
             }
             _ => unreachable!(),
         }
@@ -751,13 +1113,21 @@ impl TmkCtx {
                     min_vc.set(i as Pid, min_vc.get(i as Pid).min(vc.get(i as Pid)));
                 }
             }
-            let (merged_vc, records) = {
+            let (merged_vc, records, piggyback) = {
                 let c = self.core.lock();
-                (c.vc.clone(), c.records.newer_than(&min_vc))
+                let piggyback = if self.dataplane.piggybacks() {
+                    c.piggyback_diffs(self.dataplane.piggyback_budget)
+                } else {
+                    Vec::new()
+                };
+                (c.vc.clone(), c.records.newer_than(&min_vc), piggyback)
             };
+            let pb_bytes: usize = piggyback.iter().map(|(_, _, d)| 8 + d.wire_bytes()).sum();
+            DsmStats::add(&self.stats.piggyback_bytes, pb_bytes as u64);
             let bytes = Msg::BarrierRelease {
                 vc: merged_vc,
                 records,
+                piggyback,
             }
             .to_bytes_compat(self.wire_enc);
             crate::system::relay_tree_send(&self.endpoint, &self.team, 0, &bytes);
@@ -898,5 +1268,107 @@ mod tests {
         let mut ctx = make_ctx();
         ctx.set_params(vec![1, 2, 3]);
         assert_eq!(ctx.params(), &[1, 2, 3]);
+    }
+
+    // --- fetch_full ownership-redirect chasing ---
+
+    /// Spawn a fake page server answering every `PageReq` with `rep`.
+    fn page_server(ep: nowmp_net::Endpoint, rep: Msg) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(inc) = ep.recv() {
+                match Msg::from_wire(&inc.payload).expect("malformed request") {
+                    Msg::PageReq { .. } => inc
+                        .replier
+                        .expect("PageReq is a request")
+                        .reply(rep.to_bytes()),
+                    other => panic!("unexpected message at fake page server: {other:?}"),
+                }
+            }
+        })
+    }
+
+    /// A ctx on host 0 of `net` whose page 0 carries a (possibly stale)
+    /// owner hint pointing at `owner`.
+    fn make_ctx_with_owner_hint(net: &Network, owner: nowmp_net::Gpid) -> TmkCtx {
+        let ep = Arc::new(net.register(HostId(0)));
+        let gpid = ep.gpid();
+        let core = Arc::new(Mutex::new(ProcCore::new(
+            DsmConfig {
+                page_size: 64,
+                ..DsmConfig::test_small()
+            },
+            gpid,
+            Stats::new_shared(),
+            gpid,
+        )));
+        {
+            let mut pc = core.lock();
+            pc.ensure_pages(1);
+            pc.pages[0].owner = owner;
+            pc.pages[0].shared = true;
+        }
+        TmkCtx::new(core, ep, None)
+    }
+
+    #[test]
+    fn fetch_full_follows_multi_hop_redirects() {
+        let net = Network::new(3, 1, NetModel::disabled());
+        let b = net.register(HostId(1));
+        let c = net.register(HostId(2));
+        let (bg, cg) = (b.gpid(), c.gpid());
+        // b's hint is stale — it points onward to c; c has the page.
+        page_server(
+            b,
+            Msg::PageRep {
+                applied: vec![],
+                words: vec![],
+                redirect: Some(cg),
+            },
+        );
+        page_server(
+            c,
+            Msg::PageRep {
+                applied: vec![],
+                words: vec![42; 8],
+                redirect: None,
+            },
+        );
+        let mut ctx = make_ctx_with_owner_hint(&net, bg);
+        assert_eq!(
+            ctx.read_u64(0),
+            42,
+            "the value arrives through the redirect chain"
+        );
+        let owner = ctx.core().lock().pages[0].owner;
+        assert_eq!(owner, cg, "install records the actual server as owner");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many ownership redirects")]
+    fn fetch_full_redirect_cycle_panics() {
+        // b and c each claim the other owns the page: the chase must
+        // stop loudly at MAX_REDIRECTS instead of ping-ponging forever.
+        let net = Network::new(3, 1, NetModel::disabled());
+        let b = net.register(HostId(1));
+        let c = net.register(HostId(2));
+        let (bg, cg) = (b.gpid(), c.gpid());
+        page_server(
+            b,
+            Msg::PageRep {
+                applied: vec![],
+                words: vec![],
+                redirect: Some(cg),
+            },
+        );
+        page_server(
+            c,
+            Msg::PageRep {
+                applied: vec![],
+                words: vec![],
+                redirect: Some(bg),
+            },
+        );
+        let mut ctx = make_ctx_with_owner_hint(&net, bg);
+        let _ = ctx.read_u64(0);
     }
 }

@@ -45,11 +45,23 @@ impl Diff {
     pub fn create_from_words(twin: &[u64], cur: &[u64], gap_merge: usize) -> Diff {
         assert_eq!(twin.len(), cur.len());
         let mut runs: Vec<DiffRun> = Vec::new();
+        let n = cur.len();
         let mut i = 0usize;
-        while i < cur.len() {
-            if cur[i] == twin[i] {
+        while i < n {
+            // Clean stretches dominate a typical page (a few scattered
+            // writes in 512 words), so skip them eight words at a time
+            // — one slice compare (memcmp) per chunk. A failed chunk
+            // guarantees a dirty word within it; fall through to the
+            // word scan to pinpoint it rather than retrying the memcmp
+            // at every clean word of the gap.
+            while i + 8 <= n && cur[i..i + 8] == twin[i..i + 8] {
+                i += 8;
+            }
+            while i < n && cur[i] == twin[i] {
                 i += 1;
-                continue;
+            }
+            if i >= n {
+                break;
             }
             // Start of a modified run; extend while changed or within the
             // merge gap of the next change.

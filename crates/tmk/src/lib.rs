@@ -52,7 +52,7 @@ pub mod system;
 pub mod tree;
 pub mod types;
 
-pub use config::{Broadcast, CollectiveConfig, DsmConfig};
+pub use config::{Broadcast, CollectiveConfig, DataPlaneConfig, DsmConfig};
 pub use ctx::TmkCtx;
 pub use msg::ElemKind;
 pub use shared::{SharedF64Mat, SharedF64Vec, SharedU64Vec};

@@ -296,6 +296,13 @@ pub enum Msg {
         /// running the region. The payload is receiver-independent, so
         /// relays forward it verbatim.
         relay: bool,
+        /// Piggybacked hot diffs of the master's own newest intervals
+        /// (`(page, seq, diff)`, budget-bounded; empty under the
+        /// demand data plane — and then absent from the wire, keeping
+        /// the 1999 payload byte-identical). Receiver-independent:
+        /// relays forward it verbatim; receivers apply only entries
+        /// matching their unapplied write notices.
+        piggyback: Vec<(PageId, Seq, Diff)>,
     },
     /// Slave → master: finished the region (the `Tmk_join`), one-way.
     JoinArrive {
@@ -336,6 +343,9 @@ pub enum Msg {
         vc: Vc,
         /// Records newer than the pointwise-min arrival clock.
         records: Vec<Record>,
+        /// Piggybacked hot diffs of the manager's own newest intervals
+        /// (see [`Msg::Fork::piggyback`]; empty = absent on the wire).
+        piggyback: Vec<(PageId, Seq, Diff)>,
     },
     /// Master → slave: report per-page applied clocks (GC step 1).
     GcQuery {
@@ -428,6 +438,41 @@ mod tags {
     pub const BARRIER_RELEASE: u8 = 23;
 }
 
+/// Encode a piggyback section as an *optional trailing field*: emitted
+/// only when non-empty, so demand-data-plane payloads stay
+/// byte-identical to the pre-piggyback wire (the Table 1/2 calibration
+/// assumption).
+fn enc_piggyback(pb: &[(PageId, Seq, Diff)], e: &mut Enc) {
+    if pb.is_empty() {
+        return;
+    }
+    e.put_u32(pb.len() as u32);
+    for (p, s, diff) in pb {
+        e.put_u32(*p);
+        e.put_u32(*s);
+        diff.enc(e);
+    }
+}
+
+/// Decode an optional trailing piggyback section (absent = empty).
+fn dec_piggyback(d: &mut Dec<'_>) -> Result<Vec<(PageId, Seq, Diff)>, WireError> {
+    if d.is_done() {
+        return Ok(Vec::new());
+    }
+    let n = d.get_u32()? as usize;
+    if n > 1 << 22 {
+        return Err(WireError::BadLength {
+            what: "piggyback",
+            len: n,
+        });
+    }
+    let mut pb = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        pb.push((d.get_u32()?, d.get_u32()?, Diff::dec(d)?));
+    }
+    Ok(pb)
+}
+
 impl Wire for Msg {
     fn enc(&self, e: &mut Enc) {
         use tags::*;
@@ -507,6 +552,7 @@ impl Wire for Msg {
                 registry_delta,
                 alloc_slots,
                 relay,
+                piggyback,
             } => {
                 e.put_u8(FORK);
                 e.put_u32(*epoch);
@@ -518,6 +564,7 @@ impl Wire for Msg {
                 e.put_seq(registry_delta);
                 e.put_u64(*alloc_slots);
                 e.put_bool(*relay);
+                enc_piggyback(piggyback, e);
             }
             Msg::JoinArrive {
                 epoch,
@@ -548,10 +595,15 @@ impl Wire for Msg {
                 vc.enc(e);
                 RecordSet::enc_slice(records, e);
             }
-            Msg::BarrierRelease { vc, records } => {
+            Msg::BarrierRelease {
+                vc,
+                records,
+                piggyback,
+            } => {
                 e.put_u8(BARRIER_RELEASE);
                 vc.enc(e);
                 RecordSet::enc_slice(records, e);
+                enc_piggyback(piggyback, e);
             }
             Msg::GcQuery { epoch } => {
                 e.put_u8(GC_QUERY);
@@ -699,6 +751,7 @@ impl Wire for Msg {
                 registry_delta: d.get_seq()?,
                 alloc_slots: d.get_u64()?,
                 relay: d.get_bool()?,
+                piggyback: dec_piggyback(d)?,
             },
             JOIN_ARRIVE => Msg::JoinArrive {
                 epoch: d.get_u32()?,
@@ -719,6 +772,7 @@ impl Wire for Msg {
             BARRIER_RELEASE => Msg::BarrierRelease {
                 vc: Vc::dec(d)?,
                 records: RecordSet::dec_vec(d)?,
+                piggyback: dec_piggyback(d)?,
             },
             GC_QUERY => Msg::GcQuery {
                 epoch: d.get_u32()?,
@@ -891,6 +945,28 @@ mod tests {
                 }],
                 alloc_slots: 1024,
                 relay: true,
+                piggyback: vec![],
+            },
+            Msg::Fork {
+                epoch: 1,
+                fork_no: 11,
+                region: 2,
+                params: vec![],
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+                registry_delta: vec![],
+                alloc_slots: 1024,
+                relay: true,
+                piggyback: vec![(
+                    3,
+                    4,
+                    Diff {
+                        runs: vec![DiffRun {
+                            start: 0,
+                            words: vec![7, 8],
+                        }],
+                    },
+                )],
             },
             Msg::JoinArrive {
                 epoch: 1,
@@ -911,6 +987,21 @@ mod tests {
             Msg::BarrierRelease {
                 vc: vc.clone(),
                 records: vec![rec.clone()],
+                piggyback: vec![],
+            },
+            Msg::BarrierRelease {
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+                piggyback: vec![(
+                    9,
+                    4,
+                    Diff {
+                        runs: vec![DiffRun {
+                            start: 2,
+                            words: vec![1],
+                        }],
+                    },
+                )],
             },
             Msg::GcQuery { epoch: 1 },
             Msg::GcReport {
@@ -961,10 +1052,42 @@ mod tests {
         assert!(Msg::BarrierRelease {
             vc: Vc::new(1),
             records: vec![],
+            piggyback: vec![],
         }
         .is_control());
         assert!(!Msg::PageReq { epoch: 0, page: 0 }.is_control());
         assert!(!Msg::LockReq { epoch: 0, lock: 0 }.is_control());
+    }
+
+    #[test]
+    fn empty_piggyback_is_byte_identical_to_the_legacy_wire() {
+        // The piggyback section is an optional trailing field: when
+        // empty it must add zero bytes, so demand-data-plane payloads
+        // match the pre-piggyback (1999-calibrated) encoding exactly.
+        let mut vc = Vc::new(2);
+        vc.set(0, 3);
+        let rec = Record {
+            pid: 0,
+            seq: 3,
+            vc: vc.clone(),
+            pages: vec![1, 2],
+        };
+        for enc_kind in [Encoding::Flat, Encoding::Runs] {
+            let msg = Msg::BarrierRelease {
+                vc: vc.clone(),
+                records: vec![rec.clone()],
+                piggyback: vec![],
+            };
+            let mut legacy = Enc::with_encoding(64, enc_kind);
+            legacy.put_u8(tags::BARRIER_RELEASE);
+            vc.enc(&mut legacy);
+            RecordSet::enc_slice(std::slice::from_ref(&rec), &mut legacy);
+            assert_eq!(
+                &msg.to_bytes_compat(enc_kind)[..],
+                &legacy.finish()[..],
+                "empty piggyback must not change the wire under {enc_kind:?}"
+            );
+        }
     }
 
     #[test]

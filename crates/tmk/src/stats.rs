@@ -77,6 +77,18 @@ counters! {
     gc_fetch_pages,
     /// Pages moved off leaving processes at adaptation.
     leave_pages_moved,
+    /// Pages covered by release-phase prefetch requests issued
+    /// (zero under the demand data plane).
+    prefetch_issued,
+    /// Faults satisfied by a completed or in-flight prefetch instead
+    /// of a fresh demand round-trip.
+    prefetch_hits,
+    /// Prefetched pages never faulted before the window rotated, plus
+    /// prefetch replies dropped as unusable (redirects, stale plans).
+    prefetch_wasted,
+    /// Bytes of hot diffs piggybacked on `Fork`/`BarrierRelease`
+    /// payloads (sender-side count).
+    piggyback_bytes,
 }
 
 impl DsmStats {

@@ -515,6 +515,7 @@ fn worker_main(
                 records,
                 registry_delta,
                 alloc_slots,
+                piggyback,
                 ..
             } => {
                 {
@@ -525,10 +526,17 @@ fn worker_main(
                     pc.ensure_pages(nowmp_util::div_ceil(alloc_slots as usize, spp));
                     pc.apply_records(&records);
                     pc.vc.merge(&vc);
+                    // Hot diffs rode the fork (master's own, pid 0):
+                    // fully covered pages skip their demand fetch.
+                    pc.apply_piggyback(0, &piggyback);
                 }
                 ctx.sync_reset();
                 ctx.set_params(params);
+                // Overlap: refetch last region's fault set while the
+                // region computes (no-op under the demand data plane).
+                ctx.prefetch_after_release();
                 runner.run(region, &mut ctx);
+                ctx.drain_prefetch();
                 // Tmk_join: close, ship our records, return to waiting.
                 let (pid, vc, records) = {
                     let mut pc = core.lock();
@@ -772,6 +780,14 @@ impl MasterCtl {
             )
         };
         let tree_mode = self.sys.cfg.collectives.fork == Broadcast::Tree;
+        let dataplane = self.sys.cfg.dataplane;
+        let piggyback = if dataplane.piggybacks() {
+            self.core.lock().piggyback_diffs(dataplane.piggyback_budget)
+        } else {
+            Vec::new()
+        };
+        let pb_bytes: usize = piggyback.iter().map(|(_, _, d)| 8 + d.wire_bytes()).sum();
+        DsmStats::add(&self.sys.stats.piggyback_bytes, pb_bytes as u64);
         let msg = Msg::Fork {
             epoch,
             fork_no: self.fork_no,
@@ -782,6 +798,7 @@ impl MasterCtl {
             registry_delta: reg_delta.clone(),
             alloc_slots,
             relay: tree_mode,
+            piggyback,
         };
         // The payload is receiver-independent: encode once for all
         // slaves instead of re-serializing per destination. Flat mode
@@ -809,8 +826,10 @@ impl MasterCtl {
         // Run our own share.
         self.ctx.sync_reset();
         self.ctx.set_params(params.to_vec());
+        self.ctx.prefetch_after_release();
         let runner = Arc::clone(&self.sys.runner);
         runner.run(region, &mut self.ctx);
+        self.ctx.drain_prefetch();
 
         // Join: close our interval, then collect all slaves. Under the
         // tree join reduce each arrival is an *aggregate* covering the

@@ -266,6 +266,7 @@ proptest! {
             registry_delta: vec![],
             alloc_slots: alloc,
             relay: false,
+            piggyback: vec![],
         };
         let b = m.to_bytes();
         prop_assert_eq!(Msg::from_wire(&b).unwrap(), m);

@@ -808,12 +808,20 @@ mod tests {
         let c2 = c.clone();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let ready = Arc::new(AtomicBool::new(false));
+        let ready2 = Arc::clone(&ready);
         let h = std::thread::spawn(move || {
             let _p = c2.participant();
+            ready2.store(true, Ordering::Release);
             while !stop2.load(Ordering::Relaxed) {
                 std::hint::spin_loop();
             }
         });
+        // The sleep below must observe a *registered* runner, or it
+        // advances instantly against an empty participant set.
+        while !ready.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
         let wall = Instant::now();
         c.sleep(Duration::from_millis(1));
         // The 1 ms virtual sleep had to ride the stall fallback.

@@ -111,22 +111,6 @@ impl Enc {
         self.encoding
     }
 
-    /// Deprecated mutator: select [`Encoding::Flat`] with `true`.
-    #[deprecated(since = "0.2.0", note = "construct with `Enc::with_encoding` instead")]
-    pub fn set_legacy(&mut self, legacy: bool) {
-        self.encoding = if legacy {
-            Encoding::Flat
-        } else {
-            Encoding::Runs
-        };
-    }
-
-    /// Deprecated accessor: is the legacy (flat) encoding selected?
-    #[deprecated(since = "0.2.0", note = "use `Enc::encoding` instead")]
-    pub fn legacy(&self) -> bool {
-        self.encoding == Encoding::Flat
-    }
-
     /// Number of bytes encoded so far.
     pub fn len(&self) -> usize {
         self.buf.len()
