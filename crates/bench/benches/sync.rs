@@ -84,6 +84,47 @@ fn bench_lock(c: &mut Criterion) {
     master.shutdown();
 }
 
+/// Raw throughput of the vendored lock-free channel the transport
+/// rides on: batched same-thread send/recv (the service-loop burst
+/// shape) and a cross-thread ping-pong (the request/reply shape).
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+
+    let (tx, rx) = crossbeam_channel::unbounded::<u64>();
+    g.bench_function("send_recv_burst_64", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                tx.send(i).unwrap();
+            }
+            let mut sum = 0u64;
+            for _ in 0..64 {
+                sum = sum.wrapping_add(rx.recv().unwrap());
+            }
+            sum
+        })
+    });
+
+    let (req_tx, req_rx) = crossbeam_channel::unbounded::<u64>();
+    let (rep_tx, rep_rx) = crossbeam_channel::unbounded::<u64>();
+    let echo = std::thread::spawn(move || {
+        while let Ok(v) = req_rx.recv() {
+            if v == u64::MAX {
+                break;
+            }
+            rep_tx.send(v + 1).unwrap();
+        }
+    });
+    g.bench_function("cross_thread_pingpong", |b| {
+        b.iter(|| {
+            req_tx.send(7).unwrap();
+            rep_rx.recv().unwrap()
+        })
+    });
+    req_tx.send(u64::MAX).unwrap();
+    echo.join().unwrap();
+    g.finish();
+}
+
 fn bench_page_traffic(c: &mut Criterion) {
     let mut master = system(2);
     // Warm: both sides own copies; each iteration writes then fetches
@@ -102,6 +143,7 @@ criterion_group!(
     bench_forkjoin,
     bench_barrier,
     bench_lock,
+    bench_channel,
     bench_page_traffic
 );
 criterion_main!(benches);

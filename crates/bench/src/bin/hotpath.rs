@@ -1,0 +1,368 @@
+//! `hotpath` — real-clock throughput of the DSM data-plane hot path,
+//! with CI floors.
+//!
+//! Two lane families (see `docs/HOTPATH.md`):
+//!
+//! * **pipeline** — single-thread pages/sec through the full
+//!   consistency pipeline one page takes on a diff fetch: twin/current
+//!   compare (`Diff::create_from_words`), wire encode, wire decode,
+//!   apply into a `PageBuf`, plus the checkpoint-style zero-run encode
+//!   (`zrle`) of the same page. This is the path the wide-scan rewrite
+//!   accelerated; the floor pins it against regressions that criterion
+//!   deltas alone would only report, not fail.
+//! * **contention** — 1/4/8 threads doing page-state transitions on
+//!   disjoint pages, once against the sharded [`PageTable`] (spin-lock
+//!   shards) and once against a coarse `Mutex<Vec<PageMeta>>` — the
+//!   pre-sharding design. The 1-thread lane is pure lock overhead; the
+//!   4- and 8-thread lanes dedicate one thread to the *server role*:
+//!   it repeatedly holds page 0's lock across a long serve (under the
+//!   coarse design that lock is the global one — exactly how the old
+//!   core mutex was held while snapshotting and replying), while the
+//!   remaining threads fault on disjoint pages. Each lane reports two
+//!   sharded/coarse ratios — fault throughput (worker ops/s) and
+//!   serve throughput (server cycles/s) — because the coarse lock
+//!   loses on whichever side the scheduler favours less: on multicore
+//!   the workers serialize behind the server's holds (fault ratio
+//!   shows it), while on a single-core runner the *server* starves —
+//!   barging workers win every futex race and remote page requests
+//!   sit unserved for whole scheduler rotations (serve ratio shows
+//!   it, ~10x here). The gate takes the max of the two: both are the
+//!   same pathology, one global lock coupling the fault path to the
+//!   service path, which the shard layout removes.
+//!
+//! Emits a human table plus `BENCH_hotpath.json`; with `--smoke` the
+//! floors in `crates/bench/baselines.toml` (`[hotpath]`) are enforced
+//! and a violation exits nonzero.
+
+use nowmp_bench::{load_baselines, quick, smoke_from_args};
+use nowmp_tmk::diff::Diff;
+use nowmp_tmk::page::{PageBuf, PageMeta, PageState};
+use nowmp_tmk::PageTable;
+use nowmp_util::wire::Wire;
+use nowmp_util::zrle;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// 4 KB pages, like the protocol default.
+const SLOTS: usize = 512;
+
+/// Pages/sec through create → wire → decode → apply → zrle.
+fn pipeline_lane(pages: usize) -> f64 {
+    let twin: Vec<u64> = (0..SLOTS as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        .collect();
+    let mut cur = twin.clone();
+    for k in 0..64usize {
+        // 64 scattered dirty words — the hot diff shape (every 8th).
+        cur[k * 8] ^= 0xDEAD_BEEF ^ k as u64;
+    }
+    // A sparse page for the checkpoint-style encode: zeros plus the
+    // 64 dirty values (what an early-run scientific array looks like).
+    let mut sparse = vec![0u64; SLOTS];
+    for k in 0..64usize {
+        sparse[k * 8] = cur[k * 8];
+    }
+    let target = PageBuf::from_words(&twin);
+    let mut sink = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..pages {
+        let diff = Diff::create_from_words(&twin, &cur, 0);
+        let bytes = diff.to_wire();
+        let got = Diff::from_wire(&bytes).expect("diff round-trips");
+        got.apply(&target);
+        let z = zrle::compress(&sparse);
+        sink = sink.wrapping_add(bytes.len() as u64 + z.len() as u64);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(sink != 0, "work not elided");
+    assert_eq!(target.load(8), cur[8], "apply really landed");
+    pages as f64 / secs
+}
+
+/// The per-page transition both contention variants perform: the
+/// fault-path state flip a worksharing loop does per touched page.
+#[inline]
+fn touch(meta: &mut PageMeta, round: u64) {
+    meta.state = PageState::Write;
+    meta.dirty = !meta.dirty;
+    meta.zero_lent = round.is_multiple_of(2);
+    meta.state = PageState::Read;
+}
+
+/// The out-of-lock share of a fault: the word-copy/diff work a page
+/// access does *without* holding any table lock (the new design only
+/// takes the shard lock for the metadata flip; the coarse baseline is
+/// given the same structure so the comparison is lock-vs-lock, not
+/// workload-vs-workload). ~100 ns of unelidable compute.
+#[inline]
+fn fault_work(p: u32, round: u64) -> u64 {
+    let mut x = u64::from(p).wrapping_add(round) | 1;
+    for _ in 0..64 {
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(17) ^ u64::from(p);
+    }
+    std::hint::black_box(x)
+}
+
+/// The server's per-cycle lock hold: the wall time the old design
+/// pinned the core mutex per service burst (snapshot + reply + the
+/// transport hop it waited out while holding). Held at millisecond
+/// scale so the measurement is scheduler-robust on small runners.
+const SERVE_HOLD: std::time::Duration = std::time::Duration::from_millis(1);
+/// Gap between serves (the service thread's recv/decode time).
+const SERVE_GAP: std::time::Duration = std::time::Duration::from_micros(300);
+
+/// Pages worker `w` faults on: its own 64-page region, skipping the
+/// blocks that share a shard with page 0 (the page being served), so
+/// under the *sharded* table a fault never needs the server's lock —
+/// the very property the layout exists to provide.
+fn worker_pages(w: usize) -> Vec<u32> {
+    ((w * 64)..(w * 64 + 64))
+        .filter(|p| !(p / nowmp_tmk::table::RANGE).is_multiple_of(nowmp_tmk::table::SHARDS))
+        .map(|p| p as u32)
+        .collect()
+}
+
+/// (fault ops/sec, serves/sec) of `threads` total threads against the
+/// sharded table: `threads - 1` fault workers plus a server holding
+/// page 0's shard across each serve — or a single uncontended worker
+/// when `threads == 1`.
+fn contention_sharded(threads: usize, secs: f64) -> (f64, f64) {
+    let table = Arc::new(PageTable::new());
+    table.ensure(threads.max(2) * 64, nowmp_net::Gpid(1));
+    let t2 = Arc::clone(&table);
+    let t3 = Arc::clone(&table);
+    run_lane(
+        threads,
+        secs,
+        move |w, round| {
+            let mut ops = 0;
+            for &p in &worker_pages(w) {
+                fault_work(p, round);
+                let mut g = t2.guard(p);
+                touch(&mut g, round);
+                ops += 1;
+            }
+            ops
+        },
+        move || {
+            let g = t3.guard(0);
+            std::thread::sleep(SERVE_HOLD);
+            drop(g);
+            std::thread::sleep(SERVE_GAP);
+        },
+    )
+}
+
+/// Same workload against one coarse mutex around the whole page
+/// vector — the pre-sharding design, kept as the baseline the CI
+/// ratio is measured against. The server holds *the* lock across each
+/// serve, exactly as the old core mutex was held.
+fn contention_coarse(threads: usize, secs: f64) -> (f64, f64) {
+    let pages: Arc<Mutex<Vec<PageMeta>>> = Arc::new(Mutex::new(
+        (0..threads.max(2) * 64)
+            .map(|_| PageMeta::new(nowmp_net::Gpid(1)))
+            .collect(),
+    ));
+    let p2 = Arc::clone(&pages);
+    let p3 = Arc::clone(&pages);
+    run_lane(
+        threads,
+        secs,
+        move |w, round| {
+            let mut ops = 0;
+            for &p in &worker_pages(w) {
+                fault_work(p, round);
+                let mut v = p2.lock();
+                touch(&mut v[p as usize], round);
+                ops += 1;
+            }
+            ops
+        },
+        move || {
+            let g = p3.lock();
+            std::thread::sleep(SERVE_HOLD);
+            drop(g);
+            std::thread::sleep(SERVE_GAP);
+        },
+    )
+}
+
+/// Run one contention lane for ~`secs` wall seconds: with
+/// `threads == 1`, a single fault worker; otherwise `threads - 1`
+/// fault workers plus one server thread cycling `serve`. Returns
+/// (aggregate fault ops/sec, server serves/sec).
+fn run_lane(
+    threads: usize,
+    secs: f64,
+    work: impl Fn(usize, u64) -> usize + Send + Sync + 'static,
+    serve: impl Fn() + Send + 'static,
+) -> (f64, f64) {
+    let work = Arc::new(work);
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = if threads == 1 { 1 } else { threads - 1 };
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let work = Arc::clone(&work);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ops = 0usize;
+                let mut round = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    ops += work(w, round);
+                    round += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    let server = (threads > 1).then(|| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut serves = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                serve();
+                serves += 1;
+            }
+            serves
+        })
+    });
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Release);
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let serves = server.map_or(0, |s| s.join().unwrap());
+    (total as f64 / elapsed, serves as f64 / elapsed)
+}
+
+struct Lane {
+    threads: usize,
+    sharded: (f64, f64),
+    coarse: (f64, f64),
+}
+
+impl Lane {
+    /// sharded/coarse fault-throughput ratio.
+    fn fault_ratio(&self) -> f64 {
+        self.sharded.0 / self.coarse.0
+    }
+    /// sharded/coarse serve-throughput ratio (0 when the lane has no
+    /// server, i.e. threads == 1).
+    fn serve_ratio(&self) -> f64 {
+        if self.coarse.1 > 0.0 {
+            self.sharded.1 / self.coarse.1
+        } else {
+            0.0
+        }
+    }
+    /// The gated number: the stronger of the two faces of the coarse
+    /// lock's loss (see the module docs).
+    fn gate_ratio(&self) -> f64 {
+        self.fault_ratio().max(self.serve_ratio())
+    }
+}
+
+fn json(pipeline: f64, lanes: &[Lane]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"quick\": {},\n  \"pipeline_pages_per_sec\": {pipeline:.1},\n  \"contention\": [\n",
+        quick()
+    ));
+    for (i, l) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"threads\": {}, \"sharded_ops_per_sec\": {:.1}, \
+             \"coarse_ops_per_sec\": {:.1}, \"fault_ratio\": {:.3}, \
+             \"sharded_serves_per_sec\": {:.1}, \"coarse_serves_per_sec\": {:.1}, \
+             \"serve_ratio\": {:.3} }}{}\n",
+            l.threads,
+            l.sharded.0,
+            l.coarse.0,
+            l.fault_ratio(),
+            l.sharded.1,
+            l.coarse.1,
+            l.serve_ratio(),
+            if i + 1 < lanes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    smoke_from_args();
+    let (pipe_pages, lane_secs) = if quick() {
+        (20_000, 0.3)
+    } else {
+        (200_000, 2.0)
+    };
+
+    println!(
+        "hotpath: DSM data-plane throughput (real clock, {} mode)\n",
+        if quick() { "smoke" } else { "full" }
+    );
+
+    let pipeline = pipeline_lane(pipe_pages);
+    println!(
+        "pipeline  create->wire->decode->apply->zrle  {:>10.0} pages/s  ({} pages, 4 KB, 64 dirty words)",
+        pipeline, pipe_pages
+    );
+
+    let mut lanes = Vec::new();
+    for &threads in &[1usize, 4, 8] {
+        let lane = Lane {
+            threads,
+            sharded: contention_sharded(threads, lane_secs),
+            coarse: contention_coarse(threads, lane_secs),
+        };
+        if threads == 1 {
+            println!(
+                "contention {threads}t  sharded {:>12.0} ops/s   coarse {:>12.0} ops/s   fault ratio {:>5.2}x",
+                lane.sharded.0,
+                lane.coarse.0,
+                lane.fault_ratio()
+            );
+        } else {
+            println!(
+                "contention {threads}t  sharded {:>12.0} ops/s   coarse {:>12.0} ops/s   fault ratio {:>5.2}x   serves {:>5.0}/s vs {:>5.0}/s  serve ratio {:>5.2}x",
+                lane.sharded.0,
+                lane.coarse.0,
+                lane.fault_ratio(),
+                lane.sharded.1,
+                lane.coarse.1,
+                lane.serve_ratio()
+            );
+        }
+        lanes.push(lane);
+    }
+
+    let out = json(pipeline, &lanes);
+    std::fs::write("BENCH_hotpath.json", &out).expect("write BENCH_hotpath.json");
+    println!("\nwrote BENCH_hotpath.json ({} bytes)", out.len());
+
+    // --- CI floors (enforced in the --smoke configuration CI runs) ----
+    if quick() {
+        let floors = load_baselines();
+        let lane8 = &lanes[2];
+        let ratio8 = lane8.gate_ratio();
+        let ratio_floor = floors["hotpath_contention_8t_min_ratio"];
+        println!(
+            "gate: 8-thread sharded/coarse ratio = {ratio8:.2} (fault {:.2}x, serve {:.2}x; floor {ratio_floor:.2})",
+            lane8.fault_ratio(),
+            lane8.serve_ratio()
+        );
+        assert!(
+            ratio8 >= ratio_floor,
+            "CI hotpath gate: 8-thread page-table contention ratio {ratio8:.2} fell below \
+             the pinned floor {ratio_floor:.2} (crates/bench/baselines.toml)"
+        );
+        let pipe_floor = floors["hotpath_pipeline_min_pages_per_sec"];
+        println!("gate: pipeline = {pipeline:.0} pages/s (floor {pipe_floor:.0})");
+        assert!(
+            pipeline >= pipe_floor,
+            "CI hotpath gate: pipeline throughput {pipeline:.0} pages/s fell below \
+             the pinned floor {pipe_floor:.0} (crates/bench/baselines.toml)"
+        );
+    }
+}

@@ -534,6 +534,8 @@ mod tests {
         assert!(floors.contains_key("tree_reduce_homogeneous_32_min_speedup"));
         assert!(floors.contains_key("overlap_homogeneous_32_min_speedup"));
         assert!(floors.contains_key("overlap_over_demand_32_min_ratio"));
+        assert!(floors.contains_key("hotpath_contention_8t_min_ratio"));
+        assert!(floors.contains_key("hotpath_pipeline_min_pages_per_sec"));
     }
 
     #[test]

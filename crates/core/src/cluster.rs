@@ -322,7 +322,7 @@ impl ClusterShared {
         let resident = self
             .sys
             .core_of(gpid)
-            .map(|c| c.lock().pages.iter().filter(|m| m.data.is_some()).count())
+            .map(|c| c.lock().pages.count(|m| m.data.is_some()))
             .unwrap_or(0);
         let image = migration_image_bytes(resident, self.page_size);
         self.log.push(EventKind::UrgentMigrationStart {
@@ -368,7 +368,7 @@ impl ClusterShared {
         let resident = self
             .sys
             .core_of(gpid)
-            .map(|c| c.lock().pages.iter().filter(|m| m.data.is_some()).count())
+            .map(|c| c.lock().pages.count(|m| m.data.is_some()))
             .unwrap_or(0);
         let image = migration_image_bytes(resident, self.page_size);
         self.log.push(EventKind::UrgentMigrationStart {

@@ -23,10 +23,11 @@
 use crate::config::DsmConfig;
 use crate::diff::{Diff, DiffKey};
 use crate::msg::PageApplied;
-use crate::page::{PageBuf, PageMeta, PageState, Wn};
+use crate::page::{PageBuf, PageState, Wn};
 use crate::records::{Record, RecordStore};
 use crate::shm::Registry;
 use crate::stats::DsmStats;
+use crate::table::PageTable;
 use crate::types::{Epoch, PageId, Pid, Seq, Team, Vc};
 use nowmp_net::Gpid;
 use std::collections::{HashMap, VecDeque};
@@ -122,8 +123,11 @@ pub struct ProcCore {
     pub my_pid: Pid,
     /// Knowledge vector clock.
     pub vc: Vc,
-    /// Per-page metadata, indexed by page id.
-    pub pages: Vec<PageMeta>,
+    /// Per-page metadata behind interleaved spin-lock shards. `Arc`ed
+    /// so the service thread can reach it (for the shared-page serve
+    /// fast path) without taking the core mutex. Lock order is core
+    /// mutex → shard; see [`crate::table`] for the full discipline.
+    pub pages: Arc<PageTable>,
     /// Every interval record known this epoch.
     pub records: RecordStore,
     /// Our own records not yet shipped to the master (drained at
@@ -173,7 +177,7 @@ impl ProcCore {
             team: Team::new(0, vec![gpid]),
             my_pid: 0,
             vc: Vc::new(1),
-            pages: Vec::new(),
+            pages: Arc::new(PageTable::new()),
             records: RecordStore::new(),
             unsent: Vec::new(),
             dirty: Vec::new(),
@@ -202,9 +206,7 @@ impl ProcCore {
 
     /// Grow the page table to cover `n` pages.
     pub fn ensure_pages(&mut self, n: usize) {
-        while self.pages.len() < n {
-            self.pages.push(PageMeta::new(self.default_owner));
-        }
+        self.pages.ensure(n, self.default_owner);
     }
 
     fn slots_per_page(&self) -> usize {
@@ -246,7 +248,7 @@ impl ProcCore {
             self.flush_pending_twin(page);
         }
 
-        let meta = &mut self.pages[page as usize];
+        let mut meta = self.pages.guard(page);
         match meta.state {
             PageState::Write => {
                 // A page we are writing can still have pending notices:
@@ -313,6 +315,7 @@ impl ProcCore {
                     if unapplied.is_empty() {
                         // Nothing pending after all — promote.
                         meta.state = PageState::Read;
+                        drop(meta);
                         return self.plan_access(page, want_write);
                     }
                     let team = &self.team;
@@ -338,6 +341,7 @@ impl ProcCore {
                     // lent zeros to someone, copies exist out there and
                     // our writes must be twinned and recorded.
                     meta.shared = meta.zero_lent;
+                    drop(meta);
                     self.plan_access(page, want_write)
                 } else {
                     // No copy: full fetch from the best-known holder.
@@ -376,7 +380,7 @@ impl ProcCore {
             from,
             applied
         );
-        let meta = &mut self.pages[page as usize];
+        let mut meta = self.pages.guard(page);
         meta.data = Some(Arc::new(PageBuf::from_words(&words)));
         let mut vc = Vc::default();
         for &(p, s) in applied {
@@ -398,7 +402,7 @@ impl ProcCore {
     pub fn apply_diffs(&mut self, page: PageId, mut batch: Vec<(Pid, Seq, Diff)>) {
         self.ensure_pages(page as usize + 1);
         // Attach vcsum sort keys from the pending write notices.
-        let meta = &mut self.pages[page as usize];
+        let mut meta = self.pages.guard(page);
         let keyed: HashMap<(Pid, Seq), u64> = meta
             .pending
             .iter()
@@ -495,7 +499,7 @@ impl ProcCore {
             if plan.pages >= budget {
                 break;
             }
-            let Some(meta) = self.pages.get(page as usize) else {
+            let Some(meta) = self.pages.get(page) else {
                 continue;
             };
             if meta.state != PageState::Invalid {
@@ -594,7 +598,7 @@ impl ProcCore {
         let mut applied_pages = 0;
         for (page, offers) in by_page {
             let batch: Vec<(Pid, Seq, Diff)> = {
-                let Some(meta) = self.pages.get(page as usize) else {
+                let Some(meta) = self.pages.get(page) else {
                     continue;
                 };
                 if meta.data.is_none() {
@@ -637,9 +641,11 @@ impl ProcCore {
             return;
         }
         if let Some((seq, twin)) = self.pending_twins.remove(&page) {
-            let meta = &self.pages[page as usize];
-            let data = meta.data.as_ref().expect("pending twin implies data");
-            let diff = Diff::create(&twin, data, 0);
+            let diff = {
+                let meta = self.pages.guard(page);
+                let data = meta.data.as_ref().expect("pending twin implies data");
+                Diff::create(&twin, data, 0)
+            };
             self.consistency_bytes = self.consistency_bytes.saturating_sub(self.cfg.page_size);
             self.consistency_bytes += diff.wire_bytes();
             self.diffs.insert(DiffKey { page, seq }, Arc::new(diff));
@@ -659,7 +665,7 @@ impl ProcCore {
         let mut rec_pages = Vec::with_capacity(self.dirty.len());
         let dirty = std::mem::take(&mut self.dirty);
         for page in dirty {
-            let meta = &mut self.pages[page as usize];
+            let mut meta = self.pages.guard(page);
             meta.dirty = false;
             // Write notices may have arrived *during* the interval (the
             // multiple-writer case keeps the page writable); a closing
@@ -738,7 +744,7 @@ impl ProcCore {
             let vcsum = rec.vcsum();
             for &page in &rec.pages {
                 self.ensure_pages(page as usize + 1);
-                let meta = &mut self.pages[page as usize];
+                let mut meta = self.pages.guard(page);
                 let before = meta.pending.len();
                 meta.push_wn(Wn {
                     pid: rec.pid,
@@ -769,18 +775,18 @@ impl ProcCore {
     /// Serve a full-page request.
     pub fn serve_page(&mut self, page: PageId) -> crate::msg::Msg {
         self.ensure_pages(page as usize + 1);
+        let open_seq = self.open_seq();
+        let me_pid = self.my_pid;
+        let mut meta = self.pages.guard(page);
         ptrace!(
             page,
             "[{:?}] serve_page {} state={:?} applied={:?}",
             self.gpid,
             page,
-            self.pages[page as usize].state,
-            self.pages[page as usize].applied
+            meta.state,
+            meta.applied
         );
-        let open_seq = self.open_seq();
-        let me_pid = self.my_pid;
-        let meta = &mut self.pages[page as usize];
-        match &meta.data {
+        match meta.data.clone() {
             None => {
                 if meta.owner == self.gpid {
                     // Directory owner of a never-materialized page: the
@@ -807,7 +813,6 @@ impl ProcCore {
                 }
             }
             Some(data) => {
-                let data = Arc::clone(data);
                 if !meta.shared {
                     // Exclusive page becoming shared. If it is dirty in
                     // the open interval with no twin, the served snapshot
@@ -936,15 +941,16 @@ impl ProcCore {
 
     /// Report per-page applied clocks for every page we hold (GC step 1).
     pub fn gc_report(&self) -> Vec<PageApplied> {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.data.is_some())
-            .map(|(i, m)| PageApplied {
-                page: i as PageId,
-                applied: m.applied.iter_nonzero().collect(),
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.pages.for_each(|page, m| {
+            if m.data.is_some() {
+                out.push(PageApplied {
+                    page,
+                    applied: m.applied.iter_nonzero().collect(),
+                });
+            }
+        });
+        out
     }
 
     /// Install GC fetch instructions: post the missing write notices so
@@ -952,7 +958,7 @@ impl ProcCore {
     pub fn gc_prepare_fetch(&mut self, wants: &[(PageId, Vec<Wn>)]) {
         for (page, wns) in wants {
             self.ensure_pages(*page as usize + 1);
-            let meta = &mut self.pages[*page as usize];
+            let mut meta = self.pages.guard(*page);
             for wn in wns {
                 meta.push_wn(*wn);
             }
@@ -973,27 +979,20 @@ impl ProcCore {
         drop_pages: &[PageId],
     ) {
         assert_eq!(team.epoch, new_epoch, "team/epoch mismatch in commit");
+        // The rewrite below passes through inconsistent intermediate
+        // states; hold the service fast path down until it completes
+        // (the guard borrows a local clone so `&mut self` stays free).
+        let table = Arc::clone(&self.pages);
+        let _frozen = table.freeze();
         self.ensure_pages(dir.len());
         for &p in drop_pages {
-            let meta = &mut self.pages[p as usize];
-            meta.data = None;
+            self.pages.guard(p).data = None;
         }
-        for (i, meta) in self.pages.iter_mut().enumerate() {
-            meta.twin = None;
-            meta.pending.clear();
-            meta.dirty = false;
-            meta.applied = Vc::new(team.members.len());
-            meta.shared = true;
-            meta.zero_lent = false;
-            if let Some(&owner) = dir.get(i) {
-                meta.owner = owner;
-            }
-            meta.state = if meta.data.is_some() {
-                PageState::Read
-            } else {
-                PageState::Invalid
-            };
-        }
+        let nprocs = team.members.len();
+        self.pages.for_each(|i, meta| {
+            crate::table::reset_meta(meta, nprocs, dir.get(i as usize).copied());
+        });
+        self.pages.set_epoch(new_epoch);
         self.diffs.clear();
         self.pending_twins.clear();
         self.consistency_bytes = 0;
@@ -1024,18 +1023,20 @@ impl ProcCore {
     /// Snapshot every locally-valid page (master-side checkpoint after
     /// it collected all pages).
     pub fn export_pages(&self) -> Vec<(PageId, Vec<u64>)> {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| m.data.as_ref().map(|d| (i as PageId, d.snapshot())))
-            .collect()
+        let mut out = Vec::new();
+        self.pages.for_each(|page, m| {
+            if let Some(d) = &m.data {
+                out.push((page, d.snapshot()));
+            }
+        });
+        out
     }
 
     /// Import pages wholesale (recovery: the master owns everything).
     pub fn import_pages(&mut self, pages: &[(PageId, Vec<u64>)]) {
         for (p, words) in pages {
             self.ensure_pages(*p as usize + 1);
-            let meta = &mut self.pages[*p as usize];
+            let mut meta = self.pages.guard(*p);
             meta.data = Some(Arc::new(PageBuf::from_words(words)));
             meta.state = PageState::Read;
             meta.applied = Vc::new(self.team.members.len());
@@ -1074,8 +1075,8 @@ mod tests {
             }
             other => panic!("expected Ready, got {other:?}"),
         }
-        assert_eq!(c.pages[0].state, PageState::Read);
-        assert!(!c.pages[0].shared, "untouched page stays exclusive");
+        assert_eq!(c.pages.guard(0).state, PageState::Read);
+        assert!(!c.pages.guard(0).shared, "untouched page stays exclusive");
     }
 
     #[test]
@@ -1086,8 +1087,11 @@ mod tests {
         };
         assert!(writable);
         buf.store(0, 7);
-        assert!(c.pages[0].twin.is_none(), "exclusive pages never twin");
-        assert!(c.pages[0].dirty);
+        assert!(
+            c.pages.guard(0).twin.is_none(),
+            "exclusive pages never twin"
+        );
+        assert!(c.pages.guard(0).dirty);
         // Closing the interval emits no record for exclusive pages.
         assert!(c.close_interval().is_none());
     }
@@ -1100,13 +1104,13 @@ mod tests {
         let _ = c.plan_access(0, false);
         let rep = c.serve_page(0);
         assert!(matches!(rep, Msg::PageRep { redirect: None, .. }));
-        assert!(c.pages[0].shared);
+        assert!(c.pages.guard(0).shared);
         // Now a write must twin.
         let AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
             panic!()
         };
         buf.store(3, 99);
-        assert!(c.pages[0].twin.is_some());
+        assert!(c.pages.guard(0).twin.is_some());
         let rec = c
             .close_interval()
             .expect("dirty shared page yields a record");
@@ -1139,8 +1143,8 @@ mod tests {
         assert!(redirect.is_none());
         assert_eq!(words[1], 5);
         assert!(applied.is_empty(), "no closed intervals yet");
-        assert!(c.pages[0].twin.is_some(), "snapshot became the twin");
-        assert!(c.pages[0].shared);
+        assert!(c.pages.guard(0).twin.is_some(), "snapshot became the twin");
+        assert!(c.pages.guard(0).shared);
         // Post-snapshot writes land in the eventual diff.
         buf.store(2, 6);
         let rec = c.close_interval().unwrap();
@@ -1171,7 +1175,7 @@ mod tests {
         let mut c = core();
         two_proc_team(&mut c, 0);
         let _ = c.plan_access(0, false);
-        c.pages[0].shared = true;
+        c.pages.guard(0).shared = true;
         let mut vc = Vc::new(2);
         vc.set(1, 1);
         let rec = Record {
@@ -1181,8 +1185,11 @@ mod tests {
             pages: vec![0],
         };
         c.apply_records(&[rec]);
-        assert_eq!(c.pages[0].state, PageState::Invalid);
-        assert!(c.pages[0].data.is_some(), "stale copy kept for diffing");
+        assert_eq!(c.pages.guard(0).state, PageState::Invalid);
+        assert!(
+            c.pages.guard(0).data.is_some(),
+            "stale copy kept for diffing"
+        );
         assert_eq!(c.vc.get(1), 1);
         // Planning access now asks for diffs from gpid 2.
         match c.plan_access(0, false) {
@@ -1200,7 +1207,7 @@ mod tests {
         let mut c = core();
         two_proc_team(&mut c, 0);
         let _ = c.plan_access(0, false);
-        c.pages[0].shared = true;
+        c.pages.guard(0).shared = true;
         let mut vc = Vc::new(2);
         vc.set(1, 1);
         c.apply_records(&[Record {
@@ -1211,10 +1218,10 @@ mod tests {
         }]);
         let diff = Diff::create_from_words(&[0; 8], &[0, 42, 0, 0, 0, 0, 0, 0], 0);
         c.apply_diffs(0, vec![(1, 1, diff)]);
-        assert_eq!(c.pages[0].state, PageState::Read);
-        assert_eq!(c.pages[0].data.as_ref().unwrap().load(1), 42);
-        assert_eq!(c.pages[0].applied.get(1), 1);
-        assert!(c.pages[0].pending.is_empty());
+        assert_eq!(c.pages.guard(0).state, PageState::Read);
+        assert_eq!(c.pages.guard(0).data.as_ref().unwrap().load(1), 42);
+        assert_eq!(c.pages.guard(0).applied.get(1), 1);
+        assert!(c.pages.guard(0).pending.is_empty());
     }
 
     #[test]
@@ -1242,7 +1249,11 @@ mod tests {
         ]);
         // Fetch a copy that only includes seq 1.
         c.install_page(3, &[(1, 1)], vec![0; 8], Gpid(2));
-        assert_eq!(c.pages[3].state, PageState::Invalid, "seq 2 still missing");
+        assert_eq!(
+            c.pages.guard(3).state,
+            PageState::Invalid,
+            "seq 2 still missing"
+        );
         match c.plan_access(3, false) {
             AccessPlan::NeedDiffs { groups } => {
                 assert_eq!(groups[0].1, vec![(3, 2)]);
@@ -1396,9 +1407,9 @@ mod tests {
         assert!(c.records.is_empty());
         assert!(c.diffs.is_empty());
         assert_eq!(c.vc.len(), 3);
-        assert_eq!(c.pages[0].state, PageState::Read);
-        assert!(c.pages[0].twin.is_none());
-        assert_eq!(c.pages[0].applied.sum(), 0);
+        assert_eq!(c.pages.guard(0).state, PageState::Read);
+        assert!(c.pages.guard(0).twin.is_none());
+        assert_eq!(c.pages.guard(0).applied.sum(), 0);
     }
 
     #[test]
@@ -1408,9 +1419,9 @@ mod tests {
         let _ = c.plan_access(0, false);
         let new_team = Team::new(1, vec![Gpid(1), Gpid(2)]);
         c.gc_commit(1, new_team, 0, &[Gpid(2)], &[0]);
-        assert!(c.pages[0].data.is_none());
-        assert_eq!(c.pages[0].state, PageState::Invalid);
-        assert_eq!(c.pages[0].owner, Gpid(2));
+        assert!(c.pages.guard(0).data.is_none());
+        assert_eq!(c.pages.guard(0).state, PageState::Invalid);
+        assert_eq!(c.pages.guard(0).owner, Gpid(2));
     }
 
     #[test]

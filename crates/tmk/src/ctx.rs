@@ -697,7 +697,7 @@ impl TmkCtx {
                 let mut c = self.core.lock();
                 let still_wanted = c
                     .pages
-                    .get(page as usize)
+                    .get(page)
                     .map(|m| m.data.is_none() && m.state == crate::page::PageState::Invalid)
                     .unwrap_or(false);
                 if still_wanted {
@@ -743,7 +743,7 @@ impl TmkCtx {
             return;
         };
         let mut c = self.core.lock();
-        let complete = match c.pages.get(page as usize) {
+        let complete = match c.pages.get(page) {
             Some(meta) if meta.state == crate::page::PageState::Invalid && meta.data.is_some() => {
                 let unapplied = meta.unapplied();
                 !unapplied.is_empty()
@@ -1304,8 +1304,8 @@ mod tests {
         {
             let mut pc = core.lock();
             pc.ensure_pages(1);
-            pc.pages[0].owner = owner;
-            pc.pages[0].shared = true;
+            pc.pages.guard(0).owner = owner;
+            pc.pages.guard(0).shared = true;
         }
         TmkCtx::new(core, ep, None)
     }
@@ -1339,7 +1339,7 @@ mod tests {
             42,
             "the value arrives through the redirect chain"
         );
-        let owner = ctx.core().lock().pages[0].owner;
+        let owner = ctx.core().lock().pages.guard(0).owner;
         assert_eq!(owner, cg, "install records the actual server as owner");
     }
 

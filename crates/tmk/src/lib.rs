@@ -49,6 +49,7 @@ pub mod shared;
 pub mod shm;
 pub mod stats;
 pub mod system;
+pub mod table;
 pub mod tree;
 pub mod types;
 
@@ -58,4 +59,5 @@ pub use msg::ElemKind;
 pub use shared::{SharedF64Mat, SharedF64Vec, SharedU64Vec};
 pub use stats::{DsmSnapshot, DsmStats};
 pub use system::{DsmSystem, GcOutcome, MasterCtl, MemoryImage, RegionRunner};
+pub use table::{PageGuard, PageTable};
 pub use types::{Addr, Epoch, PageId, Pid, Seq, Team, Vc};

@@ -866,7 +866,6 @@ impl Msg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::diff::DiffRun;
     use crate::types::Team;
 
     fn roundtrip(m: &Msg) {
@@ -912,16 +911,7 @@ mod tests {
                 redirect: Some(Gpid(4)),
             },
             Msg::DiffRep {
-                diffs: vec![(
-                    7,
-                    2,
-                    Diff {
-                        runs: vec![DiffRun {
-                            start: 1,
-                            words: vec![42],
-                        }],
-                    },
-                )],
+                diffs: vec![(7, 2, Diff::of_run(1, &[42]))],
             },
             Msg::RecordsRep {
                 records: vec![rec.clone()],
@@ -957,16 +947,7 @@ mod tests {
                 registry_delta: vec![],
                 alloc_slots: 1024,
                 relay: true,
-                piggyback: vec![(
-                    3,
-                    4,
-                    Diff {
-                        runs: vec![DiffRun {
-                            start: 0,
-                            words: vec![7, 8],
-                        }],
-                    },
-                )],
+                piggyback: vec![(3, 4, Diff::of_run(0, &[7, 8]))],
             },
             Msg::JoinArrive {
                 epoch: 1,
@@ -992,16 +973,7 @@ mod tests {
             Msg::BarrierRelease {
                 vc: vc.clone(),
                 records: vec![rec.clone()],
-                piggyback: vec![(
-                    9,
-                    4,
-                    Diff {
-                        runs: vec![DiffRun {
-                            start: 2,
-                            words: vec![1],
-                        }],
-                    },
-                )],
+                piggyback: vec![(9, 4, Diff::of_run(2, &[1]))],
             },
             Msg::GcQuery { epoch: 1 },
             Msg::GcReport {

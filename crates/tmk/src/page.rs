@@ -72,17 +72,22 @@ impl PageBuf {
         }
     }
 
-    /// Bulk read `dst.len()` slots starting at `offset`.
+    /// Bulk read `dst.len()` slots starting at `offset`. One bounds
+    /// check for the whole range; the body is a straight-line
+    /// load/store stream the compiler unrolls.
     pub fn read_range(&self, offset: usize, dst: &mut [u64]) {
-        for (k, d) in dst.iter_mut().enumerate() {
-            *d = self.words[offset + k].load(Ordering::Relaxed);
+        let src = &self.words[offset..offset + dst.len()];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.load(Ordering::Relaxed);
         }
     }
 
-    /// Bulk write `src` starting at `offset`.
+    /// Bulk write `src` starting at `offset` (range-checked once, like
+    /// [`PageBuf::read_range`]).
     pub fn write_range(&self, offset: usize, src: &[u64]) {
-        for (k, &s) in src.iter().enumerate() {
-            self.words[offset + k].store(s, Ordering::Relaxed);
+        let dst = &self.words[offset..offset + src.len()];
+        for (d, &s) in dst.iter().zip(src) {
+            d.store(s, Ordering::Relaxed);
         }
     }
 }

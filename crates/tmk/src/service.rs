@@ -29,6 +29,11 @@ pub struct Ctrl {
     pub replier: Option<Replier>,
 }
 
+/// Messages drained per wakeup: enough to amortize the sleep/wake and
+/// dispatch across a fork-time or barrier-time burst, small enough to
+/// keep reply latency for the first request low.
+const SERVICE_BURST: usize = 16;
+
 /// Run the service loop until the endpoint disconnects.
 ///
 /// Panics on malformed messages or protocol violations — this is a
@@ -42,90 +47,119 @@ pub fn service_loop(
     // time holds still while a request is being served.
     let clock = endpoint.clock().clone();
     let _participant = clock.participant();
-    while let Ok(inc) = endpoint.recv() {
-        let msg = match Msg::from_wire(&inc.payload) {
-            Ok(m) => m,
-            Err(e) => panic!("malformed message from {}: {e}", inc.src),
-        };
-        if msg.is_control() {
-            // Forward to the application thread; if it has exited (post
-            // Terminate), drop silently — late control traffic is
-            // possible during teardown. The hop to the control channel
-            // keeps the message accounted as in-flight.
-            clock.msg_sent();
-            let sent = ctrl_tx
-                .send(Ctrl {
-                    msg,
-                    raw: inc.payload,
-                    src: inc.src,
-                    replier: inc.replier,
-                })
-                .is_ok();
-            if !sent {
-                clock.msg_received();
-            }
-            continue;
+    // The page table outlives every epoch; grabbing it once up front
+    // lets the steady-state `PageReq` path below serve from a shard
+    // lock without ever touching the core mutex.
+    let table = Arc::clone(&core.lock().pages);
+    let mut burst: Vec<nowmp_net::Incoming> = Vec::with_capacity(SERVICE_BURST);
+    loop {
+        burst.clear();
+        if endpoint.recv_burst(SERVICE_BURST, &mut burst).is_err() {
+            break;
         }
-        match msg {
-            Msg::ConnHello { .. } => {
-                if let Some(r) = inc.replier {
-                    r.reply(Msg::Ack.to_bytes());
-                }
-            }
-            Msg::PageReq { epoch, page } => {
-                let rep = {
-                    let mut c = core.lock();
-                    debug_assert_eq!(epoch, c.epoch(), "PageReq from wrong epoch");
-                    c.serve_page(page)
-                };
-                inc.replier
-                    .expect("PageReq is a request")
-                    .reply(rep.to_bytes());
-            }
-            Msg::DiffReq { epoch, wants } => {
-                let rep = {
-                    let mut c = core.lock();
-                    debug_assert_eq!(epoch, c.epoch(), "DiffReq from wrong epoch");
-                    c.serve_diffs(&wants)
-                };
-                inc.replier
-                    .expect("DiffReq is a request")
-                    .reply(rep.to_bytes());
-            }
-            Msg::RecordsReq { epoch, vc } => {
-                let (rep, enc) = {
-                    let c = core.lock();
-                    debug_assert_eq!(epoch, c.epoch(), "RecordsReq from wrong epoch");
-                    let enc = if c.cfg.collectives.fork == crate::config::Broadcast::Flat {
-                        Encoding::Flat
-                    } else {
-                        Encoding::Runs
-                    };
-                    (c.serve_records(&vc), enc)
-                };
-                inc.replier
-                    .expect("RecordsReq is a request")
-                    .reply(rep.to_bytes_compat(enc));
-            }
-            Msg::LockReq { epoch, lock } => {
-                let replier = inc.replier.expect("LockReq is a request");
-                let grant = {
-                    let mut c = core.lock();
-                    debug_assert_eq!(epoch, c.epoch(), "LockReq from wrong epoch");
-                    c.lock_acquire(lock, inc.src, LockWaiter::Remote(replier))
-                };
-                deliver_grant(grant, &clock);
-            }
-            Msg::LockRelease { epoch, lock } => {
-                let grant = {
-                    let mut c = core.lock();
-                    debug_assert_eq!(epoch, c.epoch(), "LockRelease from wrong epoch");
-                    c.lock_release(lock)
-                };
-                deliver_grant(grant, &clock);
-            }
-            other => panic!("service thread received non-request message {other:?}"),
+        for inc in burst.drain(..) {
+            serve_one(inc, &core, &table, &ctrl_tx, &clock);
         }
+    }
+}
+
+/// Handle one incoming message (request answered inline, control
+/// forwarded to the application thread).
+fn serve_one(
+    inc: nowmp_net::Incoming,
+    core: &Arc<Mutex<ProcCore>>,
+    table: &crate::table::PageTable,
+    ctrl_tx: &crossbeam_channel::Sender<Ctrl>,
+    clock: &nowmp_util::Clock,
+) {
+    let msg = match Msg::from_wire(&inc.payload) {
+        Ok(m) => m,
+        Err(e) => panic!("malformed message from {}: {e}", inc.src),
+    };
+    if msg.is_control() {
+        // Forward to the application thread; if it has exited (post
+        // Terminate), drop silently — late control traffic is
+        // possible during teardown. The hop to the control channel
+        // keeps the message accounted as in-flight.
+        clock.msg_sent();
+        let sent = ctrl_tx
+            .send(Ctrl {
+                msg,
+                raw: inc.payload,
+                src: inc.src,
+                replier: inc.replier,
+            })
+            .is_ok();
+        if !sent {
+            clock.msg_received();
+        }
+        return;
+    }
+    match msg {
+        Msg::ConnHello { .. } => {
+            if let Some(r) = inc.replier {
+                r.reply(Msg::Ack.to_bytes());
+            }
+        }
+        Msg::PageReq { epoch, page } => {
+            // Steady-state fast path: an already-shared page with a
+            // local copy serves from its shard lock alone, concurrent
+            // with whatever the application thread is doing to *other*
+            // pages under the core mutex. Transitions (exclusive →
+            // shared, zero-page conjuring, redirects) fall back to the
+            // core-locked slow path.
+            let rep = table.serve_shared_fast(page, epoch).unwrap_or_else(|| {
+                let mut c = core.lock();
+                debug_assert_eq!(epoch, c.epoch(), "PageReq from wrong epoch");
+                c.serve_page(page)
+            });
+            inc.replier
+                .expect("PageReq is a request")
+                .reply(rep.to_bytes());
+        }
+        Msg::DiffReq { epoch, wants } => {
+            let rep = {
+                let mut c = core.lock();
+                debug_assert_eq!(epoch, c.epoch(), "DiffReq from wrong epoch");
+                c.serve_diffs(&wants)
+            };
+            inc.replier
+                .expect("DiffReq is a request")
+                .reply(rep.to_bytes());
+        }
+        Msg::RecordsReq { epoch, vc } => {
+            let (rep, enc) = {
+                let c = core.lock();
+                debug_assert_eq!(epoch, c.epoch(), "RecordsReq from wrong epoch");
+                let enc = if c.cfg.collectives.fork == crate::config::Broadcast::Flat {
+                    Encoding::Flat
+                } else {
+                    Encoding::Runs
+                };
+                (c.serve_records(&vc), enc)
+            };
+            inc.replier
+                .expect("RecordsReq is a request")
+                .reply(rep.to_bytes_compat(enc));
+        }
+        Msg::LockReq { epoch, lock } => {
+            let replier = inc.replier.expect("LockReq is a request");
+            let grant = {
+                let mut c = core.lock();
+                debug_assert_eq!(epoch, c.epoch(), "LockReq from wrong epoch");
+                c.lock_acquire(lock, inc.src, LockWaiter::Remote(replier))
+            };
+            deliver_grant(grant, clock);
+        }
+        Msg::LockRelease { epoch, lock } => {
+            let grant = {
+                let mut c = core.lock();
+                debug_assert_eq!(epoch, c.epoch(), "LockRelease from wrong epoch");
+                c.lock_release(lock)
+            };
+            deliver_grant(grant, clock);
+        }
+        other => panic!("service thread received non-request message {other:?}"),
     }
 }
 
@@ -212,8 +246,61 @@ mod tests {
         assert_eq!(words[2], 1234);
         // A's page is now shared and twinned (it was exclusive-dirty).
         let c = core_a.lock();
-        assert!(c.pages[0].shared);
-        assert!(c.pages[0].twin.is_some());
+        assert!(c.pages.guard(0).shared);
+        assert!(c.pages.guard(0).twin.is_some());
+    }
+
+    #[test]
+    fn shared_page_served_while_core_mutex_is_held() {
+        // The whole point of the sharded page table: a PageReq for an
+        // already-shared page is answered from its shard lock even
+        // while the application thread sits inside a long core-mutex
+        // critical section.
+        let net = Network::new(2, 1, NetModel::disabled());
+        let (_ep_a, core_a, _rx_a, gpid_a) = spawn_proc(&net, 0);
+        let (ep_b, _core_b, _rx_b, _g) = spawn_proc(&net, 1);
+
+        // Materialize + write page 0 on A, then serve once so it is
+        // shared (the exclusive→shared transition needs the core).
+        {
+            let mut c = core_a.lock();
+            let crate::core::AccessPlan::Ready { buf, .. } = c.plan_access(0, true) else {
+                panic!()
+            };
+            buf.store(0, 77);
+            let _ = c.serve_page(0);
+        }
+        // One round trip proves A's service loop is up (it snapshots
+        // the table handle at startup, under a brief core lock).
+        let _ = ep_b
+            .call(gpid_a, Msg::PageReq { epoch: 0, page: 0 }.to_bytes())
+            .unwrap();
+
+        // Now hold A's core mutex hostage and fetch again.
+        let hostage = core_a.lock();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        let fetch = std::thread::spawn(move || {
+            let rep = ep_b
+                .call(gpid_a, Msg::PageReq { epoch: 0, page: 0 }.to_bytes())
+                .unwrap();
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            rep
+        });
+        let fast = nowmp_util::wait_for(std::time::Duration::from_secs(5), || {
+            done.load(std::sync::atomic::Ordering::SeqCst)
+        });
+        drop(hostage);
+        let rep = fetch.join().unwrap();
+        assert!(fast, "PageReq for a shared page blocked on the core mutex");
+        let Msg::PageRep {
+            words, redirect, ..
+        } = Msg::from_wire(&rep).unwrap()
+        else {
+            panic!()
+        };
+        assert!(redirect.is_none());
+        assert_eq!(words[0], 77);
     }
 
     #[test]

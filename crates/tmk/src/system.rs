@@ -484,8 +484,9 @@ fn worker_main(
                     pc.vc = Vc::new(n);
                     pc.my_pid = my_pid;
                     pc.team = team.clone();
+                    pc.pages.set_epoch(team.epoch);
                     for (i, owner) in dirv.iter().enumerate() {
-                        let meta = &mut pc.pages[i];
+                        let mut meta = pc.pages.guard(i as PageId);
                         meta.owner = *owner;
                         meta.shared = true;
                     }
@@ -725,6 +726,7 @@ impl MasterCtl {
             c.vc = Vc::new(team.nprocs());
             c.my_pid = 0;
             c.team = team.clone();
+            c.pages.set_epoch(team.epoch);
         }
         let (registry, alloc_slots) = {
             (
@@ -1131,8 +1133,7 @@ impl MasterCtl {
             return 0;
         };
         let c = core.lock();
-        let page_bytes: usize =
-            c.pages.iter().filter(|m| m.data.is_some()).count() * c.cfg.page_size;
+        let page_bytes: usize = c.pages.count(|m| m.data.is_some()) * c.cfg.page_size;
         // Stack + heap metadata estimate (libckpt also writes those).
         page_bytes + 256 * 1024
     }
@@ -1142,9 +1143,7 @@ impl MasterCtl {
         self.core
             .lock()
             .pages
-            .iter()
-            .filter(|m| m.state != PageState::Invalid)
-            .count()
+            .count(|m| m.state != PageState::Invalid)
     }
 
     /// Gracefully shut the system down: terminate every slave, then

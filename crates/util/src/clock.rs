@@ -709,6 +709,42 @@ mod tests {
         }
     }
 
+    /// Same single-shot strictness for [`Clock::alarm`]: a waited
+    /// alarm fires at *exactly* its deadline (the 2 ms oversleep
+    /// budget holds as equality), a cancelled alarm neither fires nor
+    /// drags time forward to its deadline, and a dropped alarm
+    /// releases its pre-registered slot instead of wedging advance.
+    #[test]
+    fn virtual_alarm_single_shot_strict() {
+        let c = Clock::new_virtual();
+        for &us in &[100u64, 500, 1500] {
+            let d = Duration::from_micros(us);
+            let t = c.now();
+            let a = c.alarm(d);
+            assert!(a.wait(), "uncancelled alarm must fire");
+            let e = c.elapsed_since(t);
+            assert!(
+                e < d + Duration::from_millis(2),
+                "alarm overslept: {e:?} for request {d:?}"
+            );
+            assert_eq!(e, d, "virtual alarm fires exactly at its deadline");
+        }
+        // Cancellation: the waiter reports it, and the withdrawn
+        // deadline no longer pulls the clock forward.
+        let t = c.now();
+        let a = c.alarm(Duration::from_secs(3600));
+        a.cancel();
+        assert!(!a.wait(), "cancelled alarm must not fire");
+        assert!(a.is_cancelled());
+        assert_eq!(c.elapsed_since(t), Duration::ZERO);
+        // Drop without wait/cancel: the slot is released, so a later
+        // sleep past the abandoned deadline still advances.
+        drop(c.alarm(Duration::from_micros(50)));
+        let t = c.now();
+        c.sleep(Duration::from_micros(200));
+        assert_eq!(c.elapsed_since(t), Duration::from_micros(200));
+    }
+
     #[test]
     fn tick_arithmetic() {
         let t = Tick::from_nanos(500);

@@ -13,6 +13,9 @@
 //! * [`zrle`] — zero-run-length encoding used to compress shared-memory
 //!   pages in checkpoints and migration images (scientific arrays are
 //!   zero-dominated early in a run);
+//! * [`lock`] — a [`lock::SpinLock`] with typestate [`lock::LockGuard`]s
+//!   (the xv6-style discipline: data reachable only through the guard),
+//!   used for sharded hot-path state like the tmk page-table shards;
 //! * [`sem`] — a counting semaphore (CPU-slot accounting on simulated
 //!   hosts, i.e. the multiplexing of an urgently-migrated process);
 //! * [`timing`] — precise sleeping for the network cost emulation and a
@@ -28,6 +31,7 @@
 
 pub mod clock;
 pub mod crc;
+pub mod lock;
 pub mod sem;
 pub mod timing;
 pub mod wire;
@@ -35,6 +39,7 @@ pub mod zrle;
 
 pub use clock::{Alarm, Clock, ParticipantGuard, Tick};
 pub use crc::crc32;
+pub use lock::{LockGuard, SpinLock};
 pub use sem::Semaphore;
 pub use timing::{precise_sleep, wait_for, Stopwatch};
 pub use wire::{Dec, Enc, Encoding, Wire, WireError};

@@ -132,7 +132,9 @@ mod tests {
     // The strict 2 ms single-shot oversleep budget cannot be
     // guaranteed under wall time (any scheduler stall on a loaded box
     // breaks it). It runs as `clock::tests::virtual_sleep_single_shot_strict`
-    // on the virtual backend, where a sleep is exact by construction.
+    // — and, for the cancellable-deadline path, as
+    // `clock::tests::virtual_alarm_single_shot_strict` — on the
+    // virtual backend, where a sleep/alarm is exact by construction.
 
     #[test]
     fn stopwatch_lap_resets() {

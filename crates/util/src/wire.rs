@@ -206,8 +206,24 @@ impl Enc {
     /// Append a slice of `u64` with a count prefix.
     pub fn put_u64_slice(&mut self, v: &[u64]) {
         self.put_u32(v.len() as u32);
-        for &x in v {
-            self.put_u64(x);
+        self.put_u64_words(v);
+    }
+
+    /// Append a slice of `u64` *without* a count prefix — the bulk
+    /// payload path (diff runs, zrle literals). One reservation for the
+    /// whole slice; the per-word append then compiles to a straight
+    /// store stream instead of `extend` growth checks.
+    pub fn put_u64_words(&mut self, v: &[u64]) {
+        if let [x] = v {
+            // Single-word payloads (scattered diff runs) skip the
+            // resize bookkeeping.
+            self.buf.extend_from_slice(&x.to_le_bytes());
+            return;
+        }
+        let old = self.buf.len();
+        self.buf.resize(old + v.len() * 8, 0);
+        for (dst, &x) in self.buf[old..].chunks_exact_mut(8).zip(v) {
+            dst.copy_from_slice(&x.to_le_bytes());
         }
     }
 
@@ -400,10 +416,23 @@ impl<'a> Dec<'a> {
             });
         }
         let mut v = Vec::with_capacity(n);
-        for _ in 0..n {
-            v.push(self.get_u64()?);
-        }
+        self.get_u64_words_into(&mut v, n)?;
         Ok(v)
+    }
+
+    /// Read `n` raw little-endian `u64` words (no prefix) into `out` —
+    /// the bulk payload path (diff runs, zrle literals). One bounds
+    /// check for the whole span, then a word-at-a-time decode over
+    /// `chunks_exact` that the compiler turns into straight 8-byte
+    /// loads (no per-word `Result` plumbing).
+    pub fn get_u64_words_into(&mut self, out: &mut Vec<u64>, n: usize) -> Result<(), WireError> {
+        let raw = self.take(n.saturating_mul(8))?;
+        out.reserve(n);
+        out.extend(
+            raw.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
+        Ok(())
     }
 
     /// Decode a nested `Wire` value.

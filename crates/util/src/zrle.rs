@@ -19,48 +19,63 @@
 use crate::wire::{Dec, Enc, WireError};
 
 /// Encode `words` with zero-run compression into `e`.
+///
+/// Word-wide scanning, byte-for-byte identical output to the original
+/// per-word loop (pinned by `prop_matches_reference` below): zero runs
+/// are skipped eight words per OR-fold, literal stretches leap four
+/// words per all-nonzero test, and the per-word state machine only
+/// runs near run boundaries. Literal payloads go out through the bulk
+/// [`Enc::put_u64_words`] path.
 pub fn encode_words(words: &[u64], e: &mut Enc) {
-    e.put_u32(words.len() as u32);
+    let n = words.len();
+    e.put_u32(n as u32);
     let mut i = 0;
-    while i < words.len() {
-        // Count zeros.
+    while i < n {
+        // Count zeros: wide skip (one OR-fold per 8 words — a couple
+        // of 128-bit lanes), then the word tail.
         let zstart = i;
-        while i < words.len() && words[i] == 0 {
+        while i + 8 <= n && or_fold8(&words[i..i + 8]) == 0 {
+            i += 8;
+        }
+        if i + 4 <= n && words[i] | words[i + 1] | words[i + 2] | words[i + 3] == 0 {
+            i += 4;
+        }
+        while i < n && words[i] == 0 {
             i += 1;
         }
         let zeros = i - zstart;
-        // Count literals: stop when we see a run of >= 4 zeros (threshold
-        // below which emitting a run header is not worth it).
+        // Count literals: stop where a run of >= 4 zeros begins (below
+        // that threshold a run header costs more than the literal
+        // words). Each step looks at a 4-word window as a zero
+        // bitmask: all clear leaps 4 (a zero run can only *start* at a
+        // zero word), all set is the stop position, otherwise skip to
+        // the window's first zero (earlier positions are nonzero and
+        // cannot start a run). Fewer than 4 words left can never form
+        // a run, so the tail stays literal — same as the byte loop.
         let lstart = i;
-        let mut zrun = 0usize;
-        while i < words.len() {
-            if words[i] == 0 {
-                zrun += 1;
-                if zrun >= 4 {
-                    i -= zrun - 1; // back up to start of the zero run
-                    break;
-                }
-            } else {
-                zrun = 0;
+        loop {
+            if i + 4 > n {
+                i = n;
+                break;
             }
-            i += 1;
+            let m = (words[i] == 0) as u32
+                | (((words[i + 1] == 0) as u32) << 1)
+                | (((words[i + 2] == 0) as u32) << 2)
+                | (((words[i + 3] == 0) as u32) << 3);
+            if m == 0 {
+                i += 4;
+            } else if m == 0xF {
+                break; // 4-zero run starts exactly here
+            } else {
+                i += (m.trailing_zeros() as usize).max(1);
+            }
         }
-        let mut lend = i;
-        // Trim trailing zeros we may have swallowed (when the loop ended at
-        // the buffer end inside a short zero run, keep them as literals —
-        // simpler and still correct).
-        if lend > lstart && i == words.len() {
-            // keep as-is
-        }
-        if lend < lstart {
-            lend = lstart;
-        }
-        let lits = &words[lstart..lend];
+        // A literal stretch ending at the buffer end keeps any short
+        // trailing zero run as literals — simpler and still correct.
+        let lits = &words[lstart..i];
         e.put_u32(zeros as u32);
         e.put_u32(lits.len() as u32);
-        for &w in lits {
-            e.put_u64(w);
-        }
+        e.put_u64_words(lits);
         if zeros == 0 && lits.is_empty() {
             // Cannot happen (outer loop guarantees progress), but guard
             // against an infinite loop if the invariant is ever broken.
@@ -68,6 +83,13 @@ pub fn encode_words(words: &[u64], e: &mut Enc) {
             break;
         }
     }
+}
+
+/// OR of 8 words — zero iff all are zero. A fixed-size fold the
+/// autovectorizer reduces in two 128-bit (or one 512-bit) lanes.
+#[inline]
+fn or_fold8(w: &[u64]) -> u64 {
+    w[0] | w[1] | w[2] | w[3] | w[4] | w[5] | w[6] | w[7]
 }
 
 /// Decode a zero-run-compressed word buffer from `d`.
@@ -90,9 +112,7 @@ pub fn decode_words(d: &mut Dec<'_>) -> Result<Vec<u64>, WireError> {
             });
         }
         out.resize(out.len() + zeros, 0);
-        for _ in 0..lits {
-            out.push(d.get_u64()?);
-        }
+        d.get_u64_words_into(&mut out, lits)?;
         if zeros == 0 && lits == 0 {
             return Err(WireError::BadLength {
                 what: "zrle empty run",
@@ -122,6 +142,52 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u64>, WireError> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The original per-word encoder, kept verbatim as the semantic
+    /// reference: the widened [`encode_words`] must produce
+    /// byte-identical output (`prop_matches_reference`), so the wire
+    /// format is pinned by construction, not by sampled round-trips
+    /// alone.
+    fn encode_words_reference(words: &[u64], e: &mut Enc) {
+        e.put_u32(words.len() as u32);
+        let mut i = 0;
+        while i < words.len() {
+            let zstart = i;
+            while i < words.len() && words[i] == 0 {
+                i += 1;
+            }
+            let zeros = i - zstart;
+            let lstart = i;
+            let mut zrun = 0usize;
+            while i < words.len() {
+                if words[i] == 0 {
+                    zrun += 1;
+                    if zrun >= 4 {
+                        i -= zrun - 1;
+                        break;
+                    }
+                } else {
+                    zrun = 0;
+                }
+                i += 1;
+            }
+            let lits = &words[lstart..i];
+            e.put_u32(zeros as u32);
+            e.put_u32(lits.len() as u32);
+            for &w in lits {
+                e.put_u64(w);
+            }
+            if zeros == 0 && lits.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn compress_reference(words: &[u64]) -> Vec<u8> {
+        let mut e = Enc::with_capacity(words.len() / 4 + 16);
+        encode_words_reference(words, &mut e);
+        e.finish()
+    }
 
     #[test]
     fn all_zero_page_compresses_hard() {
@@ -179,10 +245,80 @@ mod tests {
         assert!(decompress(&buf).is_err());
     }
 
+    #[test]
+    fn adversarial_patterns_roundtrip_and_match_reference() {
+        // Deterministic adversarial corpus aimed at the wide-scan
+        // boundaries: run lengths straddling the 8-word zero-skip and
+        // 4-word literal-leap chunks, alternating single words, and
+        // short trailing zero runs that must stay literal.
+        let mut cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0; 512],
+            (1..=512u64).collect(),
+            (0..512u64).map(|i| u64::from(i % 2 == 0)).collect(),
+            (0..512u64).map(|i| u64::from(i % 2 == 1)).collect(),
+        ];
+        // Every (zero-run, literal-run) length pair around the chunk
+        // widths, repeated to cross block boundaries, with and without
+        // a trailing zero tail of every sub-threshold length.
+        for z in [1usize, 3, 4, 5, 7, 8, 9, 15, 16, 17] {
+            for l in [1usize, 3, 4, 5, 7, 8, 9] {
+                for tail in 0..4usize {
+                    let mut v = Vec::new();
+                    for rep in 0..6 {
+                        v.extend(std::iter::repeat_n(0u64, z));
+                        v.extend((0..l).map(|k| (rep * 100 + k + 1) as u64));
+                    }
+                    v.extend(std::iter::repeat_n(0u64, tail));
+                    cases.push(v);
+                }
+            }
+        }
+        for words in cases {
+            let buf = compress(&words);
+            assert_eq!(
+                buf,
+                compress_reference(&words),
+                "encoding diverged from the byte-loop reference for {} words",
+                words.len()
+            );
+            assert_eq!(decompress(&buf).unwrap(), words);
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip(words in proptest::collection::vec(prop_oneof![Just(0u64), any::<u64>()], 0..600)) {
             let buf = compress(&words);
+            prop_assert_eq!(decompress(&buf).unwrap(), words);
+        }
+
+        /// The widened encoder is pinned against the byte-loop
+        /// semantics: identical bytes out, for zero-biased inputs whose
+        /// run lengths hit every alignment of the wide chunks.
+        #[test]
+        fn prop_matches_reference(
+            words in proptest::collection::vec(
+                prop_oneof![Just(0u64), Just(0u64), Just(0u64), 1u64..u64::MAX], 0..700),
+        ) {
+            prop_assert_eq!(compress(&words), compress_reference(&words));
+        }
+
+        /// Adversarial run-structured inputs: explicit (zeros, lits)
+        /// segment lists exercise header emission at every boundary.
+        #[test]
+        fn prop_segments_match_reference(
+            segs in proptest::collection::vec((0usize..20, 0usize..12), 0..20),
+            tail in 0usize..9,
+        ) {
+            let mut words = Vec::new();
+            for (zi, &(z, l)) in segs.iter().enumerate() {
+                words.extend(std::iter::repeat_n(0u64, z));
+                words.extend((0..l).map(|k| (zi * 37 + k + 1) as u64));
+            }
+            words.extend(std::iter::repeat_n(0u64, tail));
+            let buf = compress(&words);
+            prop_assert_eq!(&buf, &compress_reference(&words));
             prop_assert_eq!(decompress(&buf).unwrap(), words);
         }
 

@@ -3,15 +3,41 @@
 //! cloneable senders *and* receivers, bounded or unbounded capacity,
 //! and timeout-aware receives.
 //!
-//! Built on a `Mutex<VecDeque>` + two condvars. This trades the
-//! lock-free performance of the real crate for zero dependencies; the
-//! workspace's message rates (simulated NOW traffic) are far below the
-//! point where that matters, and `nowmp-bench` measures the difference
-//! explicitly.
+//! ## Implementation and ordering guarantees
+//!
+//! *Unbounded* channels — the message hot path (every simulated NIC
+//! queue is one) — run on a lock-free bounded MPMC ring (Vyukov
+//! sequence ring, [`RING_SLOTS`] slots): an uncontended send is one
+//! CAS plus two atomic stores, no mutex. When the ring fills faster
+//! than the receiver drains it, the channel *degrades* to a
+//! mutex-protected overflow queue; once the receiver has drained the
+//! overflow it flips back to the ring. Degradation preserves the
+//! channel's total FIFO order: while the overflow is non-empty every
+//! send goes to the overflow (never the ring), and receivers always
+//! drain the ring — whose items are all older — first.
+//!
+//! *Bounded* channels keep the simple `Mutex<VecDeque>` + condvar
+//! implementation: they exist for backpressure, where the blocked-full
+//! case is the point and a lock-free fast path buys nothing.
+//!
+//! Ordering guarantees (matching the real crate): per-channel total
+//! FIFO — if `send(a)` happens-before `send(b)`, every receiver
+//! observes `a` before `b`; items sent concurrently may land in either
+//! order. Blocked receivers are woken by a sleeper-counted condvar:
+//! senders only touch the (uncontended) park mutex when a receiver is
+//! actually asleep, so one wakeup can drain a burst of sends.
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Ring capacity of the unbounded fast path (power of two). Bursts
+/// larger than this fall back to the overflow queue — correct, just
+/// slower — so the value only bounds the *lock-free* window.
+const RING_SLOTS: usize = 256;
 
 // ----------------------------------------------------------- errors
 
@@ -86,34 +112,231 @@ impl std::fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
-// ------------------------------------------------------------ shared
+// ----------------------------------------------- lock-free MPMC ring
 
-struct State<T> {
-    queue: VecDeque<T>,
-    senders: usize,
-    receivers: usize,
+/// One slot of the sequence ring. `seq` encodes the slot's lap state:
+/// equal to the ticket for an empty slot ready to write, ticket + 1
+/// for a written slot ready to read.
+struct Slot<T> {
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
 }
 
-struct Shared<T> {
-    state: Mutex<State<T>>,
-    /// Bounded capacity; `None` means unbounded.
-    cap: Option<usize>,
-    /// Signalled when an item is pushed or the last sender leaves.
+/// Bounded lock-free MPMC FIFO (Dmitry Vyukov's sequence ring).
+/// Tickets taken from `tail`/`head` by CAS give each push/pop a unique
+/// slot; the per-slot `seq` makes the handoff visible without any
+/// shared lock. Items pop in ticket order, so the ring is totally
+/// FIFO.
+struct Ring<T> {
+    mask: usize,
+    tail: AtomicUsize,
+    head: AtomicUsize,
+    slots: Box<[Slot<T>]>,
+}
+
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn new(cap: usize) -> Self {
+        assert!(cap.is_power_of_two());
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            mask: cap - 1,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            slots,
+        }
+    }
+
+    /// Push; `Err(t)` hands the value back when the ring is full.
+    fn push(&self, t: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.val.get()).write(t) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if (seq.wrapping_sub(pos) as isize) < 0 {
+                // Slot still holds an unread item a full lap behind:
+                // the ring is full.
+                return Err(t);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let ready = pos.wrapping_add(1);
+            if seq == ready {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    ready,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let t = unsafe { (*slot.val.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(t);
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if (seq.wrapping_sub(ready) as isize) < 0 {
+                // Slot not written yet: ring empty (at this position).
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head).min(self.mask + 1)
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+// --------------------------------------------------- channel flavors
+
+/// Unbounded fast path: ring + FIFO-preserving overflow + parking.
+struct Fast<T> {
+    ring: Ring<T>,
+    /// Spill queue for ring-full bursts. Invariant: non-empty implies
+    /// `degraded` is true (both only change under this mutex).
+    overflow: Mutex<VecDeque<T>>,
+    /// While set, *all* sends go to the overflow so the channel stays
+    /// totally FIFO; cleared (under the overflow lock) when a receiver
+    /// finds the overflow empty.
+    degraded: AtomicBool,
+    /// Receivers currently parked (or about to park) on `not_empty`.
+    sleepers: AtomicUsize,
+    /// Parking lot; never held while touching the ring from senders.
+    park: Mutex<()>,
     not_empty: Condvar,
-    /// Signalled when an item is popped or the last receiver leaves.
+}
+
+impl<T> Fast<T> {
+    fn push(&self, t: T) {
+        let t = if self.degraded.load(Ordering::Acquire) {
+            t
+        } else {
+            match self.ring.push(t) {
+                Ok(()) => return,
+                Err(back) => back, // ring full: degrade
+            }
+        };
+        let mut of = self.overflow.lock().unwrap_or_else(|e| e.into_inner());
+        self.degraded.store(true, Ordering::Release);
+        of.push_back(t);
+    }
+
+    fn pop(&self) -> Option<T> {
+        // Ring first: while degraded no new items enter the ring, so
+        // everything in it is older than any overflow item.
+        if let Some(t) = self.ring.pop() {
+            return Some(t);
+        }
+        if self.degraded.load(Ordering::Acquire) {
+            let mut of = self.overflow.lock().unwrap_or_else(|e| e.into_inner());
+            let t = of.pop_front();
+            if of.is_empty() {
+                // Clearing under the lock: a sender blocked on this
+                // mutex re-reads `degraded` only via `push`'s initial
+                // load on its *next* send; within this send it still
+                // appends to the overflow, which just re-degrades —
+                // correct either way. Receivers stop paying the lock.
+                self.degraded.store(false, Ordering::Release);
+            }
+            if t.is_some() {
+                return t;
+            }
+            // Overflow drained by a racing receiver; fall through.
+        }
+        None
+    }
+
+    fn queue_len(&self) -> usize {
+        self.ring.len()
+            + self
+                .overflow
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+    }
+
+    /// Wake sleeping receivers if any. Pairs the `SeqCst` fence with
+    /// the one in the receiver's register-then-recheck sequence so a
+    /// sender either sees the sleeper or the receiver sees the item.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _g = self.park.lock().unwrap_or_else(|e| e.into_inner());
+            self.not_empty.notify_all();
+        }
+    }
+}
+
+/// Bounded flavor: plain mutex + condvars (backpressure path).
+struct BoundedQ<T> {
+    cap: usize,
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
     not_full: Condvar,
 }
 
-fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+enum Flavor<T> {
+    Fast(Fast<T>),
+    Bounded(BoundedQ<T>),
+}
+
+struct Shared<T> {
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    flavor: Flavor<T>,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_tx(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+}
+
+fn channel_with<T>(flavor: Flavor<T>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State {
-            queue: VecDeque::new(),
-            senders: 1,
-            receivers: 1,
-        }),
-        cap,
-        not_empty: Condvar::new(),
-        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        flavor,
     });
     (
         Sender {
@@ -123,9 +346,16 @@ fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     )
 }
 
-/// Creates an unbounded channel.
+/// Creates an unbounded channel (lock-free ring fast path).
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    channel(None)
+    channel_with(Flavor::Fast(Fast {
+        ring: Ring::new(RING_SLOTS),
+        overflow: Mutex::new(VecDeque::new()),
+        degraded: AtomicBool::new(false),
+        sleepers: AtomicUsize::new(0),
+        park: Mutex::new(()),
+        not_empty: Condvar::new(),
+    }))
 }
 
 /// Creates a bounded channel with the given capacity.
@@ -133,7 +363,12 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 /// Capacity 0 (a rendezvous channel in the real crate) is rounded up
 /// to 1: the workspace never uses rendezvous semantics.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    channel(Some(cap.max(1)))
+    channel_with(Flavor::Bounded(BoundedQ {
+        cap: cap.max(1),
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    }))
 }
 
 // ------------------------------------------------------------ sender
@@ -145,56 +380,51 @@ pub struct Sender<T> {
 
 impl<T> Sender<T> {
     /// Blocks while a bounded channel is full; errors when every
-    /// receiver has been dropped.
+    /// receiver has been dropped. Unbounded sends never block.
     pub fn send(&self, t: T) -> Result<(), SendError<T>> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if st.receivers == 0 {
-                return Err(SendError(t));
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(t));
+        }
+        match &self.shared.flavor {
+            Flavor::Fast(f) => {
+                f.push(t);
+                f.wake();
+                Ok(())
             }
-            match self.shared.cap {
-                Some(cap) if st.queue.len() >= cap => {
-                    st = self
-                        .shared
-                        .not_full
-                        .wait(st)
-                        .unwrap_or_else(|e| e.into_inner());
+            Flavor::Bounded(b) => {
+                let mut q = b.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(t));
+                    }
+                    if q.len() < b.cap {
+                        break;
+                    }
+                    q = b.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
-                _ => break,
+                q.push_back(t);
+                drop(q);
+                b.not_empty.notify_one();
+                Ok(())
             }
         }
-        st.queue.push_back(t);
-        drop(st);
-        self.shared.not_empty.notify_one();
-        Ok(())
     }
 
     pub fn is_empty(&self) -> bool {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .is_empty()
+        self.len() == 0
     }
 
     pub fn len(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .len()
+        match &self.shared.flavor {
+            Flavor::Fast(f) => f.queue_len(),
+            Flavor::Bounded(b) => b.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        }
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .senders += 1;
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
         Sender {
             shared: self.shared.clone(),
         }
@@ -203,14 +433,19 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.senders -= 1;
-        let last = st.senders == 0;
-        drop(st);
-        if last {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Wake receivers blocked on an empty queue so they can
             // observe the disconnect.
-            self.shared.not_empty.notify_all();
+            match &self.shared.flavor {
+                Flavor::Fast(f) => {
+                    let _g = f.park.lock().unwrap_or_else(|e| e.into_inner());
+                    f.not_empty.notify_all();
+                }
+                Flavor::Bounded(b) => {
+                    let _q = b.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    b.not_empty.notify_all();
+                }
+            }
         }
     }
 }
@@ -226,22 +461,7 @@ impl<T> Receiver<T> {
     /// Blocks until an item arrives; errors when the channel is empty
     /// and every sender has been dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(t) = st.queue.pop_front() {
-                drop(st);
-                self.shared.not_full.notify_one();
-                return Ok(t);
-            }
-            if st.senders == 0 {
-                return Err(RecvError);
-            }
-            st = self
-                .shared
-                .not_empty
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
-        }
+        self.recv_deadline(None).map_err(|_| RecvError)
     }
 
     /// Blocks for at most `timeout`. A timeout too large to represent
@@ -250,85 +470,156 @@ impl<T> Receiver<T> {
     ///
     /// [`recv`]: Receiver::recv
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = match Instant::now().checked_add(timeout) {
-            Some(d) => d,
-            None => {
-                return self
-                    .recv()
-                    .map_err(|RecvError| RecvTimeoutError::Disconnected);
+        match Instant::now().checked_add(timeout) {
+            Some(d) => self.recv_deadline(Some(d)),
+            None => self
+                .recv()
+                .map_err(|RecvError| RecvTimeoutError::Disconnected),
+        }
+    }
+
+    fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+        match &self.shared.flavor {
+            Flavor::Fast(f) => {
+                // Fast path: no locks at all while items are flowing.
+                if let Some(t) = f.pop() {
+                    return Ok(t);
+                }
+                loop {
+                    // Park protocol: register as sleeper, then recheck
+                    // (fence pairs with the sender's in `wake`), then
+                    // wait. The recheck happens under the park mutex,
+                    // so a notify can't slip between recheck and wait.
+                    let mut g = f.park.lock().unwrap_or_else(|e| e.into_inner());
+                    f.sleepers.fetch_add(1, Ordering::SeqCst);
+                    fence(Ordering::SeqCst);
+                    if let Some(t) = f.pop() {
+                        f.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        return Ok(t);
+                    }
+                    if self.shared.disconnected_tx() {
+                        f.sleepers.fetch_sub(1, Ordering::SeqCst);
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    let timed_out = match deadline {
+                        None => {
+                            g = f.not_empty.wait(g).unwrap_or_else(|e| e.into_inner());
+                            false
+                        }
+                        Some(d) => {
+                            let remaining = d.saturating_duration_since(Instant::now());
+                            if remaining.is_zero() {
+                                f.sleepers.fetch_sub(1, Ordering::SeqCst);
+                                return Err(RecvTimeoutError::Timeout);
+                            }
+                            let (g2, res) = f
+                                .not_empty
+                                .wait_timeout(g, remaining)
+                                .unwrap_or_else(|e| e.into_inner());
+                            g = g2;
+                            res.timed_out()
+                        }
+                    };
+                    f.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    drop(g);
+                    if let Some(t) = f.pop() {
+                        return Ok(t);
+                    }
+                    if self.shared.disconnected_tx() {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    if timed_out {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                }
             }
-        };
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(t) = st.queue.pop_front() {
-                drop(st);
-                self.shared.not_full.notify_one();
-                return Ok(t);
-            }
-            if st.senders == 0 {
-                return Err(RecvTimeoutError::Disconnected);
-            }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(RecvTimeoutError::Timeout);
-            }
-            let (g, res) = self
-                .shared
-                .not_empty
-                .wait_timeout(st, remaining)
-                .unwrap_or_else(|e| e.into_inner());
-            st = g;
-            if res.timed_out() && st.queue.is_empty() {
-                return if st.senders == 0 {
-                    Err(RecvTimeoutError::Disconnected)
-                } else {
-                    Err(RecvTimeoutError::Timeout)
-                };
+            Flavor::Bounded(b) => {
+                let mut q = b.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        drop(q);
+                        b.not_full.notify_one();
+                        return Ok(t);
+                    }
+                    if self.shared.disconnected_tx() {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    match deadline {
+                        None => {
+                            q = b.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+                        }
+                        Some(d) => {
+                            let remaining = d.saturating_duration_since(Instant::now());
+                            if remaining.is_zero() {
+                                return Err(RecvTimeoutError::Timeout);
+                            }
+                            let (g, res) = b
+                                .not_empty
+                                .wait_timeout(q, remaining)
+                                .unwrap_or_else(|e| e.into_inner());
+                            q = g;
+                            if res.timed_out() && q.is_empty() {
+                                return if self.shared.disconnected_tx() {
+                                    Err(RecvTimeoutError::Disconnected)
+                                } else {
+                                    Err(RecvTimeoutError::Timeout)
+                                };
+                            }
+                        }
+                    }
+                }
             }
         }
     }
 
     /// Never blocks.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(t) = st.queue.pop_front() {
-            drop(st);
-            self.shared.not_full.notify_one();
-            return Ok(t);
-        }
-        if st.senders == 0 {
-            Err(TryRecvError::Disconnected)
-        } else {
-            Err(TryRecvError::Empty)
+        match &self.shared.flavor {
+            Flavor::Fast(f) => {
+                if let Some(t) = f.pop() {
+                    return Ok(t);
+                }
+                if self.shared.disconnected_tx() {
+                    // Disconnect raced a final send: look once more.
+                    if let Some(t) = f.pop() {
+                        return Ok(t);
+                    }
+                    Err(TryRecvError::Disconnected)
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
+            Flavor::Bounded(b) => {
+                let mut q = b.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(t) = q.pop_front() {
+                    drop(q);
+                    b.not_full.notify_one();
+                    return Ok(t);
+                }
+                if self.shared.disconnected_tx() {
+                    Err(TryRecvError::Disconnected)
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
         }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .is_empty()
+        self.len() == 0
     }
 
     pub fn len(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .len()
+        match &self.shared.flavor {
+            Flavor::Fast(f) => f.queue_len(),
+            Flavor::Bounded(b) => b.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .receivers += 1;
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
         Receiver {
             shared: self.shared.clone(),
         }
@@ -337,14 +628,13 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        st.receivers -= 1;
-        let last = st.receivers == 0;
-        drop(st);
-        if last {
-            // Wake senders blocked on a full queue so they can observe
-            // the disconnect.
-            self.shared.not_full.notify_all();
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake senders blocked on a full bounded queue so they can
+            // observe the disconnect (fast senders never block).
+            if let Flavor::Bounded(b) = &self.shared.flavor {
+                let _q = b.queue.lock().unwrap_or_else(|e| e.into_inner());
+                b.not_full.notify_all();
+            }
         }
     }
 }
@@ -403,5 +693,160 @@ mod tests {
         tx.send(7).unwrap();
         assert_eq!(rx2.recv(), Ok(7));
         assert_eq!(rx1.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn overflow_beyond_ring_capacity_stays_fifo() {
+        // Way past RING_SLOTS with no consumer: the channel must
+        // degrade to the overflow and still deliver in send order.
+        let (tx, rx) = unbounded();
+        let n = RING_SLOTS * 10;
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.len(), n);
+        for i in 0..n {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn degrade_and_recover_cycles_stay_fifo() {
+        let (tx, rx) = unbounded();
+        let mut expect = 0usize;
+        let mut next = 0usize;
+        for _round in 0..5 {
+            // Overfill (degrades), then drain half, refill, drain all.
+            for _ in 0..RING_SLOTS + 50 {
+                tx.send(next).unwrap();
+                next += 1;
+            }
+            for _ in 0..100 {
+                assert_eq!(rx.recv(), Ok(expect));
+                expect += 1;
+            }
+            for _ in 0..20 {
+                tx.send(next).unwrap();
+                next += 1;
+            }
+            while expect < next {
+                assert_eq!(rx.recv(), Ok(expect));
+                expect += 1;
+            }
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn single_producer_order_is_total_under_concurrent_drain() {
+        // One producer, one consumer running concurrently: the
+        // consumer must observe strictly increasing values even while
+        // the channel bounces between ring and overflow.
+        let (tx, rx) = unbounded();
+        let n = 100_000usize;
+        let prod = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut last = None;
+        for _ in 0..n {
+            let v = rx.recv().unwrap();
+            if let Some(l) = last {
+                assert!(v > l, "FIFO violated: {v} after {l}");
+            }
+            last = Some(v);
+        }
+        prod.join().unwrap();
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn multi_producer_drains_everything_and_keeps_per_sender_order() {
+        let (tx, rx) = unbounded::<(usize, usize)>();
+        let producers = 4usize;
+        let per = 50_000usize;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        tx.send((p, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut next = vec![0usize; producers];
+        let mut got = 0usize;
+        while let Ok((p, i)) = rx.recv() {
+            assert_eq!(i, next[p], "per-sender FIFO violated for sender {p}");
+            next[p] += 1;
+            got += 1;
+        }
+        assert_eq!(got, producers * per);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn sleeping_receiver_is_woken_by_send() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn sleeping_receiver_is_woken_by_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn concurrent_receivers_split_the_stream() {
+        let (tx, rx) = unbounded::<usize>();
+        let n = 40_000usize;
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        mine.push(v);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_ring_and_overflow() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(tx.is_empty() && rx.is_empty());
+        for _ in 0..RING_SLOTS + 10 {
+            tx.send(0).unwrap();
+        }
+        assert_eq!(rx.len(), RING_SLOTS + 10);
+        while rx.try_recv().is_ok() {}
+        assert!(rx.is_empty());
     }
 }
