@@ -37,7 +37,7 @@ impl Jacobi {
     /// deterministic non-trivial interior (so every sweep changes every
     /// row — a uniform interior would make boundary diffs empty and
     /// hide the paper's Jacobi traffic signature).
-    fn init_value(n: usize, r: usize, c: usize) -> f64 {
+    pub(crate) fn init_value(n: usize, r: usize, c: usize) -> f64 {
         if r == 0 {
             100.0
         } else if r == n - 1 || c == 0 || c == n - 1 {

@@ -23,6 +23,7 @@ pub mod fft3d;
 pub mod gauss;
 pub mod jacobi;
 pub mod nbf;
+pub mod tasks;
 
 use nowmp_net::CostModel;
 use nowmp_omp::{OmpProgram, OmpSystem};

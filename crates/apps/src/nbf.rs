@@ -89,7 +89,7 @@ impl Nbf {
 
     /// The pair interaction: softened Lennard-Jones force and energy.
     #[inline]
-    fn pair(dx: f64, dy: f64, dz: f64) -> (f64, f64) {
+    pub(crate) fn pair(dx: f64, dy: f64, dz: f64) -> (f64, f64) {
         let r2 = (dx * dx + dy * dy + dz * dz).max(1e-4);
         let inv2 = 1.0 / r2;
         let inv6 = inv2 * inv2 * inv2;

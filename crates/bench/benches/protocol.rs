@@ -111,6 +111,14 @@ fn bench_apply_path(c: &mut Criterion) {
                 d.words()
             })
         });
+        // Apply alone, decode excluded — the lane that regressed 2×
+        // when descriptors and payload lived in separate allocations
+        // (two cache streams per apply). The header-prefixed layout
+        // pins it back to a single-buffer walk.
+        let d = Diff::from_wire(&bytes).unwrap();
+        g.bench_function(&format!("apply_only_4k_{changed}w"), |b| {
+            b.iter(|| d.apply(black_box(&target)))
+        });
     }
     g.finish();
 }

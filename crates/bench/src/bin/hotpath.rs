@@ -29,6 +29,23 @@
 //!   it, ~10x here). The gate takes the max of the two: both are the
 //!   same pathology, one global lock coupling the fault path to the
 //!   service path, which the shard layout removes.
+//! * **interval** — 4/8 threads of write-fault *dirty enrollment*
+//!   (the open interval's write-set bookkeeping) racing one closer
+//!   thread that cycles interval closes. Sharded variant: enrollment
+//!   rides the shard lock (`PageGuard::mark_dirty`) and the closer
+//!   drains per-shard lists, holding nothing the writers need while
+//!   it turns twins into diffs. Core-list variant (the old design):
+//!   enrollment pushes onto one core-side `Mutex<Vec<PageId>>` that
+//!   the closer holds across the whole close. The gated number is
+//!   *fault-path progress during an active close*: ops/sec counted
+//!   only while the closer is inside a close. Shard-local lists let
+//!   writers keep faulting straight through a close (the closer holds
+//!   nothing they need); the core list stalls every writer at its
+//!   first post-reset write until the close finishes. Raw throughput
+//!   ratios are scheduler-noisy on small runners (closes are rare
+//!   events), but this during-close window is the direct signal of
+//!   the coupling the shard layout removes, and it separates by an
+//!   order of magnitude on every core count.
 //!
 //! Emits a human table plus `BENCH_hotpath.json`; with `--smoke` the
 //! floors in `crates/bench/baselines.toml` (`[hotpath]`) are enforced
@@ -189,6 +206,157 @@ fn contention_coarse(threads: usize, secs: f64) -> (f64, f64) {
     )
 }
 
+/// How long a close holds whatever lock it holds: twin→diff creation
+/// over the interval's write set (the dominant close cost).
+const CLOSE_HOLD: std::time::Duration = std::time::Duration::from_millis(1);
+/// Gap between interval closes (the region body between sync points).
+const CLOSE_GAP: std::time::Duration = std::time::Duration::from_micros(300);
+
+/// One interval lane: `threads - 1` write-fault workers plus one
+/// closer cycling interval closes for ~`secs` wall seconds. Returns
+/// (fault ops/sec counted while `closing` was raised, closes/sec).
+///
+/// `enroll(worker, page, round)` performs the state flip + dirty
+/// enrollment; `close()` performs one close (reset flags, diff work)
+/// and must raise/lower `closing` around exactly the diff-work
+/// window — the part of the close whose lock footprint the two
+/// variants disagree about. (The flag-reset sweeps are excluded: they
+/// serialize on shard spinlocks identically in both variants, and on
+/// a 1-core runner they dominate the close's wall time, which would
+/// drown the signal.)
+fn interval_lane(
+    threads: usize,
+    secs: f64,
+    closing: Arc<AtomicBool>,
+    enroll: impl Fn(usize, u32, u64) + Send + Sync + 'static,
+    close: impl Fn() + Send + 'static,
+) -> (f64, f64) {
+    let enroll = Arc::new(enroll);
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = threads.saturating_sub(1).max(1);
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let enroll = Arc::clone(&enroll);
+            let stop = Arc::clone(&stop);
+            let closing = Arc::clone(&closing);
+            std::thread::spawn(move || {
+                let mut during = 0usize;
+                let mut round = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for &p in &worker_pages(w) {
+                        fault_work(p, round);
+                        enroll(w, p, round);
+                        if closing.load(Ordering::Relaxed) {
+                            during += 1;
+                        }
+                    }
+                    round += 1;
+                }
+                during
+            })
+        })
+        .collect();
+    let closer = {
+        let stop = Arc::clone(&stop);
+        let closing = Arc::clone(&closing);
+        std::thread::spawn(move || {
+            let _ = &closing; // the close() closure raises/lowers it
+            let mut closes = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                close();
+                closes += 1;
+                std::thread::sleep(CLOSE_GAP);
+            }
+            closes
+        })
+    };
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Release);
+    let during: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let closes = closer.join().unwrap();
+    (during as f64 / elapsed, closes as f64 / elapsed)
+}
+
+/// Interval lane with the write set in the page-table shards: writers
+/// enroll via [`PageGuard::mark_dirty`] under the shard lock they
+/// already hold for the state flip; the closer drains the shard
+/// lists, resets the per-page flags, then does the diff work holding
+/// nothing the writers need — faults stream straight through closes.
+fn interval_sharded(threads: usize, secs: f64) -> (f64, f64) {
+    let table = Arc::new(PageTable::new());
+    table.ensure(threads.max(2) * 64, nowmp_net::Gpid(1));
+    let t2 = Arc::clone(&table);
+    let t3 = Arc::clone(&table);
+    let closing = Arc::new(AtomicBool::new(false));
+    let c2 = Arc::clone(&closing);
+    interval_lane(
+        threads,
+        secs,
+        closing,
+        move |_, p, _| {
+            let mut g = t2.guard(p);
+            g.state = PageState::Write;
+            g.mark_dirty();
+            g.state = PageState::Read;
+        },
+        move || {
+            for p in t3.drain_dirty() {
+                t3.guard(p).dirty = false;
+            }
+            // Diff creation happens outside every lock a writer needs.
+            c2.store(true, Ordering::Release);
+            std::thread::sleep(CLOSE_HOLD);
+            c2.store(false, Ordering::Release);
+        },
+    )
+}
+
+/// Same workload with the old core-side write set: one
+/// `Mutex<Vec<PageId>>` that every first-write enrollment pushes onto
+/// and that the closer holds across the whole close (flag resets +
+/// diff creation) — every writer stalls at its first post-reset write
+/// until the close finishes, exactly as under the core mutex.
+fn interval_core_list(threads: usize, secs: f64) -> (f64, f64) {
+    let table = Arc::new(PageTable::new());
+    table.ensure(threads.max(2) * 64, nowmp_net::Gpid(1));
+    let list: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let (t2, l2) = (Arc::clone(&table), Arc::clone(&list));
+    let (t3, l3) = (Arc::clone(&table), Arc::clone(&list));
+    let closing = Arc::new(AtomicBool::new(false));
+    let c2 = Arc::clone(&closing);
+    interval_lane(
+        threads,
+        secs,
+        closing,
+        move |_, p, _| {
+            let first = {
+                let mut g = t2.guard(p);
+                g.state = PageState::Write;
+                let first = !g.dirty;
+                g.dirty = true;
+                g.state = PageState::Read;
+                first
+            };
+            if first {
+                l2.lock().push(p);
+            }
+        },
+        move || {
+            let mut held = l3.lock();
+            for p in held.drain(..) {
+                t3.guard(p).dirty = false;
+            }
+            // Diff creation under the same lock enrollment needs.
+            c2.store(true, Ordering::Release);
+            std::thread::sleep(CLOSE_HOLD);
+            c2.store(false, Ordering::Release);
+            drop(held);
+        },
+    )
+}
+
 /// Run one contention lane for ~`secs` wall seconds: with
 /// `threads == 1`, a single fault worker; otherwise `threads - 1`
 /// fault workers plus one server thread cycling `serve`. Returns
@@ -262,9 +430,17 @@ impl Lane {
     fn gate_ratio(&self) -> f64 {
         self.fault_ratio().max(self.serve_ratio())
     }
+
+    /// sharded/coarse ratio with the denominator floored at 1 op/s:
+    /// the interval lanes' core-list side is regularly *zero* (every
+    /// writer is blocked for the whole measured window), which would
+    /// print/serialize as `inf`.
+    fn floored_ratio(&self) -> f64 {
+        self.sharded.0 / self.coarse.0.max(1.0)
+    }
 }
 
-fn json(pipeline: f64, lanes: &[Lane]) -> String {
+fn json(pipeline: f64, lanes: &[Lane], intervals: &[Lane]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"quick\": {},\n  \"pipeline_pages_per_sec\": {pipeline:.1},\n  \"contention\": [\n",
@@ -284,6 +460,21 @@ fn json(pipeline: f64, lanes: &[Lane]) -> String {
             l.coarse.1,
             l.serve_ratio(),
             if i + 1 < lanes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"interval\": [\n");
+    for (i, l) in intervals.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"threads\": {}, \"sharded_during_close_ops_per_sec\": {:.1}, \
+             \"core_list_during_close_ops_per_sec\": {:.1}, \"during_close_ratio\": {:.3}, \
+             \"sharded_closes_per_sec\": {:.1}, \"core_list_closes_per_sec\": {:.1} }}{}\n",
+            l.threads,
+            l.sharded.0,
+            l.coarse.0,
+            l.floored_ratio(),
+            l.sharded.1,
+            l.coarse.1,
+            if i + 1 < intervals.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -337,7 +528,25 @@ fn main() {
         lanes.push(lane);
     }
 
-    let out = json(pipeline, &lanes);
+    let mut intervals = Vec::new();
+    for &threads in &[4usize, 8] {
+        let lane = Lane {
+            threads,
+            sharded: interval_sharded(threads, lane_secs),
+            coarse: interval_core_list(threads, lane_secs),
+        };
+        println!(
+            "interval   {threads}t  during-close faults: sharded {:>12.0} ops/s   core-list {:>10.0} ops/s   ratio {:>6.1}x   closes {:>4.0}/s vs {:>4.0}/s",
+            lane.sharded.0,
+            lane.coarse.0,
+            lane.floored_ratio(),
+            lane.sharded.1,
+            lane.coarse.1,
+        );
+        intervals.push(lane);
+    }
+
+    let out = json(pipeline, &lanes, &intervals);
     std::fs::write("BENCH_hotpath.json", &out).expect("write BENCH_hotpath.json");
     println!("\nwrote BENCH_hotpath.json ({} bytes)", out.len());
 
@@ -363,6 +572,14 @@ fn main() {
             pipeline >= pipe_floor,
             "CI hotpath gate: pipeline throughput {pipeline:.0} pages/s fell below \
              the pinned floor {pipe_floor:.0} (crates/bench/baselines.toml)"
+        );
+        let iv8 = intervals[1].floored_ratio();
+        let iv_floor = floors["hotpath_interval_8t_min_ratio"];
+        println!("gate: 8-thread during-close fault ratio = {iv8:.1} (floor {iv_floor:.1})");
+        assert!(
+            iv8 >= iv_floor,
+            "CI hotpath gate: 8-thread during-close fault-progress ratio {iv8:.1} fell \
+             below the pinned floor {iv_floor:.1} (crates/bench/baselines.toml)"
         );
     }
 }

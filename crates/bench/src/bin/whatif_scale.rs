@@ -42,25 +42,40 @@
 //! overlap is ≈ neutral; on NBF it is the headline win this sweep
 //! gates.
 //!
+//! After the protocol-accurate sweeps, a **task-engine scale section**
+//! runs Jacobi and NBF at 256 and 1024 homogeneous hosts on the
+//! event-driven engine (`nowmp_core::TaskSystem`: resumable host tasks
+//! over an `NOWMP_POOL`-wide worker pool — see `docs/TIME.md`), host
+//! counts thread-per-host could never carry. It records wall seconds,
+//! simulated seconds, and the peak process-wide OS thread count
+//! (sampled from `/proc/self/status`) into the artifact.
+//! **`--nprocs N`** pins the section to a single host count.
+//!
 //! The run doubles as the **CI scaling gate**: it fails if the
 //! tree/tree 16-host homogeneous speedup, the tree/tree-over-flat/flat
 //! advantage at 32 hosts, the tree/tree 32-host speedup, the NBF
 //! overlapped-data-plane 32-host speedup, or the NBF overlap-over-
 //! demand ratio at 32 hosts drops below the floors pinned in
-//! `crates/bench/baselines.toml`.
+//! `crates/bench/baselines.toml` — and if the 1024-host task-engine
+//! run either exceeds its wall-time budget or leaks OS threads beyond
+//! O(pool) (`task_scale_1024_max_*`).
 //!
 //! Every run uses the virtual clock regardless of `NOWMP_CLOCK`; the
 //! sweep completes in well under two minutes of wall time (`--smoke`
 //! in CI).
 
+use nowmp_apps::tasks::{TaskJacobi, TaskNbf};
 use nowmp_apps::{jacobi::Jacobi, nbf::Nbf, with_kernel_costs, Kernel};
 use nowmp_bench::{
-    bench_net_model, load_baselines, measure, print_table, quick, whatif_json, WhatifLane,
+    bench_net_model, load_baselines, measure, print_table, quick, whatif_json, TaskScaleLane,
+    WhatifLane,
 };
-use nowmp_core::ClusterConfig;
-use nowmp_net::{CostModel, HostId};
+use nowmp_core::{run_task_app, ClusterConfig, TaskApp};
+use nowmp_net::{CostModel, HostId, NetModel};
 use nowmp_tmk::{Broadcast, CollectiveConfig, DataPlaneConfig, DsmConfig};
 use nowmp_util::Clock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scenario family: how the pool's hosts differ from the reference.
@@ -179,6 +194,79 @@ fn axis_from_args(flag: &str) -> Option<Broadcast> {
         }
     }
     None
+}
+
+/// `--nprocs N` pins the task-engine scale section to one host count.
+fn nprocs_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--nprocs" {
+            return match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => Some(n),
+                other => panic!("--nprocs expects a positive host count, got {other:?}"),
+            };
+        }
+    }
+    None
+}
+
+/// Current process-wide OS thread count (`/proc/self/status`).
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1)
+}
+
+/// Run one task-engine kernel at `procs` hosts, sampling the process's
+/// OS thread count from a side thread while it runs. The sampler is
+/// itself one of the threads it counts, so `os_threads_peak` includes
+/// it (and the main thread) on top of the scoped worker pool.
+fn task_scale_run(kernel: &str, app: &dyn TaskApp, procs: usize, iters: usize) -> TaskScaleLane {
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut peak = os_threads();
+            while !stop.load(Ordering::Relaxed) {
+                peak = peak.max(os_threads());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            peak
+        })
+    };
+    let cfg = ClusterConfig {
+        net_model: NetModel::paper_1999(),
+        dsm: DsmConfig::default_4k(),
+        clock: Clock::new_virtual(),
+        ..ClusterConfig::test(procs, procs)
+    };
+    let wall = Instant::now();
+    let (err, sys) = run_task_app(app, cfg, iters);
+    let wall_secs = wall.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let os_threads_peak = sampler.join().expect("sampler thread");
+    assert_eq!(err, 0.0, "{kernel} at {procs} hosts must verify bit-exact");
+    assert!(
+        sys.peak_workers() <= sys.pool(),
+        "task engine workers ({}) must stay within the pool ({})",
+        sys.peak_workers(),
+        sys.pool()
+    );
+    TaskScaleLane {
+        kernel: kernel.into(),
+        nprocs: procs,
+        wall_secs,
+        sim_secs: sys.now().as_nanos() as f64 / 1e9,
+        peak_workers: sys.peak_workers(),
+        pool: sys.pool(),
+        os_threads_peak,
+    }
 }
 
 fn dataplane_from_args() -> Option<DataPlane> {
@@ -543,7 +631,62 @@ fn main() {
         );
     }
 
-    let json = whatif_json(t1, &lanes);
+    // --- Task-engine scale: host counts threads could never carry --------
+    // The protocol-accurate sweeps above top out at 32 hosts because
+    // the thread engine parks one OS thread per simulated host. The
+    // event-driven engine (resumable host tasks on an O(pool) worker
+    // pool) carries 256 and 1024 hosts; this section proves *capacity*
+    // — wall seconds within the CI budget, OS threads bounded by the
+    // pool, results still bit-exact — not protocol timings.
+    let base_threads = os_threads();
+    let scale_counts: Vec<usize> = nprocs_from_args()
+        .map(|n| vec![n])
+        .unwrap_or(vec![256, 1024]);
+    let mut task_lanes: Vec<TaskScaleLane> = Vec::new();
+    for &procs in &scale_counts {
+        // Jacobi needs >= one grid row per rank; NBF >= one atom.
+        let jn = procs.max(if quick() { 256 } else { 512 });
+        let (atoms, partners) = if quick() { (2048, 8) } else { (4096, 16) };
+        let it = if quick() { 2 } else { 3 };
+        task_lanes.push(task_scale_run("jacobi", &TaskJacobi::new(jn), procs, it));
+        task_lanes.push(task_scale_run(
+            "nbf",
+            &TaskNbf::new(atoms.max(procs), partners),
+            procs,
+            it,
+        ));
+    }
+    let task_rows: Vec<Vec<String>> = task_lanes
+        .iter()
+        .map(|l| {
+            vec![
+                l.kernel.clone(),
+                l.nprocs.to_string(),
+                format!("{:.2}", l.wall_secs),
+                format!("{:.3}", l.sim_secs),
+                format!("{}/{}", l.peak_workers, l.pool),
+                l.os_threads_peak.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Task-engine scale (event-driven, worker pool of {}, {} OS threads at rest)",
+            task_lanes.first().map(|l| l.pool).unwrap_or(0),
+            base_threads
+        ),
+        &[
+            "Kernel",
+            "Hosts",
+            "Wall(s)",
+            "Sim(s)",
+            "Workers",
+            "OS threads",
+        ],
+        &task_rows,
+    );
+
+    let json = whatif_json(t1, &lanes, &task_lanes);
     std::fs::write("BENCH_whatif.json", &json).expect("write BENCH_whatif.json");
     println!("\nwrote BENCH_whatif.json ({} bytes)", json.len());
 
@@ -658,6 +801,35 @@ fn main() {
                 ratio >= floor,
                 "CI scaling gate: the overlapped data plane is only {ratio:.2}x demand \
                  paging on NBF at 32 homogeneous hosts, below the pinned {floor:.2}x floor"
+            );
+        }
+        // The 1024-host task-engine lane: completes within the CI job
+        // budget, and its OS thread footprint is O(pool), not O(hosts)
+        // — the ISSUE 9 acceptance bar.
+        let wall_max = floors["task_scale_1024_max_wall_secs"];
+        let extra_max = floors["task_scale_1024_max_extra_threads"];
+        for l in task_lanes.iter().filter(|l| l.nprocs == 1024) {
+            let extra = l.os_threads_peak.saturating_sub(base_threads);
+            println!(
+                "gate: task-engine {} at 1024 hosts = {:.2}s wall (budget {wall_max:.0}s), \
+                 {extra} OS threads over rest (max {extra_max:.0})",
+                l.kernel, l.wall_secs
+            );
+            assert!(
+                l.wall_secs <= wall_max,
+                "CI scaling gate: task-engine {} at 1024 hosts took {:.2}s of wall time, \
+                 over the {wall_max:.0}s budget (crates/bench/baselines.toml)",
+                l.kernel,
+                l.wall_secs
+            );
+            assert!(
+                (extra as f64) <= extra_max,
+                "CI scaling gate: task-engine {} at 1024 hosts raised the process to \
+                 {} OS threads ({extra} over the at-rest {base_threads}) — the pool is \
+                 {}, so the engine is leaking threads with host count",
+                l.kernel,
+                l.os_threads_peak,
+                l.pool
             );
         }
     }

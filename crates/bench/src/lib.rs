@@ -278,13 +278,36 @@ pub struct WhatifLane {
     pub samples: Vec<(usize, f64)>,
 }
 
+/// One task-engine scale sample: the event-driven engine carrying a
+/// host count no thread-per-host run could. The lane proves *capacity*
+/// — wall seconds and OS-thread footprint at 256/1024 hosts — so it
+/// records real-clock and thread numbers, not virtual speedups.
+pub struct TaskScaleLane {
+    /// Kernel label (`jacobi` / `nbf`).
+    pub kernel: String,
+    /// Simulated host count.
+    pub nprocs: usize,
+    /// Wall seconds for the whole run (setup + iterations + verify).
+    pub wall_secs: f64,
+    /// Simulated seconds on the engine's virtual timeline.
+    pub sim_secs: f64,
+    /// Engine-tracked peak concurrent scoped workers.
+    pub peak_workers: usize,
+    /// Worker-pool width the engine ran with (`NOWMP_POOL`).
+    pub pool: usize,
+    /// Peak process-wide OS thread count sampled during the run
+    /// (`/proc/self/status` `Threads:`).
+    pub os_threads_peak: usize,
+}
+
 /// Serialize the `whatif_scale` sweep into the machine-readable
 /// `BENCH_whatif.json` artifact: simulated seconds and speedup per
 /// `scenario × broadcast × reduce × dataplane × nprocs`, plus each
-/// lane's serial baseline. The CI scaling gate reads the same numbers
-/// in-process (see [`load_baselines`]); the artifact preserves them
-/// across PRs.
-pub fn whatif_json(t1: f64, lanes: &[WhatifLane]) -> String {
+/// lane's serial baseline, plus the task-engine scale samples
+/// (`task_scale`: wall seconds and thread footprint at 256/1024
+/// hosts). The CI scaling gate reads the same numbers in-process (see
+/// [`load_baselines`]); the artifact preserves them across PRs.
+pub fn whatif_json(t1: f64, lanes: &[WhatifLane], task_scale: &[TaskScaleLane]) -> String {
     let cell = |v: f64| {
         if v.is_finite() {
             format!("{v:.4}")
@@ -326,6 +349,21 @@ pub fn whatif_json(t1: f64, lanes: &[WhatifLane]) -> String {
         out.push_str(&format!(
             "}}}}{}\n",
             if gi + 1 < lanes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"task_scale\": [\n");
+    for (i, l) in task_scale.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"nprocs\": {}, \"wall_secs\": {}, \"sim_secs\": {}, \
+             \"peak_workers\": {}, \"pool\": {}, \"os_threads_peak\": {}}}{}\n",
+            l.kernel,
+            l.nprocs,
+            cell(l.wall_secs),
+            cell(l.sim_secs),
+            l.peak_workers,
+            l.pool,
+            l.os_threads_peak,
+            if i + 1 < task_scale.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -536,6 +574,9 @@ mod tests {
         assert!(floors.contains_key("overlap_over_demand_32_min_ratio"));
         assert!(floors.contains_key("hotpath_contention_8t_min_ratio"));
         assert!(floors.contains_key("hotpath_pipeline_min_pages_per_sec"));
+        assert!(floors.contains_key("hotpath_interval_8t_min_ratio"));
+        assert!(floors.contains_key("task_scale_1024_max_wall_secs"));
+        assert!(floors.contains_key("task_scale_1024_max_extra_threads"));
     }
 
     #[test]
@@ -560,6 +601,15 @@ mod tests {
                     samples: vec![(32, 0.4)],
                 },
             ],
+            &[TaskScaleLane {
+                kernel: "jacobi".into(),
+                nprocs: 1024,
+                wall_secs: 3.25,
+                sim_secs: 0.75,
+                peak_workers: 8,
+                pool: 8,
+                os_threads_peak: 11,
+            }],
         );
         assert!(j.contains("\"broadcast\": \"tree\""));
         assert!(j.contains("\"reduce\": \"tree\""));
@@ -574,6 +624,10 @@ mod tests {
         assert!(!j.contains("\"32\": 5.0000"));
         assert!(j.contains("\"t1_secs\": 6.0000"));
         assert!(!j.contains("NaN"));
+        // Task-engine scale samples ride the same artifact.
+        assert!(j.contains("\"task_scale\""));
+        assert!(j.contains("\"kernel\": \"jacobi\", \"nprocs\": 1024"));
+        assert!(j.contains("\"os_threads_peak\": 11"));
     }
 
     #[test]

@@ -1,0 +1,996 @@
+//! # Task-backed adaptive engine: 1024 hosts on a worker pool
+//!
+//! The thread-backed engine ([`crate::Cluster`] over
+//! [`nowmp_tmk::DsmSystem`]) spends two OS threads per simulated host
+//! (worker + service loop), which caps `whatif_scale` sweeps at ~32
+//! hosts. This module is the event-driven alternative: every simulated
+//! host is a **resumable task** ([`nowmp_tmk::RegionTask`]) whose
+//! protocol position between communication points is explicit data,
+//! not a parked stack. A [`nowmp_util::TaskScheduler`] (run queue
+//! beside the deadline set) decides what runs next; a small worker
+//! pool of `NOWMP_POOL` scoped threads steps whole waves of runnable
+//! tasks in parallel. OS thread count is O(pool), not O(hosts).
+//!
+//! ## What is simulated, and how faithfully
+//!
+//! * **Shared memory** is a flat [`SimMemory`] word store with
+//!   phase-snapshot semantics: reads see pre-phase memory, writes are
+//!   buffered in each task's [`StepOutcome`] and applied in pid order
+//!   at the next synchronization point. That is observationally
+//!   equivalent to the DSM's lazy-release-consistency guarantee for
+//!   race-free programs — which OpenMP regions are by contract.
+//! * **Virtual time** is charged per host from the same
+//!   [`CostModel`]/[`NetModel`] the thread engine uses: compute via
+//!   `compute_time(region_cost, iters, host)`, remote page faults via
+//!   [`NetModel::fetch_rtt`] against a per-host valid-page set that
+//!   synchronization invalidates, barriers via
+//!   [`NetModel::barrier_time`]. Grace alarms and spawn completions
+//!   live in the scheduler's deadline set and fire when the engine's
+//!   virtual now crosses them.
+//! * **Adaptation** mirrors [`crate::Cluster::adaptation_point`]
+//!   event for event: `NormalLeave*`, `JoinCommitted*`, optional
+//!   `Checkpoint`, then `Adaptation` — same [`reassign`] policies,
+//!   same [`HostPool`] placement rules, same grace/urgent race
+//!   (decided here by tick comparison instead of a parked alarm
+//!   thread). The 32-host parity test in `crates/bench` holds the two
+//!   engines to identical event shapes and identical checkpoint files.
+//!
+//! What is *not* simulated: per-message protocol traffic (diffs,
+//! write notices, GC). GC never changes page contents, so checkpoint
+//! images are unaffected; the cost of consistency traffic is folded
+//! into the per-fault RTT charge.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use nowmp_ckpt::{migration_image_bytes, Checkpoint};
+use nowmp_net::{CostModel, Gpid, HostId, NetModel};
+use nowmp_tmk::engine::{HostState, RegionTask, SimMemory, Step, StepOutcome, TaskCtx};
+use nowmp_tmk::shm::{Allocator, Registry};
+use nowmp_tmk::types::{Addr, PageId, Pid};
+use nowmp_tmk::{ElemKind, MemoryImage};
+use nowmp_util::{TaskScheduler, Tick};
+
+use crate::cluster::{AdaptError, ClusterConfig};
+use crate::hostpool::HostPool;
+use crate::log::{EventKind, EventLog};
+use crate::reassign::reassign;
+
+/// Reduction scratch published by [`TaskSystem::new`] (mirrors the
+/// OpenMP layer's `__omp_red` so registries — and therefore checkpoint
+/// bytes — match the thread engine).
+pub const RED_ARRAY: &str = "__omp_red";
+/// Dynamic-schedule counter (mirrors `__omp_dyn`).
+pub const DYN_COUNTER: &str = "__omp_dyn";
+/// Largest team the reduction scratch supports.
+pub const MAX_TEAM: usize = 64;
+
+/// Scheduler task-id namespaces. Host tasks use their pid directly;
+/// pseudo-tasks for deadline-set timers live far above any team size.
+const JOIN_BASE: usize = 1 << 32;
+const GRACE_BASE: usize = 1 << 33;
+
+/// An application expressed as resumable region tasks — the
+/// task-engine analog of registering regions with `OmpProgram`.
+///
+/// `kernel` is the outlined-region factory: given a region name and
+/// its firstprivate params, produce the [`RegionTask`] state machine
+/// for one rank. It must perform *exactly* the reads, writes, and
+/// `charge_compute` calls the thread-backed region body performs, in
+/// the same order, for event and image parity to hold.
+pub trait TaskApp {
+    /// Kernel name (reporting only).
+    fn name(&self) -> &'static str;
+    /// Allocate shared arrays and run init regions.
+    fn setup(&self, sys: &mut TaskSystem);
+    /// Run one outer iteration (one or more `parallel` calls).
+    fn step(&self, sys: &mut TaskSystem, iter: usize);
+    /// Max-abs error against a sequential reference after `iters`.
+    fn verify(&self, sys: &TaskSystem, iters: usize) -> f64;
+    /// Build the per-rank resumable task for `region`.
+    fn kernel(
+        &self,
+        sys: &TaskSystem,
+        region: &str,
+        params: &[u8],
+        pid: Pid,
+        nprocs: usize,
+    ) -> Box<dyn RegionTask>;
+}
+
+/// A spawned-but-not-committed joiner (between `JoinRequested` and
+/// the adaptation point that seats it).
+struct PendingJoin {
+    gpid: Gpid,
+    host: HostId,
+    ready_at: Tick,
+    ready: bool,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum LeavePhase {
+    Pending,
+    Urgent,
+}
+
+/// A requested leave waiting for an adaptation point (or its grace
+/// deadline, whichever the virtual clock reaches first).
+struct PendingLeave {
+    gpid: Gpid,
+    phase: LeavePhase,
+    /// Deadline-set key of the grace timer (cancel on normal claim).
+    key: Option<(u64, u64)>,
+}
+
+/// Per-member simulation state: which pages the host's (simulated)
+/// copy currently holds valid. Faults on pages outside this set are
+/// charged a fetch RTT; synchronization invalidates pages written by
+/// other ranks — the LRC write-notice effect.
+#[derive(Default)]
+struct HostSim {
+    valid: HashSet<PageId>,
+}
+
+/// The task-backed cluster: flat shared memory, a deadline-set
+/// scheduler, and the same adaptive control plane as [`crate::Cluster`].
+pub struct TaskSystem {
+    cfg: ClusterConfig,
+    mem: SimMemory,
+    allocator: Allocator,
+    registry: Registry,
+    log: EventLog,
+    sched: TaskScheduler,
+    hosts: HostPool,
+    /// `members[pid]` = gpid; `members[0]` is the master.
+    members: Vec<Gpid>,
+    sim: HashMap<Gpid, HostSim>,
+    next_gpid: u32,
+    pending_joins: Vec<PendingJoin>,
+    pending_leaves: Vec<PendingLeave>,
+    ckpt_requested: bool,
+    last_ckpt_fork: u64,
+    fork_no: u64,
+    adaptive: bool,
+    pool: usize,
+    peak_workers: usize,
+}
+
+/// One runnable task taken out of the state table for a wave.
+struct WaveItem {
+    pid: usize,
+    task: Box<dyn RegionTask>,
+    step: Step,
+    out: StepOutcome,
+}
+
+impl TaskSystem {
+    /// Bring up the task engine on `cfg` (same config type as the
+    /// thread engine, so parity tests share one config literally).
+    pub fn new(cfg: ClusterConfig) -> TaskSystem {
+        let spp = cfg.dsm.slots_per_page();
+        let mut hosts = HostPool::new(cfg.hosts);
+        for h in 0..cfg.hosts {
+            let h = HostId(h as u16);
+            hosts.set_speed(h, cfg.cost_model.effective_speed(h));
+        }
+        let mut members = Vec::with_capacity(cfg.initial_procs);
+        let mut sim = HashMap::new();
+        for i in 0..cfg.initial_procs {
+            let g = Gpid(i as u32 + 1);
+            hosts.occupy(HostId(i as u16), g);
+            members.push(g);
+            sim.insert(g, HostSim::default());
+        }
+        let pool = pool_size();
+        let log = EventLog::with_clock(cfg.clock.clone());
+        let adaptive = cfg.adaptive;
+        let next_gpid = members.len() as u32 + 1;
+        let mut sys = TaskSystem {
+            cfg,
+            mem: SimMemory::new(spp),
+            allocator: Allocator::new(spp),
+            registry: Registry::new(),
+            log,
+            sched: TaskScheduler::new(),
+            hosts,
+            members,
+            sim,
+            next_gpid,
+            pending_joins: Vec::new(),
+            pending_leaves: Vec::new(),
+            ckpt_requested: false,
+            last_ckpt_fork: 0,
+            fork_no: 0,
+            adaptive,
+            pool,
+            peak_workers: 0,
+        };
+        // Runtime scratch first, exactly like the OpenMP layer, so the
+        // registry (and checkpoint bytes) line up with the thread engine.
+        sys.alloc(RED_ARRAY, MAX_TEAM as u64, ElemKind::F64);
+        sys.alloc(DYN_COUNTER, 1, ElemKind::U64);
+        sys
+    }
+
+    // ---- shared-memory allocation & master (sequential) access ----
+
+    /// Allocate and publish a shared array.
+    pub fn alloc(&mut self, name: &str, len: u64, kind: ElemKind) -> Addr {
+        let addr = self.allocator.alloc(len);
+        self.registry.publish(name, addr, len, kind);
+        self.mem.ensure_slots(self.allocator.allocated_slots());
+        addr
+    }
+
+    /// Allocate a shared f64 array.
+    pub fn alloc_f64(&mut self, name: &str, len: u64) -> Addr {
+        self.alloc(name, len, ElemKind::F64)
+    }
+
+    /// Allocate a shared u64 array.
+    pub fn alloc_u64(&mut self, name: &str, len: u64) -> Addr {
+        self.alloc(name, len, ElemKind::U64)
+    }
+
+    /// Base address of a published array (panics if unknown).
+    pub fn addr_of(&self, name: &str) -> Addr {
+        self.registry
+            .get(name)
+            .unwrap_or_else(|| panic!("no shared array named {name:?}"))
+            .addr
+    }
+
+    /// Master-side sequential read of an f64 element.
+    pub fn get_f64(&self, name: &str, idx: usize) -> f64 {
+        f64::from_bits(self.mem.load(self.addr_of(name) + idx as Addr))
+    }
+
+    /// Master-side sequential read of a u64 element.
+    pub fn get_u64(&self, name: &str, idx: usize) -> u64 {
+        self.mem.load(self.addr_of(name) + idx as Addr)
+    }
+
+    // ---- introspection ----
+
+    /// Current team size.
+    pub fn nprocs(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Completed forks.
+    pub fn fork_no(&self) -> u64 {
+        self.fork_no
+    }
+
+    /// The adaptation/event log (same type the thread engine fills).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Worker-pool width (`NOWMP_POOL`, default `min(cores, 8)`).
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Most scoped worker threads alive at once across all waves so
+    /// far — the O(pool) bound the 1024-host lane asserts.
+    pub fn peak_workers(&self) -> usize {
+        self.peak_workers
+    }
+
+    /// Engine virtual time.
+    pub fn now(&self) -> Tick {
+        self.sched.now()
+    }
+
+    /// `omp_set_dynamic` analog.
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+    }
+
+    // ---- adaptation requests (mirror crate::Cluster) ----
+
+    /// Ask a free workstation to join; the spawn completes (and
+    /// `JoinReady` is logged) when virtual time reaches the spawn
+    /// deadline parked in the scheduler.
+    pub fn request_join(&mut self) -> Result<Gpid, AdaptError> {
+        let host = self.hosts.reserve_free().ok_or(AdaptError::NoFreeHost)?;
+        self.log.push(EventKind::JoinRequested { host });
+        let gpid = Gpid(self.next_gpid);
+        self.next_gpid += 1;
+        let spawn = self.cfg.cost_model.spawn_time();
+        let ready_at = tick_after(self.sched.now(), spawn);
+        let idx = self.pending_joins.len();
+        self.sched.park_until(JOIN_BASE + idx, ready_at);
+        self.pending_joins.push(PendingJoin {
+            gpid,
+            host,
+            ready_at,
+            ready: false,
+        });
+        Ok(gpid)
+    }
+
+    /// [`TaskSystem::request_join`], then advance virtual time to the
+    /// spawn completion so the join is committable at the next
+    /// adaptation point — the blocking flavor the thread engine's
+    /// `request_join_ready` provides.
+    pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
+        let gpid = self.request_join()?;
+        let ready_at = self
+            .pending_joins
+            .iter()
+            .find(|j| j.gpid == gpid)
+            .map(|j| j.ready_at)
+            .expect("join just pushed");
+        self.advance_time(ready_at);
+        Ok(gpid)
+    }
+
+    /// Request that rank `pid` leave, with an optional grace period
+    /// (defaulting to the config's). A grace deadline is parked in the
+    /// scheduler's deadline set; if virtual time crosses it before an
+    /// adaptation point claims the leave, the migration turns urgent.
+    pub fn request_leave_pid(
+        &mut self,
+        pid: usize,
+        grace: Option<Duration>,
+    ) -> Result<Gpid, AdaptError> {
+        if pid == 0 {
+            return Err(AdaptError::MasterCannotLeave);
+        }
+        let gpid = *self
+            .members
+            .get(pid)
+            .ok_or(AdaptError::NotInTeam(Gpid(pid as u32)))?;
+        if self.pending_leaves.iter().any(|l| l.gpid == gpid) {
+            return Err(AdaptError::AlreadyLeaving(gpid));
+        }
+        let grace = grace.or(self.cfg.default_grace);
+        self.log.push(EventKind::LeaveRequested { gpid, grace });
+        let idx = self.pending_leaves.len();
+        let key = grace.map(|g| {
+            let deadline = tick_after(self.sched.now(), g);
+            self.sched.park_until(GRACE_BASE + idx, deadline)
+        });
+        self.pending_leaves.push(PendingLeave {
+            gpid,
+            phase: LeavePhase::Pending,
+            key,
+        });
+        Ok(gpid)
+    }
+
+    /// Queue a checkpoint for the next adaptation point.
+    pub fn request_checkpoint(&mut self) {
+        self.ckpt_requested = true;
+    }
+
+    /// Write a checkpoint right now, outside any adaptation point
+    /// (mirrors `Cluster::checkpoint_now`: logs only a `Checkpoint`
+    /// event).
+    pub fn checkpoint_now(&mut self) {
+        self.write_checkpoint();
+    }
+
+    // ---- the engine proper ----
+
+    /// Run one parallel region over the current team: an adaptation
+    /// point, then waves of runnable tasks stepped on the worker pool
+    /// until every rank is done.
+    pub fn parallel(&mut self, app: &dyn TaskApp, region: &str, params: &[u8]) {
+        self.adaptation_point();
+        let nprocs = self.members.len();
+        let per_iter = self.cfg.cost_model.region_cost(region);
+        let fetch_ns = dur_ns(self.cfg.net_model.fetch_rtt(self.cfg.dsm.page_size));
+        let barrier_ns = dur_ns(self.cfg.net_model.barrier_time(nprocs));
+
+        let mut states: Vec<HostState> = Vec::with_capacity(nprocs);
+        for pid in 0..nprocs {
+            states.push(HostState::Running(
+                app.kernel(&*self, region, params, pid as Pid, nprocs),
+            ));
+        }
+
+        let base = self.sched.now().as_nanos();
+        let mut host_now: Vec<u64> = vec![base; nprocs];
+        let mut pending_writes: Vec<Vec<(Addr, u64)>> = vec![Vec::new(); nprocs];
+
+        loop {
+            // Run queue: ready every runnable rank in pid order, then
+            // drain exactly that many — FIFO pops give the wave its
+            // deterministic merge order.
+            let mut readied = 0;
+            for (pid, st) in states.iter().enumerate() {
+                if st.is_running() {
+                    self.sched.ready(pid);
+                    readied += 1;
+                }
+            }
+            if readied > 0 {
+                let mut wave: Vec<WaveItem> = Vec::with_capacity(readied);
+                for _ in 0..readied {
+                    let (_, pid) = self.sched.next().expect("readied tasks pending");
+                    let task = match std::mem::replace(&mut states[pid], HostState::Idle) {
+                        HostState::Running(t) => t,
+                        _ => unreachable!("run queue only holds running ranks"),
+                    };
+                    wave.push(WaveItem {
+                        pid,
+                        task,
+                        step: Step::Again,
+                        out: StepOutcome::default(),
+                    });
+                }
+                self.step_wave(&mut wave, nprocs);
+                // Sequential merge in pid (FIFO) order.
+                for item in wave {
+                    let gpid = self.members[item.pid];
+                    let host = self.hosts.host_of(gpid).expect("member is placed");
+                    let sim = self.sim.get_mut(&gpid).expect("member simulated");
+                    let mut t = host_now[item.pid];
+                    for page in &item.out.touched {
+                        if sim.valid.insert(*page) {
+                            t += fetch_ns;
+                        }
+                    }
+                    t += dur_ns(self.cfg.cost_model.compute_time(
+                        per_iter,
+                        item.out.compute_iters,
+                        host,
+                    ));
+                    host_now[item.pid] = t;
+                    pending_writes[item.pid].extend(item.out.writes);
+                    states[item.pid] = match item.step {
+                        Step::Again => HostState::Running(item.task),
+                        Step::Barrier => HostState::BarrierWait(item.task),
+                        Step::Done => HostState::Done,
+                    };
+                }
+                continue;
+            }
+            // No runnable rank: everyone is at the barrier (or done).
+            self.sync_point(&mut pending_writes, &mut host_now, barrier_ns);
+            let all_done = states.iter().all(|s| matches!(s, HostState::Done));
+            if all_done {
+                break;
+            }
+            for st in states.iter_mut() {
+                if st.is_parked() {
+                    let HostState::BarrierWait(t) = std::mem::replace(st, HostState::Idle) else {
+                        unreachable!("is_parked ⇒ BarrierWait");
+                    };
+                    *st = HostState::Running(t);
+                }
+            }
+        }
+        self.fork_no += 1;
+    }
+
+    /// Step every item of a wave on the scoped worker pool. Peak OS
+    /// threads = 1 (caller) + `min(pool, wave.len())`.
+    fn step_wave(&mut self, wave: &mut [WaveItem], nprocs: usize) {
+        let mem = &self.mem;
+        if wave.len() <= 1 {
+            for item in wave.iter_mut() {
+                let mut out = StepOutcome::default();
+                let mut ctx = TaskCtx::new(item.pid as Pid, nprocs, mem, &mut out);
+                item.step = item.task.step(&mut ctx);
+                item.out = out;
+            }
+            self.peak_workers = self.peak_workers.max(1);
+            return;
+        }
+        let workers = self.pool.min(wave.len()).max(1);
+        let chunk = wave.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for ch in wave.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for item in ch {
+                        let mut out = StepOutcome::default();
+                        let mut ctx = TaskCtx::new(item.pid as Pid, nprocs, mem, &mut out);
+                        item.step = item.task.step(&mut ctx);
+                        item.out = out;
+                    }
+                });
+            }
+        });
+        self.peak_workers = self.peak_workers.max(workers);
+    }
+
+    /// Barrier / region-end synchronization: apply buffered writes in
+    /// pid order, invalidate other ranks' copies of written pages,
+    /// and advance every host (and the engine) past the barrier.
+    fn sync_point(
+        &mut self,
+        pending_writes: &mut [Vec<(Addr, u64)>],
+        host_now: &mut [u64],
+        barrier_ns: u64,
+    ) {
+        let mut written_by: HashMap<PageId, Vec<usize>> = HashMap::new();
+        for (pid, writes) in pending_writes.iter().enumerate() {
+            for (addr, _) in writes {
+                let page = self.mem.page_of(*addr);
+                let writers = written_by.entry(page).or_default();
+                if writers.last() != Some(&pid) {
+                    writers.push(pid);
+                }
+            }
+        }
+        for writes in pending_writes.iter_mut() {
+            self.mem.apply_writes(writes);
+            writes.clear();
+        }
+        for (pid, &gpid) in self.members.iter().enumerate() {
+            let sim = self.sim.get_mut(&gpid).expect("member simulated");
+            for (page, writers) in &written_by {
+                let foreign = writers.iter().any(|&w| w != pid);
+                if foreign {
+                    sim.valid.remove(page);
+                }
+            }
+        }
+        let arrive = host_now.iter().copied().max().unwrap_or(0);
+        let release = arrive + barrier_ns;
+        let stall = self.advance_time(Tick::from_nanos(release));
+        let release = release + dur_ns(stall);
+        for t in host_now.iter_mut() {
+            *t = release;
+        }
+    }
+
+    /// Advance virtual time to `target`, firing every deadline on the
+    /// way (spawn completions ⇒ `JoinReady`; expired grace periods ⇒
+    /// urgent migration, which freezes the computation and returns the
+    /// extra stall the caller must add to in-flight hosts).
+    fn advance_time(&mut self, target: Tick) -> Duration {
+        let mut target_ns = target.as_nanos().max(self.sched.now().as_nanos());
+        let mut stall = Duration::ZERO;
+        while let Some(d) = self.sched.earliest_deadline() {
+            if d.as_nanos() > target_ns {
+                break;
+            }
+            let (t, id) = self.sched.next().expect("deadline pending");
+            self.cfg.clock.advance_to(t);
+            if id >= GRACE_BASE {
+                let cost = self.fire_grace(id - GRACE_BASE);
+                if cost > Duration::ZERO {
+                    let resume = tick_after(t, cost);
+                    self.sched.advance_to(resume);
+                    self.cfg.clock.advance_to(resume);
+                    target_ns += dur_ns(cost);
+                    stall += cost;
+                }
+            } else if id >= JOIN_BASE {
+                self.fire_join(id - JOIN_BASE);
+            }
+        }
+        let target = Tick::from_nanos(target_ns);
+        self.sched.advance_to(target);
+        self.cfg.clock.advance_to(target);
+        stall
+    }
+
+    /// A spawn deadline fired: the joiner finished connection setup.
+    fn fire_join(&mut self, idx: usize) {
+        if let Some(j) = self.pending_joins.get_mut(idx) {
+            if !j.ready {
+                j.ready = true;
+                self.log.push(EventKind::JoinReady { gpid: j.gpid });
+            }
+        }
+    }
+
+    /// A grace deadline fired before any adaptation point claimed the
+    /// leave: migrate urgently (Fig. 2c), multiplexing onto the
+    /// least-loaded host (or a free one, per config). Returns the
+    /// virtual time the frozen computation loses.
+    fn fire_grace(&mut self, idx: usize) -> Duration {
+        let Some(l) = self.pending_leaves.get_mut(idx) else {
+            return Duration::ZERO;
+        };
+        if l.phase != LeavePhase::Pending {
+            return Duration::ZERO;
+        }
+        l.phase = LeavePhase::Urgent;
+        let gpid = l.gpid;
+        let from = self.hosts.host_of(gpid).expect("leaver is placed");
+        let to = if self.cfg.migrate_prefer_free {
+            self.hosts.free_host()
+        } else {
+            None
+        }
+        .or_else(|| self.hosts.least_loaded_excluding(from))
+        .unwrap_or(from);
+        let resident = self.sim.get(&gpid).map(|s| s.valid.len()).unwrap_or(0);
+        let image_bytes = migration_image_bytes(resident, self.cfg.dsm.page_size);
+        self.log.push(EventKind::UrgentMigrationStart {
+            gpid,
+            from,
+            to,
+            image_bytes,
+        });
+        let took =
+            self.cfg.cost_model.spawn_time() + self.cfg.cost_model.migration_time(image_bytes);
+        self.hosts.vacate(from, gpid);
+        self.hosts.occupy(to, gpid);
+        self.log.push(EventKind::UrgentMigrationDone { gpid, took });
+        took
+    }
+
+    /// The adaptation point: commit ready joins, claim pending leaves,
+    /// write due checkpoints — in exactly the thread engine's event
+    /// order (`NormalLeave*`, `JoinCommitted*`, `Checkpoint?`,
+    /// `Adaptation`).
+    fn adaptation_point(&mut self) {
+        if !self.adaptive {
+            return;
+        }
+        let mut joins: Vec<(Gpid, HostId)> = Vec::new();
+        let mut i = 0;
+        while i < self.pending_joins.len() {
+            if self.pending_joins[i].ready {
+                let j = self.pending_joins.remove(i);
+                joins.push((j.gpid, j.host));
+            } else {
+                i += 1;
+            }
+        }
+        let mut leaves: Vec<Gpid> = Vec::new();
+        for l in self.pending_leaves.drain(..) {
+            if let (LeavePhase::Pending, Some(key)) = (l.phase, l.key) {
+                self.sched.cancel(key);
+            }
+            leaves.push(l.gpid);
+        }
+        let ckpt_due = self.ckpt_requested
+            || self
+                .cfg
+                .ckpt_every_forks
+                .is_some_and(|k| self.fork_no >= self.last_ckpt_fork + k);
+        if joins.is_empty() && leaves.is_empty() && !ckpt_due {
+            return;
+        }
+        let old = self.members.clone();
+        let joiner_gpids: Vec<Gpid> = joins.iter().map(|(g, _)| *g).collect();
+        let members = reassign(self.cfg.reassign, &old, &leaves, &joiner_gpids);
+        for &g in &leaves {
+            if let Some(h) = self.hosts.host_of(g) {
+                self.hosts.vacate(h, g);
+            }
+            self.sim.remove(&g);
+            self.log.push(EventKind::NormalLeave { gpid: g });
+        }
+        for (g, h) in &joins {
+            self.hosts.occupy(*h, *g);
+            self.hosts.unreserve(*h);
+            self.sim.insert(*g, HostSim::default());
+            let pid = members.iter().position(|m| m == g).expect("joiner seated") as u16;
+            self.log.push(EventKind::JoinCommitted { gpid: *g, pid });
+        }
+        let nprocs = members.len();
+        self.members = members;
+        if ckpt_due {
+            self.write_checkpoint();
+            self.ckpt_requested = false;
+        }
+        self.log.push(EventKind::Adaptation {
+            fork_no: self.fork_no,
+            joins: joins.len(),
+            leaves: leaves.len(),
+            took: Duration::ZERO,
+            bytes_moved: 0,
+            max_link_bytes: 0,
+            nprocs,
+        });
+    }
+
+    /// Export the full shared image and write/serialize a checkpoint,
+    /// byte-compatible with the thread engine's.
+    fn write_checkpoint(&mut self) {
+        let pages: Vec<(PageId, Vec<u64>)> = (0..self.allocator.allocated_pages())
+            .map(|p| (p as PageId, self.mem.page_words(p as PageId)))
+            .collect();
+        let image = MemoryImage {
+            fork_no: self.fork_no,
+            alloc_slots: self.allocator.allocated_slots(),
+            registry: self.registry.full(),
+            pages,
+        };
+        let master_blob = self
+            .cfg
+            .master_state_provider
+            .as_ref()
+            .map(|f| f())
+            .unwrap_or_default();
+        let ckpt = Checkpoint { image, master_blob };
+        let bytes = match &self.cfg.ckpt_path {
+            Some(path) => ckpt.write_file(path).expect("checkpoint write"),
+            None => ckpt.to_bytes().len() as u64,
+        };
+        self.last_ckpt_fork = self.fork_no;
+        self.log.push(EventKind::Checkpoint {
+            bytes,
+            took: Duration::ZERO,
+        });
+    }
+
+    /// Cost model (for apps that size work from it).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cfg.cost_model
+    }
+
+    /// Net model.
+    pub fn net_model(&self) -> &NetModel {
+        &self.cfg.net_model
+    }
+}
+
+/// Worker-pool width: `NOWMP_POOL` if set, else `min(cores, 8)`.
+fn pool_size() -> usize {
+    if let Ok(v) = std::env::var("NOWMP_POOL") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn tick_after(t: Tick, d: Duration) -> Tick {
+    Tick::from_nanos(t.as_nanos().saturating_add(dur_ns(d)))
+}
+
+/// Run `app` end to end on the task engine: setup, `iters` steps,
+/// verify. Returns the max-abs verification error.
+pub fn run_task_app(app: &dyn TaskApp, cfg: ClusterConfig, iters: usize) -> (f64, TaskSystem) {
+    let mut sys = TaskSystem::new(cfg);
+    app.setup(&mut sys);
+    for it in 0..iters {
+        app.step(&mut sys, it);
+    }
+    let err = app.verify(&sys, iters);
+    (err, sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nowmp_util::Clock;
+
+    fn cfg(hosts: usize, procs: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::test(hosts, procs);
+        c.clock = Clock::new_virtual();
+        c.adaptive = true;
+        c
+    }
+
+    /// Two-phase ring app: phase A writes `arr[pid] = pid`, barrier,
+    /// phase B reads the *right neighbor's* slot (proving barrier
+    /// write visibility) and writes `out[pid] = neighbor`.
+    struct Ring;
+
+    struct RingTask {
+        pid: Pid,
+        arr: Addr,
+        out: Addr,
+        phase: u8,
+    }
+
+    impl RegionTask for RingTask {
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+            let n = ctx.nprocs() as u64;
+            match self.phase {
+                0 => {
+                    ctx.write_u64(self.arr + self.pid as Addr, self.pid as u64);
+                    ctx.charge_compute(1);
+                    self.phase = 1;
+                    Step::Barrier
+                }
+                _ => {
+                    let nbr = (self.pid as u64 + 1) % n;
+                    let v = ctx.read_u64(self.arr + nbr);
+                    ctx.write_u64(self.out + self.pid as Addr, v);
+                    Step::Done
+                }
+            }
+        }
+    }
+
+    impl TaskApp for Ring {
+        fn name(&self) -> &'static str {
+            "ring"
+        }
+        fn setup(&self, sys: &mut TaskSystem) {
+            sys.alloc_u64("arr", 64);
+            sys.alloc_u64("out", 64);
+        }
+        fn step(&self, sys: &mut TaskSystem, _iter: usize) {
+            sys.parallel(self, "ring", &[]);
+        }
+        fn verify(&self, sys: &TaskSystem, _iters: usize) -> f64 {
+            let n = sys.nprocs() as u64;
+            let mut err = 0.0f64;
+            for p in 0..n {
+                let want = (p + 1) % n;
+                let got = sys.get_u64("out", p as usize);
+                err = err.max((got as f64 - want as f64).abs());
+            }
+            err
+        }
+        fn kernel(
+            &self,
+            sys: &TaskSystem,
+            _region: &str,
+            _params: &[u8],
+            pid: Pid,
+            _nprocs: usize,
+        ) -> Box<dyn RegionTask> {
+            Box::new(RingTask {
+                pid,
+                arr: sys.addr_of("arr"),
+                out: sys.addr_of("out"),
+                phase: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn ring_sees_neighbor_writes_after_barrier() {
+        let (err, sys) = run_task_app(&Ring, cfg(4, 4), 1);
+        assert_eq!(err, 0.0);
+        assert_eq!(sys.fork_no(), 1);
+    }
+
+    #[test]
+    fn compute_charges_advance_virtual_time() {
+        let mut c = cfg(4, 4);
+        c.cost_model = CostModel::disabled().with_region_cost("ring", Duration::from_millis(1));
+        let (err, sys) = run_task_app(&Ring, c, 1);
+        assert_eq!(err, 0.0);
+        assert!(sys.now() >= Tick::from_nanos(1_000_000), "{:?}", sys.now());
+    }
+
+    #[test]
+    fn join_then_leave_mirrors_thread_event_order() {
+        let mut sys = TaskSystem::new(cfg(6, 3));
+        Ring.setup(&mut sys);
+        let g = sys.request_join_ready().unwrap();
+        sys.parallel(&Ring, "ring", &[]); // commits the join
+        assert_eq!(sys.nprocs(), 4);
+        sys.request_leave_pid(2, Some(Duration::from_secs(30)))
+            .unwrap();
+        sys.parallel(&Ring, "ring", &[]); // normal leave
+        assert_eq!(sys.nprocs(), 3);
+        let kinds: Vec<String> = sys
+            .log()
+            .entries()
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::JoinRequested { .. } => "jreq".into(),
+                EventKind::JoinReady { gpid } => {
+                    assert_eq!(*gpid, g);
+                    "jready".into()
+                }
+                EventKind::JoinCommitted { pid, .. } => format!("jcommit:{pid}"),
+                EventKind::LeaveRequested { .. } => "lreq".into(),
+                EventKind::NormalLeave { .. } => "nleave".into(),
+                EventKind::Adaptation {
+                    joins,
+                    leaves,
+                    nprocs,
+                    ..
+                } => {
+                    format!("adapt:+{joins}-{leaves}->{nprocs}")
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "jreq",
+                "jready",
+                "jcommit:3",
+                "adapt:+1-0->4",
+                "lreq",
+                "nleave",
+                "adapt:+0-1->3"
+            ]
+        );
+    }
+
+    #[test]
+    fn master_cannot_leave_and_duplicate_leave_rejected() {
+        let mut sys = TaskSystem::new(cfg(4, 3));
+        assert!(matches!(
+            sys.request_leave_pid(0, None),
+            Err(AdaptError::MasterCannotLeave)
+        ));
+        sys.request_leave_pid(1, None).unwrap();
+        assert!(matches!(
+            sys.request_leave_pid(1, None),
+            Err(AdaptError::AlreadyLeaving(_))
+        ));
+    }
+
+    #[test]
+    fn expired_grace_turns_urgent_before_adaptation() {
+        let mut c = cfg(6, 3);
+        c.migrate_prefer_free = true;
+        // Paper costs: spawning takes 0.7 s of virtual time, so a
+        // 1 ms grace expires while the join spawn advances the clock
+        // — before any adaptation point can claim the leave normally.
+        c.cost_model = CostModel::paper_1999();
+        let mut sys = TaskSystem::new(c);
+        Ring.setup(&mut sys);
+        sys.request_leave_pid(2, Some(Duration::from_millis(1)))
+            .unwrap();
+        sys.request_join_ready().unwrap();
+        let kinds: Vec<&'static str> = sys
+            .log()
+            .entries()
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::LeaveRequested { .. } => "lreq",
+                EventKind::JoinRequested { .. } => "jreq",
+                EventKind::JoinReady { .. } => "jready",
+                EventKind::UrgentMigrationStart { .. } => "ustart",
+                EventKind::UrgentMigrationDone { .. } => "udone",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["lreq", "jreq", "ustart", "udone", "jready"]);
+        // The next adaptation point retires the (already migrated)
+        // leaver and seats the joiner, like the thread engine.
+        sys.parallel(&Ring, "ring", &[]);
+        let tail: Vec<&'static str> = sys
+            .log()
+            .entries()
+            .iter()
+            .skip(5)
+            .map(|e| match &e.kind {
+                EventKind::NormalLeave { .. } => "nleave",
+                EventKind::JoinCommitted { .. } => "jcommit",
+                EventKind::Adaptation { .. } => "adapt",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(tail, vec!["nleave", "jcommit", "adapt"]);
+        assert_eq!(sys.nprocs(), 3);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_ckpt_crate() {
+        let dir = std::env::temp_dir().join(format!("nowmp-task-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("task.ckpt");
+        let mut c = cfg(4, 4);
+        c.ckpt_path = Some(path.clone());
+        let (err, mut sys) = {
+            let mut sys = TaskSystem::new(c);
+            Ring.setup(&mut sys);
+            Ring.step(&mut sys, 0);
+            (Ring.verify(&sys, 1), sys)
+        };
+        assert_eq!(err, 0.0);
+        sys.checkpoint_now();
+        let ck = Checkpoint::read_file(&path).unwrap();
+        assert_eq!(ck.image.fork_no, 1);
+        assert_eq!(ck.image.registry.len(), 4); // __omp_red, __omp_dyn, arr, out
+        assert_eq!(ck.image.registry[0].name, RED_ARRAY);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pool_bounds_workers_not_hosts() {
+        let (_, sys) = run_task_app(&Ring, cfg(4, 4), 2);
+        assert!(sys.peak_workers() <= sys.pool());
+    }
+}

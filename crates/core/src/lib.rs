@@ -24,6 +24,7 @@
 
 pub mod cluster;
 pub mod driver;
+pub mod engine;
 pub mod event;
 pub mod freeze;
 pub mod hostpool;
@@ -32,6 +33,7 @@ pub mod reassign;
 
 pub use cluster::{AdaptError, Cluster, ClusterConfig, ClusterShared, LeaveStrategy};
 pub use driver::{Driver, DriverEvent, Schedule};
+pub use engine::{run_task_app, TaskApp, TaskSystem};
 pub use event::{AdaptEvent, LeavePhase, PendingLeave};
 pub use freeze::Freeze;
 pub use hostpool::HostPool;

@@ -131,6 +131,28 @@ impl NetModel {
     pub fn latency(&self) -> Duration {
         self.scaled(self.one_way_latency)
     }
+
+    /// Round-trip time of a fetch: a small request out (16-byte
+    /// header-only message), the `payload`-byte reply back. This is
+    /// the delivery delay the task-backed engine charges a host per
+    /// remote page fault — the wakeup deadline it parks the faulting
+    /// task until.
+    pub fn fetch_rtt(&self, payload: usize) -> Duration {
+        self.latency() * 2 + self.sender_time(16) + self.receive_time(payload)
+    }
+
+    /// Virtual time for an `nprocs`-wide barrier: a dissemination
+    /// schedule of `ceil(log2 n)` rounds, each round one header-only
+    /// message exchange (gather + release ⇒ ×2). The task-backed
+    /// engine uses this to place the barrier-release wakeup after the
+    /// last arrival.
+    pub fn barrier_time(&self, nprocs: usize) -> Duration {
+        if nprocs <= 1 {
+            return Duration::ZERO;
+        }
+        let rounds = usize::BITS - (nprocs - 1).leading_zeros();
+        (self.latency() + self.sender_time(0)) * 2 * rounds
+    }
 }
 
 impl Default for NetModel {
@@ -172,5 +194,25 @@ mod tests {
     fn time_scale_shrinks_everything() {
         let m = NetModel::paper_scaled(0.1);
         assert_eq!(m.latency(), Duration::from_micros(63).mul_f64(0.1));
+    }
+
+    #[test]
+    fn fetch_rtt_exceeds_wire_rtt_by_message_costs() {
+        let m = NetModel::paper_1999();
+        let rtt = m.fetch_rtt(4096);
+        assert!(rtt > m.latency() * 2, "{rtt:?}");
+        assert!(rtt >= m.latency() * 2 + m.receive_time(4096), "{rtt:?}");
+        assert_eq!(NetModel::disabled().fetch_rtt(4096), Duration::ZERO);
+    }
+
+    #[test]
+    fn barrier_time_grows_logarithmically() {
+        let m = NetModel::paper_1999();
+        assert_eq!(m.barrier_time(1), Duration::ZERO);
+        let b2 = m.barrier_time(2); // 1 round
+        let b32 = m.barrier_time(32); // 5 rounds
+        let b33 = m.barrier_time(33); // 6 rounds
+        assert_eq!(b32, b2 * 5);
+        assert_eq!(b33, b2 * 6);
     }
 }

@@ -133,8 +133,6 @@ pub struct ProcCore {
     /// Our own records not yet shipped to the master (drained at
     /// join/barrier arrivals).
     pub unsent: Vec<Record>,
-    /// Pages written in the open interval.
-    pub dirty: Vec<PageId>,
     /// Diffs we created, by (page, seq).
     pub diffs: HashMap<DiffKey, Arc<Diff>>,
     /// Lazy mode: twins awaiting diff materialization (page → (seq, twin)).
@@ -180,7 +178,6 @@ impl ProcCore {
             pages: Arc::new(PageTable::new()),
             records: RecordStore::new(),
             unsent: Vec::new(),
-            dirty: Vec::new(),
             diffs: HashMap::new(),
             pending_twins: HashMap::new(),
             consistency_bytes: 0,
@@ -293,10 +290,9 @@ impl ProcCore {
                     }
                 }
                 meta.state = PageState::Write;
-                if !meta.dirty {
-                    meta.dirty = true;
-                    self.dirty.push(page);
-                }
+                // Interval bookkeeping rides the shard lock the fault
+                // already holds — no core-level dirty list.
+                meta.mark_dirty();
                 // NOTE: `applied[my_pid]` is NOT raised here. Open-interval
                 // writes are only attributed once the interval closes and
                 // becomes a record; raising early would let an unrecorded
@@ -656,14 +652,16 @@ impl ProcCore {
     /// twins in lazy mode), emit the interval record, advance the
     /// clock. Returns the record if any page was written.
     pub fn close_interval(&mut self) -> Option<Record> {
-        if self.dirty.is_empty() {
+        if self.pages.dirty_count() == 0 {
             return None;
         }
         let seq = self.open_seq();
         let me = self.my_pid;
         let lazy = self.cfg.lazy_diffs;
-        let mut rec_pages = Vec::with_capacity(self.dirty.len());
-        let dirty = std::mem::take(&mut self.dirty);
+        // The write set lives in the page-table shards (enrolled under
+        // the shard lock at fault time); take it back in one sweep.
+        let dirty = self.pages.drain_dirty();
+        let mut rec_pages = Vec::with_capacity(dirty.len());
         for page in dirty {
             let mut meta = self.pages.guard(page);
             meta.dirty = false;
@@ -822,10 +820,7 @@ impl ProcCore {
                         let snap = data.snapshot();
                         meta.twin = Some(snap.clone());
                         DsmStats::bump(&self.stats.twins_created);
-                        if !meta.dirty {
-                            meta.dirty = true;
-                            self.dirty.push(page);
-                        }
+                        meta.mark_dirty();
                         // `applied` holds closed knowledge only; the open
                         // interval's diff will carry post-snapshot writes.
                         debug_assert!(meta.applied.get(me_pid) < open_seq);
@@ -998,7 +993,9 @@ impl ProcCore {
         self.consistency_bytes = 0;
         self.records.clear();
         self.unsent.clear();
-        self.dirty.clear();
+        // Shard dirty lists too — `reset_meta` above already dropped
+        // the per-page flags.
+        let _ = self.pages.drain_dirty();
         self.locks.clear();
         self.vc = Vc::new(team.members.len());
         self.team = team;

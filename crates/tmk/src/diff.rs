@@ -10,13 +10,18 @@
 //!
 //! ## Layout
 //!
-//! A diff is stored as run *descriptors* plus one shared word arena:
-//! `runs[i] = (start, len)` and the payloads live concatenated in
-//! `words`. Creating a diff therefore costs two allocations total, not
-//! one per run — with scattered single-word writes (64 runs in a 4 KB
-//! page) the old per-run `Vec` allocations dominated `Diff::create`.
-//! The wire format is unchanged: `u32` run count, then per run a `u32`
-//! start, `u32` length and the raw little-endian words.
+//! A diff is **one** allocation: a header-prefixed `u64` buffer. The
+//! first `nruns` words are packed run descriptors
+//! (`start << 32 | len`), ascending and non-overlapping; the payload
+//! words follow immediately, concatenated in run order (offsets are
+//! the running prefix sum of the lengths). Apply therefore walks a
+//! single contiguous buffer front to back — the descriptor index sits
+//! in the same cache lines as the first payload words, where the
+//! earlier two-vector layout (descriptors in one allocation, arena in
+//! another) cost a second cache stream per apply and regressed
+//! many-small-run shapes (`apply_4k_64w`) 2×. The wire format is
+//! unchanged: `u32` run count, then per run a `u32` start, `u32`
+//! length and the raw little-endian words.
 
 use crate::page::PageBuf;
 use crate::types::PageId;
@@ -25,11 +30,26 @@ use nowmp_util::wire::{Dec, Enc, Wire, WireError};
 /// All modifications a single interval made to a single page.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Diff {
-    /// Run descriptors `(start_slot, word_count)`, ascending and
-    /// non-overlapping. Payload offsets are the running prefix sum.
-    runs: Vec<(u32, u32)>,
-    /// All run payloads, concatenated in run order.
-    words: Vec<u64>,
+    /// Number of runs (= descriptor words at the front of `buf`).
+    nruns: usize,
+    /// `[desc_0 .. desc_{nruns-1}] [payload words in run order]` where
+    /// `desc_i = start_i << 32 | len_i`.
+    buf: Vec<u64>,
+}
+
+#[inline]
+const fn desc(start: u32, len: u32) -> u64 {
+    ((start as u64) << 32) | len as u64
+}
+
+#[inline]
+const fn desc_start(d: u64) -> u32 {
+    (d >> 32) as u32
+}
+
+#[inline]
+const fn desc_len(d: u64) -> u32 {
+    d as u32
 }
 
 impl Diff {
@@ -99,18 +119,20 @@ impl Diff {
             }
             base += 64;
         }
-        // Pass 2: exactly-sized descriptor + arena allocations, then
-        // one contiguous payload copy per run (merged runs carry the
-        // gap words' current contents, which equal the twin's).
-        let mut diff = Diff {
-            runs: Vec::with_capacity(iv.len()),
-            words: Vec::with_capacity(total),
-        };
-        for (start, end) in iv {
-            diff.runs.push((start as u32, (end - start) as u32));
-            diff.words.extend_from_slice(&cur[start..end]);
+        // Pass 2: one exactly-sized allocation — descriptors up front,
+        // then one contiguous payload copy per run (merged runs carry
+        // the gap words' current contents, which equal the twin's).
+        let mut buf = Vec::with_capacity(iv.len() + total);
+        for &(start, end) in &iv {
+            buf.push(desc(start as u32, (end - start) as u32));
         }
-        diff
+        for &(start, end) in &iv {
+            buf.extend_from_slice(&cur[start..end]);
+        }
+        Diff {
+            nruns: iv.len(),
+            buf,
+        }
     }
 
     /// Build a diff from explicit `(start, payload)` runs (tests,
@@ -132,61 +154,83 @@ impl Diff {
     }
 
     /// Append one run (must be after all existing runs).
+    ///
+    /// Shifts the payload right by one descriptor word — O(carried
+    /// words). Fixture/decoder convenience; the hot constructor is
+    /// [`Diff::create_from_words`], which sizes the buffer once.
     pub fn push_run(&mut self, start: u32, words: &[u64]) {
-        if let Some(&(s, l)) = self.runs.last() {
-            assert!(start >= s + l, "runs must be ascending/non-overlapping");
+        if self.nruns > 0 {
+            let last = self.buf[self.nruns - 1];
+            assert!(
+                start >= desc_start(last) + desc_len(last),
+                "runs must be ascending/non-overlapping"
+            );
         }
-        self.runs.push((start, words.len() as u32));
-        self.words.extend_from_slice(words);
+        self.buf.insert(self.nruns, desc(start, words.len() as u32));
+        self.nruns += 1;
+        self.buf.extend_from_slice(words);
     }
 
     /// Iterate runs as `(start_slot, payload)`.
     pub fn iter_runs(&self) -> impl Iterator<Item = (u32, &[u64])> {
-        self.runs.iter().scan(0usize, |off, &(start, len)| {
-            let w = &self.words[*off..*off + len as usize];
-            *off += len as usize;
-            Some((start, w))
+        let (descs, payload) = self.buf.split_at(self.nruns);
+        descs.iter().scan(0usize, move |off, &d| {
+            let len = desc_len(d) as usize;
+            let w = &payload[*off..*off + len];
+            *off += len;
+            Some((desc_start(d), w))
         })
     }
 
     /// Number of runs.
     pub fn num_runs(&self) -> usize {
-        self.runs.len()
+        self.nruns
     }
 
     /// Apply this diff to `page`.
+    ///
+    /// Single-word runs — the dominant shape for scattered writes —
+    /// take a direct store instead of the bulk-copy loop, whose setup
+    /// (slice construction, unroll prologue) costs more than the one
+    /// word it would move.
     pub fn apply(&self, page: &PageBuf) {
+        let (descs, payload) = self.buf.split_at(self.nruns);
         let mut off = 0usize;
-        for &(start, len) in &self.runs {
-            let l = len as usize;
-            page.write_range(start as usize, &self.words[off..off + l]);
+        for &d in descs {
+            let (s, l) = (desc_start(d) as usize, desc_len(d) as usize);
+            if l == 1 {
+                page.store(s, payload[off]);
+            } else {
+                page.write_range(s, &payload[off..off + l]);
+            }
             off += l;
         }
     }
 
     /// Apply this diff to a plain word buffer.
     pub fn apply_to_words(&self, words: &mut [u64]) {
+        let (descs, payload) = self.buf.split_at(self.nruns);
         let mut off = 0usize;
-        for &(start, len) in &self.runs {
-            let (s, l) = (start as usize, len as usize);
-            words[s..s + l].copy_from_slice(&self.words[off..off + l]);
+        for &d in descs {
+            let (s, l) = (desc_start(d) as usize, desc_len(d) as usize);
+            words[s..s + l].copy_from_slice(&payload[off..off + l]);
             off += l;
         }
     }
 
     /// True when no words changed.
     pub fn is_empty(&self) -> bool {
-        self.runs.is_empty()
+        self.nruns == 0
     }
 
     /// Number of modified (carried) words.
     pub fn words(&self) -> usize {
-        self.words.len()
+        self.buf.len() - self.nruns
     }
 
     /// Approximate size on the wire (headers + payload).
     pub fn wire_bytes(&self) -> usize {
-        4 + self.runs.len() * 8 + self.words.len() * 8
+        4 + self.buf.len() * 8
     }
 }
 
@@ -217,7 +261,7 @@ fn block_mask(cur: &[u64], twin: &[u64]) -> u64 {
 
 impl Wire for Diff {
     fn enc(&self, e: &mut Enc) {
-        e.put_u32(self.runs.len() as u32);
+        e.put_u32(self.nruns as u32);
         for (start, words) in self.iter_runs() {
             e.put_u32(start);
             e.put_u32(words.len() as u32);
@@ -232,17 +276,19 @@ impl Wire for Diff {
                 len: n,
             });
         }
-        let mut diff = Diff {
-            runs: Vec::with_capacity(n.min(4096)),
-            words: Vec::new(),
-        };
-        for _ in 0..n {
+        // The run count is known up front, so the header-prefixed
+        // layout decodes into one buffer: reserve `n` descriptor
+        // slots, then append each run's payload behind them. (`n` is
+        // bounded by `remaining` above, so a corrupt count cannot
+        // force a huge allocation.)
+        let mut buf = vec![0u64; n];
+        for i in 0..n {
             let start = d.get_u32()?;
             let len = d.get_u32()? as usize;
-            diff.runs.push((start, len as u32));
-            d.get_u64_words_into(&mut diff.words, len)?;
+            buf[i] = desc(start, len as u32);
+            d.get_u64_words_into(&mut buf, len)?;
         }
-        Ok(diff)
+        Ok(Diff { nruns: n, buf })
     }
 }
 

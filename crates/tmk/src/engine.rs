@@ -1,0 +1,387 @@
+//! Resumable host state for the event-driven engine — tasks, not
+//! threads.
+//!
+//! The thread-backed simulation in [`crate::system`] parks each host's
+//! protocol position in an OS stack: an application thread blocked in a
+//! barrier *is* the state "arrived at barrier". That representation
+//! costs two threads per simulated host and tops sweeps out near 32
+//! hosts. This module provides the alternative the scale sweeps run
+//! on: each host's position between communication points is an explicit
+//! enum ([`HostState`]), each parallel-region body is a resumable state
+//! machine ([`RegionTask`]) stepped by a scheduler, and shared memory
+//! is a flat word store ([`SimMemory`]) with phase-buffered writes.
+//! Parking a host is then a data move, not a stack switch — the
+//! typestate idiom (xv6's `CPUState`): invalid protocol positions are
+//! unrepresentable, and *which* communication point a host is parked at
+//! is pattern-matchable by the engine.
+//!
+//! ## Memory model
+//!
+//! Lazy release consistency says writes become visible at the next
+//! synchronization. The task engine takes that literally:
+//! [`TaskCtx`] reads hit the pre-phase [`SimMemory`] snapshot; writes
+//! buffer into the step's [`StepOutcome`]; the engine applies all
+//! buffers in pid order at the barrier / region end. One rule follows
+//! for kernels: **within one phase, never read a location after
+//! writing it** — read-your-own-write needs the next phase. (The
+//! paper kernels are phase-structured exactly this way.)
+//!
+//! The engine that drives these types — scheduling, virtual time,
+//! adaptation — lives in `nowmp_core::engine`; the application state
+//! machines live in `nowmp_apps::tasks`.
+
+use std::collections::BTreeSet;
+
+use crate::types::{Addr, PageId, Pid};
+
+/// What a [`RegionTask`] does after one step: the only three ways a
+/// host can leave the CPU between communication points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// More compute before the next synchronization — resume me in the
+    /// next wave without waiting for anyone.
+    Again,
+    /// Arrived at a barrier: park until every live rank arrives, then
+    /// resume (buffered writes of the whole team apply first).
+    Barrier,
+    /// Region body complete for this rank (an implicit barrier ends
+    /// the region).
+    Done,
+}
+
+/// One rank's resumable execution of one parallel-region body.
+///
+/// A `RegionTask` is the unwound form of a region function: instead of
+/// blocking in `barrier()`, it returns [`Step::Barrier`] and keeps its
+/// loop position in fields. The engine calls [`RegionTask::step`] once
+/// per scheduling wave with a fresh [`TaskCtx`]; all side effects flow
+/// through the ctx (buffered writes, compute charges, page touches).
+pub trait RegionTask: Send {
+    /// Run until the next communication point (or a voluntary yield).
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step;
+}
+
+/// A host's protocol position between communication points — the
+/// resumable replacement for a parked thread stack.
+///
+/// Transitions (driven by the engine):
+///
+/// ```text
+///   Idle ── fork ──▶ Running ──[Step::Barrier]──▶ BarrierWait
+///                      ▲  │                            │
+///                      │  └─[Step::Again]              │ all ranks
+///                      └────── barrier release ◀───────┘ arrived
+///   Running ──[Step::Done]──▶ Done ── join (all ranks) ──▶ Idle
+/// ```
+pub enum HostState {
+    /// Between regions: no task installed (the fork hasn't reached
+    /// this rank, or the join already collected it).
+    Idle,
+    /// Executing region code: the task is runnable and will be stepped
+    /// in the next wave.
+    Running(Box<dyn RegionTask>),
+    /// Arrived at an in-region barrier; holds the task to resume once
+    /// every live rank arrives.
+    BarrierWait(Box<dyn RegionTask>),
+    /// Region body finished; waiting for the implicit end-of-region
+    /// barrier (the join).
+    Done,
+}
+
+impl HostState {
+    /// Is this rank holding up the current wave (still runnable)?
+    pub fn is_running(&self) -> bool {
+        matches!(self, HostState::Running(_))
+    }
+
+    /// Has this rank reached a communication point (barrier or done)?
+    pub fn is_parked(&self) -> bool {
+        matches!(self, HostState::BarrierWait(_) | HostState::Done)
+    }
+}
+
+impl std::fmt::Debug for HostState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HostState::Idle => "Idle",
+            HostState::Running(_) => "Running",
+            HostState::BarrierWait(_) => "BarrierWait",
+            HostState::Done => "Done",
+        })
+    }
+}
+
+/// Everything one [`RegionTask::step`] did, for the engine to merge
+/// deterministically: buffered writes (applied in pid order at the
+/// next sync), pages touched (fault accounting against the rank's
+/// valid set), and compute charged (worksharing iterations).
+#[derive(Debug, Default)]
+pub struct StepOutcome {
+    /// Word writes in program order; visible to others after the next
+    /// synchronization, per LRC.
+    pub writes: Vec<(Addr, u64)>,
+    /// Pages read or written this step (set, not multiset: TreadMarks
+    /// faults once per page per interval).
+    pub touched: BTreeSet<PageId>,
+    /// Worksharing iterations charged (converted to virtual time by
+    /// the engine's cost model, like `charge_compute`).
+    pub compute_iters: u64,
+}
+
+/// The flat shared-memory image the task engine simulates against.
+///
+/// The thread engine replicates pages per process and reconciles them
+/// with twins and diffs; parity is judged on *final content and event
+/// order*, not on the reconciliation mechanics, so the task engine
+/// keeps one authoritative copy. Word-addressed like the real
+/// [`crate::shm::Allocator`] address space (same `Addr` values, same
+/// page geometry), zero-initialized like fresh DSM pages.
+#[derive(Debug)]
+pub struct SimMemory {
+    words: Vec<u64>,
+    /// Slots (8-byte words) per page — `DsmConfig::slots_per_page`.
+    spp: usize,
+}
+
+impl SimMemory {
+    /// An empty store with `spp`-word pages.
+    pub fn new(spp: usize) -> SimMemory {
+        assert!(spp > 0, "pages must hold at least one word");
+        SimMemory {
+            words: Vec::new(),
+            spp,
+        }
+    }
+
+    /// Words per page.
+    pub fn slots_per_page(&self) -> usize {
+        self.spp
+    }
+
+    /// Grow (zero-filled) so addresses below `slots` are in range —
+    /// call after each allocation, mirroring `Allocator::alloc`.
+    pub fn ensure_slots(&mut self, slots: Addr) {
+        let want = (slots as usize).div_ceil(self.spp) * self.spp;
+        if want > self.words.len() {
+            self.words.resize(want, 0);
+        }
+    }
+
+    /// Load the word at `addr` (zero if never written, like a fresh
+    /// DSM page).
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.words.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Store directly (master-sequential phases and write-buffer
+    /// application; region code goes through [`TaskCtx::write_u64`]).
+    #[inline]
+    pub fn store(&mut self, addr: Addr, word: u64) {
+        if self.words.len() <= addr as usize {
+            self.ensure_slots(addr + 1);
+        }
+        self.words[addr as usize] = word;
+    }
+
+    /// Apply one rank's buffered writes in program order.
+    pub fn apply_writes(&mut self, writes: &[(Addr, u64)]) {
+        for &(addr, word) in writes {
+            self.store(addr, word);
+        }
+    }
+
+    /// Page containing `addr`.
+    #[inline]
+    pub fn page_of(&self, addr: Addr) -> PageId {
+        (addr as usize / self.spp) as PageId
+    }
+
+    /// Number of pages backing the grown store.
+    pub fn num_pages(&self) -> usize {
+        self.words.len() / self.spp
+    }
+
+    /// The `spp` words of `page` (zero-filled if beyond the store) —
+    /// checkpoint image extraction.
+    pub fn page_words(&self, page: PageId) -> Vec<u64> {
+        let start = page as usize * self.spp;
+        (start..start + self.spp)
+            .map(|i| self.words.get(i).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+/// What a [`RegionTask`] programs against for one step: its identity
+/// in the team, read access to the pre-phase memory snapshot, and the
+/// outcome accumulators. The same access surface as the thread
+/// engine's `TmkCtx` typed views, minus the fault driver — faults are
+/// derived from [`StepOutcome::touched`] by the engine.
+pub struct TaskCtx<'a> {
+    pid: Pid,
+    nprocs: usize,
+    mem: &'a SimMemory,
+    out: &'a mut StepOutcome,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Build a step context for `pid` of `nprocs` over the pre-phase
+    /// snapshot `mem`, accumulating into `out`.
+    pub fn new(pid: Pid, nprocs: usize, mem: &'a SimMemory, out: &'a mut StepOutcome) -> Self {
+        TaskCtx {
+            pid,
+            nprocs,
+            mem,
+            out,
+        }
+    }
+
+    /// This rank.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Team size at this fork.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    #[inline]
+    fn touch(&mut self, addr: Addr) {
+        self.out.touched.insert(self.mem.page_of(addr));
+    }
+
+    /// Read a word from the pre-phase snapshot (buffered writes of the
+    /// current phase — own or others' — are *not* visible).
+    #[inline]
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        self.touch(addr);
+        self.mem.load(addr)
+    }
+
+    /// Read an `f64` (bit-stored, like the typed shared arrays).
+    #[inline]
+    pub fn read_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Buffer a word write; visible after the next synchronization.
+    #[inline]
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.touch(addr);
+        self.out.writes.push((addr, v));
+    }
+
+    /// Buffer an `f64` write (bit-stored).
+    #[inline]
+    pub fn write_f64(&mut self, addr: Addr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    /// Charge `iters` worksharing iterations of virtual compute — the
+    /// task-engine analog of `TmkCtx::charge_compute`.
+    pub fn charge_compute(&mut self, iters: u64) {
+        self.out.compute_iters += iters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts to 3 with a barrier between increments.
+    struct Counter {
+        base: Addr,
+        round: u32,
+    }
+
+    impl RegionTask for Counter {
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+            let addr = self.base + ctx.pid() as Addr;
+            let v = ctx.read_u64(addr);
+            ctx.write_u64(addr, v + 1);
+            ctx.charge_compute(1);
+            self.round += 1;
+            if self.round < 3 {
+                Step::Barrier
+            } else {
+                Step::Done
+            }
+        }
+    }
+
+    #[test]
+    fn writes_are_buffered_until_applied() {
+        let mut mem = SimMemory::new(8);
+        mem.ensure_slots(8);
+        let mut task = Counter { base: 0, round: 0 };
+        let mut out = StepOutcome::default();
+        let step = task.step(&mut TaskCtx::new(0, 1, &mem, &mut out));
+        assert_eq!(step, Step::Barrier);
+        // Pre-sync: the store is untouched; the write sits in the log.
+        assert_eq!(mem.load(0), 0);
+        assert_eq!(out.writes, vec![(0, 1)]);
+        assert_eq!(out.touched.iter().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(out.compute_iters, 1);
+        mem.apply_writes(&out.writes);
+        assert_eq!(mem.load(0), 1);
+    }
+
+    #[test]
+    fn task_resumes_across_barriers_as_data() {
+        let mut mem = SimMemory::new(8);
+        mem.ensure_slots(8);
+        let mut state = HostState::Running(Box::new(Counter { base: 0, round: 0 }));
+        let mut waves = 0;
+        loop {
+            let HostState::Running(mut task) = state else {
+                break;
+            };
+            let mut out = StepOutcome::default();
+            let step = task.step(&mut TaskCtx::new(0, 1, &mem, &mut out));
+            mem.apply_writes(&out.writes);
+            waves += 1;
+            state = match step {
+                Step::Again | Step::Barrier => {
+                    // Single-rank team: the barrier releases instantly.
+                    HostState::Running(task)
+                }
+                Step::Done => HostState::Done,
+            };
+        }
+        assert!(state.is_parked());
+        assert_eq!(waves, 3);
+        assert_eq!(mem.load(0), 3, "one increment per wave, each visible");
+    }
+
+    #[test]
+    fn sim_memory_page_geometry() {
+        let mut mem = SimMemory::new(512);
+        assert_eq!(mem.num_pages(), 0);
+        mem.ensure_slots(513); // two pages
+        assert_eq!(mem.num_pages(), 2);
+        assert_eq!(mem.page_of(511), 0);
+        assert_eq!(mem.page_of(512), 1);
+        mem.store(512, 7);
+        assert_eq!(mem.page_words(1)[0], 7);
+        assert_eq!(mem.page_words(1).len(), 512);
+        // Pages beyond the store read as zeros.
+        assert_eq!(mem.page_words(9), vec![0u64; 512]);
+        assert_eq!(mem.load(99_999), 0);
+    }
+
+    #[test]
+    fn f64_reads_writes_roundtrip_bits() {
+        let mut mem = SimMemory::new(8);
+        mem.ensure_slots(8);
+        let mut out = StepOutcome::default();
+        let mut ctx = TaskCtx::new(2, 4, &mem, &mut out);
+        assert_eq!(ctx.pid(), 2);
+        assert_eq!(ctx.nprocs(), 4);
+        ctx.write_f64(3, -0.25);
+        mem.apply_writes(&out.writes);
+        let mut out = StepOutcome::default();
+        let mut ctx = TaskCtx::new(2, 4, &mem, &mut out);
+        assert_eq!(ctx.read_f64(3), -0.25);
+    }
+}

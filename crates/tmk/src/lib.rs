@@ -40,6 +40,7 @@ pub mod config;
 pub mod core;
 pub mod ctx;
 pub mod diff;
+pub mod engine;
 pub mod gc;
 pub mod msg;
 pub mod page;
@@ -55,6 +56,7 @@ pub mod types;
 
 pub use config::{Broadcast, CollectiveConfig, DataPlaneConfig, DsmConfig};
 pub use ctx::TmkCtx;
+pub use engine::{HostState, RegionTask, SimMemory, Step, StepOutcome, TaskCtx};
 pub use msg::ElemKind;
 pub use shared::{SharedF64Mat, SharedF64Vec, SharedU64Vec};
 pub use stats::{DsmSnapshot, DsmStats};

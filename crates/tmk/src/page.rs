@@ -75,6 +75,7 @@ impl PageBuf {
     /// Bulk read `dst.len()` slots starting at `offset`. One bounds
     /// check for the whole range; the body is a straight-line
     /// load/store stream the compiler unrolls.
+    #[inline]
     pub fn read_range(&self, offset: usize, dst: &mut [u64]) {
         let src = &self.words[offset..offset + dst.len()];
         for (d, s) in dst.iter_mut().zip(src) {
@@ -83,7 +84,9 @@ impl PageBuf {
     }
 
     /// Bulk write `src` starting at `offset` (range-checked once, like
-    /// [`PageBuf::read_range`]).
+    /// [`PageBuf::read_range`]). `#[inline]` so per-run callers
+    /// (diff apply) pay a store stream, not a call, per run.
+    #[inline]
     pub fn write_range(&self, offset: usize, src: &[u64]) {
         let dst = &self.words[offset..offset + src.len()];
         for (d, &s) in dst.iter().zip(src) {

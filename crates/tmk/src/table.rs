@@ -43,11 +43,28 @@ pub const RANGE: usize = 8;
 /// Number of independent shard locks.
 pub const SHARDS: usize = 16;
 
+/// One shard: a dense slice of page metadata plus the shard-local
+/// slice of the open interval's dirty list. Keeping the dirty list
+/// *in* the shard means enrolling a freshly-written page is covered
+/// by the shard lock the write fault already holds — the interval
+/// bookkeeping needs no core-mutex-protected side list.
+struct Shard {
+    /// Metadata for pages `(p / RANGE) % SHARDS == s`, in range order.
+    pages: Vec<PageMeta>,
+    /// This shard's pages written in the open interval (insertion
+    /// order; deduplicated via [`PageMeta::dirty`]).
+    dirty: Vec<PageId>,
+}
+
 /// Per-page metadata behind interleaved-range spin-lock shards.
 pub struct PageTable {
     /// Shard `s` owns pages `p` with `(p / RANGE) % SHARDS == s`,
     /// stored densely in range order.
-    shards: Vec<SpinLock<Vec<PageMeta>>>,
+    shards: Vec<SpinLock<Shard>>,
+    /// Total pages enrolled in shard dirty lists — lets
+    /// `close_interval` skip the 16-shard drain sweep when the
+    /// interval wrote nothing (the common case for sync-only epochs).
+    ndirty: AtomicUsize,
     /// Number of pages the table covers (monotone; grows under `grow`).
     len: AtomicUsize,
     /// Serializes [`Self::ensure`] so concurrent growers cannot
@@ -65,7 +82,15 @@ impl PageTable {
     /// An empty table at epoch 0.
     pub fn new() -> Self {
         PageTable {
-            shards: (0..SHARDS).map(|_| SpinLock::new(Vec::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    SpinLock::new(Shard {
+                        pages: Vec::new(),
+                        dirty: Vec::new(),
+                    })
+                })
+                .collect(),
+            ndirty: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
             grow: SpinLock::new(()),
             epoch: AtomicU32::new(0),
@@ -103,8 +128,8 @@ impl PageTable {
         for p in cur..n {
             let (s, idx) = Self::locate(p);
             let mut shard = self.shards[s].lock();
-            debug_assert_eq!(shard.len(), idx, "dense shard fill out of order");
-            shard.push(PageMeta::new(owner));
+            debug_assert_eq!(shard.pages.len(), idx, "dense shard fill out of order");
+            shard.pages.push(PageMeta::new(owner));
         }
         self.len.store(n.max(cur), Ordering::Release);
     }
@@ -119,6 +144,8 @@ impl PageTable {
         PageGuard {
             shard: self.shards[s].lock(),
             idx,
+            page,
+            ndirty: &self.ndirty,
         }
     }
 
@@ -143,10 +170,35 @@ impl PageTable {
             let (s, idx) = Self::locate(p);
             let mut shard = self.shards[s].lock();
             for q in p..end {
-                f(q as PageId, &mut shard[idx + (q - p)]);
+                f(q as PageId, &mut shard.pages[idx + (q - p)]);
             }
             p = end;
         }
+    }
+
+    /// Pages currently enrolled in shard dirty lists (the open
+    /// interval's write set). Lock-free read.
+    #[inline]
+    pub fn dirty_count(&self) -> usize {
+        self.ndirty.load(Ordering::Acquire)
+    }
+
+    /// Take the open interval's dirty list: every shard's slice,
+    /// concatenated in shard order. Does *not* clear the per-page
+    /// [`PageMeta::dirty`] flags — the caller resets each while doing
+    /// its per-page close work (twin → diff), exactly one guard per
+    /// page. Callers must hold the core mutex (all dirty-list writers
+    /// do), so the count and the lists cannot race the drain.
+    pub fn drain_dirty(&self) -> Vec<PageId> {
+        if self.dirty_count() == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.append(&mut s.lock().dirty);
+        }
+        self.ndirty.store(0, Ordering::Release);
+        out
     }
 
     /// Count pages satisfying `pred` (diagnostics, GC sizing).
@@ -215,22 +267,40 @@ impl Default for PageTable {
 
 /// Exclusive access to one page's metadata; releases its shard on drop.
 pub struct PageGuard<'a> {
-    shard: LockGuard<'a, Vec<PageMeta>>,
+    shard: LockGuard<'a, Shard>,
     idx: usize,
+    page: PageId,
+    ndirty: &'a AtomicUsize,
+}
+
+impl PageGuard<'_> {
+    /// Enroll this page in the open interval's write set: flip
+    /// [`PageMeta::dirty`] and append to the owning shard's dirty
+    /// list. Idempotent; covered entirely by the shard lock this
+    /// guard already holds, so write faults pay no extra
+    /// synchronization for the interval bookkeeping.
+    pub fn mark_dirty(&mut self) {
+        if !self.shard.pages[self.idx].dirty {
+            self.shard.pages[self.idx].dirty = true;
+            let page = self.page;
+            self.shard.dirty.push(page);
+            self.ndirty.fetch_add(1, Ordering::AcqRel);
+        }
+    }
 }
 
 impl Deref for PageGuard<'_> {
     type Target = PageMeta;
     #[inline]
     fn deref(&self) -> &PageMeta {
-        &self.shard[self.idx]
+        &self.shard.pages[self.idx]
     }
 }
 
 impl DerefMut for PageGuard<'_> {
     #[inline]
     fn deref_mut(&mut self) -> &mut PageMeta {
-        &mut self.shard[self.idx]
+        &mut self.shard.pages[self.idx]
     }
 }
 
@@ -365,6 +435,27 @@ mod tests {
         }
         assert!(t.serve_shared_fast(0, 1).is_some(), "thawed again");
         assert!(t.serve_shared_fast(9, 1).is_none(), "unknown page");
+    }
+
+    #[test]
+    fn dirty_enrollment_is_shard_local_and_drains_once() {
+        let t = PageTable::new();
+        t.ensure(RANGE * SHARDS, Gpid(1));
+        // Mark pages across three different shards; double-marking one
+        // must not enroll it twice.
+        for &p in &[0u32, RANGE as u32, (2 * RANGE) as u32, 0] {
+            t.guard(p).mark_dirty();
+        }
+        assert_eq!(t.dirty_count(), 3);
+        assert!(t.guard(0).dirty, "per-page flag set");
+        let mut drained = t.drain_dirty();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, RANGE as u32, (2 * RANGE) as u32]);
+        assert_eq!(t.dirty_count(), 0);
+        assert!(t.drain_dirty().is_empty(), "second drain is empty");
+        // The flag survives the drain — the interval-close caller
+        // resets it per page while creating diffs.
+        assert!(t.guard(0).dirty);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -506,6 +506,22 @@ impl Clock {
         }
     }
 
+    /// Raise virtual `now` to `target` (never backwards) and wake any
+    /// quiescent sleepers. This is the bridge an *event-driven* engine
+    /// uses: a [`TaskScheduler`] owns the authoritative simulated time
+    /// of its hosts, and mirrors it onto the shared clock so that
+    /// timestamps taken through [`Clock::now`] (event logs, stopwatch
+    /// spans) track engine time. No-op on the real backend.
+    pub fn advance_to(&self, target: Tick) {
+        if let Backend::Virtual(core) = &self.backend {
+            let mut st = core.state.lock();
+            if target.0 > st.now {
+                st.now = target.0;
+                core.cv.notify_all();
+            }
+        }
+    }
+
     /// Arm a cancellable deadline `after` from now. The alarm's
     /// deadline is pending from this moment (it holds back virtual
     /// advance past it) even before anyone waits on it.
@@ -657,6 +673,132 @@ impl std::fmt::Debug for Alarm {
             .field("deadline", &self.inner.deadline)
             .field("cancelled", &self.is_cancelled())
             .finish()
+    }
+}
+
+/// Identity of one schedulable task in a [`TaskScheduler`] — typically
+/// one simulated host. Dense small integers; the engine owns the
+/// mapping to host state.
+pub type TaskId = usize;
+
+/// The run-queue companion to the deadline set: a single-owner
+/// discrete-event scheduler for *resumable tasks* instead of parked
+/// threads.
+///
+/// The virtual [`Clock`] advances time for **threads** — each sleeper
+/// is a stack parked in `wait_deadline`, and quiescence detection must
+/// reason about what every OS thread is doing. A `TaskScheduler`
+/// inverts that: host state lives in plain data (the engine's resumable
+/// state enums), and this structure only decides *which task runs next
+/// and what time it is*. No threads, no condvars, no liveness
+/// heuristics — the owner calls [`TaskScheduler::next`] in a loop.
+///
+/// Two pools, one discipline:
+///
+/// * the **run queue** holds tasks runnable *now* (a delivery landed, a
+///   barrier released them) — FIFO, so same-tick wakeups resume in the
+///   order they were made ready, which is what keeps event order
+///   deterministic;
+/// * the **deadline set** holds tasks parked until a future tick
+///   (compute charges, grace timers) — ordered by `(tick, arm order)`,
+///   so simultaneous deadlines also fire in arm order.
+///
+/// [`TaskScheduler::next`] drains the run queue before it ever moves
+/// time; only when no task is runnable does `now` jump to the earliest
+/// deadline. Liveness rule: every parked task is in exactly one pool,
+/// so the loop terminates iff every task eventually reaches a state
+/// with no pending wakeup — a stuck simulation surfaces as
+/// [`TaskScheduler::next`] returning `None` with tasks still parked,
+/// which the engine can assert on, rather than as a hung thread.
+#[derive(Debug, Default)]
+pub struct TaskScheduler {
+    /// Simulated now. Only [`TaskScheduler::next`] moves it forward.
+    now: Tick,
+    /// Tasks runnable at `now`, in wakeup order.
+    run: VecDeque<TaskId>,
+    /// Tasks parked until a tick: `(deadline, arm-seq) -> task`.
+    deadlines: BTreeMap<(u64, u64), TaskId>,
+    /// Monotonic arm counter breaking same-tick ties by arm order.
+    seq: u64,
+}
+
+impl TaskScheduler {
+    /// An empty scheduler at [`Tick::ZERO`].
+    pub fn new() -> TaskScheduler {
+        TaskScheduler::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Make `task` runnable now (appended to the run queue).
+    pub fn ready(&mut self, task: TaskId) {
+        self.run.push_back(task);
+    }
+
+    /// Park `task` until `deadline`. A deadline at or before `now` is
+    /// *not* promoted to the run queue — it still fires after every
+    /// currently-runnable task, keeping "ready now" and "due now"
+    /// distinguishable (delivery wakeups beat expiring timers).
+    /// Returns a key for [`TaskScheduler::cancel`].
+    pub fn park_until(&mut self, task: TaskId, deadline: Tick) -> (u64, u64) {
+        let key = (deadline.0, self.seq);
+        self.seq += 1;
+        self.deadlines.insert(key, task);
+        key
+    }
+
+    /// Withdraw a parked deadline (a cancelled grace timer). Returns
+    /// whether the entry was still pending.
+    pub fn cancel(&mut self, key: (u64, u64)) -> bool {
+        self.deadlines.remove(&key).is_some()
+    }
+
+    /// Next task to resume, advancing `now` if the run queue is empty:
+    /// run-queue FIFO first, then the earliest `(tick, arm-seq)`
+    /// deadline with `now` raised to its tick. `None` means no task is
+    /// runnable or parked — the simulation is finished (or wedged, if
+    /// the engine still holds tasks it believes are waiting).
+    ///
+    /// Deliberately *not* `Iterator::next`: advancing simulated time as
+    /// a side effect has no business in `for` loops or adapters.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Tick, TaskId)> {
+        if let Some(t) = self.run.pop_front() {
+            return Some((self.now, t));
+        }
+        let (&key, &task) = self.deadlines.iter().next()?;
+        self.deadlines.remove(&key);
+        if key.0 > self.now.0 {
+            self.now = Tick(key.0);
+        }
+        Some((self.now, task))
+    }
+
+    /// Earliest pending deadline, if any (the run queue not included).
+    pub fn earliest_deadline(&self) -> Option<Tick> {
+        self.deadlines.keys().next().map(|&(t, _)| Tick(t))
+    }
+
+    /// Nothing runnable and nothing parked.
+    pub fn is_idle(&self) -> bool {
+        self.run.is_empty() && self.deadlines.is_empty()
+    }
+
+    /// Runnable + parked task count (with multiplicity).
+    pub fn pending(&self) -> usize {
+        self.run.len() + self.deadlines.len()
+    }
+
+    /// Raise `now` directly (never backwards) — used when the engine
+    /// accounts time outside the deadline set, e.g. a barrier
+    /// completion computed as a max over arrivals.
+    pub fn advance_to(&mut self, target: Tick) {
+        if target > self.now {
+            self.now = target;
+        }
     }
 }
 
@@ -940,6 +1082,111 @@ mod tests {
             Ok("virtual") | Ok("sim")
         );
         assert_eq!(c.is_virtual(), want_virtual);
+    }
+
+    #[test]
+    fn advance_to_raises_virtual_now_monotonically() {
+        let c = Clock::new_virtual();
+        c.advance_to(Tick::from_nanos(5_000));
+        assert_eq!(c.now(), Tick::from_nanos(5_000));
+        // Never backwards.
+        c.advance_to(Tick::from_nanos(1_000));
+        assert_eq!(c.now(), Tick::from_nanos(5_000));
+        // No-op on the real backend.
+        let r = Clock::real();
+        r.advance_to(Tick::from_nanos(u64::MAX / 2));
+        assert!(r.now() < Tick::from_nanos(u64::MAX / 4));
+    }
+
+    #[test]
+    fn advance_to_wakes_virtual_sleepers() {
+        let c = Clock::new_virtual();
+        let c2 = c.clone();
+        // A registered spinner pins time, so the sleeper cannot advance
+        // on its own; only the explicit advance_to can release it
+        // before the stall fallback.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let ready = Arc::new(AtomicBool::new(false));
+        let ready2 = Arc::clone(&ready);
+        let pin = std::thread::spawn(move || {
+            let _p = c2.participant();
+            ready2.store(true, Ordering::Release);
+            while !stop2.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        });
+        while !ready.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        let c3 = c.clone();
+        let sleeper = std::thread::spawn(move || {
+            let wall = Instant::now();
+            c3.sleep_until(Tick::from_nanos(1_000_000));
+            wall.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        c.advance_to(Tick::from_nanos(2_000_000));
+        let woke_in = sleeper.join().unwrap();
+        assert!(woke_in < STALL_ADVANCE, "sleeper waited {woke_in:?}");
+        stop.store(true, Ordering::Relaxed);
+        pin.join().unwrap();
+    }
+
+    #[test]
+    fn task_scheduler_run_queue_is_fifo_and_beats_deadlines() {
+        let mut s = TaskScheduler::new();
+        s.park_until(9, Tick::ZERO); // due "now", but not *ready* now
+        s.ready(1);
+        s.ready(2);
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.next(), Some((Tick::ZERO, 1)));
+        assert_eq!(s.next(), Some((Tick::ZERO, 2)));
+        assert_eq!(s.next(), Some((Tick::ZERO, 9)));
+        assert!(s.is_idle());
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn task_scheduler_deadlines_fire_in_tick_then_arm_order() {
+        let mut s = TaskScheduler::new();
+        s.park_until(3, Tick::from_nanos(300));
+        s.park_until(1, Tick::from_nanos(100));
+        s.park_until(2, Tick::from_nanos(100)); // same tick, armed later
+        assert_eq!(s.earliest_deadline(), Some(Tick::from_nanos(100)));
+        assert_eq!(s.next(), Some((Tick::from_nanos(100), 1)));
+        assert_eq!(s.next(), Some((Tick::from_nanos(100), 2)));
+        assert_eq!(s.now(), Tick::from_nanos(100));
+        assert_eq!(s.next(), Some((Tick::from_nanos(300), 3)));
+        assert_eq!(s.now(), Tick::from_nanos(300));
+    }
+
+    #[test]
+    fn task_scheduler_cancel_withdraws_parked_deadline() {
+        let mut s = TaskScheduler::new();
+        let k = s.park_until(7, Tick::from_nanos(50));
+        s.park_until(8, Tick::from_nanos(80));
+        assert!(s.cancel(k));
+        assert!(!s.cancel(k), "double cancel reports not-pending");
+        assert_eq!(s.next(), Some((Tick::from_nanos(80), 8)));
+        assert_eq!(s.next(), None);
+        // now does not regress via advance_to either.
+        s.advance_to(Tick::from_nanos(40));
+        assert_eq!(s.now(), Tick::from_nanos(80));
+    }
+
+    #[test]
+    fn task_scheduler_interleaves_wakeups_with_time() {
+        // A delivery (ready) made while a deadline is pending runs
+        // before time moves — the engine's park/resume protocol.
+        let mut s = TaskScheduler::new();
+        s.park_until(1, Tick::from_nanos(500));
+        s.ready(2);
+        assert_eq!(s.next(), Some((Tick::ZERO, 2)));
+        s.advance_to(Tick::from_nanos(200));
+        s.ready(2);
+        assert_eq!(s.next(), Some((Tick::from_nanos(200), 2)));
+        assert_eq!(s.next(), Some((Tick::from_nanos(500), 1)));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod timing;
 pub mod wire;
 pub mod zrle;
 
-pub use clock::{Alarm, Clock, ParticipantGuard, Tick};
+pub use clock::{Alarm, Clock, ParticipantGuard, TaskId, TaskScheduler, Tick};
 pub use crc::crc32;
 pub use lock::{LockGuard, SpinLock};
 pub use sem::Semaphore;
