@@ -440,7 +440,7 @@ impl Kernel for Fft3d {
 mod tests {
     use super::*;
     use crate::run_kernel;
-    use nowmp_core::ClusterConfig;
+    use nowmp_core::{ClusterConfig, LeaveSel};
 
     /// O(n^2) reference DFT.
     fn dft(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
@@ -518,8 +518,8 @@ mod tests {
         f.setup(&mut sys);
         for it in 0..3 {
             if it == 1 {
-                sys.request_leave_pid(3, None).unwrap();
-                sys.request_join_ready().unwrap();
+                sys.adapt().leave(LeaveSel::Pid(3), None).unwrap();
+                sys.join_ready().unwrap();
             }
             f.step(&mut sys, it);
         }

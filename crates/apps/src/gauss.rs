@@ -237,7 +237,7 @@ impl Kernel for Gauss {
 mod tests {
     use super::*;
     use crate::run_kernel;
-    use nowmp_core::ClusterConfig;
+    use nowmp_core::{ClusterConfig, LeaveSel};
 
     #[test]
     fn serial_solution_satisfies_system() {
@@ -301,10 +301,10 @@ mod tests {
         g.setup(&mut sys);
         for it in 0..g.default_iters() {
             if it == 4 {
-                sys.request_leave_pid(2, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(2), None).unwrap();
             }
             if it == 10 {
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             g.step(&mut sys, it);
         }

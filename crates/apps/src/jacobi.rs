@@ -189,7 +189,7 @@ impl Kernel for Jacobi {
 mod tests {
     use super::*;
     use crate::run_kernel;
-    use nowmp_core::ClusterConfig;
+    use nowmp_core::{ClusterConfig, LeaveSel};
 
     #[test]
     // Indices are written `row * stride + col`; keep the row factor
@@ -239,10 +239,10 @@ mod tests {
         j.setup(&mut sys);
         for it in 0..8 {
             if it == 2 {
-                sys.request_leave_pid(3, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(3), None).unwrap();
             }
             if it == 5 {
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             j.step(&mut sys, it);
         }

@@ -286,7 +286,7 @@ impl Kernel for Nbf {
 mod tests {
     use super::*;
     use crate::run_kernel;
-    use nowmp_core::ClusterConfig;
+    use nowmp_core::{ClusterConfig, LeaveSel};
 
     #[test]
     fn reference_is_deterministic() {
@@ -326,10 +326,10 @@ mod tests {
         k.setup(&mut sys);
         for it in 0..4 {
             if it == 1 {
-                sys.request_leave_pid(2, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(2), None).unwrap();
             }
             if it == 2 {
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             k.step(&mut sys, it);
         }

@@ -457,14 +457,13 @@ impl TaskApp for TaskNbf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nowmp_core::{run_task_app, ClusterConfig};
+    use nowmp_core::{run_task_app, ClusterConfig, LeaveSel};
     use nowmp_util::Clock;
 
     fn cfg(hosts: usize, procs: usize) -> ClusterConfig {
-        let mut c = ClusterConfig::test(hosts, procs);
-        c.clock = Clock::new_virtual();
-        c.adaptive = true;
-        c
+        ClusterConfig::test(hosts, procs)
+            .with_clock(Clock::new_virtual())
+            .with_adaptive(true)
     }
 
     #[test]
@@ -492,10 +491,10 @@ mod tests {
         j.setup(&mut sys);
         for it in 0..8 {
             if it == 2 {
-                sys.request_join_ready().unwrap();
+                sys.adapt().join_ready().unwrap();
             }
             if it == 5 {
-                sys.request_leave_pid(3, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(3), None).unwrap();
             }
             j.step(&mut sys, it);
         }
@@ -510,10 +509,10 @@ mod tests {
         k.setup(&mut sys);
         for it in 0..4 {
             if it == 1 {
-                sys.request_leave_pid(2, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(2), None).unwrap();
             }
             if it == 2 {
-                sys.request_join_ready().unwrap();
+                sys.adapt().join_ready().unwrap();
             }
             k.step(&mut sys, it);
         }

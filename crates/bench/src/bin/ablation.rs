@@ -11,7 +11,7 @@
 
 use nowmp_apps::jacobi::Jacobi;
 use nowmp_bench::{bench_cfg, measure, print_table};
-use nowmp_core::{EventKind, LeaveStrategy, ReassignPolicy};
+use nowmp_core::{EventKind, LeaveSel, LeaveStrategy, ReassignPolicy};
 use std::time::Duration;
 
 fn main() {
@@ -23,8 +23,7 @@ fn main() {
     // 1. Eager vs lazy diffing.
     let mut rows = Vec::new();
     for (label, lazy) in [("eager (ours)", false), ("lazy (TreadMarks)", true)] {
-        let mut cfg = bench_cfg(4, 4);
-        cfg.dsm.lazy_diffs = lazy;
+        let cfg = bench_cfg(4, 4).tune_dsm(|d| d.lazy_diffs = lazy);
         let run = measure(&app, cfg, iters, true, |_, _| {}, true);
         assert_eq!(run.err, 0.0, "{label} run must verify");
         rows.push(vec![
@@ -52,8 +51,7 @@ fn main() {
         ("ViaMaster (paper)", LeaveStrategy::ViaMaster),
         ("Scatter (§7)", LeaveStrategy::Scatter),
     ] {
-        let mut cfg = bench_cfg(8, 8);
-        cfg.leave_strategy = strat;
+        let cfg = bench_cfg(8, 8).with_leave_strategy(strat);
         let mut at_leave = None;
         let mut at_end = None;
         let run = measure(
@@ -64,7 +62,7 @@ fn main() {
             |sys, it| {
                 if it == 4 {
                     at_leave = Some(sys.net_stats());
-                    let _ = sys.request_leave_pid(4, None);
+                    let _ = sys.adapt().leave(LeaveSel::Pid(4), None);
                 }
                 if it == iters - 1 {
                     at_end = Some(sys.net_stats());
@@ -112,8 +110,7 @@ fn main() {
         ("CompactKeepOrder (paper)", ReassignPolicy::CompactKeepOrder),
         ("FillGaps (ablation)", ReassignPolicy::FillGaps),
     ] {
-        let mut cfg = bench_cfg(9, 8);
-        cfg.reassign = policy;
+        let cfg = bench_cfg(9, 8).with_reassign(policy);
         let mut post_adapt_net = None;
         let run = measure(
             &app,
@@ -123,8 +120,8 @@ fn main() {
             |sys, it| {
                 if it == 3 {
                     // middle leave + join, committed at the same point
-                    let _ = sys.request_leave_pid(4, None);
-                    let _ = sys.request_join_ready();
+                    let _ = sys.adapt().leave(LeaveSel::Pid(4), None);
+                    let _ = sys.join_ready();
                 }
                 if it == 5 {
                     post_adapt_net = Some(sys.net_stats());
@@ -170,7 +167,7 @@ fn main() {
             true,
             |sys, it| {
                 if it == 4 {
-                    let _ = sys.request_leave_pid(7, grace);
+                    let _ = sys.adapt().leave(LeaveSel::Pid(7), grace);
                     // The owner's return lands mid-computation: give the
                     // grace timer its chance before the next adaptation
                     // point (otherwise the point always wins instantly).

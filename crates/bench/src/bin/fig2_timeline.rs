@@ -12,6 +12,7 @@
 
 use nowmp_apps::jacobi::Jacobi;
 use nowmp_bench::{bench_cfg, measure};
+use nowmp_core::LeaveSel;
 
 fn main() {
     nowmp_bench::smoke_from_args();
@@ -31,7 +32,7 @@ fn main() {
         true,
         |sys, it| {
             if it == 3 {
-                sys.request_join_ready().expect("free host available");
+                sys.join_ready().expect("free host available");
             }
         },
         true,
@@ -48,7 +49,8 @@ fn main() {
         true,
         |sys, it| {
             if it == 3 {
-                sys.request_leave_pid(3, Some(std::time::Duration::from_secs(30)))
+                sys.adapt()
+                    .leave(LeaveSel::Pid(3), Some(std::time::Duration::from_secs(30)))
                     .expect("slave can leave");
             }
         },
@@ -66,7 +68,10 @@ fn main() {
         true,
         |sys, it| {
             if it == 3 {
-                let g = sys.request_leave_pid(3, None).expect("slave can leave");
+                let g = sys
+                    .adapt()
+                    .leave(LeaveSel::Pid(3), None)
+                    .expect("slave can leave");
                 // Deterministically expire the grace period now.
                 assert!(sys.shared().force_urgent(g));
             }

@@ -15,7 +15,7 @@
 
 use nowmp_apps::{jacobi::Jacobi, Kernel};
 use nowmp_bench::{bench_cfg, measure, print_table};
-use nowmp_core::moved_fraction_on_leave;
+use nowmp_core::{moved_fraction_on_leave, LeaveSel};
 
 fn main() {
     nowmp_bench::smoke_from_args();
@@ -75,7 +75,7 @@ fn main() {
             |sys, it| {
                 if it == 4 {
                     at_leave = Some(sys.net_stats());
-                    let _ = sys.request_leave_pid(leaver, None);
+                    let _ = sys.adapt().leave(LeaveSel::Pid(leaver), None);
                 }
                 if it == 6 {
                     after2 = Some(sys.net_stats());

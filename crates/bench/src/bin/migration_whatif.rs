@@ -15,7 +15,7 @@
 
 use nowmp_apps::Kernel;
 use nowmp_bench::{bench_cfg, bench_cost_model, measure, print_table, BenchApps};
-use nowmp_core::EventKind;
+use nowmp_core::{EventKind, LeaveSel};
 
 fn main() {
     nowmp_bench::smoke_from_args();
@@ -38,7 +38,7 @@ fn main() {
             true,
             |sys, it| {
                 if it == mid {
-                    let g = sys.request_leave_pid(7, None).unwrap();
+                    let g = sys.adapt().leave(LeaveSel::Pid(7), None).unwrap();
                     assert!(sys.shared().force_urgent(g));
                 }
             },
@@ -68,7 +68,7 @@ fn main() {
             true,
             |sys, it| {
                 if it == mid {
-                    let _ = sys.request_leave_pid(7, None);
+                    let _ = sys.adapt().leave(LeaveSel::Pid(7), None);
                 }
             },
             true,

@@ -17,7 +17,7 @@
 
 use nowmp_apps::Kernel;
 use nowmp_bench::{avg_nodes, bench_cfg_for, interpolate_runtime, measure, print_table, BenchApps};
-use nowmp_core::EventKind;
+use nowmp_core::{EventKind, LeaveSel};
 use std::time::Duration;
 
 fn main() {
@@ -73,9 +73,9 @@ fn main() {
                         if it > 0 && it % every == 0 && pending < events {
                             if pending.is_multiple_of(2) {
                                 let pid = leave_pid(sys.nprocs());
-                                let _ = sys.request_leave_pid(pid, None);
+                                let _ = sys.adapt().leave(LeaveSel::Pid(pid), None);
                             } else {
-                                let _ = sys.request_join_ready();
+                                let _ = sys.join_ready();
                             }
                             pending += 1;
                         }

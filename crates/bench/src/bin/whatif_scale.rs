@@ -167,19 +167,13 @@ fn bname(b: Broadcast) -> &'static str {
 
 fn cfg(kernel: &dyn Kernel, scenario: Scenario, procs: usize, mode: Mode) -> ClusterConfig {
     let cost = scenario.apply(with_kernel_costs(CostModel::paper_1999(), kernel), procs);
-    ClusterConfig {
-        hosts: procs,
-        initial_procs: procs,
-        net_model: bench_net_model(),
-        cost_model: cost,
-        dsm: DsmConfig {
-            collectives: mode.collectives(),
-            dataplane: mode.dataplane.config(),
-            ..DsmConfig::default_4k()
-        },
-        clock: Clock::new_virtual(),
-        ..ClusterConfig::test(procs, procs)
-    }
+    ClusterConfig::test(procs, procs)
+        .with_net_model(bench_net_model())
+        .with_cost_model(cost)
+        .with_dsm(DsmConfig::default_4k())
+        .with_collectives(mode.collectives())
+        .with_dataplane(mode.dataplane.config())
+        .with_clock(Clock::new_virtual())
 }
 
 fn axis_from_args(flag: &str) -> Option<Broadcast> {
@@ -240,12 +234,10 @@ fn task_scale_run(kernel: &str, app: &dyn TaskApp, procs: usize, iters: usize) -
             peak
         })
     };
-    let cfg = ClusterConfig {
-        net_model: NetModel::paper_1999(),
-        dsm: DsmConfig::default_4k(),
-        clock: Clock::new_virtual(),
-        ..ClusterConfig::test(procs, procs)
-    };
+    let cfg = ClusterConfig::test(procs, procs)
+        .with_net_model(NetModel::paper_1999())
+        .with_dsm(DsmConfig::default_4k())
+        .with_clock(Clock::new_virtual());
     let wall = Instant::now();
     let (err, sys) = run_task_app(app, cfg, iters);
     let wall_secs = wall.elapsed().as_secs_f64();

@@ -1,0 +1,284 @@
+//! `whatif_tenancy` — trace-driven what-if for the multi-tenant
+//! cluster scheduler (NOW as a service).
+//!
+//! Generates a synthetic job trace the way cluster workloads actually
+//! look and replays it through [`nowmp_omp::jobs::Scheduler`] on a
+//! 32-workstation pool under the global virtual timeline:
+//!
+//! * **Poisson arrivals** — exponential inter-arrival gaps via inverse
+//!   CDF on a deterministic splitmix64 stream (no rand crate in the
+//!   offline vendor set; the trace is bit-reproducible across runs).
+//! * **Heavy-tailed job sizes** — step counts drawn from a bounded
+//!   Pareto (`alpha = 1.5`): many short jobs, a few order-of-magnitude
+//!   stragglers, the shape every cluster trace study reports.
+//! * **Diurnal load** — the arrival rate is modulated by a sinusoidal
+//!   day curve (peak 1.75x, trough 0.25x of the base rate), so the
+//!   scheduler sees both a rush hour and an idle valley.
+//! * **Priority mix** — one job in five is "interactive" (priority 5,
+//!   narrow `min == max` team) and preempts the batch tier (priority
+//!   1, elastic `min << max` teams) through the grace-leave path.
+//!
+//! Reports makespan, the p99 queueing wait, mean turnaround, pool
+//! utilization, peak tenant concurrency, and per-job accounting into
+//! `BENCH_tenancy.json`. With `--smoke` the trace shrinks to CI size
+//! and the floors in `crates/bench/baselines.toml` (`[tenancy]`) are
+//! enforced: pool utilization must stay above `tenancy_util_min` and
+//! the p99 wait below `tenancy_p99_wait_max` virtual seconds — a
+//! placement or preemption regression shows up as idle granted hosts
+//! (utilization collapses) or as queue buildup (the wait tail grows).
+
+use nowmp_bench::{load_baselines, print_table, quick, smoke_from_args};
+use nowmp_core::ClusterConfig;
+use nowmp_net::CostModel;
+use nowmp_omp::jobs::Scheduler;
+use nowmp_omp::{JobSpec, OmpProgram, TenancyReport};
+use std::time::Duration;
+
+/// Pool size: the scale target of the scheduler redesign.
+const HOSTS: usize = 32;
+
+/// Deterministic splitmix64 stream — the trace must not depend on a
+/// rand crate (offline vendor set) nor on run-to-run entropy.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given rate (events per second).
+    fn exp(&mut self, rate: f64) -> f64 {
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Bounded Pareto: `xmin`-floored power law with tail index
+    /// `alpha`, clipped at `cap`.
+    fn pareto(&mut self, xmin: f64, alpha: f64, cap: f64) -> f64 {
+        (xmin / (1.0 - self.next_f64()).powf(1.0 / alpha)).min(cap)
+    }
+}
+
+/// The diurnal modulation of the arrival rate at trace time `t`:
+/// sinusoidal over `day`, swinging between 0.25x and 1.75x base load.
+fn diurnal(t: f64, day: f64) -> f64 {
+    1.0 + 0.75 * (std::f64::consts::TAU * t / day).sin()
+}
+
+/// The tenant workload: every step runs one "work" region whose
+/// modeled compute cost (per worksharing iteration) is what fills the
+/// virtual timeline; the array is small so the bin's *wall* cost stays
+/// CI-sized while the *virtual* load is whatever the cost model says.
+fn work_program() -> OmpProgram {
+    OmpProgram::new().region("work", |ctx| {
+        let data = ctx.f64vec("data");
+        let n = data.len();
+        ctx.for_static(0..n as u64, |c, i| {
+            data.set(c.dsm(), i as usize, i as f64);
+        });
+    })
+}
+
+/// Iterations per step — with the per-iteration region cost below, a
+/// step costs `WORK_ITERS * PER_ITER / procs` of virtual time.
+const WORK_ITERS: u64 = 32;
+const PER_ITER: Duration = Duration::from_millis(25);
+
+struct TraceJob {
+    arrival: f64,
+    steps: u64,
+    min_procs: usize,
+    max_procs: usize,
+    priority: u8,
+    interactive: bool,
+}
+
+/// Draw the synthetic trace: `n` jobs, Poisson arrivals at `base_rate`
+/// jobs/sec thinned by the diurnal curve, bounded-Pareto step counts.
+fn draw_trace(n: usize, base_rate: f64, day: f64, steps_cap: f64, seed: u64) -> Vec<TraceJob> {
+    let mut rng = Rng(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += rng.exp(base_rate * diurnal(t, day));
+            let interactive = rng.next_f64() < 0.2;
+            let (min_procs, max_procs, priority) = if interactive {
+                // Interactive tier: rigid small team, preempts batch.
+                let p = 1 << (rng.next_u64() % 2); // 1 or 2
+                (p, p, 5u8)
+            } else {
+                // Batch tier: elastic, shrinks gracefully under load.
+                let max = 1 << (1 + rng.next_u64() % 3); // 2, 4, 8
+                (1, max, 1u8)
+            };
+            TraceJob {
+                arrival: t,
+                steps: rng.pareto(3.0, 1.5, steps_cap) as u64,
+                min_procs,
+                max_procs,
+                priority,
+                interactive,
+            }
+        })
+        .collect()
+}
+
+fn spec_for(idx: usize, j: &TraceJob) -> JobSpec {
+    let tier = if j.interactive { "int" } else { "batch" };
+    JobSpec::new(format!("{tier}{idx}"), work_program())
+        .with_procs(j.min_procs, j.max_procs)
+        .with_priority(j.priority)
+        .arriving_at(Duration::from_secs_f64(j.arrival))
+        .with_setup(|sys| sys.alloc_f64("data", WORK_ITERS))
+        .with_steps(j.steps, |sys, _| sys.parallel("work", &[]))
+}
+
+fn json(report: &TenancyReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"quick\": {},\n  \"hosts\": {HOSTS},\n  \"makespan_secs\": {:.3},\n  \
+         \"utilization\": {:.4},\n  \"p99_wait_secs\": {:.3},\n  \
+         \"mean_turnaround_secs\": {:.3},\n  \"max_concurrency\": {},\n  \"jobs\": [\n",
+        quick(),
+        report.makespan.as_secs_f64(),
+        report.utilization,
+        report.p99_wait().as_secs_f64(),
+        report.mean_turnaround().as_secs_f64(),
+        report.max_concurrency,
+    ));
+    for (i, j) in report.jobs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": {}, \"name\": \"{}\", \"priority\": {}, \"min_procs\": {}, \
+             \"max_procs\": {}, \"arrival_secs\": {:.3}, \"wait_secs\": {:.3}, \
+             \"turnaround_secs\": {:.3}, \"preemptions\": {}, \"net_msgs\": {}, \
+             \"net_bytes\": {} }}{}\n",
+            j.id.0,
+            j.name,
+            j.params.priority,
+            j.params.min_procs,
+            j.params.max_procs,
+            j.params.arrival.as_secs_f64(),
+            j.wait.as_secs_f64(),
+            j.turnaround.as_secs_f64(),
+            j.preemptions,
+            j.traffic.msgs,
+            j.traffic.bytes,
+            if i + 1 < report.jobs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    smoke_from_args();
+    // Smoke: a rush-hour-sized burst that still exercises preemption
+    // and >= 8-way tenancy in seconds of wall time. Full: a longer day
+    // with a deeper Pareto tail.
+    let (n_jobs, base_rate, day, steps_cap) = if quick() {
+        (24, 4.0, 6.0, 24.0)
+    } else {
+        (96, 3.0, 30.0, 96.0)
+    };
+
+    println!(
+        "whatif_tenancy: {n_jobs} jobs on {HOSTS} hosts (virtual clock, {} mode)\n",
+        if quick() { "smoke" } else { "full" }
+    );
+
+    let trace = draw_trace(n_jobs, base_rate, day, steps_cap, 0x5EED_1999);
+    let base = ClusterConfig::test(HOSTS, 1)
+        .with_cost_model(CostModel::disabled().with_region_cost("work", PER_ITER));
+    let mut sched = Scheduler::new(base).with_net_contention(0.02);
+    let handles: Vec<_> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, j)| sched.submit(spec_for(i, j)))
+        .collect();
+    let report = sched.run();
+    assert_eq!(handles.len(), report.jobs.len());
+
+    let mut rows = Vec::new();
+    for j in &report.jobs {
+        rows.push(vec![
+            format!("{}", j.id),
+            j.name.clone(),
+            format!("p{}", j.params.priority),
+            format!("{}-{}", j.params.min_procs, j.params.max_procs),
+            format!("{:.2}", j.params.arrival.as_secs_f64()),
+            format!("{:.2}", j.wait.as_secs_f64()),
+            format!("{:.2}", j.turnaround.as_secs_f64()),
+            j.preemptions.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Tenancy trace on {HOSTS} hosts (virtual seconds)"),
+        &[
+            "job",
+            "name",
+            "prio",
+            "procs",
+            "arrive",
+            "wait",
+            "turnaround",
+            "preempted",
+        ],
+        &rows,
+    );
+    println!(
+        "\nmakespan {:.2}s  utilization {:.1}%  p99 wait {:.2}s  mean turnaround {:.2}s  peak tenancy {}",
+        report.makespan.as_secs_f64(),
+        report.utilization * 100.0,
+        report.p99_wait().as_secs_f64(),
+        report.mean_turnaround().as_secs_f64(),
+        report.max_concurrency,
+    );
+
+    let preempted: u64 = report.jobs.iter().map(|j| j.preemptions).sum();
+    println!("preemptions across the trace: {preempted}");
+
+    let out = json(&report);
+    std::fs::write("BENCH_tenancy.json", &out).expect("write BENCH_tenancy.json");
+    println!("wrote BENCH_tenancy.json ({} bytes)", out.len());
+
+    // --- CI floors (enforced in the --smoke configuration CI runs) ----
+    if quick() {
+        assert!(
+            report.max_concurrency >= 8,
+            "the smoke trace must exercise real multi-tenancy, peaked at {}",
+            report.max_concurrency
+        );
+        assert!(
+            preempted > 0,
+            "the smoke trace must exercise the preemption path"
+        );
+        let floors = load_baselines();
+        let util_min = floors["tenancy_util_min"];
+        println!(
+            "gate: utilization = {:.3} (floor {util_min:.3})",
+            report.utilization
+        );
+        assert!(
+            report.utilization >= util_min,
+            "CI tenancy gate: pool utilization {:.3} fell below the pinned floor \
+             {util_min:.3} (crates/bench/baselines.toml)",
+            report.utilization
+        );
+        let p99_max = floors["tenancy_p99_wait_max"];
+        let p99 = report.p99_wait().as_secs_f64();
+        println!("gate: p99 wait = {p99:.2}s (ceiling {p99_max:.2}s)");
+        assert!(
+            p99 <= p99_max,
+            "CI tenancy gate: p99 queueing wait {p99:.2}s exceeded the pinned ceiling \
+             {p99_max:.2}s (crates/bench/baselines.toml)"
+        );
+    }
+}

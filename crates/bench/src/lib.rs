@@ -180,18 +180,12 @@ pub fn bench_cost_model() -> CostModel {
 /// the overlapped data plane are A/B'd explicitly by `whatif_scale
 /// --broadcast` / `--dataplane` against this baseline.
 pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
-    ClusterConfig {
-        hosts,
-        initial_procs: procs,
-        net_model: bench_net_model(),
-        cost_model: bench_cost_model(),
-        dsm: DsmConfig {
-            collectives: CollectiveConfig::all_flat(),
-            dataplane: DataPlaneConfig::demand(),
-            ..DsmConfig::default_4k()
-        },
-        ..ClusterConfig::test(hosts, procs)
-    }
+    ClusterConfig::test(hosts, procs)
+        .with_net_model(bench_net_model())
+        .with_cost_model(bench_cost_model())
+        .with_dsm(DsmConfig::default_4k())
+        .with_collectives(CollectiveConfig::all_flat())
+        .with_dataplane(DataPlaneConfig::demand())
 }
 
 /// [`bench_cfg`] specialized to `kernel`: under the virtual clock
@@ -201,11 +195,13 @@ pub fn bench_cfg(hosts: usize, procs: usize) -> ClusterConfig {
 /// Table 1/2 predictions. On the real clock the profile is left out —
 /// charging modeled FLOPs as wall sleeps would only slow the bench.
 pub fn bench_cfg_for(kernel: &dyn Kernel, hosts: usize, procs: usize) -> ClusterConfig {
-    let mut cfg = bench_cfg(hosts, procs);
+    let cfg = bench_cfg(hosts, procs);
     if virtual_mode() {
-        cfg.cost_model = nowmp_apps::with_kernel_costs(cfg.cost_model, kernel);
+        let cost = nowmp_apps::with_kernel_costs(cfg.cost_model.clone(), kernel);
+        cfg.with_cost_model(cost)
+    } else {
+        cfg
     }
-    cfg
 }
 
 /// Serialize `(nprocs, secs)` samples per app into the machine-readable
@@ -543,6 +539,7 @@ mod tests {
         use nowmp_core::EventKind;
         let log = vec![LogEntry {
             at: Duration::from_secs(5),
+            job: None,
             kind: EventKind::Adaptation {
                 fork_no: 1,
                 joins: 0,
@@ -577,6 +574,8 @@ mod tests {
         assert!(floors.contains_key("hotpath_interval_8t_min_ratio"));
         assert!(floors.contains_key("task_scale_1024_max_wall_secs"));
         assert!(floors.contains_key("task_scale_1024_max_extra_threads"));
+        assert!(floors.contains_key("tenancy_util_min"));
+        assert!(floors.contains_key("tenancy_p99_wait_max"));
     }
 
     #[test]

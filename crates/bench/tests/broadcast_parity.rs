@@ -12,7 +12,7 @@
 
 use nowmp_apps::jacobi::Jacobi;
 use nowmp_bench::{measure, RunResult};
-use nowmp_core::{ClusterConfig, EventKind, LogEntry};
+use nowmp_core::{ClusterConfig, EventKind, LeaveSel, LogEntry};
 use nowmp_net::NetModel;
 use nowmp_omp::OmpSystem;
 use nowmp_tmk::{Broadcast, CollectiveConfig, DsmConfig};
@@ -20,15 +20,11 @@ use nowmp_util::Clock;
 use std::time::Duration;
 
 fn cfg(hosts: usize, procs: usize, collectives: CollectiveConfig) -> ClusterConfig {
-    ClusterConfig {
-        net_model: NetModel::paper_1999(),
-        dsm: DsmConfig {
-            collectives,
-            ..DsmConfig::default_4k()
-        },
-        clock: Clock::new_virtual(),
-        ..ClusterConfig::test(hosts, procs)
-    }
+    ClusterConfig::test(hosts, procs)
+        .with_net_model(NetModel::paper_1999())
+        .with_dsm(DsmConfig::default_4k())
+        .with_collectives(collectives)
+        .with_clock(Clock::new_virtual())
 }
 
 /// The ordering-relevant fingerprint of a log: event kinds plus the
@@ -53,6 +49,8 @@ fn shape(log: &[LogEntry]) -> Vec<String> {
                 ..
             } => format!("adapt:+{joins}-{leaves}->{nprocs}"),
             EventKind::Checkpoint { .. } => "checkpoint".into(),
+            // Scheduler events never appear in a single-job run.
+            other => format!("{other:?}"),
         })
         .collect()
 }
@@ -63,10 +61,11 @@ fn adaptive_run(collectives: CollectiveConfig) -> RunResult {
     let app = Jacobi::new(48);
     let events = |sys: &mut OmpSystem, it: usize| {
         if it == 2 {
-            sys.request_join_ready().expect("free host available");
+            sys.join_ready().expect("free host available");
         }
         if it == 5 {
-            sys.request_leave_pid(3, Some(Duration::from_secs(30)))
+            sys.adapt()
+                .leave(LeaveSel::Pid(3), Some(Duration::from_secs(30)))
                 .expect("slave can leave");
         }
     };

@@ -10,7 +10,7 @@
 
 use nowmp_apps::jacobi::Jacobi;
 use nowmp_apps::Kernel;
-use nowmp_core::{ClusterConfig, EventKind, LogEntry};
+use nowmp_core::{ClusterConfig, EventKind, LeaveSel, LogEntry};
 use nowmp_net::NetModel;
 use nowmp_omp::OmpSystem;
 use nowmp_tmk::{DataPlaneConfig, DsmConfig};
@@ -18,15 +18,11 @@ use nowmp_util::Clock;
 use std::time::Duration;
 
 fn cfg(hosts: usize, procs: usize, dataplane: DataPlaneConfig) -> ClusterConfig {
-    ClusterConfig {
-        net_model: NetModel::paper_1999(),
-        dsm: DsmConfig {
-            dataplane,
-            ..DsmConfig::default_4k()
-        },
-        clock: Clock::new_virtual(),
-        ..ClusterConfig::test(hosts, procs)
-    }
+    ClusterConfig::test(hosts, procs)
+        .with_net_model(NetModel::paper_1999())
+        .with_dsm(DsmConfig::default_4k())
+        .with_dataplane(dataplane)
+        .with_clock(Clock::new_virtual())
 }
 
 /// The ordering-relevant fingerprint of a log: event kinds plus the
@@ -51,6 +47,8 @@ fn shape(log: &[LogEntry]) -> Vec<String> {
                 ..
             } => format!("adapt:+{joins}-{leaves}->{nprocs}"),
             EventKind::Checkpoint { .. } => "checkpoint".into(),
+            // Scheduler events never appear in a single-job run.
+            other => format!("{other:?}"),
         })
         .collect()
 }
@@ -60,17 +58,19 @@ fn shape(log: &[LogEntry]) -> Vec<String> {
 /// a checkpoint whose bytes capture the final DSM memory image.
 fn adaptive_run(dataplane: DataPlaneConfig, ckpt: &std::path::Path) -> (f64, Vec<String>, Vec<u8>) {
     let app = Jacobi::new(48);
-    let mut c = cfg(6, 4, dataplane).with_adaptive(true);
-    c.ckpt_path = Some(ckpt.to_path_buf());
+    let c = cfg(6, 4, dataplane)
+        .with_adaptive(true)
+        .with_ckpt_path(ckpt.to_path_buf());
     let program = nowmp_apps::build_program(&[&app as &dyn Kernel]);
     let mut sys = OmpSystem::new(c, program);
     app.setup(&mut sys);
     for it in 0..8 {
         if it == 2 {
-            sys.request_join_ready().expect("free host available");
+            sys.join_ready().expect("free host available");
         }
         if it == 5 {
-            sys.request_leave_pid(3, Some(Duration::from_secs(30)))
+            sys.adapt()
+                .leave(LeaveSel::Pid(3), Some(Duration::from_secs(30)))
                 .expect("slave can leave");
         }
         app.step(&mut sys, it);
@@ -121,8 +121,8 @@ fn costed_run(
 ) -> nowmp_bench::RunResult {
     use nowmp_apps::with_kernel_costs;
     use nowmp_net::CostModel;
-    let mut c = cfg(procs, procs, dataplane);
-    c.cost_model = with_kernel_costs(CostModel::paper_1999(), kernel);
+    let c = cfg(procs, procs, dataplane)
+        .with_cost_model(with_kernel_costs(CostModel::paper_1999(), kernel));
     nowmp_bench::measure(kernel, c, iters, false, |_, _| {}, false)
 }
 

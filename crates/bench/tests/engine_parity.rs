@@ -18,7 +18,7 @@ use nowmp_apps::jacobi::Jacobi;
 use nowmp_apps::nbf::Nbf;
 use nowmp_apps::tasks::{TaskJacobi, TaskNbf};
 use nowmp_apps::Kernel;
-use nowmp_core::{ClusterConfig, EventKind, LogEntry, TaskApp, TaskSystem};
+use nowmp_core::{ClusterConfig, EventKind, LeaveSel, LogEntry, TaskApp, TaskSystem};
 use nowmp_net::NetModel;
 use nowmp_omp::OmpSystem;
 use nowmp_tmk::DsmConfig;
@@ -27,14 +27,11 @@ use std::path::Path;
 use std::time::Duration;
 
 fn cfg(hosts: usize, procs: usize) -> ClusterConfig {
-    let mut c = ClusterConfig {
-        net_model: NetModel::paper_1999(),
-        dsm: DsmConfig::default_4k(),
-        clock: Clock::new_virtual(),
-        ..ClusterConfig::test(hosts, procs)
-    };
-    c.adaptive = true;
-    c
+    ClusterConfig::test(hosts, procs)
+        .with_net_model(NetModel::paper_1999())
+        .with_dsm(DsmConfig::default_4k())
+        .with_clock(Clock::new_virtual())
+        .with_adaptive(true)
 }
 
 /// Ordering-relevant fingerprint: event kinds plus team-shape fields,
@@ -59,6 +56,8 @@ fn shape(log: &[LogEntry]) -> Vec<String> {
                 ..
             } => format!("adapt:+{joins}-{leaves}->{nprocs}"),
             EventKind::Checkpoint { .. } => "checkpoint".into(),
+            // Scheduler events never appear in a single-job run.
+            other => format!("{other:?}"),
         })
         .collect()
 }
@@ -79,17 +78,20 @@ fn thread_run(
     s: &Script,
     ckpt: &Path,
 ) -> (f64, Vec<String>, Vec<u8>) {
-    let mut c = c;
-    c.ckpt_path = Some(ckpt.to_path_buf());
+    let c = c.with_ckpt_path(ckpt.to_path_buf());
     let program = nowmp_apps::build_program(&[kernel]);
     let mut sys = OmpSystem::new(c, program);
     kernel.setup(&mut sys);
     for it in 0..s.iters {
         if it == s.join_at {
-            sys.request_join_ready().expect("free host available");
+            sys.join_ready().expect("free host available");
         }
         if it == s.leave_at {
-            sys.request_leave_pid(s.leave_pid as u16, Some(Duration::from_secs(30)))
+            sys.adapt()
+                .leave(
+                    LeaveSel::Pid(s.leave_pid as u16),
+                    Some(Duration::from_secs(30)),
+                )
                 .expect("slave can leave");
         }
         kernel.step(&mut sys, it);
@@ -108,16 +110,19 @@ fn task_run(
     s: &Script,
     ckpt: &Path,
 ) -> (f64, Vec<String>, Vec<u8>, usize, usize) {
-    let mut c = c;
-    c.ckpt_path = Some(ckpt.to_path_buf());
+    let c = c.with_ckpt_path(ckpt.to_path_buf());
     let mut sys = TaskSystem::new(c);
     app.setup(&mut sys);
     for it in 0..s.iters {
         if it == s.join_at {
-            sys.request_join_ready().expect("free host available");
+            sys.adapt().join_ready().expect("free host available");
         }
         if it == s.leave_at {
-            sys.request_leave_pid(s.leave_pid, Some(Duration::from_secs(30)))
+            sys.adapt()
+                .leave(
+                    LeaveSel::Pid(s.leave_pid as u16),
+                    Some(Duration::from_secs(30)),
+                )
                 .expect("slave can leave");
         }
         app.step(&mut sys, it);

@@ -25,25 +25,19 @@ use nowmp_util::Clock;
 const TOL: f64 = 0.15;
 
 fn simulated_secs(kernel: &dyn Kernel, procs: usize, iters: usize) -> f64 {
-    let cfg = ClusterConfig {
-        hosts: procs,
-        initial_procs: procs,
-        net_model: NetModel::paper_1999(),
-        cost_model: with_kernel_costs(CostModel::paper_1999(), kernel),
-        // The 1999 system under reproduction used the flat fork
-        // broadcast with flat write-notice payloads and strict demand
-        // paging; the targets below calibrate against exactly those
-        // wire sizes and fault round-trips. The tree/RLE and overlap
-        // redesigns are measured separately (whatif_scale --broadcast /
-        // --dataplane).
-        dsm: DsmConfig {
-            collectives: CollectiveConfig::all_flat(),
-            dataplane: DataPlaneConfig::demand(),
-            ..DsmConfig::default_4k()
-        },
-        clock: Clock::new_virtual(),
-        ..ClusterConfig::test(procs, procs)
-    };
+    // The 1999 system under reproduction used the flat fork
+    // broadcast with flat write-notice payloads and strict demand
+    // paging; the targets below calibrate against exactly those
+    // wire sizes and fault round-trips. The tree/RLE and overlap
+    // redesigns are measured separately (whatif_scale --broadcast /
+    // --dataplane).
+    let cfg = ClusterConfig::test(procs, procs)
+        .with_net_model(NetModel::paper_1999())
+        .with_cost_model(with_kernel_costs(CostModel::paper_1999(), kernel))
+        .with_dsm(DsmConfig::default_4k())
+        .with_collectives(CollectiveConfig::all_flat())
+        .with_dataplane(DataPlaneConfig::demand())
+        .with_clock(Clock::new_virtual());
     measure(kernel, cfg, iters, true, |_, _| {}, false).secs
 }
 

@@ -27,10 +27,11 @@ use crate::freeze::Freeze;
 use crate::hostpool::HostPool;
 use crate::log::{EventKind, EventLog};
 use crate::reassign::{reassign, ReassignPolicy};
+use crate::sched::JobId;
 use nowmp_ckpt::{migration_image_bytes, Checkpoint};
 use nowmp_net::{CostModel, Gpid, HostId, NetModel, Network};
 use nowmp_tmk::system::RegionRunner;
-use nowmp_tmk::{DsmConfig, DsmSystem, MasterCtl, TmkCtx};
+use nowmp_tmk::{CollectiveConfig, DataPlaneConfig, DsmConfig, DsmSystem, MasterCtl, TmkCtx};
 use nowmp_util::Clock;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -90,9 +91,23 @@ pub struct ClusterConfig {
     /// [`Cluster::recover`]. Configure before construction instead of
     /// mutating the built cluster.
     pub master_state_provider: Option<Arc<dyn Fn() -> Vec<u8> + Send + Sync>>,
+    /// Job this cluster belongs to under the multi-tenant scheduler:
+    /// stamps every [`EventLog`] entry and keys the DSM page space.
+    /// `None` (the single-job default) renders timelines unchanged.
+    pub job: Option<JobId>,
 }
 
 impl ClusterConfig {
+    /// Builder: set the pool size and initial team size (the scheduler
+    /// uses this to size per-job clusters: `hosts = max_procs`, with
+    /// `procs` of them occupied by the granted team).
+    pub fn with_team(mut self, hosts: usize, procs: usize) -> Self {
+        assert!(hosts >= procs, "one process per workstation");
+        self.hosts = hosts;
+        self.initial_procs = procs;
+        self
+    }
+
     /// Builder: set the initial adaptivity switch.
     pub fn with_adaptive(mut self, on: bool) -> Self {
         self.adaptive = on;
@@ -106,6 +121,94 @@ impl ClusterConfig {
         f: impl Fn() -> Vec<u8> + Send + Sync + 'static,
     ) -> Self {
         self.master_state_provider = Some(Arc::new(f));
+        self
+    }
+
+    /// Builder: set the time backend.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Builder: set the wire cost model.
+    pub fn with_net_model(mut self, net_model: NetModel) -> Self {
+        self.net_model = net_model;
+        self
+    }
+
+    /// Builder: set the host cost model.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Builder: replace the DSM protocol configuration wholesale.
+    pub fn with_dsm(mut self, dsm: DsmConfig) -> Self {
+        self.dsm = dsm;
+        self
+    }
+
+    /// Builder: tweak the DSM protocol configuration in place
+    /// (single-knob ablations: `tune_dsm(|d| d.lazy_diffs = true)`).
+    pub fn tune_dsm(mut self, f: impl FnOnce(&mut DsmConfig)) -> Self {
+        f(&mut self.dsm);
+        self
+    }
+
+    /// Builder: set the collective shapes (fork dissemination, join
+    /// reduction, barrier release).
+    pub fn with_collectives(mut self, collectives: CollectiveConfig) -> Self {
+        self.dsm.collectives = collectives;
+        self
+    }
+
+    /// Builder: set the data-plane overlap levers.
+    pub fn with_dataplane(mut self, dataplane: DataPlaneConfig) -> Self {
+        self.dsm.dataplane = dataplane;
+        self
+    }
+
+    /// Builder: set the pid reassignment policy.
+    pub fn with_reassign(mut self, reassign: ReassignPolicy) -> Self {
+        self.reassign = reassign;
+        self
+    }
+
+    /// Builder: set the leaver-page sink.
+    pub fn with_leave_strategy(mut self, leave_strategy: LeaveStrategy) -> Self {
+        self.leave_strategy = leave_strategy;
+        self
+    }
+
+    /// Builder: set the default grace period.
+    pub fn with_default_grace(mut self, grace: Option<Duration>) -> Self {
+        self.default_grace = grace;
+        self
+    }
+
+    /// Builder: checkpoint every `k` forks.
+    pub fn with_ckpt_every_forks(mut self, k: u64) -> Self {
+        self.ckpt_every_forks = Some(k);
+        self
+    }
+
+    /// Builder: set the checkpoint destination.
+    pub fn with_ckpt_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.ckpt_path = Some(path.into());
+        self
+    }
+
+    /// Builder: urgent migration prefers a free host over multiplexing.
+    pub fn with_migrate_prefer_free(mut self, on: bool) -> Self {
+        self.migrate_prefer_free = on;
+        self
+    }
+
+    /// Builder: label this cluster as `job` under the multi-tenant
+    /// scheduler (tags the event log, keys the DSM page space).
+    pub fn with_job(mut self, job: JobId) -> Self {
+        self.job = Some(job);
+        self.dsm.job = job.0;
         self
     }
 }
@@ -128,6 +231,7 @@ impl ClusterConfig {
             clock: Clock::from_env(),
             adaptive: true,
             master_state_provider: None,
+            job: None,
         }
     }
 
@@ -149,6 +253,7 @@ impl ClusterConfig {
             clock: Clock::from_env(),
             adaptive: true,
             master_state_provider: None,
+            job: None,
         }
     }
 }
@@ -217,11 +322,47 @@ impl ClusterShared {
         self.team_view.lock().clone()
     }
 
-    /// Request a join: reserve a free workstation, spawn the process
+    /// The typed adaptation handle — the one surface for join / leave /
+    /// checkpoint requests (replaces the `request_*` method sprawl).
+    pub fn adapt(self: &Arc<Self>) -> AdaptHandle {
+        AdaptHandle {
+            shared: Arc::clone(self),
+        }
+    }
+
+    /// Workstation currently hosting `gpid`, if it is placed.
+    pub fn host_of(&self, gpid: Gpid) -> Option<HostId> {
+        self.hosts.lock().host_of(gpid)
+    }
+
+    /// Deprecated spelling of [`AdaptHandle::join`].
+    #[deprecated(note = "use `adapt().join()`")]
+    pub fn request_join(self: &Arc<Self>) -> Result<HostId, AdaptError> {
+        self.join_impl()
+    }
+
+    /// Deprecated spelling of [`AdaptHandle::leave`] with
+    /// [`LeaveSel::Gpid`].
+    #[deprecated(note = "use `adapt().leave(LeaveSel::Gpid(gpid), grace)`")]
+    pub fn request_leave(
+        self: &Arc<Self>,
+        gpid: Gpid,
+        grace: Option<Duration>,
+    ) -> Result<(), AdaptError> {
+        self.leave_impl(gpid, grace)
+    }
+
+    /// Deprecated spelling of [`AdaptHandle::checkpoint`].
+    #[deprecated(note = "use `adapt().checkpoint()`")]
+    pub fn request_checkpoint(&self) {
+        self.checkpoint_impl();
+    }
+
+    /// Join: reserve a free workstation, spawn the process
     /// (asynchronously: the spawn delay and connection setup overlap the
     /// ongoing computation), and let it enter at a later adaptation
     /// point. Returns the reserved host.
-    pub fn request_join(self: &Arc<Self>) -> Result<HostId, AdaptError> {
+    fn join_impl(self: &Arc<Self>) -> Result<HostId, AdaptError> {
         let host = self
             .hosts
             .lock()
@@ -245,14 +386,10 @@ impl ClusterShared {
         Ok(host)
     }
 
-    /// Request a leave for `gpid` with the given grace period. If the
-    /// grace period expires before the next adaptation point, the
-    /// process is urgently migrated.
-    pub fn request_leave(
-        self: &Arc<Self>,
-        gpid: Gpid,
-        grace: Option<Duration>,
-    ) -> Result<(), AdaptError> {
+    /// Leave for `gpid` with the given grace period. If the grace
+    /// period expires before the next adaptation point, the process is
+    /// urgently migrated.
+    fn leave_impl(self: &Arc<Self>, gpid: Gpid, grace: Option<Duration>) -> Result<(), AdaptError> {
         if gpid == self.master_gpid {
             return Err(AdaptError::MasterCannotLeave);
         }
@@ -295,8 +432,8 @@ impl ClusterShared {
         Ok(())
     }
 
-    /// Request a checkpoint at the next adaptation point.
-    pub fn request_checkpoint(&self) {
+    /// Queue a checkpoint for the next adaptation point.
+    fn checkpoint_impl(&self) {
         self.events.lock().push_back(AdaptEvent::Checkpoint);
     }
 
@@ -416,6 +553,80 @@ impl ClusterShared {
     }
 }
 
+/// Selects which team member an adaptation verb applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaveSel {
+    /// By current team rank (resolved against the team view at request
+    /// time — ranks shift at adaptation points).
+    Pid(u16),
+    /// By global process id (stable across reassignment).
+    Gpid(Gpid),
+}
+
+/// The typed adaptation surface: every way the outside world changes a
+/// running team goes through this one handle, obtained from
+/// [`ClusterShared::adapt`] (or the `adapt()` conveniences on
+/// `Cluster` / `OmpSystem`). It is `Clone + Send`, so drivers, grace
+/// timers and the cluster scheduler all share it.
+///
+/// The verbs map 1:1 onto the paper's adaptation events:
+///
+/// * [`join`](Self::join) — §4.1 join, committed at a later adaptation
+///   point (the blocking variant, `Cluster::join_ready`, needs the
+///   master and so lives there);
+/// * [`leave`](Self::leave) — §4.2 leave with a grace period: normal if
+///   an adaptation point arrives in time, urgent migration otherwise;
+/// * [`checkpoint`](Self::checkpoint) — §4.3 master-only checkpoint at
+///   the next adaptation point.
+#[derive(Clone)]
+pub struct AdaptHandle {
+    shared: Arc<ClusterShared>,
+}
+
+impl AdaptHandle {
+    /// Request a join: reserves the fastest free workstation and spawns
+    /// a process toward it; the team grows at a later adaptation point.
+    pub fn join(&self) -> Result<HostId, AdaptError> {
+        self.shared.join_impl()
+    }
+
+    /// Request a leave for the selected member. `grace = None` waits
+    /// for an adaptation point indefinitely (always a normal leave);
+    /// `Some(g)` races the paper's grace timer against the next
+    /// adaptation point and migrates urgently if the timer wins.
+    /// Returns the gpid the selector resolved to.
+    pub fn leave(&self, sel: LeaveSel, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
+        let gpid = match sel {
+            LeaveSel::Gpid(g) => g,
+            LeaveSel::Pid(pid) => {
+                let team = self.shared.team_view.lock();
+                *team
+                    .get(pid as usize)
+                    .ok_or(AdaptError::NotInTeam(Gpid(0)))?
+            }
+        };
+        self.shared.leave_impl(gpid, grace)?;
+        Ok(gpid)
+    }
+
+    /// Request a checkpoint at the next adaptation point.
+    pub fn checkpoint(&self) {
+        self.shared.checkpoint_impl();
+    }
+
+    /// Current team member list (index = pid).
+    pub fn team(&self) -> Vec<Gpid> {
+        self.shared.team_view()
+    }
+
+    /// Workstation currently hosting `gpid` (the scheduler records it
+    /// before a directed shrink so it knows which host a committed
+    /// leave frees).
+    pub fn host_of(&self, gpid: Gpid) -> Option<HostId> {
+        self.shared.host_of(gpid)
+    }
+}
+
 /// The adaptive cluster: master-side handle driving the computation.
 pub struct Cluster {
     shared: Arc<ClusterShared>,
@@ -470,10 +681,14 @@ impl Cluster {
         let mut team = vec![master_gpid];
         team.extend_from_slice(&workers);
         let page_size = cfg.dsm.page_size;
+        let log = match cfg.job {
+            Some(job) => EventLog::with_clock_for_job(clock.clone(), job),
+            None => EventLog::with_clock(clock.clone()),
+        };
         let shared = Arc::new(ClusterShared {
             sys,
             net,
-            log: EventLog::with_clock(clock.clone()),
+            log,
             clock,
             master_gpid,
             hosts: Mutex::new(hosts),
@@ -547,10 +762,14 @@ impl Cluster {
             let mut team = vec![master_gpid];
             team.extend_from_slice(&workers);
             let page_size = cfg2.dsm.page_size;
+            let log = match cfg2.job {
+                Some(job) => EventLog::with_clock_for_job(clock.clone(), job),
+                None => EventLog::with_clock(clock.clone()),
+            };
             let shared = Arc::new(ClusterShared {
                 sys,
                 net,
-                log: EventLog::with_clock(clock.clone()),
+                log,
                 clock,
                 master_gpid,
                 hosts: Mutex::new(hosts),
@@ -632,15 +851,31 @@ impl Cluster {
         self.shared.clock()
     }
 
-    /// Request a join (see [`ClusterShared::request_join`]).
+    /// The typed adaptation handle (see [`AdaptHandle`]).
+    pub fn adapt(&self) -> AdaptHandle {
+        self.shared.adapt()
+    }
+
+    /// Deprecated spelling of [`AdaptHandle::join`].
+    #[deprecated(note = "use `adapt().join()`")]
     pub fn request_join(&self) -> Result<HostId, AdaptError> {
-        self.shared.request_join()
+        self.shared.join_impl()
+    }
+
+    /// Deprecated spelling of [`Cluster::join_ready`].
+    #[deprecated(note = "use `join_ready()`")]
+    pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
+        self.join_ready().map(|(g, _)| g)
     }
 
     /// Request a join and block until the new process has connected
-    /// (deterministic variant: the very next adaptation point commits it).
-    pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
-        let host = self.shared.request_join()?;
+    /// (deterministic variant: the very next adaptation point commits
+    /// it). Needs the master, so it lives here rather than on
+    /// [`AdaptHandle`]. Returns the new process and the workstation it
+    /// was placed on (the host is only *reserved* until the join
+    /// commits, so [`ClusterShared::host_of`] cannot resolve it yet).
+    pub fn join_ready(&mut self) -> Result<(Gpid, HostId), AdaptError> {
+        let host = self.shared.join_impl()?;
         // Wait for the spawner thread to register the embryo. The poll
         // sleeps on the cluster clock: under a virtual clock the master
         // is then visibly blocked and the spawner's 0.7 s creation
@@ -668,29 +903,27 @@ impl Cluster {
             .events
             .lock()
             .push_back(AdaptEvent::JoinReady { gpid, host });
-        Ok(gpid)
+        Ok((gpid, host))
     }
 
-    /// Request a leave by current pid (see [`ClusterShared::request_leave`]).
+    /// Deprecated spelling of [`AdaptHandle::leave`] with
+    /// [`LeaveSel::Pid`].
+    #[deprecated(note = "use `adapt().leave(LeaveSel::Pid(pid), grace)`")]
     pub fn request_leave_pid(&self, pid: u16, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
-        let gpid = {
-            let team = self.shared.team_view.lock();
-            *team
-                .get(pid as usize)
-                .ok_or(AdaptError::NotInTeam(Gpid(0)))?
-        };
-        self.shared.request_leave(gpid, grace)?;
-        Ok(gpid)
+        self.adapt().leave(LeaveSel::Pid(pid), grace)
     }
 
-    /// Request a leave by gpid.
+    /// Deprecated spelling of [`AdaptHandle::leave`] with
+    /// [`LeaveSel::Gpid`].
+    #[deprecated(note = "use `adapt().leave(LeaveSel::Gpid(gpid), grace)`")]
     pub fn request_leave(&self, gpid: Gpid, grace: Option<Duration>) -> Result<(), AdaptError> {
-        self.shared.request_leave(gpid, grace)
+        self.adapt().leave(LeaveSel::Gpid(gpid), grace).map(|_| ())
     }
 
-    /// Request a checkpoint at the next adaptation point.
+    /// Deprecated spelling of [`AdaptHandle::checkpoint`].
+    #[deprecated(note = "use `adapt().checkpoint()`")]
     pub fn request_checkpoint(&self) {
-        self.shared.request_checkpoint();
+        self.shared.checkpoint_impl();
     }
 
     /// Execute one parallel construct, handling any pending adapt

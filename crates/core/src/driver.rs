@@ -12,7 +12,7 @@
 //! time under a virtual clock (where a whole day of churn can replay
 //! in milliseconds).
 
-use crate::cluster::ClusterShared;
+use crate::cluster::{ClusterShared, LeaveSel};
 use nowmp_net::Gpid;
 use std::sync::Arc;
 use std::time::Duration;
@@ -87,6 +87,7 @@ impl Driver {
         let handle = std::thread::Builder::new()
             .name("nowmp-driver".into())
             .spawn(move || {
+                let adapt = shared.adapt();
                 let clock = shared.clock().clone();
                 let _participant = clock.participant();
                 let start = clock.now();
@@ -97,19 +98,15 @@ impl Driver {
                         clock.sleep(at - now);
                     }
                     let result = match &event {
-                        DriverEvent::Join => shared.request_join().map(|_| ()),
+                        DriverEvent::Join => adapt.join().map(|_| ()),
                         DriverEvent::LeaveByPid { pid, grace } => {
-                            let team = shared.team_view();
-                            match team.get(*pid as usize) {
-                                Some(&g) => shared.request_leave(g, *grace),
-                                None => Err(crate::AdaptError::NotInTeam(Gpid(0))),
-                            }
+                            adapt.leave(LeaveSel::Pid(*pid), *grace).map(|_| ())
                         }
                         DriverEvent::LeaveByGpid { gpid, grace } => {
-                            shared.request_leave(*gpid, *grace)
+                            adapt.leave(LeaveSel::Gpid(*gpid), *grace).map(|_| ())
                         }
                         DriverEvent::Checkpoint => {
-                            shared.request_checkpoint();
+                            adapt.checkpoint();
                             Ok(())
                         }
                     };

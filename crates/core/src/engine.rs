@@ -51,7 +51,7 @@ use nowmp_tmk::types::{Addr, PageId, Pid};
 use nowmp_tmk::{ElemKind, MemoryImage};
 use nowmp_util::{TaskScheduler, Tick};
 
-use crate::cluster::{AdaptError, ClusterConfig};
+use crate::cluster::{AdaptError, ClusterConfig, LeaveSel};
 use crate::hostpool::HostPool;
 use crate::log::{EventKind, EventLog};
 use crate::reassign::reassign;
@@ -290,10 +290,46 @@ impl TaskSystem {
 
     // ---- adaptation requests (mirror crate::Cluster) ----
 
+    /// The typed adaptation surface — same verbs as
+    /// [`crate::cluster::AdaptHandle`], borrowed mutably because the
+    /// task engine is single-owner (no timer threads to share with).
+    pub fn adapt(&mut self) -> TaskAdapt<'_> {
+        TaskAdapt { sys: self }
+    }
+
+    /// Deprecated spelling of [`TaskAdapt::join`].
+    #[deprecated(note = "use `adapt().join()`")]
+    pub fn request_join(&mut self) -> Result<Gpid, AdaptError> {
+        self.join_impl()
+    }
+
+    /// Deprecated spelling of [`TaskAdapt::join_ready`].
+    #[deprecated(note = "use `adapt().join_ready()`")]
+    pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
+        self.join_ready_impl()
+    }
+
+    /// Deprecated spelling of [`TaskAdapt::leave`] with
+    /// [`LeaveSel::Pid`].
+    #[deprecated(note = "use `adapt().leave(LeaveSel::Pid(pid), grace)`")]
+    pub fn request_leave_pid(
+        &mut self,
+        pid: usize,
+        grace: Option<Duration>,
+    ) -> Result<Gpid, AdaptError> {
+        self.leave_pid_impl(pid, grace)
+    }
+
+    /// Deprecated spelling of [`TaskAdapt::checkpoint`].
+    #[deprecated(note = "use `adapt().checkpoint()`")]
+    pub fn request_checkpoint(&mut self) {
+        self.ckpt_requested = true;
+    }
+
     /// Ask a free workstation to join; the spawn completes (and
     /// `JoinReady` is logged) when virtual time reaches the spawn
     /// deadline parked in the scheduler.
-    pub fn request_join(&mut self) -> Result<Gpid, AdaptError> {
+    fn join_impl(&mut self) -> Result<Gpid, AdaptError> {
         let host = self.hosts.reserve_free().ok_or(AdaptError::NoFreeHost)?;
         self.log.push(EventKind::JoinRequested { host });
         let gpid = Gpid(self.next_gpid);
@@ -311,12 +347,12 @@ impl TaskSystem {
         Ok(gpid)
     }
 
-    /// [`TaskSystem::request_join`], then advance virtual time to the
-    /// spawn completion so the join is committable at the next
-    /// adaptation point — the blocking flavor the thread engine's
-    /// `request_join_ready` provides.
-    pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
-        let gpid = self.request_join()?;
+    /// [`TaskAdapt::join`], then advance virtual time to the spawn
+    /// completion so the join is committable at the next adaptation
+    /// point — the blocking flavor the thread engine's
+    /// `Cluster::join_ready` provides.
+    fn join_ready_impl(&mut self) -> Result<Gpid, AdaptError> {
+        let gpid = self.join_impl()?;
         let ready_at = self
             .pending_joins
             .iter()
@@ -327,15 +363,11 @@ impl TaskSystem {
         Ok(gpid)
     }
 
-    /// Request that rank `pid` leave, with an optional grace period
-    /// (defaulting to the config's). A grace deadline is parked in the
-    /// scheduler's deadline set; if virtual time crosses it before an
-    /// adaptation point claims the leave, the migration turns urgent.
-    pub fn request_leave_pid(
-        &mut self,
-        pid: usize,
-        grace: Option<Duration>,
-    ) -> Result<Gpid, AdaptError> {
+    /// Rank `pid` leaves, with an optional grace period (defaulting to
+    /// the config's). A grace deadline is parked in the scheduler's
+    /// deadline set; if virtual time crosses it before an adaptation
+    /// point claims the leave, the migration turns urgent.
+    fn leave_pid_impl(&mut self, pid: usize, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
         if pid == 0 {
             return Err(AdaptError::MasterCannotLeave);
         }
@@ -359,11 +391,6 @@ impl TaskSystem {
             key,
         });
         Ok(gpid)
-    }
-
-    /// Queue a checkpoint for the next adaptation point.
-    pub fn request_checkpoint(&mut self) {
-        self.ckpt_requested = true;
     }
 
     /// Write a checkpoint right now, outside any adaptation point
@@ -726,6 +753,49 @@ impl TaskSystem {
     }
 }
 
+/// The task engine's adaptation surface, returned by
+/// [`TaskSystem::adapt`] — the same join / leave / checkpoint verbs as
+/// [`crate::cluster::AdaptHandle`], plus the engine-only blocking
+/// [`join_ready`](Self::join_ready) (virtual time can be advanced
+/// synchronously here, so it needs no master handshake).
+pub struct TaskAdapt<'a> {
+    sys: &'a mut TaskSystem,
+}
+
+impl TaskAdapt<'_> {
+    /// Request a join; the spawn completes when virtual time reaches
+    /// the spawn deadline.
+    pub fn join(&mut self) -> Result<Gpid, AdaptError> {
+        self.sys.join_impl()
+    }
+
+    /// Request a join and advance virtual time to the spawn completion,
+    /// so the very next adaptation point commits it.
+    pub fn join_ready(&mut self) -> Result<Gpid, AdaptError> {
+        self.sys.join_ready_impl()
+    }
+
+    /// Request a leave for the selected member with an optional grace
+    /// period (defaulting to the config's).
+    pub fn leave(&mut self, sel: LeaveSel, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
+        let pid = match sel {
+            LeaveSel::Pid(p) => p as usize,
+            LeaveSel::Gpid(g) => self
+                .sys
+                .members
+                .iter()
+                .position(|&m| m == g)
+                .ok_or(AdaptError::NotInTeam(g))?,
+        };
+        self.sys.leave_pid_impl(pid, grace)
+    }
+
+    /// Request a checkpoint at the next adaptation point.
+    pub fn checkpoint(&mut self) {
+        self.sys.ckpt_requested = true;
+    }
+}
+
 /// Worker-pool width: `NOWMP_POOL` if set, else `min(cores, 8)`.
 fn pool_size() -> usize {
     if let Ok(v) = std::env::var("NOWMP_POOL") {
@@ -765,10 +835,9 @@ mod tests {
     use nowmp_util::Clock;
 
     fn cfg(hosts: usize, procs: usize) -> ClusterConfig {
-        let mut c = ClusterConfig::test(hosts, procs);
-        c.clock = Clock::new_virtual();
-        c.adaptive = true;
-        c
+        ClusterConfig::test(hosts, procs)
+            .with_clock(Clock::new_virtual())
+            .with_adaptive(true)
     }
 
     /// Two-phase ring app: phase A writes `arr[pid] = pid`, barrier,
@@ -850,8 +919,9 @@ mod tests {
 
     #[test]
     fn compute_charges_advance_virtual_time() {
-        let mut c = cfg(4, 4);
-        c.cost_model = CostModel::disabled().with_region_cost("ring", Duration::from_millis(1));
+        let c = cfg(4, 4).with_cost_model(
+            CostModel::disabled().with_region_cost("ring", Duration::from_millis(1)),
+        );
         let (err, sys) = run_task_app(&Ring, c, 1);
         assert_eq!(err, 0.0);
         assert!(sys.now() >= Tick::from_nanos(1_000_000), "{:?}", sys.now());
@@ -861,10 +931,11 @@ mod tests {
     fn join_then_leave_mirrors_thread_event_order() {
         let mut sys = TaskSystem::new(cfg(6, 3));
         Ring.setup(&mut sys);
-        let g = sys.request_join_ready().unwrap();
+        let g = sys.adapt().join_ready().unwrap();
         sys.parallel(&Ring, "ring", &[]); // commits the join
         assert_eq!(sys.nprocs(), 4);
-        sys.request_leave_pid(2, Some(Duration::from_secs(30)))
+        sys.adapt()
+            .leave(LeaveSel::Pid(2), Some(Duration::from_secs(30)))
             .unwrap();
         sys.parallel(&Ring, "ring", &[]); // normal leave
         assert_eq!(sys.nprocs(), 3);
@@ -910,29 +981,30 @@ mod tests {
     fn master_cannot_leave_and_duplicate_leave_rejected() {
         let mut sys = TaskSystem::new(cfg(4, 3));
         assert!(matches!(
-            sys.request_leave_pid(0, None),
+            sys.adapt().leave(LeaveSel::Pid(0), None),
             Err(AdaptError::MasterCannotLeave)
         ));
-        sys.request_leave_pid(1, None).unwrap();
+        sys.adapt().leave(LeaveSel::Pid(1), None).unwrap();
         assert!(matches!(
-            sys.request_leave_pid(1, None),
+            sys.adapt().leave(LeaveSel::Pid(1), None),
             Err(AdaptError::AlreadyLeaving(_))
         ));
     }
 
     #[test]
     fn expired_grace_turns_urgent_before_adaptation() {
-        let mut c = cfg(6, 3);
-        c.migrate_prefer_free = true;
         // Paper costs: spawning takes 0.7 s of virtual time, so a
         // 1 ms grace expires while the join spawn advances the clock
         // — before any adaptation point can claim the leave normally.
-        c.cost_model = CostModel::paper_1999();
+        let c = cfg(6, 3)
+            .with_migrate_prefer_free(true)
+            .with_cost_model(CostModel::paper_1999());
         let mut sys = TaskSystem::new(c);
         Ring.setup(&mut sys);
-        sys.request_leave_pid(2, Some(Duration::from_millis(1)))
+        sys.adapt()
+            .leave(LeaveSel::Pid(2), Some(Duration::from_millis(1)))
             .unwrap();
-        sys.request_join_ready().unwrap();
+        sys.adapt().join_ready().unwrap();
         let kinds: Vec<&'static str> = sys
             .log()
             .entries()
@@ -971,8 +1043,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("nowmp-task-ckpt-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("task.ckpt");
-        let mut c = cfg(4, 4);
-        c.ckpt_path = Some(path.clone());
+        let c = cfg(4, 4).with_ckpt_path(path.clone());
         let (err, mut sys) = {
             let mut sys = TaskSystem::new(c);
             Ring.setup(&mut sys);

@@ -128,6 +128,23 @@ impl HostPool {
         best.map(|i| HostId(i as u16))
     }
 
+    /// Every unoccupied, unreserved workstation, fastest first (ties
+    /// break on the lowest host id). The cluster scheduler grants from
+    /// the front of this list, so multi-host placement uses the same
+    /// effective-speed scoring as the single-host [`Self::free_host`].
+    pub fn free_hosts(&self) -> Vec<HostId> {
+        let mut free: Vec<usize> = (0..self.occupants.len())
+            .filter(|&i| self.occupants[i].is_empty() && !self.reserved[i])
+            .collect();
+        free.sort_by(|&a, &b| {
+            self.speeds[b]
+                .partial_cmp(&self.speeds[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        free.into_iter().map(|i| HostId(i as u16)).collect()
+    }
+
     /// The least-loaded workstation other than `exclude` (multiplexing
     /// target when no free host exists). "Load" is speed-aware:
     /// `(occupants + 1) / speed` estimates the slowdown the migrated
@@ -229,6 +246,21 @@ mod tests {
         p.occupy(HostId(1), Gpid(1));
         // Remaining free hosts tie at speed 1.0: lowest id wins.
         assert_eq!(p.free_host(), Some(HostId(0)));
+    }
+
+    #[test]
+    fn free_hosts_sorted_fastest_first() {
+        let mut p = HostPool::new(5);
+        p.set_speed(HostId(3), 4.0);
+        p.set_speed(HostId(1), 2.0);
+        p.occupy(HostId(0), Gpid(1));
+        assert_eq!(
+            p.free_hosts(),
+            vec![HostId(3), HostId(1), HostId(2), HostId(4)]
+        );
+        let mut p2 = HostPool::new(2);
+        assert!(p2.reserve_free().is_some());
+        assert_eq!(p2.free_hosts(), vec![HostId(1)], "reserved hosts hidden");
     }
 
     #[test]

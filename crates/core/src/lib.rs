@@ -12,7 +12,10 @@
 //! * [`freeze`] — the stop-the-world gate used during migration;
 //! * [`hostpool`] — workstation occupancy;
 //! * [`log`] — the event timeline (Figure 2) and per-adaptation cost
-//!   records (Table 2).
+//!   records (Table 2);
+//! * [`sched`] — the cluster-level job scheduler: a stream of
+//!   prioritized jobs admitted onto the shared [`hostpool::HostPool`],
+//!   with preemption driven through the same adaptation machinery.
 //!
 //! No application code changes to obtain adaptivity: applications
 //! allocate shared arrays and call [`cluster::Cluster::parallel`]; the
@@ -30,12 +33,16 @@ pub mod freeze;
 pub mod hostpool;
 pub mod log;
 pub mod reassign;
+pub mod sched;
 
-pub use cluster::{AdaptError, Cluster, ClusterConfig, ClusterShared, LeaveStrategy};
+pub use cluster::{
+    AdaptError, AdaptHandle, Cluster, ClusterConfig, ClusterShared, LeaveSel, LeaveStrategy,
+};
 pub use driver::{Driver, DriverEvent, Schedule};
-pub use engine::{run_task_app, TaskApp, TaskSystem};
+pub use engine::{run_task_app, TaskAdapt, TaskApp, TaskSystem};
 pub use event::{AdaptEvent, LeavePhase, PendingLeave};
 pub use freeze::Freeze;
 pub use hostpool::HostPool;
 pub use log::{EventKind, EventLog, LogEntry};
 pub use reassign::{moved_fraction, moved_fraction_on_leave, reassign, ReassignPolicy};
+pub use sched::{Directive, JobId, JobParams, JobPhase, JobRecord, Scheduler};

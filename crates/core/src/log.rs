@@ -1,6 +1,7 @@
 //! Event log: the timeline behind Figure 2 and the per-adaptation cost
 //! measurements behind Table 2.
 
+use crate::sched::JobId;
 use nowmp_net::{Gpid, HostId};
 use nowmp_util::{Clock, Tick};
 use parking_lot::Mutex;
@@ -80,6 +81,36 @@ pub enum EventKind {
         /// Wall time including page collection.
         took: Duration,
     },
+    /// A job entered the cluster scheduler's queue (multi-tenant runs).
+    JobSubmitted {
+        /// Scheduling priority (higher preempts lower).
+        priority: u8,
+        /// Smallest admissible team.
+        min_procs: usize,
+        /// Largest grantable team.
+        max_procs: usize,
+    },
+    /// The scheduler granted the job its initial team.
+    JobStarted {
+        /// Hosts granted.
+        nprocs: usize,
+    },
+    /// The scheduler directed the job to shed processes for
+    /// higher-priority work.
+    JobPreempted {
+        /// Processes to shed at the next adaptation point.
+        procs: usize,
+    },
+    /// The scheduler granted a running job extra hosts.
+    JobGrown {
+        /// Hosts added.
+        procs: usize,
+    },
+    /// The job completed and released its hosts.
+    JobFinished {
+        /// Submission-to-completion time.
+        turnaround: Duration,
+    },
 }
 
 /// A timestamped event.
@@ -87,6 +118,10 @@ pub enum EventKind {
 pub struct LogEntry {
     /// Time since the log (cluster) was created.
     pub at: Duration,
+    /// The job this event belongs to — `None` in single-job runs, so
+    /// existing timelines render unchanged. Multi-tenant traces filter
+    /// on it (`entries().iter().filter(|e| e.job == Some(id))`).
+    pub job: Option<JobId>,
     /// What happened.
     pub kind: EventKind,
 }
@@ -98,6 +133,9 @@ pub struct LogEntry {
 pub struct EventLog {
     clock: Clock,
     start: Tick,
+    /// Stamped on every entry pushed through [`Self::push`]; set for
+    /// per-job cluster logs in multi-tenant runs, `None` otherwise.
+    job: Option<JobId>,
     entries: Mutex<Vec<LogEntry>>,
 }
 
@@ -113,14 +151,41 @@ impl EventLog {
         EventLog {
             clock,
             start,
+            job: None,
             entries: Mutex::new(Vec::new()),
         }
+    }
+
+    /// New log whose entries all carry `job` — the per-job cluster log
+    /// under the multi-tenant scheduler.
+    pub fn with_clock_for_job(clock: Clock, job: JobId) -> Self {
+        let mut log = Self::with_clock(clock);
+        log.job = Some(job);
+        log
+    }
+
+    /// The job label stamped on this log's entries, if any.
+    pub fn job(&self) -> Option<JobId> {
+        self.job
     }
 
     /// Record an event.
     pub fn push(&self, kind: EventKind) {
         self.entries.lock().push(LogEntry {
             at: self.clock.elapsed_since(self.start),
+            job: self.job,
+            kind,
+        });
+    }
+
+    /// Record an event for `job` at an explicit trace time. The
+    /// scheduler's merged timeline is stamped on the *global* clock the
+    /// scheduler computes, not this log's own clock, so the timestamp
+    /// is passed in.
+    pub fn push_job_at(&self, job: JobId, at: Duration, kind: EventKind) {
+        self.entries.lock().push(LogEntry {
+            at,
+            job: Some(job),
             kind,
         });
     }
@@ -216,8 +281,31 @@ impl EventLog {
                     nowmp_util::fmt_bytes(*bytes),
                     took.as_secs_f64()
                 ),
+                EventKind::JobSubmitted {
+                    priority,
+                    min_procs,
+                    max_procs,
+                } => format!(
+                    "submitted (priority {priority}, wants {min_procs}..={max_procs} procs)"
+                ),
+                EventKind::JobStarted { nprocs } => {
+                    format!("STARTED on {nprocs} hosts")
+                }
+                EventKind::JobPreempted { procs } => {
+                    format!("preempted: shedding {procs} procs at next adaptation point")
+                }
+                EventKind::JobGrown { procs } => format!("grown by {procs} hosts"),
+                EventKind::JobFinished { turnaround } => {
+                    format!("FINISHED (turnaround {:.3}s)", turnaround.as_secs_f64())
+                }
             };
-            writeln!(out, "[{t:9.4}s] {line}").expect("string write");
+            // Single-job logs (job = None) render exactly as before;
+            // multi-tenant entries get a filterable job prefix.
+            match e.job {
+                Some(job) => writeln!(out, "[{t:9.4}s] [{job}] {line}"),
+                None => writeln!(out, "[{t:9.4}s] {line}"),
+            }
+            .expect("string write");
         }
         out
     }
@@ -252,6 +340,36 @@ mod tests {
         assert!(text.contains("join requested"));
         assert!(text.contains("adaptation point @fork 10"));
         assert_eq!(log.adaptations().len(), 1);
+    }
+
+    #[test]
+    fn job_tags_filter_and_render() {
+        // Untagged log: rendering is byte-identical to the pre-tenancy
+        // format (no prefix).
+        let plain = EventLog::new();
+        plain.push(EventKind::JoinReady { gpid: Gpid(7) });
+        assert!(plain.render_timeline().contains("] process g7 connected"));
+        assert!(!plain.render_timeline().contains("[job"));
+        assert!(plain.entries().iter().all(|e| e.job.is_none()));
+
+        // Tagged log: every entry carries the job, render shows it.
+        let tagged = EventLog::with_clock_for_job(Clock::new_virtual(), JobId(3));
+        tagged.push(EventKind::JoinReady { gpid: Gpid(7) });
+        tagged.push_job_at(
+            JobId(4),
+            Duration::from_secs(2),
+            EventKind::JobStarted { nprocs: 2 },
+        );
+        assert!(tagged.render_timeline().contains("[job3]"));
+        assert!(tagged
+            .render_timeline()
+            .contains("[job4] STARTED on 2 hosts"));
+        let per_job: Vec<_> = tagged
+            .entries()
+            .into_iter()
+            .filter(|e| e.job == Some(JobId(3)))
+            .collect();
+        assert_eq!(per_job.len(), 1);
     }
 
     #[test]

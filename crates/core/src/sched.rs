@@ -1,0 +1,678 @@
+//! Cluster-level job scheduling: the NOW as a service.
+//!
+//! The paper runs exactly one OpenMP program on the adaptive host pool.
+//! This module adds the missing production layer: a scheduler that
+//! admits a *stream* of jobs onto the shared [`HostPool`], driving the
+//! paper's own adaptation machinery (§4 shrink/grow via
+//! [`crate::reassign`]) from scheduling decisions instead of host
+//! departure.
+//!
+//! The split mirrors the rest of the workspace: this is the pure
+//! *policy* engine — job table, priority queue, placement, preemption
+//! arithmetic — with no knowledge of programs, DSM instances or clocks.
+//! It consumes timestamped calls ([`Scheduler::submit`],
+//! [`Scheduler::released`], [`Scheduler::finished`]) and emits
+//! [`Directive`]s; the execution side (`nowmp_omp::jobs`) owns the
+//! per-job `DsmSystem`s and turns directives into actual join/leave
+//! requests through the [`crate::cluster::AdaptHandle`] API.
+//!
+//! Policy, in one paragraph: jobs are ordered by priority (higher
+//! first), FIFO within a priority. Placement takes the *fastest* free
+//! hosts, scored by [`CostModel::effective_speed`] (the same metric the
+//! single-job pool uses for join placement). A queued job is admitted
+//! once `min_procs` hosts are free, and granted up to `max_procs`. If
+//! the head of the queue cannot be admitted, the scheduler preempts:
+//! running jobs of *strictly lower* priority shed processes (down to
+//! their own `min_procs`) via the grace-leave path, youngest victim
+//! first; the freed hosts go to the waiting job. There is no backfill
+//! past a blocked head — a job never waits on work that arrived later
+//! or matters less, so the queue is starvation-free by construction.
+//! When the queue is empty, surplus hosts re-grow running jobs below
+//! their `max_procs`, in the same priority order.
+
+use crate::hostpool::HostPool;
+use nowmp_net::{CostModel, Gpid, HostId};
+use std::time::Duration;
+
+/// Identifies one job admitted to the cluster scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Marker occupant the scheduler books into the global [`HostPool`] for
+/// every host granted to a job. The high bit keeps markers clear of
+/// real process ids, which count up from 1.
+fn marker(job: JobId) -> Gpid {
+    Gpid((1u32 << 30) | job.0)
+}
+
+/// Scheduling parameters of a job — the policy-relevant slice of a
+/// `JobSpec` (the program itself stays in `nowmp-omp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobParams {
+    /// Higher runs first and may preempt lower.
+    pub priority: u8,
+    /// The job cannot start with fewer processes than this.
+    pub min_procs: usize,
+    /// The job never gets more processes than this.
+    pub max_procs: usize,
+    /// Arrival offset on the trace timeline.
+    pub arrival: Duration,
+}
+
+impl JobParams {
+    /// Parameters for a job wanting between `min_procs` and
+    /// `max_procs` processes, priority 0, arriving at time zero.
+    pub fn new(min_procs: usize, max_procs: usize) -> Self {
+        assert!(min_procs >= 1, "a job needs at least its master");
+        assert!(max_procs >= min_procs, "max_procs < min_procs");
+        JobParams {
+            priority: 0,
+            min_procs,
+            max_procs,
+            arrival: Duration::ZERO,
+        }
+    }
+
+    /// Builder: set the priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: set the arrival time.
+    pub fn with_arrival(mut self, at: Duration) -> Self {
+        self.arrival = at;
+        self
+    }
+}
+
+impl Default for JobParams {
+    fn default() -> Self {
+        JobParams::new(1, 1)
+    }
+}
+
+/// Lifecycle phase of a scheduled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, waiting for `min_procs` free hosts.
+    Queued,
+    /// Holding hosts and making progress.
+    Running,
+    /// Completed; hosts released.
+    Finished,
+}
+
+/// A scheduling decision for the execution layer to carry out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Start `job` on the granted hosts (its initial team).
+    Start {
+        /// The admitted job.
+        job: JobId,
+        /// Hosts granted, fastest first.
+        hosts: Vec<HostId>,
+    },
+    /// Grow running `job` by granting it additional hosts; the
+    /// execution layer turns each into a join at the job's next
+    /// adaptation point.
+    Grow {
+        /// The growing job.
+        job: JobId,
+        /// Extra hosts granted, fastest first.
+        hosts: Vec<HostId>,
+    },
+    /// Shrink running `victim` by `procs` processes: the execution
+    /// layer requests that many leaves (grace-leave path, highest pids
+    /// first); the shrink commits at the victim's next adaptation
+    /// point, after which [`Scheduler::released`] reports the freed
+    /// hosts back.
+    Preempt {
+        /// The job being shrunk.
+        victim: JobId,
+        /// Processes to shed.
+        procs: usize,
+    },
+}
+
+/// Per-job accounting, kept for the whole trace (wait/makespan stats).
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job.
+    pub id: JobId,
+    /// Its scheduling parameters.
+    pub params: JobParams,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Hosts currently granted (empty unless running).
+    pub granted: Vec<HostId>,
+    /// When the job was submitted.
+    pub submitted: Duration,
+    /// When it first received a team.
+    pub started: Option<Duration>,
+    /// When it completed.
+    pub finished: Option<Duration>,
+    /// Times this job was preempted (shrunk for higher-priority work).
+    pub preemptions: u64,
+}
+
+impl JobRecord {
+    /// Queueing delay: submission to start.
+    pub fn wait(&self) -> Option<Duration> {
+        self.started.map(|s| s.saturating_sub(self.submitted))
+    }
+
+    /// Submission-to-completion time.
+    pub fn turnaround(&self) -> Option<Duration> {
+        self.finished.map(|f| f.saturating_sub(self.submitted))
+    }
+}
+
+struct Entry {
+    rec: JobRecord,
+    /// Processes this job has been directed to shed but has not yet
+    /// released (preemption in flight). Capacity planning counts these
+    /// so repeated scheduling passes never double-preempt a victim.
+    pending_release: usize,
+    /// Submission order, for FIFO within a priority.
+    seq: u64,
+}
+
+/// The cluster-level job scheduler (policy only — see the module docs).
+pub struct Scheduler {
+    pool: HostPool,
+    jobs: Vec<Entry>,
+    /// Busy host-seconds integral, for pool utilization.
+    busy_time: f64,
+    last_change: Duration,
+}
+
+impl Scheduler {
+    /// Scheduler over an existing pool (speeds already set).
+    pub fn new(pool: HostPool) -> Self {
+        Scheduler {
+            pool,
+            jobs: Vec::new(),
+            busy_time: 0.0,
+            last_change: Duration::ZERO,
+        }
+    }
+
+    /// Scheduler over `hosts` workstations whose speeds come from
+    /// `cost_model` — placement then scores hosts exactly like the
+    /// single-job pool does, by [`CostModel::effective_speed`].
+    pub fn with_cost_model(hosts: usize, cost_model: &CostModel) -> Self {
+        let mut pool = HostPool::new(hosts);
+        for h in 0..hosts {
+            let h = HostId(h as u16);
+            pool.set_speed(h, cost_model.effective_speed(h));
+        }
+        Scheduler::new(pool)
+    }
+
+    /// The shared pool (read-only; the scheduler owns all mutation).
+    pub fn pool(&self) -> &HostPool {
+        &self.pool
+    }
+
+    /// Submit a job at trace time `now`; returns its id and whatever
+    /// directives the admission pass produces (the new job starting,
+    /// and/or preemptions on behalf of it).
+    ///
+    /// A job whose `params.arrival` lies in the future is registered
+    /// but stays invisible to admission (and cannot block anyone) until
+    /// a [`Scheduler::schedule`] pass at or after its arrival — so a
+    /// whole trace can be pre-registered up front and driven by clock
+    /// ticks. Waiting time is measured from the arrival, not from the
+    /// registration call.
+    pub fn submit(&mut self, params: JobParams, now: Duration) -> (JobId, Vec<Directive>) {
+        let id = JobId(self.jobs.len() as u32);
+        let seq = self.jobs.len() as u64;
+        self.jobs.push(Entry {
+            rec: JobRecord {
+                id,
+                params,
+                phase: JobPhase::Queued,
+                granted: Vec::new(),
+                submitted: now.max(params.arrival),
+                started: None,
+                finished: None,
+                preemptions: 0,
+            },
+            pending_release: 0,
+            seq,
+        });
+        (id, self.schedule(now))
+    }
+
+    /// A victim committed (part of) a directed shrink: `hosts` are free
+    /// again. Reports back from the execution layer after the victim's
+    /// adaptation point ran the grace-leave path.
+    pub fn released(&mut self, victim: JobId, hosts: &[HostId], now: Duration) -> Vec<Directive> {
+        self.accrue(now);
+        {
+            let e = &mut self.jobs[victim.0 as usize];
+            debug_assert_eq!(e.rec.phase, JobPhase::Running);
+            e.pending_release = e.pending_release.saturating_sub(hosts.len());
+            for h in hosts {
+                e.rec.granted.retain(|g| g != h);
+            }
+        }
+        for &h in hosts {
+            self.pool.vacate(h, marker(victim));
+        }
+        self.schedule(now)
+    }
+
+    /// A running job completed: all its hosts free up.
+    pub fn finished(&mut self, job: JobId, now: Duration) -> Vec<Directive> {
+        self.accrue(now);
+        let hosts = {
+            let e = &mut self.jobs[job.0 as usize];
+            debug_assert_eq!(e.rec.phase, JobPhase::Running);
+            e.rec.phase = JobPhase::Finished;
+            e.rec.finished = Some(now);
+            e.pending_release = 0;
+            std::mem::take(&mut e.rec.granted)
+        };
+        for h in hosts {
+            self.pool.vacate(h, marker(job));
+        }
+        self.schedule(now)
+    }
+
+    /// One scheduling pass: admit, then preempt for the blocked head,
+    /// then grow. Idempotent — calling it again without a state change
+    /// produces no directives.
+    pub fn schedule(&mut self, now: Duration) -> Vec<Directive> {
+        let mut out = Vec::new();
+
+        // Admission, strictly in (priority desc, seq asc) order. No
+        // backfill: the first queued job that does not fit blocks the
+        // rest, so FIFO-within-priority is also a completion-order
+        // guarantee, not just an admission heuristic.
+        let mut blocked_head: Option<JobId> = None;
+        for id in self.queue_order(now) {
+            let params = self.jobs[id.0 as usize].rec.params;
+            let free = self.pool.free_hosts();
+            if free.len() >= params.min_procs {
+                let grant: Vec<HostId> = free.into_iter().take(params.max_procs).collect();
+                self.accrue(now);
+                let e = &mut self.jobs[id.0 as usize];
+                e.rec.phase = JobPhase::Running;
+                e.rec.started = Some(now);
+                e.rec.granted = grant.clone();
+                for &h in &grant {
+                    self.pool.occupy(h, marker(id));
+                }
+                out.push(Directive::Start {
+                    job: id,
+                    hosts: grant,
+                });
+            } else {
+                blocked_head = Some(id);
+                break;
+            }
+        }
+
+        // Preemption on behalf of the blocked head: shed processes from
+        // strictly-lower-priority running jobs (never below their own
+        // min_procs), youngest victim first. In-flight releases count
+        // toward the deficit so a pass between directive and release
+        // doesn't double-shrink.
+        if let Some(head) = blocked_head {
+            let head_params = self.jobs[head.0 as usize].rec.params;
+            let incoming: usize = self.jobs.iter().map(|e| e.pending_release).sum();
+            let free = self.pool.free_hosts().len();
+            let mut deficit = head_params.min_procs.saturating_sub(free + incoming);
+            if deficit > 0 {
+                let mut victims: Vec<JobId> = self
+                    .jobs
+                    .iter()
+                    .filter(|e| {
+                        e.rec.phase == JobPhase::Running
+                            && e.rec.params.priority < head_params.priority
+                            && e.rec.granted.len() - e.pending_release > e.rec.params.min_procs
+                    })
+                    .map(|e| e.rec.id)
+                    .collect();
+                // Lowest priority first, youngest (largest seq) first.
+                victims.sort_by_key(|&v| {
+                    let e = &self.jobs[v.0 as usize];
+                    (e.rec.params.priority, u64::MAX - e.seq)
+                });
+                for v in victims {
+                    if deficit == 0 {
+                        break;
+                    }
+                    let e = &mut self.jobs[v.0 as usize];
+                    let sheddable =
+                        e.rec.granted.len() - e.pending_release - e.rec.params.min_procs;
+                    let take = sheddable.min(deficit);
+                    if take == 0 {
+                        continue;
+                    }
+                    e.pending_release += take;
+                    e.rec.preemptions += 1;
+                    deficit -= take;
+                    out.push(Directive::Preempt {
+                        victim: v,
+                        procs: take,
+                    });
+                }
+            }
+        }
+
+        // Growth: only when nothing is waiting — a queued job always
+        // has first claim on free hosts.
+        if blocked_head.is_none() {
+            let mut running: Vec<JobId> = self
+                .jobs
+                .iter()
+                .filter(|e| e.rec.phase == JobPhase::Running)
+                .map(|e| e.rec.id)
+                .collect();
+            running.sort_by_key(|&id| {
+                let e = &self.jobs[id.0 as usize];
+                (u8::MAX - e.rec.params.priority, e.seq)
+            });
+            for id in running {
+                let want = {
+                    let e = &self.jobs[id.0 as usize];
+                    // A shrinking victim doesn't re-grow mid-preemption.
+                    if e.pending_release > 0 {
+                        0
+                    } else {
+                        e.rec.params.max_procs - e.rec.granted.len()
+                    }
+                };
+                if want == 0 {
+                    continue;
+                }
+                let extra: Vec<HostId> = self.pool.free_hosts().into_iter().take(want).collect();
+                if extra.is_empty() {
+                    continue;
+                }
+                self.accrue(now);
+                let e = &mut self.jobs[id.0 as usize];
+                e.rec.granted.extend_from_slice(&extra);
+                for &h in &extra {
+                    self.pool.occupy(h, marker(id));
+                }
+                out.push(Directive::Grow {
+                    job: id,
+                    hosts: extra,
+                });
+            }
+        }
+
+        out
+    }
+
+    /// Queued jobs that have arrived by `now`, in service order:
+    /// priority desc, arrival asc, registration asc.
+    fn queue_order(&self, now: Duration) -> Vec<JobId> {
+        let mut q: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|e| e.rec.phase == JobPhase::Queued && e.rec.params.arrival <= now)
+            .map(|e| e.rec.id)
+            .collect();
+        q.sort_by_key(|&id| {
+            let e = &self.jobs[id.0 as usize];
+            (u8::MAX - e.rec.params.priority, e.rec.submitted, e.seq)
+        });
+        q
+    }
+
+    /// Advance the busy host-seconds integral to `now`.
+    fn accrue(&mut self, now: Duration) {
+        let dt = now.saturating_sub(self.last_change).as_secs_f64();
+        let busy: usize = self
+            .jobs
+            .iter()
+            .filter(|e| e.rec.phase == JobPhase::Running)
+            .map(|e| e.rec.granted.len())
+            .sum();
+        self.busy_time += busy as f64 * dt;
+        self.last_change = now;
+    }
+
+    /// The accounting record of `job`.
+    pub fn job(&self, job: JobId) -> &JobRecord {
+        &self.jobs[job.0 as usize].rec
+    }
+
+    /// All job records (trace analysis).
+    pub fn records(&self) -> Vec<JobRecord> {
+        self.jobs.iter().map(|e| e.rec.clone()).collect()
+    }
+
+    /// Jobs currently queued.
+    pub fn queued(&self) -> usize {
+        self.phase_count(JobPhase::Queued)
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> usize {
+        self.phase_count(JobPhase::Running)
+    }
+
+    /// True once every submitted job has finished.
+    pub fn all_done(&self) -> bool {
+        self.jobs.iter().all(|e| e.rec.phase == JobPhase::Finished)
+    }
+
+    fn phase_count(&self, phase: JobPhase) -> usize {
+        self.jobs.iter().filter(|e| e.rec.phase == phase).count()
+    }
+
+    /// Pool utilization over `[0, now]`: busy host-seconds divided by
+    /// available host-seconds.
+    pub fn utilization(&mut self, now: Duration) -> f64 {
+        self.accrue(now);
+        let cap = self.pool.len() as f64 * now.as_secs_f64();
+        if cap <= 0.0 {
+            0.0
+        } else {
+            self.busy_time / cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    fn start_of(ds: &[Directive], job: JobId) -> Option<&Vec<HostId>> {
+        ds.iter().find_map(|d| match d {
+            Directive::Start { job: j, hosts } if *j == job => Some(hosts),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn admission_grants_fastest_hosts_first() {
+        let mut pool = HostPool::new(4);
+        pool.set_speed(HostId(2), 4.0);
+        pool.set_speed(HostId(3), 2.0);
+        let mut s = Scheduler::new(pool);
+        let (a, ds) = s.submit(JobParams::new(2, 2), t(0));
+        // effective_speed scoring: host 2 (4x) then host 3 (2x).
+        assert_eq!(
+            start_of(&ds, a),
+            Some(&vec![HostId(2), HostId(3)]),
+            "placement must take the fastest free hosts"
+        );
+    }
+
+    #[test]
+    fn placement_scored_by_effective_speed() {
+        // Same scoring, but wired through the CostModel entry point:
+        // host 1 is 3x the reference but carries load 2.0, so its
+        // effective speed (3/(1+2) = 1) ties the reference host 0 and
+        // the unloaded 2x host 2 wins.
+        let cm = CostModel::disabled()
+            .with_host_speed(HostId(1), 3.0)
+            .with_host_load(HostId(1), 2.0)
+            .with_host_speed(HostId(2), 2.0);
+        let mut s = Scheduler::with_cost_model(3, &cm);
+        let (a, ds) = s.submit(JobParams::new(1, 1), t(0));
+        assert_eq!(start_of(&ds, a), Some(&vec![HostId(2)]));
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut s = Scheduler::new(HostPool::new(2));
+        let (a, ds) = s.submit(JobParams::new(2, 2), t(0));
+        assert!(start_of(&ds, a).is_some());
+        // b and c tie on priority; b arrived first.
+        let (b, ds) = s.submit(JobParams::new(2, 2), t(1));
+        assert!(ds.is_empty(), "pool full: b queues");
+        let (c, ds) = s.submit(JobParams::new(1, 2), t(2));
+        assert!(
+            ds.is_empty(),
+            "c fits the (future) free host but must not overtake b"
+        );
+        let ds = s.finished(a, t(10));
+        assert!(start_of(&ds, b).is_some(), "b starts first");
+        assert!(start_of(&ds, c).is_none(), "c still waits behind b");
+        let ds = s.finished(b, t(20));
+        assert!(start_of(&ds, c).is_some());
+        assert_eq!(s.job(b).wait(), Some(t(9)));
+        assert_eq!(s.job(c).wait(), Some(t(18)));
+    }
+
+    #[test]
+    fn priority_preempts_and_freed_host_lands_in_new_job() {
+        let mut s = Scheduler::new(HostPool::new(4));
+        let (low, _) = s.submit(JobParams::new(2, 4), t(0));
+        assert_eq!(s.job(low).granted.len(), 4, "low fills the pool");
+        // Higher-priority arrival: pool is full, so the scheduler must
+        // direct `low` to shed down to its min.
+        let (hi, ds) = s.submit(JobParams::new(2, 2).with_priority(5), t(5));
+        assert_eq!(
+            ds,
+            vec![Directive::Preempt {
+                victim: low,
+                procs: 2
+            }],
+            "exactly the deficit is preempted"
+        );
+        // A second pass issues nothing more (release is in flight).
+        assert!(s.schedule(t(5)).is_empty(), "no double-preemption");
+        // The victim's adaptation point commits the shrink.
+        let ds = s.released(low, &[HostId(2), HostId(3)], t(6));
+        assert_eq!(
+            start_of(&ds, hi),
+            Some(&vec![HostId(2), HostId(3)]),
+            "the freed hosts land in the new job's team"
+        );
+        assert_eq!(s.job(low).granted.len(), 2);
+        assert_eq!(s.job(low).preemptions, 1);
+        assert_eq!(s.job(hi).wait(), Some(t(1)));
+    }
+
+    #[test]
+    fn preemption_never_shrinks_below_min_or_equal_priority() {
+        let mut s = Scheduler::new(HostPool::new(4));
+        let (a, _) = s.submit(JobParams::new(2, 2).with_priority(3), t(0));
+        let (b, _) = s.submit(JobParams::new(2, 2), t(0));
+        // Needs 4, but a (equal-or-higher priority) is untouchable and
+        // b is already at min: admission must block.
+        let (c, ds) = s.submit(JobParams::new(4, 4).with_priority(3), t(1));
+        assert!(ds.is_empty(), "nothing sheddable: no directives");
+        assert_eq!(s.job(c).phase, JobPhase::Queued);
+        assert_eq!(s.job(a).granted.len(), 2);
+        assert_eq!(s.job(b).granted.len(), 2);
+        // Once b finishes, c is still short (2 free < 4 min): blocked.
+        let ds = s.finished(b, t(10));
+        assert!(start_of(&ds, c).is_none());
+        // a finishing finally satisfies min_procs = 4.
+        let ds = s.finished(a, t(20));
+        assert_eq!(start_of(&ds, c).map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn min_procs_admission_blocks_until_satisfiable() {
+        let mut s = Scheduler::new(HostPool::new(3));
+        let (a, _) = s.submit(JobParams::new(1, 2), t(0));
+        let (b, ds) = s.submit(JobParams::new(2, 3), t(1));
+        // One host free, b needs two: must queue, not start shrunk.
+        assert!(ds.is_empty());
+        assert_eq!(s.job(b).phase, JobPhase::Queued);
+        let ds = s.finished(a, t(7));
+        assert_eq!(
+            start_of(&ds, b).map(Vec::len),
+            Some(3),
+            "once satisfiable, b gets up to max_procs"
+        );
+    }
+
+    #[test]
+    fn completion_regrows_running_jobs() {
+        let mut s = Scheduler::new(HostPool::new(4));
+        let (a, _) = s.submit(JobParams::new(1, 4), t(0));
+        let (b, ds) = s.submit(JobParams::new(2, 2).with_priority(1), t(1));
+        // b preempts a down to 2...
+        assert_eq!(
+            ds,
+            vec![Directive::Preempt {
+                victim: a,
+                procs: 2
+            }]
+        );
+        let ds = s.released(a, &[HostId(2), HostId(3)], t(2));
+        assert!(start_of(&ds, b).is_some());
+        // ...and when b completes, a re-grows to its max.
+        let ds = s.finished(b, t(9));
+        assert!(
+            ds.iter().any(|d| matches!(
+                d,
+                Directive::Grow { job, hosts } if *job == a && hosts.len() == 2
+            )),
+            "victim re-grows on completion: {ds:?}"
+        );
+        assert_eq!(s.job(a).granted.len(), 4);
+    }
+
+    #[test]
+    fn future_arrivals_stay_invisible_until_their_tick() {
+        let mut s = Scheduler::new(HostPool::new(2));
+        // Whole trace registered at t=0; b arrives later than c.
+        let (b, ds) = s.submit(JobParams::new(2, 2).with_arrival(t(5)), t(0));
+        assert!(ds.is_empty(), "b has not arrived yet");
+        let (c, ds) = s.submit(JobParams::new(1, 1).with_arrival(t(1)), t(0));
+        assert!(ds.is_empty(), "c has not arrived yet");
+        // c's tick: it admits — the future b must not block it.
+        let ds = s.schedule(t(1));
+        assert!(start_of(&ds, c).is_some());
+        assert!(start_of(&ds, b).is_none());
+        // b's tick: one host is left, b needs two — it queues, with its
+        // wait measured from arrival.
+        assert!(s.schedule(t(5)).is_empty());
+        let ds = s.finished(c, t(8));
+        assert!(start_of(&ds, b).is_some());
+        assert_eq!(s.job(b).wait(), Some(t(3)));
+    }
+
+    #[test]
+    fn utilization_integrates_busy_hosts() {
+        let mut s = Scheduler::new(HostPool::new(4));
+        let (a, _) = s.submit(JobParams::new(2, 2), t(0));
+        s.finished(a, t(10));
+        // 2 busy hosts for 10s out of 4x20 host-seconds.
+        let u = s.utilization(t(20));
+        assert!((u - 0.25).abs() < 1e-9, "utilization {u}");
+    }
+}

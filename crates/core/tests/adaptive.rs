@@ -2,7 +2,9 @@
 //! urgent leaves (migration + multiplexing), checkpoint/recovery — all
 //! with a live workload verifying data integrity across adaptations.
 
-use nowmp_core::{AdaptError, Cluster, ClusterConfig, EventKind, LeaveStrategy, ReassignPolicy};
+use nowmp_core::{
+    AdaptError, Cluster, ClusterConfig, EventKind, LeaveSel, LeaveStrategy, ReassignPolicy,
+};
 use nowmp_tmk::shared::SharedF64Vec;
 use nowmp_tmk::system::RegionRunner;
 use nowmp_tmk::{ElemKind, TmkCtx};
@@ -78,7 +80,7 @@ fn normal_leave_end_process() {
     let mut c = cluster(4, 4, n);
     c.parallel(R_FILL, &[]);
     // "End" leave: highest pid.
-    let leaver = c.request_leave_pid(3, None).unwrap();
+    let leaver = c.adapt().leave(LeaveSel::Pid(3), None).unwrap();
     c.parallel(R_SCALE, &[]); // adaptation happens before this fork
     assert_eq!(c.nprocs(), 3);
     assert!(!c.team().contains(&leaver));
@@ -99,7 +101,7 @@ fn normal_leave_middle_process() {
     let n = 400;
     let mut c = cluster(4, 4, n);
     c.parallel(R_FILL, &[]);
-    c.request_leave_pid(1, None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(1), None).unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 3);
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
@@ -111,7 +113,7 @@ fn join_grows_team() {
     let n = 400;
     let mut c = cluster(4, 2, n);
     c.parallel(R_FILL, &[]);
-    let joiner = c.request_join_ready().unwrap();
+    let (joiner, _) = c.join_ready().unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 3);
     assert!(c.team().contains(&joiner));
@@ -123,7 +125,7 @@ fn join_grows_team() {
 fn join_without_free_host_fails() {
     let n = 100;
     let c = cluster(2, 2, n);
-    assert_eq!(c.request_join().unwrap_err(), AdaptError::NoFreeHost);
+    assert_eq!(c.adapt().join().unwrap_err(), AdaptError::NoFreeHost);
     c.shutdown();
 }
 
@@ -132,7 +134,7 @@ fn master_cannot_leave() {
     let n = 100;
     let c = cluster(2, 2, n);
     assert_eq!(
-        c.request_leave_pid(0, None).unwrap_err(),
+        c.adapt().leave(LeaveSel::Pid(0), None).unwrap_err(),
         AdaptError::MasterCannotLeave
     );
     c.shutdown();
@@ -142,9 +144,9 @@ fn master_cannot_leave() {
 fn double_leave_rejected() {
     let n = 100;
     let c = cluster(3, 3, n);
-    let g = c.request_leave_pid(2, None).unwrap();
+    let g = c.adapt().leave(LeaveSel::Pid(2), None).unwrap();
     assert_eq!(
-        c.request_leave(g, None).unwrap_err(),
+        c.adapt().leave(LeaveSel::Gpid(g), None).unwrap_err(),
         AdaptError::AlreadyLeaving(g)
     );
     c.shutdown();
@@ -159,9 +161,9 @@ fn alternating_leave_join_preserves_results() {
     for round in 0..6 {
         if round % 2 == 0 {
             let pid = (c.nprocs() - 1) as u16;
-            c.request_leave_pid(pid, None).unwrap();
+            c.adapt().leave(LeaveSel::Pid(pid), None).unwrap();
         } else {
-            c.request_join_ready().unwrap();
+            c.join_ready().unwrap();
         }
         c.parallel(R_SCALE, &[]);
         scales += 1;
@@ -175,9 +177,9 @@ fn multiple_simultaneous_leaves() {
     let n = 400;
     let mut c = cluster(6, 6, n);
     c.parallel(R_FILL, &[]);
-    c.request_leave_pid(5, None).unwrap();
-    c.request_leave_pid(4, None).unwrap();
-    c.request_leave_pid(3, None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(5), None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(4), None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(3), None).unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 3);
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
@@ -191,13 +193,12 @@ fn multiple_simultaneous_leaves() {
 #[test]
 fn simultaneous_join_and_leave_fill_gaps() {
     let n = 400;
-    let mut cfg = ClusterConfig::test(5, 4);
-    cfg.reassign = ReassignPolicy::FillGaps;
+    let cfg = ClusterConfig::test(5, 4).with_reassign(ReassignPolicy::FillGaps);
     let mut c = Cluster::new(cfg, Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
     c.parallel(R_FILL, &[]);
-    let leaver = c.request_leave_pid(2, None).unwrap();
-    let joiner = c.request_join_ready().unwrap();
+    let leaver = c.adapt().leave(LeaveSel::Pid(2), None).unwrap();
+    let (joiner, _) = c.join_ready().unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 4);
     let team = c.team();
@@ -213,7 +214,7 @@ fn urgent_leave_migrates_and_then_leaves() {
     let mut c = cluster(4, 3, n);
     c.parallel(R_FILL, &[]);
     // Unbounded grace, then force the urgent path deterministically.
-    let g = c.request_leave_pid(2, None).unwrap();
+    let g = c.adapt().leave(LeaveSel::Pid(2), None).unwrap();
     assert!(c.shared().force_urgent(g));
     // The process is migrated (multiplexed) but still a team member.
     assert_eq!(c.nprocs(), 3);
@@ -238,7 +239,8 @@ fn urgent_leave_via_grace_timer() {
     c.parallel(R_FILL, &[]);
     // Tiny grace; don't reach an adaptation point until it expires.
     let g = c
-        .request_leave_pid(2, Some(Duration::from_millis(30)))
+        .adapt()
+        .leave(LeaveSel::Pid(2), Some(Duration::from_millis(30)))
         .unwrap();
     // Poll for the timer-driven migration instead of one fixed sleep:
     // bounded wall-clock wait, immune to scheduler stalls well past
@@ -271,14 +273,14 @@ fn virtual_clock_grace_timer_fires_in_simulated_time() {
     // migration — in simulated time, at (near-)zero wall cost, with an
     // exact timestamp.
     let n = 200;
-    let mut cfg = ClusterConfig::test(4, 3);
-    cfg.clock = nowmp_util::Clock::new_virtual();
+    let cfg = ClusterConfig::test(4, 3).with_clock(nowmp_util::Clock::new_virtual());
     let mut c = Cluster::new(cfg, Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
     c.parallel(R_FILL, &[]);
     let wall = std::time::Instant::now();
     let g = c
-        .request_leave_pid(2, Some(Duration::from_secs(3)))
+        .adapt()
+        .leave(LeaveSel::Pid(2), Some(Duration::from_secs(3)))
         .unwrap();
     // Park the master on the simulation clock: the cluster is then
     // quiescent and virtual time advances straight to the grace
@@ -323,9 +325,9 @@ fn interior_tree_relay_killed_mid_fork_still_completes() {
     // requested at t = 2 ms with a 100 µs grace *provably* expires
     // while the fork is in flight.
     let n = 64 * 1024;
-    let mut cfg = ClusterConfig::test(9, 8);
-    cfg.net_model = nowmp_net::NetModel::paper_1999();
-    cfg.clock = nowmp_util::Clock::new_virtual();
+    let cfg = ClusterConfig::test(9, 8)
+        .with_net_model(nowmp_net::NetModel::paper_1999())
+        .with_clock(nowmp_util::Clock::new_virtual());
     assert_eq!(
         cfg.dsm.collectives.fork,
         nowmp_tmk::Broadcast::Tree,
@@ -341,7 +343,8 @@ fn interior_tree_relay_killed_mid_fork_still_completes() {
         // barely started moving its first pages by t = 2 ms).
         shared.clock().sleep(Duration::from_millis(2));
         shared
-            .request_leave(g, Some(Duration::from_micros(100)))
+            .adapt()
+            .leave(LeaveSel::Gpid(g), Some(Duration::from_micros(100)))
             .expect("interior relay can leave");
     });
     c.parallel(R_FILL, &[]); // the kill and its grace expiry happen in here
@@ -388,9 +391,9 @@ fn interior_tree_aggregator_killed_mid_join_still_completes() {
     // next adaptation point, and the compacted 7-rank reduce tree must
     // keep collecting joins.
     let n = 64 * 1024;
-    let mut cfg = ClusterConfig::test(9, 8);
-    cfg.net_model = nowmp_net::NetModel::paper_1999();
-    cfg.clock = nowmp_util::Clock::new_virtual();
+    let cfg = ClusterConfig::test(9, 8)
+        .with_net_model(nowmp_net::NetModel::paper_1999())
+        .with_clock(nowmp_util::Clock::new_virtual());
     assert_eq!(
         cfg.dsm.collectives.join_reduce,
         nowmp_tmk::Broadcast::Tree,
@@ -406,7 +409,8 @@ fn interior_tree_aggregator_killed_mid_join_still_completes() {
         // their intervals and the reduce tree collects upward.
         shared.clock().sleep(Duration::from_millis(109));
         shared
-            .request_leave(g, Some(Duration::from_micros(100)))
+            .adapt()
+            .leave(LeaveSel::Gpid(g), Some(Duration::from_micros(100)))
             .expect("interior aggregator can leave");
     });
     c.parallel(R_FILL, &[]); // the kill and its grace expiry happen in here
@@ -443,7 +447,8 @@ fn normal_leave_wins_grace_race_at_adaptation_point() {
     c.parallel(R_FILL, &[]);
     // Long grace: the adaptation point arrives first -> normal leave.
     let g = c
-        .request_leave_pid(2, Some(Duration::from_secs(30)))
+        .adapt()
+        .leave(LeaveSel::Pid(2), Some(Duration::from_secs(30)))
         .unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 2);
@@ -460,12 +465,11 @@ fn normal_leave_wins_grace_race_at_adaptation_point() {
 #[test]
 fn scatter_leave_strategy_preserves_results() {
     let n = 512;
-    let mut cfg = ClusterConfig::test(5, 5);
-    cfg.leave_strategy = LeaveStrategy::Scatter;
+    let cfg = ClusterConfig::test(5, 5).with_leave_strategy(LeaveStrategy::Scatter);
     let mut c = Cluster::new(cfg, Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
     c.parallel(R_FILL, &[]);
-    c.request_leave_pid(4, None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(4), None).unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 4);
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
@@ -479,13 +483,14 @@ fn checkpoint_and_recover() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("adaptive.ckpt");
 
-    let mut cfg = ClusterConfig::test(3, 3).with_master_state_provider(|| b"iteration=2".to_vec());
-    cfg.ckpt_path = Some(path.clone());
+    let cfg = ClusterConfig::test(3, 3)
+        .with_master_state_provider(|| b"iteration=2".to_vec())
+        .with_ckpt_path(path.clone());
     let mut c = Cluster::new(cfg.clone(), Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
     c.parallel(R_FILL, &[]);
     c.parallel(R_SCALE, &[]);
-    c.request_checkpoint();
+    c.adapt().checkpoint();
     c.parallel(R_SCALE, &[]); // checkpoint happens at the adaptation point before this fork
     let expect_at_ckpt = expect_scaled(n, 1);
     c.shutdown();
@@ -509,8 +514,7 @@ fn checkpoint_and_recover() {
 #[test]
 fn periodic_checkpoint_policy() {
     let n = 100;
-    let mut cfg = ClusterConfig::test(2, 2);
-    cfg.ckpt_every_forks = Some(2);
+    let cfg = ClusterConfig::test(2, 2).with_ckpt_every_forks(2);
     let mut c = Cluster::new(cfg, Arc::new(App { n }));
     c.alloc("v", n as u64, ElemKind::F64);
     c.parallel(R_FILL, &[]);
@@ -532,14 +536,14 @@ fn shrink_to_master_only_and_grow_back() {
     let n = 200;
     let mut c = cluster(3, 3, n);
     c.parallel(R_FILL, &[]);
-    c.request_leave_pid(2, None).unwrap();
-    c.request_leave_pid(1, None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(2), None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(1), None).unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 1, "master-only team");
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 1));
     // Grow back.
-    c.request_join_ready().unwrap();
-    c.request_join_ready().unwrap();
+    c.join_ready().unwrap();
+    c.join_ready().unwrap();
     c.parallel(R_SCALE, &[]);
     assert_eq!(c.nprocs(), 3);
     assert_eq!(read_v(&mut c, n), expect_scaled(n, 2));
@@ -551,7 +555,7 @@ fn adaptation_records_have_traffic() {
     let n = 1024; // multiple pages -> measurable movement
     let mut c = cluster(4, 4, n);
     c.parallel(R_FILL, &[]);
-    c.request_leave_pid(3, None).unwrap();
+    c.adapt().leave(LeaveSel::Pid(3), None).unwrap();
     c.parallel(R_SCALE, &[]);
     let adapts = c.log().adaptations();
     assert_eq!(adapts.len(), 1);

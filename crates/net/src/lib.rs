@@ -51,7 +51,7 @@ pub mod stats;
 pub use cost::CostModel;
 pub use model::NetModel;
 pub use net::{Endpoint, Incoming, NetError, Network, PendingCall, Replier};
-pub use stats::{LinkSnapshot, NetStats, StatsSnapshot};
+pub use stats::{JobTraffic, LinkSnapshot, NetStats, StatsSnapshot};
 
 use nowmp_util::wire::{Dec, Enc, Wire, WireError};
 

@@ -122,7 +122,32 @@ pub struct StatsSnapshot {
     pub links: Vec<LinkSnapshot>,
 }
 
+/// Network traffic attributed to one job of a multi-tenant run.
+///
+/// Each job runs on its own page space and hence its own transport, so
+/// a whole [`StatsSnapshot`] belongs to exactly one job; this type just
+/// stamps the totals with the owning job id so schedulers can merge
+/// per-tenant snapshots into one accounting table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTraffic {
+    /// Owning job id (page-space key; 0 = single-job runs).
+    pub job: u32,
+    /// Messages the job put on the wire.
+    pub msgs: u64,
+    /// Bytes the job put on the wire (payload + headers).
+    pub bytes: u64,
+}
+
 impl StatsSnapshot {
+    /// Attribute this snapshot's totals to `job` (see [`JobTraffic`]).
+    pub fn attributed(&self, job: u32) -> JobTraffic {
+        JobTraffic {
+            job,
+            msgs: self.total_msgs,
+            bytes: self.total_bytes,
+        }
+    }
+
     /// The busiest link's total byte count — the §5.4 bottleneck metric.
     pub fn max_link_bytes(&self) -> u64 {
         self.links
@@ -210,6 +235,18 @@ mod tests {
         let d = second.since(&first);
         assert_eq!(d.links.len(), 2);
         assert_eq!(d.links[1].bytes_in, 5);
+    }
+
+    #[test]
+    fn attributed_stamps_job_id() {
+        let s = NetStats::new();
+        let a = s.add_link();
+        a.record_out(64);
+        s.record_msg(64);
+        let t = s.snapshot().attributed(7);
+        assert_eq!(t.job, 7);
+        assert_eq!(t.msgs, 1);
+        assert_eq!(t.bytes, 64);
     }
 
     #[test]

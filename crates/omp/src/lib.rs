@@ -14,7 +14,10 @@
 //! * [`OmpCtx`] — inside a region: worksharing loops (`static`,
 //!   `static,chunk`, `dynamic`, `guided`), `barrier`, `critical`,
 //!   `master`/`single`/`sections`, and reductions;
-//! * [`Params`]/[`ParamsReader`] — firstprivate scalars.
+//! * [`Params`]/[`ParamsReader`] — firstprivate scalars;
+//! * [`mod@jobs`] — the NOW as a service: submit many programs as
+//!   [`JobSpec`]s to a cluster-level [`jobs::Scheduler`] that runs them
+//!   as isolated, preemptible tenants on the shared pool.
 //!
 //! Adaptivity stays transparent: none of the application-visible API
 //! mentions joins or leaves; the iteration mapping is re-derived from
@@ -46,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod ctx;
+pub mod jobs;
 pub mod params;
 pub mod program;
 pub mod sched;
 pub mod system;
 
 pub use ctx::OmpCtx;
+pub use jobs::{JobHandle, JobSpec, JobStats, TenancyReport};
 pub use params::{Params, ParamsReader};
 pub use program::{OmpProgram, OmpRunner};
 pub use system::OmpSystem;

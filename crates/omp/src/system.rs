@@ -6,8 +6,11 @@
 //! controls, checkpointing and recovery with fork replay.
 
 use crate::ctx::{OmpCtx, DYN_COUNTER, MAX_TEAM, RED_ARRAY};
+use crate::jobs::JobSpec;
 use crate::program::{OmpProgram, OmpRunner};
-use nowmp_core::{AdaptError, Cluster, ClusterConfig, ClusterShared, EventLog};
+use nowmp_core::{
+    AdaptError, AdaptHandle, Cluster, ClusterConfig, ClusterShared, EventLog, LeaveSel,
+};
 use nowmp_net::Gpid;
 use nowmp_tmk::ElemKind;
 use std::path::Path;
@@ -40,21 +43,28 @@ impl OmpSystem {
         }
     }
 
-    /// Bring up a system running `program` on a fresh cluster.
-    pub fn new(cfg: ClusterConfig, program: OmpProgram) -> Self {
-        let program = Arc::new(program);
+    /// Bring up a system running `job` on a fresh cluster. Takes
+    /// anything convertible to a [`JobSpec`] — a bare [`OmpProgram`]
+    /// for the classic single-job entry point, or a full spec (whose
+    /// step driver, if any, is for the [`crate::jobs::Scheduler`];
+    /// direct construction runs the caller's own loop and ignores it).
+    pub fn new(cfg: ClusterConfig, job: impl Into<JobSpec>) -> Self {
+        let spec = job.into();
+        let program = Arc::new(spec.program);
         let cluster = Cluster::new(cfg, Arc::new(OmpRunner::new(Arc::clone(&program))));
         Self::setup(cluster, program, 0)
     }
 
     /// Recover from a checkpoint file. Returns the system (with fork
-    /// replay armed) and the master's private blob.
+    /// replay armed) and the master's private blob. Takes the same
+    /// job description [`OmpSystem::new`] does.
     pub fn recover(
         cfg: ClusterConfig,
-        program: OmpProgram,
+        job: impl Into<JobSpec>,
         path: &Path,
     ) -> Result<(Self, Vec<u8>), nowmp_ckpt::CkptError> {
-        let program = Arc::new(program);
+        let spec = job.into();
+        let program = Arc::new(spec.program);
         let (cluster, blob) =
             Cluster::recover(cfg, Arc::new(OmpRunner::new(Arc::clone(&program))), path)?;
         let done = cluster.fork_no();
@@ -161,31 +171,51 @@ impl OmpSystem {
     // itself never does)
     // ------------------------------------------------------------------
 
-    /// Request a join (asynchronous spawn; enters at a later
-    /// adaptation point).
-    pub fn request_join(&self) -> Result<nowmp_net::HostId, AdaptError> {
-        self.cluster.request_join()
+    /// The typed adaptation handle — the one surface for join / leave /
+    /// checkpoint requests (see [`AdaptHandle`]).
+    pub fn adapt(&self) -> AdaptHandle {
+        self.cluster.adapt()
     }
 
     /// Request a join and wait until the process is connected, so the
-    /// very next adaptation point commits it (deterministic variant).
+    /// very next adaptation point commits it (deterministic variant;
+    /// needs the master, hence `&mut`). Returns the new process and
+    /// the workstation it was placed on.
+    pub fn join_ready(&mut self) -> Result<(Gpid, nowmp_net::HostId), AdaptError> {
+        self.cluster.join_ready()
+    }
+
+    /// Deprecated spelling of [`AdaptHandle::join`].
+    #[deprecated(note = "use `adapt().join()`")]
+    pub fn request_join(&self) -> Result<nowmp_net::HostId, AdaptError> {
+        self.cluster.adapt().join()
+    }
+
+    /// Deprecated spelling of [`OmpSystem::join_ready`].
+    #[deprecated(note = "use `join_ready()`")]
     pub fn request_join_ready(&mut self) -> Result<Gpid, AdaptError> {
-        self.cluster.request_join_ready()
+        self.cluster.join_ready().map(|(g, _)| g)
     }
 
-    /// Request a leave of the process currently ranked `pid`.
+    /// Deprecated spelling of [`AdaptHandle::leave`] by pid.
+    #[deprecated(note = "use `adapt().leave(LeaveSel::Pid(pid), grace)`")]
     pub fn request_leave_pid(&self, pid: u16, grace: Option<Duration>) -> Result<Gpid, AdaptError> {
-        self.cluster.request_leave_pid(pid, grace)
+        self.cluster.adapt().leave(LeaveSel::Pid(pid), grace)
     }
 
-    /// Request a leave by process instance id.
+    /// Deprecated spelling of [`AdaptHandle::leave`] by gpid.
+    #[deprecated(note = "use `adapt().leave(LeaveSel::Gpid(gpid), grace)`")]
     pub fn request_leave(&self, gpid: Gpid, grace: Option<Duration>) -> Result<(), AdaptError> {
-        self.cluster.request_leave(gpid, grace)
+        self.cluster
+            .adapt()
+            .leave(LeaveSel::Gpid(gpid), grace)
+            .map(|_| ())
     }
 
-    /// Request a checkpoint at the next adaptation point.
+    /// Deprecated spelling of [`AdaptHandle::checkpoint`].
+    #[deprecated(note = "use `adapt().checkpoint()`")]
     pub fn request_checkpoint(&self) {
-        self.cluster.request_checkpoint();
+        self.cluster.adapt().checkpoint();
     }
 
     /// Write a checkpoint right now (between parallel constructs).

@@ -1,7 +1,7 @@
 //! OpenMP-layer integration tests: every directive over the live DSM,
 //! with and without adaptation.
 
-use nowmp_core::ClusterConfig;
+use nowmp_core::{ClusterConfig, LeaveSel};
 use nowmp_omp::{OmpProgram, OmpSystem, Params};
 
 fn axpy_program() -> OmpProgram {
@@ -247,10 +247,10 @@ fn adaptation_between_constructs() {
     let mut s = sys(4, n);
     s.parallel("fill", &Params::new().u64(n).build());
     // Shrink by one, grow by one, keep computing; results must be exact.
-    s.request_leave_pid(3, None).unwrap();
+    s.adapt().leave(LeaveSel::Pid(3), None).unwrap();
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // y = x
     assert_eq!(s.nprocs(), 3);
-    s.request_join_ready().unwrap();
+    s.join_ready().unwrap();
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // y = x + y = 2x
     assert_eq!(s.nprocs(), 4);
     let y = read_vec(&mut s, "y", n as usize);
@@ -266,7 +266,7 @@ fn adaptivity_switch_defers_events() {
     let mut s = sys(3, n);
     s.parallel("fill", &Params::new().u64(n).build());
     s.cluster().set_adaptive(false);
-    s.request_leave_pid(2, None).unwrap();
+    s.adapt().leave(LeaveSel::Pid(2), None).unwrap();
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build());
     assert_eq!(s.nprocs(), 3, "switch off: nobody leaves");
     s.cluster().set_adaptive(true);
@@ -280,7 +280,7 @@ fn dynamic_schedule_with_adaptation() {
     let n = 120u64;
     let mut s = sys(4, n);
     s.parallel("fill", &Params::new().u64(n).build());
-    s.request_leave_pid(2, None).unwrap();
+    s.adapt().leave(LeaveSel::Pid(2), None).unwrap();
     s.parallel("dyn_square", &Params::new().u64(n).build());
     let x = read_vec(&mut s, "x", n as usize);
     for i in 0..n as usize {
@@ -296,8 +296,7 @@ fn recovery_replays_forks() {
     let path = dir.join("omp.ckpt");
 
     let n = 200u64;
-    let mut cfg = ClusterConfig::test(4, 3);
-    cfg.ckpt_path = Some(path.clone());
+    let cfg = ClusterConfig::test(4, 3).with_ckpt_path(path.clone());
     let mut s = OmpSystem::new(cfg.clone(), axpy_program());
     s.alloc_f64("x", n);
     s.alloc_f64("y", n);
@@ -306,7 +305,7 @@ fn recovery_replays_forks() {
     // Main loop: fill, then 3 axpy steps; checkpoint after step 1.
     s.parallel("fill", &Params::new().u64(n).build());
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // y = x
-    s.request_checkpoint();
+    s.adapt().checkpoint();
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // ckpt taken before this fork; then y = 2x
     s.parallel("axpy", &Params::new().u64(n).f64(1.0).build()); // y = 3x
     let y_final = read_vec(&mut s, "y", n as usize);
@@ -337,9 +336,9 @@ fn compute_charge_is_time_visible_on_virtual_clock() {
 
     let n = 100u64;
     let per_iter = Duration::from_millis(1);
-    let mut cfg = ClusterConfig::test(3, 2);
-    cfg.clock = Clock::new_virtual();
-    cfg.cost_model = CostModel::disabled().with_region_cost("axpy", per_iter);
+    let cfg = ClusterConfig::test(3, 2)
+        .with_clock(Clock::new_virtual())
+        .with_cost_model(CostModel::disabled().with_region_cost("axpy", per_iter));
     let mut s = OmpSystem::new(cfg, axpy_program());
     s.alloc_f64("x", n);
     s.alloc_f64("y", n);
@@ -366,14 +365,16 @@ fn slow_host_gates_the_join_under_heterogeneous_speeds() {
 
     let n = 100u64;
     let per_iter = Duration::from_millis(1);
-    let mut cfg = ClusterConfig::test(3, 2);
-    cfg.clock = Clock::new_virtual();
     // Worker host h1 runs at half speed: its 50-iteration block costs
     // 100 ms while the master's costs 50 ms, so the fork/join round
     // stretches to the straggler.
-    cfg.cost_model = CostModel::disabled()
-        .with_region_cost("axpy", per_iter)
-        .with_host_speed(HostId(1), 0.5);
+    let cfg = ClusterConfig::test(3, 2)
+        .with_clock(Clock::new_virtual())
+        .with_cost_model(
+            CostModel::disabled()
+                .with_region_cost("axpy", per_iter)
+                .with_host_speed(HostId(1), 0.5),
+        );
     let mut s = OmpSystem::new(cfg, axpy_program());
     s.alloc_f64("x", n);
     s.alloc_f64("y", n);

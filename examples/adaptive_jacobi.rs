@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example adaptive_jacobi`
 
 use nowmp_apps::{build_program, jacobi::Jacobi, Kernel};
-use nowmp_core::ClusterConfig;
+use nowmp_core::{ClusterConfig, LeaveSel};
 use nowmp_omp::OmpSystem;
 
 fn main() {
@@ -29,11 +29,12 @@ fn main() {
         match it {
             10 => {
                 println!("[iter {it}] workstation becomes available -> join requested");
-                sys.request_join_ready().expect("a workstation is free");
+                sys.join_ready().expect("a workstation is free");
             }
             20 => {
                 println!("[iter {it}] workstation owner returns -> leave requested (3s grace)");
-                sys.request_leave_pid(2, Some(std::time::Duration::from_secs(3)))
+                sys.adapt()
+                    .leave(LeaveSel::Pid(2), Some(std::time::Duration::from_secs(3)))
                     .expect("slave can leave");
             }
             _ => {}

@@ -25,8 +25,7 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("gauss.ckpt");
 
-    let mut cfg = ClusterConfig::test(4, 3);
-    cfg.ckpt_path = Some(path.clone());
+    let cfg = ClusterConfig::test(4, 3).with_ckpt_path(path.clone());
 
     // --- First life: run halfway, checkpoint, "crash". ---
     let mut sys = OmpSystem::new(cfg.clone(), build_program(&[&app]));
@@ -35,7 +34,7 @@ fn main() {
     for it in 0..half {
         app.step(&mut sys, it);
     }
-    sys.request_checkpoint();
+    sys.adapt().checkpoint();
     app.step(&mut sys, half); // checkpoint happens at this adaptation point
     let forks_at_ckpt = sys.fork_no();
     println!(

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example molecular_dynamics`
 
 use nowmp_apps::{build_program, nbf::Nbf, Kernel};
-use nowmp_core::{ClusterConfig, EventKind};
+use nowmp_core::{ClusterConfig, EventKind, LeaveSel};
 use nowmp_omp::OmpSystem;
 
 fn main() {
@@ -31,19 +31,25 @@ fn main() {
         match it {
             2 => {
                 println!("[step {it}] two workstations become available");
-                sys.request_join_ready().unwrap();
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             6 => {
                 println!("[step {it}] three owners return at once -> batched leaves");
                 let n = sys.nprocs();
-                sys.request_leave_pid((n - 1) as u16, None).unwrap();
-                sys.request_leave_pid((n - 2) as u16, None).unwrap();
-                sys.request_leave_pid((n - 3) as u16, None).unwrap();
+                sys.adapt()
+                    .leave(LeaveSel::Pid((n - 1) as u16), None)
+                    .unwrap();
+                sys.adapt()
+                    .leave(LeaveSel::Pid((n - 2) as u16), None)
+                    .unwrap();
+                sys.adapt()
+                    .leave(LeaveSel::Pid((n - 3) as u16), None)
+                    .unwrap();
             }
             9 => {
                 println!("[step {it}] one machine frees up again");
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             _ => {}
         }

@@ -15,17 +15,17 @@
 //! Run with: `cargo run --release --example owner_returns`
 
 use nowmp_apps::{build_program, jacobi::Jacobi, Kernel};
-use nowmp_core::{ClusterConfig, EventKind};
+use nowmp_core::{ClusterConfig, EventKind, LeaveSel};
 use nowmp_net::{CostModel, NetModel};
 use nowmp_omp::OmpSystem;
 use std::time::Duration;
 
 fn main() {
     let app = Jacobi::new(96);
-    let mut cfg = ClusterConfig::test(4, 4);
-    cfg.net_model = NetModel::paper_scaled(0.25); // paper constants, 4x fast-forward
-    cfg.cost_model = CostModel::paper_scaled(0.25); // host side: 0.7 s spawn, 8.1 MB/s stream
-    cfg.dsm = nowmp_tmk::DsmConfig::default_4k();
+    let cfg = ClusterConfig::test(4, 4)
+        .with_net_model(NetModel::paper_scaled(0.25)) // paper constants, 4x fast-forward
+        .with_cost_model(CostModel::paper_scaled(0.25)) // host side: 0.7 s spawn, 8.1 MB/s stream
+        .with_dsm(nowmp_tmk::DsmConfig::default_4k());
     let mut sys = OmpSystem::new(cfg, build_program(&[&app]));
     app.setup(&mut sys);
 
@@ -35,7 +35,8 @@ fn main() {
     for it in 0..6 {
         if it == 2 {
             println!("[iter {it}] owner returns, grants 3s grace");
-            sys.request_leave_pid(3, Some(Duration::from_secs(3)))
+            sys.adapt()
+                .leave(LeaveSel::Pid(3), Some(Duration::from_secs(3)))
                 .unwrap();
         }
         app.step(&mut sys, it);
@@ -45,7 +46,9 @@ fn main() {
     // Impatient owner: zero grace — the timer fires before any
     // adaptation point, forcing migration + multiplexing.
     println!("[iter 6] another owner returns and wants the machine NOW (0 grace)");
-    sys.request_leave_pid(2, Some(Duration::ZERO)).unwrap();
+    sys.adapt()
+        .leave(LeaveSel::Pid(2), Some(Duration::ZERO))
+        .unwrap();
     // Give the grace timer a moment to claim the leave and migrate.
     std::thread::sleep(Duration::from_millis(600));
     for it in 6..10 {

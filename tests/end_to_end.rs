@@ -46,10 +46,10 @@ fn every_kernel_survives_leave_and_join() {
         k.setup(&mut sys);
         for it in 0..iters {
             if it == 1 {
-                sys.request_leave_pid(3, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(3), None).unwrap();
             }
             if it == 2 {
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             k.step(&mut sys, it);
         }
@@ -67,7 +67,7 @@ fn every_kernel_survives_urgent_leave() {
         k.setup(&mut sys);
         for it in 0..iters {
             if it == 1 {
-                let g = sys.request_leave_pid(3, None).unwrap();
+                let g = sys.adapt().leave(LeaveSel::Pid(3), None).unwrap();
                 assert!(sys.shared().force_urgent(g), "urgent path must engage");
             }
             k.step(&mut sys, it);
@@ -113,8 +113,7 @@ fn checkpoint_recover_mid_run_all_kernels() {
     for k in kernels() {
         let iters = iters_for(k.as_ref());
         let path = dir.join(format!("{}.ckpt", k.name().replace('/', "_")));
-        let mut cfg = ClusterConfig::test(4, 3);
-        cfg.ckpt_path = Some(path.clone());
+        let cfg = ClusterConfig::test(4, 3).with_ckpt_path(path.clone());
 
         // Uninterrupted run for the expected outcome.
         let (sys, err) = nowmp::apps::run_kernel(k.as_ref(), cfg.clone(), iters);
@@ -128,7 +127,7 @@ fn checkpoint_recover_mid_run_all_kernels() {
         for it in 0..half {
             k.step(&mut sys, it);
         }
-        sys.request_checkpoint();
+        sys.adapt().checkpoint();
         k.step(&mut sys, half);
         drop(sys); // crash
 
@@ -176,9 +175,9 @@ fn grow_shrink_stress_sequence() {
         while si < schedule.len() && schedule[si].0 == it {
             if schedule[si].1 < 0 {
                 let pid = (sys.nprocs() - 1) as u16;
-                sys.request_leave_pid(pid, None).unwrap();
+                sys.adapt().leave(LeaveSel::Pid(pid), None).unwrap();
             } else {
-                sys.request_join_ready().unwrap();
+                sys.join_ready().unwrap();
             }
             si += 1;
         }

@@ -61,7 +61,7 @@ fn master_can_migrate_but_not_leave() {
     let master_gpid = sys.cluster().team()[0];
     // §4.4: no normal leave for the master...
     assert!(matches!(
-        sys.request_leave(master_gpid, None),
+        sys.adapt().leave(LeaveSel::Gpid(master_gpid), None),
         Err(nowmp::core::AdaptError::MasterCannotLeave)
     ));
     // ...but it can migrate.
@@ -164,7 +164,7 @@ fn strip_mining_multiplies_adaptation_opportunities() {
     let mut sys = OmpSystem::new(ClusterConfig::test(4, 4), strip_program());
     sys.alloc_f64("x", n);
     sys.parallel("fill", &nowmp::omp::Params::new().u64(n).build());
-    sys.request_leave_pid(3, None).unwrap();
+    sys.adapt().leave(LeaveSel::Pid(3), None).unwrap();
     sys.parallel_strips(
         "scale_strip",
         0..n,

@@ -29,10 +29,10 @@ fn run_with_schedule(seed: u64, n_grid: usize, iters: usize) -> f64 {
         match action {
             Action::Leave if sys.nprocs() > 1 => {
                 let pid = rng.gen_range(1..sys.nprocs()) as u16;
-                let _ = sys.request_leave_pid(pid, None);
+                let _ = sys.adapt().leave(LeaveSel::Pid(pid), None);
             }
             Action::Join => {
-                let _ = sys.request_join_ready();
+                let _ = sys.join_ready();
             }
             _ => {}
         }
